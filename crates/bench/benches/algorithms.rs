@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks: end-to-end SCC algorithms on fixed analogs.
+//!
+//! Complements the table/figure binaries with statistically rigorous
+//! per-algorithm timings on small fixed inputs (criterion re-runs each
+//! workload many times, so these use scale ~0.02 analogs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use swscc_core::{detect_scc, Algorithm, SccConfig};
+use swscc_graph::datasets::Dataset;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc");
+    group.sample_size(10);
+    for d in [
+        Dataset::Livej,
+        Dataset::Baidu,
+        Dataset::CaRoad,
+        Dataset::Patents,
+    ] {
+        let g = d.generate(0.02, 42);
+        group.throughput(criterion::Throughput::Elements(g.num_edges() as u64));
+        for a in Algorithm::all() {
+            let cfg = SccConfig::with_threads(2);
+            group.bench_with_input(BenchmarkId::new(a.name(), d.name()), &g, |b, g| {
+                b.iter(|| {
+                    let (r, _) = detect_scc(black_box(g), a, &cfg);
+                    black_box(r.num_components())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("method2-threads");
+    group.sample_size(10);
+    let g = Dataset::Livej.generate(0.05, 42);
+    for threads in [1usize, 2, 4] {
+        let cfg = SccConfig::with_threads(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &g, |b, g| {
+            b.iter(|| {
+                let (r, _) = detect_scc(black_box(g), Algorithm::Method2, &cfg);
+                black_box(r.num_components())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_thread_scaling);
+criterion_main!(benches);

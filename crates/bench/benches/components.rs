@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks: individual algorithm kernels.
+//!
+//! Times Par-Trim, Par-Trim2, Par-WCC, the Par-FWBW peel, and the BFS
+//! primitive in isolation, each on a fresh state over the LiveJournal
+//! analog — the per-phase costs that Fig. 7 stacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swscc_core::fwbw::parallel::par_fwbw;
+use swscc_core::state::{AlgoState, INITIAL_COLOR};
+use swscc_core::trim::{par_trim, par_trim_sweeping};
+use swscc_core::trim2::par_trim2;
+use swscc_core::wcc::par_wcc;
+use swscc_core::SccConfig;
+use swscc_graph::bfs::{bfs_levels, par_bfs_levels, Direction};
+use swscc_graph::datasets::Dataset;
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = Dataset::Livej.generate(0.05, 42);
+    let cfg = SccConfig::with_threads(2);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(g.num_edges() as u64));
+
+    group.bench_function("par-trim", |b| {
+        b.iter(|| {
+            let state = AlgoState::new(&g);
+            black_box(par_trim(&state))
+        })
+    });
+
+    group.bench_function("par-trim-sweeping", |b| {
+        b.iter(|| {
+            let state = AlgoState::new(&g);
+            black_box(par_trim_sweeping(&state))
+        })
+    });
+
+    group.bench_function("par-trim2", |b| {
+        b.iter(|| {
+            let state = AlgoState::new(&g);
+            black_box(par_trim2(&state))
+        })
+    });
+
+    group.bench_function("par-fwbw-peel", |b| {
+        b.iter(|| {
+            let state = AlgoState::new(&g);
+            black_box(par_fwbw(&state, &cfg, INITIAL_COLOR).resolved)
+        })
+    });
+
+    group.bench_function("par-wcc-after-peel", |b| {
+        b.iter(|| {
+            let state = AlgoState::new(&g);
+            par_trim(&state);
+            par_fwbw(&state, &cfg, INITIAL_COLOR);
+            black_box(par_wcc(&state).groups.len())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let g = Dataset::Livej.generate(0.05, 42);
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(g.num_edges() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(bfs_levels(&g, 0, Direction::Forward).len()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(par_bfs_levels(&g, 0, Direction::Forward).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks: graph construction throughput.
+//!
+//! CSR build and the synthetic generators — the substrate costs the
+//! evaluation harness amortizes away by reusing generated graphs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swscc_graph::gen::{bowtie, citation_dag, rmat, road_grid};
+use swscc_graph::gen::{BowtieConfig, CitationConfig, RmatConfig, RoadGridConfig};
+use swscc_graph::CsrGraph;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    group.bench_function("rmat-scale14", |b| {
+        b.iter(|| black_box(rmat(&RmatConfig::graph500(14, 8, 42)).num_edges()))
+    });
+
+    group.bench_function("bowtie-50k", |b| {
+        b.iter(|| {
+            let cfg = BowtieConfig {
+                num_nodes: 50_000,
+                ..Default::default()
+            };
+            black_box(bowtie(&cfg).graph.num_edges())
+        })
+    });
+
+    group.bench_function("citation-dag-50k", |b| {
+        b.iter(|| {
+            let cfg = CitationConfig {
+                num_nodes: 50_000,
+                ..Default::default()
+            };
+            black_box(citation_dag(&cfg).num_edges())
+        })
+    });
+
+    group.bench_function("road-grid-200x200", |b| {
+        b.iter(|| {
+            let cfg = RoadGridConfig {
+                width: 200,
+                height: 200,
+                ..Default::default()
+            };
+            black_box(road_grid(&cfg).num_edges())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr");
+    group.sample_size(10);
+    // Pre-generate a raw edge list, then time only the CSR construction.
+    let edges: Vec<(u32, u32)> = {
+        let g = rmat(&RmatConfig::graph500(14, 8, 7));
+        g.edges().collect()
+    };
+    let n = 1usize << 14;
+    group.throughput(criterion::Throughput::Elements(edges.len() as u64));
+    group.bench_function("from-edges", |b| {
+        b.iter(|| black_box(CsrGraph::from_edges(n, &edges).num_edges()))
+    });
+    group.bench_function("transpose", |b| {
+        let g = CsrGraph::from_edges(n, &edges);
+        b.iter(|| black_box(g.transpose().num_edges()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_csr_build);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks: runtime substrate (work queue, bitset) and
+//! the distributed BSP pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use swscc_distributed::dist_scc;
+use swscc_graph::datasets::Dataset;
+use swscc_parallel::{AtomicBitSet, TwoLevelQueue};
+
+fn bench_workqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workqueue");
+    group.sample_size(10);
+    // 10k pre-seeded trivial tasks, swept over K — the §4.3 batching axis.
+    for k in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("drain-10k", k), &k, |b, &k| {
+            b.iter(|| {
+                let q = TwoLevelQueue::new(k);
+                for i in 0..10_000usize {
+                    q.push_global(i);
+                }
+                let sum = AtomicUsize::new(0);
+                q.run(2, |i, _| {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+                black_box(sum.load(Ordering::Relaxed))
+            })
+        });
+    }
+    // Self-spawning tree: stresses local-queue push + spill.
+    group.bench_function("spawn-tree", |b| {
+        b.iter(|| {
+            let q = TwoLevelQueue::new(8);
+            q.push_global(14u32);
+            let leaves = AtomicUsize::new(0);
+            q.run(2, |n, w| {
+                if n < 2 {
+                    leaves.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    w.push(n - 1);
+                    w.push(n - 2);
+                }
+            });
+            black_box(leaves.load(Ordering::Relaxed))
+        })
+    });
+    group.finish();
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset");
+    group.sample_size(20);
+    group.bench_function("set-1m", |b| {
+        b.iter(|| {
+            let bits = AtomicBitSet::new(1 << 20);
+            for i in (0..1 << 20).step_by(3) {
+                bits.set(i);
+            }
+            black_box(bits.count_ones())
+        })
+    });
+    group.bench_function("iter-ones", |b| {
+        let bits = AtomicBitSet::new(1 << 20);
+        for i in (0..1 << 20).step_by(7) {
+            bits.set(i);
+        }
+        b.iter(|| black_box(bits.iter_ones().sum::<usize>()))
+    });
+    group.finish();
+}
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed");
+    group.sample_size(10);
+    let g = Dataset::Livej.generate(0.05, 42);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("dist-scc", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let (r, _) = dist_scc(black_box(&g), w);
+                black_box(r.num_components())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workqueue, bench_bitset, bench_distributed);
+criterion_main!(benches);

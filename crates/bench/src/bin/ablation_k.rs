@@ -1,0 +1,34 @@
+//! §4.3 ablation: work-queue batch parameter K.
+//!
+//! "We set K to 1 for the Baseline and Method 1, because these algorithms
+//! suffer from a lack of task level parallelism; for Method 2, we set K to
+//! 8." This sweep shows why: with few tasks, batching (large K) starves
+//! other workers; with Method 2's thousands of WCC tasks, batching
+//! amortizes the global-queue lock.
+
+use swscc_bench::{ms, print_header, reps, scale, thread_sweep, time_algorithm};
+use swscc_core::{Algorithm, SccConfig};
+use swscc_graph::datasets::Dataset;
+
+fn main() {
+    print_header("§4.3 ablation: work-queue batch size K");
+    let reps = reps();
+    let ks = [1usize, 2, 4, 8, 16, 32];
+    let threads = *thread_sweep().last().expect("non-empty sweep");
+    for d in [Dataset::Livej, Dataset::Flickr] {
+        let g = d.load(scale(), 42);
+        println!("--- {} ({} threads)", d.name(), threads);
+        println!("{:<6} {:>14} {:>14}", "K", "method1 (ms)", "method2 (ms)");
+        for &k in &ks {
+            let cfg = SccConfig {
+                k: Some(k),
+                ..SccConfig::with_threads(threads)
+            };
+            let t1 = time_algorithm(&g, Algorithm::Method1, &cfg, reps);
+            let t2 = time_algorithm(&g, Algorithm::Method2, &cfg, reps);
+            println!("{:<6} {:>14} {:>14}", k, ms(t1), ms(t2));
+        }
+        println!();
+    }
+    println!("paper defaults: K=1 (baseline, method 1), K=8 (method 2)");
+}

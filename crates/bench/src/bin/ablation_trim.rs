@@ -1,0 +1,44 @@
+//! §2.1/§2.2 ablation: the Trim step itself.
+//!
+//! McLendon et al.'s Trim extension is what turned the original FW-BW
+//! algorithm into a practical method for real graphs: size-1 SCCs dominate
+//! the SCC-size distribution, and without Trim each one costs a full
+//! FW + BW reachability pair. This harness pits the original FW-BW
+//! (no trim) against the paper's Baseline (FW-BW-Trim) and reports how
+//! many work-queue tasks each needed.
+
+use swscc_bench::{ms, print_header, reps, scale, time_algorithm};
+use swscc_core::{detect_scc, Algorithm, SccConfig};
+use swscc_graph::datasets::Dataset;
+
+fn main() {
+    print_header("Trim ablation: original FW-BW vs FW-BW-Trim (baseline)");
+    let reps = reps();
+    println!(
+        "{:<9} {:>11} {:>13} {:>7} {:>12} {:>14}",
+        "name", "fwbw (ms)", "baseline (ms)", "ratio", "fwbw tasks", "baseline tasks"
+    );
+    for d in [
+        Dataset::Livej,
+        Dataset::Baidu,
+        Dataset::Wiki,
+        Dataset::Patents,
+    ] {
+        let g = d.load(scale(), 42);
+        let cfg = SccConfig::default();
+        let t_fwbw = time_algorithm(&g, Algorithm::FwBw, &cfg, reps);
+        let t_base = time_algorithm(&g, Algorithm::Baseline, &cfg, reps);
+        let (_, rep_fwbw) = detect_scc(&g, Algorithm::FwBw, &cfg);
+        let (_, rep_base) = detect_scc(&g, Algorithm::Baseline, &cfg);
+        println!(
+            "{:<9} {:>11} {:>13} {:>6.1}x {:>12} {:>14}",
+            d.name(),
+            ms(t_fwbw),
+            ms(t_base),
+            t_fwbw.as_secs_f64() / t_base.as_secs_f64(),
+            rep_fwbw.queue.tasks_executed,
+            rep_base.queue.tasks_executed,
+        );
+    }
+    println!("\npaper §2.1: Trim 'resulted in a significant performance improvement'");
+}

@@ -1,0 +1,73 @@
+//! Figure 6: performance on real-world graph instances.
+//!
+//! For every dataset analog: speedup of Baseline / Method 1 / Method 2 over
+//! sequential Tarjan, across the thread sweep — the paper's nine sub-plots
+//! as tables. (Absolute speedups require multicore hardware; on this
+//! machine the *shape* — Method 2 ≥ Method 1 ≥ Baseline on small-world
+//! instances, inversion on CA-road — is the reproduction target.)
+
+use swscc_bench::{print_header, reps, scale, thread_sweep, time_algorithm};
+use swscc_core::{Algorithm, SccConfig};
+use swscc_graph::datasets::Dataset;
+
+fn main() {
+    print_header("Figure 6: speedup over Tarjan");
+    let threads = thread_sweep();
+    let reps = reps();
+    let only: Option<Dataset> = std::env::args().nth(1).and_then(|s| Dataset::from_name(&s));
+
+    // geo-mean of the best Method 2 speedup per small-world instance (the
+    // paper's summary statistic: 14.05x on 16 cores / 32 HW threads)
+    let mut best_m2: Vec<f64> = Vec::new();
+
+    for d in Dataset::all() {
+        if let Some(o) = only {
+            if o != d {
+                continue;
+            }
+        }
+        let g = d.load(scale(), 42);
+        let cfg1 = SccConfig::with_threads(1);
+        let t_tarjan = time_algorithm(&g, Algorithm::Tarjan, &cfg1, reps);
+        println!(
+            "--- {} (N={}, M={}; tarjan {} ms)",
+            d.name(),
+            g.num_nodes(),
+            g.num_edges(),
+            swscc_bench::ms(t_tarjan)
+        );
+        print!("{:<10}", "threads");
+        for a in Algorithm::parallel() {
+            print!(" {:>10}", a.name());
+        }
+        println!("   (speedup vs tarjan)");
+        let mut d_best_m2 = 0.0f64;
+        for &t in &threads {
+            let cfg = SccConfig::with_threads(t);
+            print!("{:<10}", t);
+            for a in Algorithm::parallel() {
+                let dt = time_algorithm(&g, a, &cfg, reps);
+                let speedup = t_tarjan.as_secs_f64() / dt.as_secs_f64();
+                if a == Algorithm::Method2 {
+                    d_best_m2 = d_best_m2.max(speedup);
+                }
+                print!(" {:>9.2}x", speedup);
+            }
+            println!();
+        }
+        if Dataset::small_world().contains(&d) {
+            best_m2.push(d_best_m2);
+        }
+        println!();
+    }
+
+    if best_m2.len() > 1 {
+        let geo = (best_m2.iter().map(|s| s.ln()).sum::<f64>() / best_m2.len() as f64).exp();
+        println!(
+            "geometric mean of best Method 2 speedups over {} small-world instances: {:.2}x",
+            best_m2.len(),
+            geo
+        );
+        println!("(paper, 16 cores / 32 HW threads: 14.05x; range 5.01x–29.41x)");
+    }
+}

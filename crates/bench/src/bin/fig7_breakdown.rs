@@ -1,0 +1,61 @@
+//! Figure 7: execution time breakdown for all methods on all graphs.
+//!
+//! Each row is one (method, thread-count) cell of the paper's stacked-bar
+//! plots: milliseconds spent in Par-Trim, Par-FWBW, Par-Trim′ (the Fig. 7
+//! caption's "Trim only for Method 1 but Trim, Trim2 and Trim in sequence
+//! for Method 2"), Par-WCC, and the recursive FW-BW phase.
+
+use swscc_bench::{ms, print_header, scale, thread_sweep};
+use swscc_core::instrument::Phase;
+use swscc_core::{detect_scc, Algorithm, SccConfig};
+use swscc_graph::datasets::Dataset;
+
+fn main() {
+    print_header("Figure 7: execution time breakdown (ms)");
+    let threads = thread_sweep();
+    let only: Option<Dataset> = std::env::args().nth(1).and_then(|s| Dataset::from_name(&s));
+
+    for d in Dataset::all() {
+        if let Some(o) = only {
+            if o != d {
+                continue;
+            }
+        }
+        let g = d.load(scale(), 42);
+        println!(
+            "--- {} (N={}, M={})",
+            d.name(),
+            g.num_nodes(),
+            g.num_edges()
+        );
+        println!(
+            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+            "method",
+            "threads",
+            "par-trim",
+            "par-fwbw",
+            "par-trim'",
+            "par-wcc",
+            "recur-fwbw",
+            "total"
+        );
+        for a in Algorithm::parallel() {
+            for &t in &threads {
+                let cfg = SccConfig::with_threads(t);
+                let (_, report) = detect_scc(&g, a, &cfg);
+                println!(
+                    "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+                    a.name(),
+                    t,
+                    ms(report.time_in(Phase::ParTrim)),
+                    ms(report.time_in(Phase::ParFwbw)),
+                    ms(report.time_in(Phase::ParTrim2)),
+                    ms(report.time_in(Phase::ParWcc)),
+                    ms(report.time_in(Phase::RecurFwbw)),
+                    ms(report.total_time),
+                );
+            }
+        }
+        println!();
+    }
+}

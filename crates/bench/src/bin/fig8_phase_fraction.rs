@@ -1,0 +1,34 @@
+//! Figure 8: fraction of nodes whose SCC is identified at each phase of
+//! execution, for Method 2.
+//!
+//! The paper's reading: the more nodes left for the recursive FW-BW step,
+//! the bigger the payoff of Method 2's WCC re-partitioning.
+
+use swscc_bench::{print_header, scale};
+use swscc_core::instrument::Phase;
+use swscc_core::{detect_scc, Algorithm, SccConfig};
+use swscc_graph::datasets::Dataset;
+
+fn main() {
+    print_header("Figure 8: fraction of nodes resolved per phase (Method 2)");
+    println!(
+        "{:<9} {:>10} {:>10} {:>10} {:>12}  {:>14}",
+        "name", "par-trim", "par-fwbw", "par-trim'", "recur-fwbw", "initial tasks"
+    );
+    for d in Dataset::all() {
+        let g = d.load(scale(), 42);
+        let (_, report) = detect_scc(&g, Algorithm::Method2, &SccConfig::default());
+        let f = |p: Phase| format!("{:.1}%", 100.0 * report.resolved_fraction(p));
+        println!(
+            "{:<9} {:>10} {:>10} {:>10} {:>12}  {:>14}",
+            d.name(),
+            f(Phase::ParTrim),
+            f(Phase::ParFwbw),
+            f(Phase::ParTrim2),
+            f(Phase::RecurFwbw),
+            report.initial_tasks,
+        );
+    }
+    println!();
+    println!("(par-wcc resolves no nodes itself; it re-partitions for phase 2)");
+}

@@ -1,0 +1,38 @@
+//! Table 1: real-world graph datasets used in the experiments.
+//!
+//! Prints the same columns as the paper — name, description, nodes, edges,
+//! largest SCC size, (sampled) diameter — for the nine dataset analogs.
+//! The `*` convention (randomly oriented undirected originals) is carried
+//! over in the descriptions.
+
+use swscc_bench::{print_header, scale};
+use swscc_core::{detect_scc, Algorithm, SccConfig};
+use swscc_graph::datasets::Dataset;
+use swscc_graph::stats::estimate_diameter;
+
+fn main() {
+    print_header("Table 1: dataset analogs");
+    println!(
+        "{:<9} {:<50} {:>10} {:>12} {:>12} {:>9}",
+        "Name", "Description", "# Nodes", "# Edges", "Largest SCC", "Diameter"
+    );
+    for d in Dataset::all() {
+        let g = d.load(scale(), 42);
+        let (scc, _) = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default());
+        let diam = estimate_diameter(&g, 16, 1);
+        println!(
+            "{:<9} {:<50} {:>10} {:>12} {:>12} {:>9}",
+            d.name(),
+            d.description(),
+            g.num_nodes(),
+            g.num_edges(),
+            scc.largest_component_size(),
+            diam
+        );
+    }
+    println!();
+    println!("paper Table 1 giant-SCC fractions for comparison:");
+    for d in Dataset::all() {
+        println!("  {:<9} {:.2}", d.name(), d.table1_giant_frac());
+    }
+}

@@ -1,0 +1,135 @@
+//! Baseline (Algorithm 3): the paper's tuned implementation of conventional
+//! FW-BW-Trim.
+//!
+//! Two phases: Par-Trim over the whole graph, then the recursive FW-BW
+//! kernel driven by the work queue (K = 1, §4.3). This is the algorithm
+//! whose poor scaling on small-world graphs (§5, Fig. 6: "the Baseline
+//! method does not scale") motivates Methods 1 and 2 — a single thread ends
+//! up processing the giant SCC while the others idle.
+
+use crate::config::SccConfig;
+use crate::fwbw::recursive::{process_task, seed_tasks, RecurContext, Task};
+use crate::instrument::{Collector, Phase, RunReport};
+use crate::result::SccResult;
+use crate::state::AlgoState;
+use crate::trim::par_trim;
+use swscc_graph::CsrGraph;
+use swscc_parallel::{pool::with_pool, TwoLevelQueue};
+
+/// Paper default work-queue batch size for the Baseline (§4.3).
+pub const BASELINE_K: usize = 1;
+
+/// Runs Algorithm 3.
+pub fn baseline_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
+    with_pool(cfg.threads, || {
+        let state = AlgoState::new(g);
+        let collector = Collector::new(cfg.task_log_limit);
+
+        // Phase A: parallel trim.
+        collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
+
+        // Phase B: recursive FW-BW over the work queue.
+        let tasks = seed_tasks(&state, cfg);
+        let initial_tasks = tasks.len();
+        let queue: TwoLevelQueue<Task> = TwoLevelQueue::new(cfg.resolve_k(BASELINE_K));
+        for t in tasks {
+            queue.push_global(t);
+        }
+        let ctx = RecurContext::new(&state, &collector, cfg);
+        let stats = collector.phase(Phase::RecurFwbw, || {
+            let stats = queue.run(cfg.threads, |task, worker| process_task(&ctx, task, worker));
+            (ctx.resolved_count(), stats)
+        });
+
+        let report = collector.into_report(stats, initial_tasks);
+        (state.into_result(), report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tarjan::tarjan_scc;
+
+    fn check(g: &CsrGraph, threads: usize) {
+        let cfg = SccConfig::with_threads(threads);
+        let (r, report) = baseline_scc(g, &cfg);
+        assert_eq!(
+            r.canonical_labels(),
+            tarjan_scc(g).canonical_labels(),
+            "baseline disagrees with tarjan ({threads} threads)"
+        );
+        let resolved: usize = report.phase_resolved.iter().map(|(_, n)| n).sum();
+        assert_eq!(
+            resolved,
+            g.num_nodes(),
+            "phase accounting must cover all nodes"
+        );
+    }
+
+    #[test]
+    fn correct_on_small_graphs() {
+        let g = CsrGraph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
+        );
+        for threads in [1, 2, 4] {
+            check(&g, threads);
+        }
+    }
+
+    #[test]
+    fn correct_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(41);
+        for trial in 0..10 {
+            let n = rng.random_range(1..150usize);
+            let m = rng.random_range(0..5 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            check(&g, 1 + trial % 4);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let (r, _) = baseline_scc(&g, &SccConfig::with_threads(2));
+        assert_eq!(r.num_components(), 0);
+    }
+
+    #[test]
+    fn dag_fully_trimmed() {
+        // On a DAG the trim phase must resolve everything; the recursive
+        // phase gets no work (the Patents observation, §5).
+        let g = CsrGraph::from_edges(5, &[(4, 3), (3, 2), (2, 1), (1, 0), (4, 1)]);
+        let (r, report) = baseline_scc(&g, &SccConfig::with_threads(2));
+        assert_eq!(r.num_components(), 5);
+        assert_eq!(report.resolved_in(Phase::ParTrim), 5);
+        assert_eq!(report.resolved_in(Phase::RecurFwbw), 0);
+        assert_eq!(report.initial_tasks, 0);
+    }
+
+    #[test]
+    fn queue_stats_populated() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let (_, report) = baseline_scc(&g, &SccConfig::with_threads(1));
+        assert!(report.queue.tasks_executed >= 1);
+        assert_eq!(
+            report.initial_tasks, 1,
+            "one color 0 partition seeds phase 2"
+        );
+    }
+}

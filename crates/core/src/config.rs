@@ -1,0 +1,136 @@
+//! Runtime configuration for the parallel SCC methods.
+
+/// How Par-FWBW chooses its pivot when hunting for the giant SCC (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PivotStrategy {
+    /// Uniformly random unresolved node (the paper's choice; "u <- pick any
+    /// node in G"). Deterministic for a given seed.
+    Random {
+        /// Seed for pivot sampling.
+        seed: u64,
+    },
+    /// The unresolved node maximizing `in_degree * out_degree` — a
+    /// heuristic (used by later work such as Slota et al.'s Multistep) that
+    /// almost always lands inside the giant SCC on the first trial.
+    /// Provided as an ablation (`ablation_pivot` harness).
+    MaxDegreeProduct,
+}
+
+/// Which Par-WCC implementation Method 2 uses (§3.3 / §5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WccImpl {
+    /// The paper's Algorithm 7: min-label propagation with pointer
+    /// jumping. Iteration count grows with component diameter (the §5
+    /// CA-road pathology).
+    LabelPropagation,
+    /// Lock-free union-find (Afforest-style): near-constant work per edge,
+    /// diameter-independent. Extension; compared by `ablation_wcc`.
+    UnionFind,
+}
+
+/// Configuration shared by Baseline / Method 1 / Method 2.
+///
+/// The defaults mirror the paper: 1% giant-SCC threshold, random pivots,
+/// the hybrid set representation enabled (§4.1), and per-method work-queue
+/// batch sizes (K=1 for Baseline and Method 1, K=8 for Method 2 — §4.3)
+/// applied automatically when [`SccConfig::k`] is `None`.
+#[derive(Clone, Copy, Debug)]
+pub struct SccConfig {
+    /// Worker threads for both the data-parallel phase (rayon pool) and the
+    /// task-parallel phase (work-queue workers).
+    pub threads: usize,
+    /// Work-queue batch parameter K; `None` selects the paper's per-method
+    /// default (Baseline/Method 1: 1, Method 2: 8).
+    pub k: Option<usize>,
+    /// Par-FWBW stops early once it finds an SCC containing at least this
+    /// fraction of the graph's nodes ("an SCC containing, say 1% of the
+    /// nodes" — §3.2).
+    pub giant_threshold: f64,
+    /// Maximum Par-FWBW pivot trials before giving up on finding the giant
+    /// SCC ("or after a predefined number of iterations" — §3.2).
+    pub max_trials: usize,
+    /// Pivot selection strategy for both phases.
+    pub pivot: PivotStrategy,
+    /// Use the hybrid set representation (Color array + compact per-task
+    /// member lists) in the recursive phase. Disabling falls back to
+    /// scanning the full Color array per pivot pick — the single-
+    /// representation mode the paper measured as ~10x slower (§4.1).
+    pub hybrid_sets: bool,
+    /// Record the first this-many recursive FW-BW task executions
+    /// (SCC/FW/BW/Remain sizes) in the run report — the §3.3 log. 0 = off.
+    pub task_log_limit: usize,
+    /// Which WCC kernel Method 2's re-partitioning step uses.
+    pub wcc_impl: WccImpl,
+    /// Use direction-optimizing BFS (Beamer et al., the paper's ref. \[10\])
+    /// in the phase-1 peel: switch to bottom-up sweeps once the frontier
+    /// covers a large fraction of the unexplored partition. Off by default
+    /// (the paper's evaluation uses plain level-synchronous BFS); the
+    /// `ablation_dobfs` harness measures the difference.
+    pub direction_optimizing: bool,
+}
+
+impl Default for SccConfig {
+    fn default() -> Self {
+        SccConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            k: None,
+            giant_threshold: 0.01,
+            max_trials: 5,
+            pivot: PivotStrategy::Random { seed: 0x5CC },
+            hybrid_sets: true,
+            task_log_limit: 0,
+            wcc_impl: WccImpl::LabelPropagation,
+            direction_optimizing: false,
+        }
+    }
+}
+
+impl SccConfig {
+    /// A config with the given thread count and defaults otherwise.
+    pub fn with_threads(threads: usize) -> Self {
+        SccConfig {
+            threads: threads.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Resolves the work-queue K for a method whose paper default is
+    /// `method_default`.
+    pub fn resolve_k(&self, method_default: usize) -> usize {
+        self.k.unwrap_or(method_default).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SccConfig::default();
+        assert!(c.threads >= 1);
+        assert_eq!(c.k, None);
+        assert!((c.giant_threshold - 0.01).abs() < 1e-12);
+        assert_eq!(c.max_trials, 5);
+        assert!(c.hybrid_sets);
+        assert_eq!(c.task_log_limit, 0);
+    }
+
+    #[test]
+    fn resolve_k_prefers_explicit() {
+        let mut c = SccConfig::default();
+        assert_eq!(c.resolve_k(8), 8);
+        c.k = Some(3);
+        assert_eq!(c.resolve_k(8), 3);
+        c.k = Some(0);
+        assert_eq!(c.resolve_k(8), 1, "K clamps to >= 1");
+    }
+
+    #[test]
+    fn with_threads_clamps() {
+        assert_eq!(SccConfig::with_threads(0).threads, 1);
+        assert_eq!(SccConfig::with_threads(4).threads, 4);
+    }
+}

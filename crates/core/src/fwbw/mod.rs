@@ -1,0 +1,21 @@
+//! Forward-Backward reachability kernels (Lemma 1 of the paper).
+//!
+//! `FW(pivot) ∩ BW(pivot)` is exactly the SCC containing the pivot, and the
+//! three residues (FW-only, BW-only, untouched) partition the rest without
+//! splitting any SCC — so they can be processed independently.
+//!
+//! Two implementations, per §4.2:
+//!
+//! * [`parallel`] — level-synchronous parallel BFS, used in phase 1 to peel
+//!   the giant SCC with *data-level* parallelism (all threads cooperate on
+//!   one traversal; small-world graphs have few BFS levels with huge
+//!   frontiers).
+//! * [`recursive`] — sequential iterative DFS per task, used in phase 2
+//!   where partitions are small and parallel-BFS fixed costs dominate; the
+//!   *task-level* parallelism comes from the work queue instead.
+
+pub mod parallel;
+pub mod recursive;
+
+pub use parallel::{par_fwbw, ParFwbwOutcome};
+pub use recursive::{seed_tasks, RecurContext, Task};

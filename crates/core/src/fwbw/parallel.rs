@@ -1,0 +1,511 @@
+//! Par-FWBW (§3.2): data-parallel peel of the giant SCC.
+//!
+//! Phase 1 of Methods 1 and 2. All threads cooperate on one forward and one
+//! backward level-synchronous BFS from a pivot; the intersection is claimed
+//! as an SCC. The peel repeats — descending into the largest residual
+//! partition — until an SCC of at least `giant_threshold · N` nodes is
+//! found or `max_trials` pivots have been tried, exactly the paper's
+//! transition rule ("when the giant SCC has been identified (i.e. an SCC
+//! containing, say 1% of the nodes of the original graph), or after a
+//! predefined number of iterations").
+//!
+//! Per §4.2, phase 1 keeps **no** compact set representation: the traversal
+//! touches O(N) nodes, and the sets would be invalidated by the trimming
+//! that follows anyway, so only the Color array is written and the initial
+//! phase-2 work items are built later by a scan.
+//!
+//! Two §4.2-inspired traversal optimizations, both measured by benches:
+//!
+//! * **hybrid per-level expansion** — levels below a size threshold expand
+//!   sequentially; fork-join overhead exceeds the work on the tiny ramp-up
+//!   and ramp-down levels that bracket a small-world BFS.
+//! * **direction-optimizing BFS** (Beamer et al., the paper's ref. \[10\];
+//!   §4.2 explicitly anticipates such BFS improvements) — once the frontier
+//!   covers a large fraction of the unexplored partition, switch from
+//!   top-down edge expansion to bottom-up "does any of my predecessors
+//!   belong to the visited set" sweeps. Off by default
+//!   ([`SccConfig::direction_optimizing`]); the `ablation_dobfs` harness
+//!   quantifies it.
+
+use crate::config::{PivotStrategy, SccConfig};
+use crate::state::{AlgoState, Color};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use swscc_graph::bfs::Direction;
+use swscc_graph::NodeId;
+
+/// Result of the phase-1 peel.
+#[derive(Clone, Copy, Debug)]
+pub struct ParFwbwOutcome {
+    /// Nodes resolved (sum of the peeled SCC sizes).
+    pub resolved: usize,
+    /// Pivot trials performed.
+    pub trials: usize,
+    /// Whether a giant SCC (≥ threshold) was found.
+    pub giant_found: bool,
+}
+
+/// Below this frontier size a BFS level is expanded sequentially — the
+/// per-level fork-join overhead exceeds the expansion work. Small-world
+/// graphs have a handful of huge levels (which parallelize) bracketed by
+/// tiny ramp-up/ramp-down levels (which must not).
+const PAR_FRONTIER_THRESHOLD: usize = 256;
+
+/// Switch to bottom-up when `frontier · ALPHA > remaining`; cheap node-count
+/// approximation of Beamer's edge-count heuristic.
+const DOBFS_ALPHA: usize = 8;
+
+/// Runs the phase-1 parallel FW-BW peel starting from the partition
+/// `start_color`. See the module docs for the stopping rule.
+pub fn par_fwbw(state: &AlgoState<'_>, cfg: &SccConfig, start_color: Color) -> ParFwbwOutcome {
+    let n = state.num_nodes();
+    let giant_min = ((n as f64) * cfg.giant_threshold).ceil() as usize;
+    let mut rng = match cfg.pivot {
+        PivotStrategy::Random { seed } => SmallRng::seed_from_u64(seed),
+        PivotStrategy::MaxDegreeProduct => SmallRng::seed_from_u64(0),
+    };
+
+    let mut candidate_color = start_color;
+    // Size of the candidate partition; used for the residual-partition
+    // bookkeeping and the direction-optimizing switch heuristic.
+    let mut candidate_size = state.count_alive();
+    let mut resolved = 0usize;
+    let mut trials = 0usize;
+    let mut giant_found = false;
+
+    while trials < cfg.max_trials && candidate_size > 0 {
+        let Some(pivot) = pick_pivot(state, cfg, candidate_color, &mut rng) else {
+            break;
+        };
+        trials += 1;
+
+        // --- Forward BFS: claim candidate_color -> fw_color --------------
+        let fw_color = state.alloc_color();
+        let fw_claimed = reach(
+            state,
+            cfg,
+            pivot,
+            candidate_color,
+            fw_color,
+            Direction::Forward,
+            candidate_size,
+        );
+
+        // --- Backward BFS: candidate -> bw_color; fw ∩ bw -> scc_color ---
+        let bw_color = state.alloc_color();
+        let scc_color = state.alloc_color();
+        let (bw, scc) = backward_reach(
+            state,
+            cfg,
+            pivot,
+            candidate_color,
+            fw_color,
+            bw_color,
+            scc_color,
+            candidate_size,
+        );
+
+        // Resolve the SCC: scan-claim every scc_color node. (Phase 1 keeps
+        // no member lists — §4.2 — so this is a color-array sweep.)
+        let comp = state.alloc_component();
+        (0..n as NodeId)
+            .into_par_iter()
+            .filter(|&v| state.color(v) == scc_color)
+            .for_each(|v| state.resolve_into(v, comp));
+
+        resolved += scc;
+        if scc >= giant_min {
+            giant_found = true;
+            break;
+        }
+
+        // Descend into the largest residual partition for the next trial.
+        let fw_rest = fw_claimed.saturating_sub(scc);
+        let remaining = candidate_size.saturating_sub(fw_claimed + bw);
+        if fw_rest >= bw && fw_rest >= remaining {
+            candidate_color = fw_color;
+            candidate_size = fw_rest;
+        } else if bw >= remaining {
+            candidate_color = bw_color;
+            candidate_size = bw;
+        } else {
+            // candidate_color unchanged: the untouched residue kept it.
+            candidate_size = remaining;
+        }
+    }
+
+    ParFwbwOutcome {
+        resolved,
+        trials,
+        giant_found,
+    }
+}
+
+/// Single-color reachability claiming `from_color -> to_color` along `dir`.
+/// Level-synchronous; hybrid seq/parallel per level; optionally
+/// direction-optimizing. Returns the number of nodes claimed (incl. pivot).
+fn reach(
+    state: &AlgoState<'_>,
+    cfg: &SccConfig,
+    pivot: NodeId,
+    from_color: Color,
+    to_color: Color,
+    dir: Direction,
+    candidate_size: usize,
+) -> usize {
+    if !state.cas_color(pivot, from_color, to_color) {
+        return 0;
+    }
+    let claimed_total = AtomicUsize::new(1);
+    let mut frontier = vec![pivot];
+    // Unexplored candidates, materialized lazily on the first bottom-up
+    // level and shrunk thereafter.
+    let mut bottom_up_pool: Option<Vec<NodeId>> = None;
+    let mut remaining = candidate_size.saturating_sub(1);
+
+    while !frontier.is_empty() {
+        let bottom_up = cfg.direction_optimizing
+            && frontier.len() * DOBFS_ALPHA > remaining
+            && remaining > PAR_FRONTIER_THRESHOLD;
+        frontier = if bottom_up {
+            let pool = bottom_up_pool.get_or_insert_with(|| {
+                (0..state.num_nodes() as NodeId)
+                    .into_par_iter()
+                    .filter(|&v| state.color(v) == from_color)
+                    .collect()
+            });
+            // Bottom-up sweep: an unexplored node joins when any of its
+            // reverse-direction neighbors is already in the visited set.
+            let next: Vec<NodeId> = pool
+                .par_iter()
+                .copied()
+                .filter(|&v| {
+                    state.color(v) == from_color
+                        && dir
+                            .reverse()
+                            .neighbors(state.g, v)
+                            .iter()
+                            .any(|&u| state.color(u) == to_color)
+                        && state.cas_color(v, from_color, to_color)
+                })
+                .collect();
+            pool.retain(|&v| state.color(v) == from_color);
+            next
+        } else if frontier.len() < PAR_FRONTIER_THRESHOLD {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in dir.neighbors(state.g, u) {
+                    if state.color(v) == from_color && state.cas_color(v, from_color, to_color) {
+                        next.push(v);
+                    }
+                }
+            }
+            next
+        } else {
+            frontier
+                .par_iter()
+                .flat_map_iter(|&u| dir.neighbors(state.g, u).iter().copied())
+                .filter(|&v| {
+                    // test-then-CAS: a plain load filters already-claimed
+                    // targets before paying for the atomic RMW
+                    state.color(v) == from_color && state.cas_color(v, from_color, to_color)
+                })
+                .collect()
+        };
+        claimed_total.fetch_add(frontier.len(), Ordering::Relaxed);
+        remaining = remaining.saturating_sub(frontier.len());
+    }
+    claimed_total.load(Ordering::Relaxed)
+}
+
+/// The backward pass of one FW-BW trial: from `pivot`, following in-edges,
+/// claim `candidate_color -> bw_color` (backward-only nodes) and
+/// `fw_color -> scc_color` (the SCC). Returns `(bw_count, scc_count)`.
+#[allow(clippy::too_many_arguments)]
+fn backward_reach(
+    state: &AlgoState<'_>,
+    cfg: &SccConfig,
+    pivot: NodeId,
+    candidate_color: Color,
+    fw_color: Color,
+    bw_color: Color,
+    scc_color: Color,
+    candidate_size: usize,
+) -> (usize, usize) {
+    // The pivot is in FW by construction, so it joins the SCC first.
+    let ok = state.cas_color(pivot, fw_color, scc_color);
+    debug_assert!(ok, "pivot lost its forward color");
+    let bw_claimed = AtomicUsize::new(0);
+    let scc_claimed = AtomicUsize::new(1);
+    let mut frontier: Vec<NodeId> = vec![pivot];
+    let mut bottom_up_pool: Option<Vec<NodeId>> = None;
+    let mut remaining = candidate_size.saturating_sub(1);
+
+    // Claim attempt; `Some(v)` iff v newly joined the backward set.
+    let claim = |v: NodeId| -> Option<NodeId> {
+        let c = state.color(v);
+        if c == candidate_color && state.cas_color(v, candidate_color, bw_color) {
+            bw_claimed.fetch_add(1, Ordering::Relaxed);
+            Some(v)
+        } else if c == fw_color && state.cas_color(v, fw_color, scc_color) {
+            scc_claimed.fetch_add(1, Ordering::Relaxed);
+            Some(v)
+        } else {
+            None
+        }
+    };
+
+    while !frontier.is_empty() {
+        let bottom_up = cfg.direction_optimizing
+            && frontier.len() * DOBFS_ALPHA > remaining
+            && remaining > PAR_FRONTIER_THRESHOLD;
+        frontier = if bottom_up {
+            let pool = bottom_up_pool.get_or_insert_with(|| {
+                (0..state.num_nodes() as NodeId)
+                    .into_par_iter()
+                    .filter(|&v| {
+                        let c = state.color(v);
+                        c == candidate_color || c == fw_color
+                    })
+                    .collect()
+            });
+            // Backward BFS bottom-up: v joins when one of its OUT-neighbors
+            // already belongs to the backward set (bw or scc colored).
+            let next: Vec<NodeId> = pool
+                .par_iter()
+                .copied()
+                .filter_map(|v| {
+                    let cv = state.color(v);
+                    if cv != candidate_color && cv != fw_color {
+                        return None;
+                    }
+                    let joined = state.g.out_neighbors(v).iter().any(|&u| {
+                        let cu = state.color(u);
+                        cu == bw_color || cu == scc_color
+                    });
+                    if joined {
+                        claim(v)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            pool.retain(|&v| {
+                let c = state.color(v);
+                c == candidate_color || c == fw_color
+            });
+            next
+        } else if frontier.len() < PAR_FRONTIER_THRESHOLD {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in state.g.in_neighbors(u) {
+                    if let Some(v) = claim(v) {
+                        next.push(v);
+                    }
+                }
+            }
+            next
+        } else {
+            frontier
+                .par_iter()
+                .flat_map_iter(|&u| state.g.in_neighbors(u).iter().copied())
+                .filter_map(&claim)
+                .collect()
+        };
+        remaining = remaining.saturating_sub(frontier.len());
+    }
+    (
+        bw_claimed.load(Ordering::Relaxed),
+        scc_claimed.load(Ordering::Relaxed),
+    )
+}
+
+/// Picks a pivot from the alive nodes of `color`, per the configured
+/// strategy. Random probing first (O(1) expected when the partition is a
+/// large fraction of N), falling back to a parallel scan.
+fn pick_pivot(
+    state: &AlgoState<'_>,
+    cfg: &SccConfig,
+    color: Color,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
+    let n = state.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    match cfg.pivot {
+        PivotStrategy::Random { .. } => {
+            for _ in 0..64 {
+                let v = rng.random_range(0..n) as NodeId;
+                if state.alive(v) && state.color(v) == color {
+                    return Some(v);
+                }
+            }
+            (0..n as NodeId)
+                .into_par_iter()
+                .find_any(|&v| state.alive(v) && state.color(v) == color)
+        }
+        PivotStrategy::MaxDegreeProduct => (0..n as NodeId)
+            .into_par_iter()
+            .filter(|&v| state.alive(v) && state.color(v) == color)
+            .max_by_key(|&v| {
+                (state.g.in_degree(v) as u64 + 1) * (state.g.out_degree(v) as u64 + 1)
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swscc_graph::CsrGraph;
+
+    fn cfg() -> SccConfig {
+        SccConfig {
+            threads: 2,
+            giant_threshold: 0.25,
+            max_trials: 5,
+            ..Default::default()
+        }
+    }
+
+    fn dobfs_cfg() -> SccConfig {
+        SccConfig {
+            direction_optimizing: true,
+            ..cfg()
+        }
+    }
+
+    #[test]
+    fn peels_single_big_cycle() {
+        let n = 100u32;
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let s = AlgoState::new(&g);
+        let out = par_fwbw(&s, &cfg(), crate::state::INITIAL_COLOR);
+        assert!(out.giant_found);
+        assert_eq!(out.resolved, 100);
+        assert_eq!(out.trials, 1);
+        assert_eq!(s.count_alive(), 0);
+    }
+
+    #[test]
+    fn partitions_residue_correctly() {
+        // giant 4-cycle {0..3}; IN satellite 4 -> 0; OUT satellite 3 -> 5.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (3, 5)]);
+        let s = AlgoState::new(&g);
+        let out = par_fwbw(&s, &cfg(), crate::state::INITIAL_COLOR);
+        assert!(out.giant_found);
+        assert_eq!(out.resolved, 4);
+        assert!(s.alive(4) && s.alive(5));
+        assert_ne!(s.color(4), crate::state::DONE_COLOR);
+    }
+
+    #[test]
+    fn gives_up_after_max_trials() {
+        // All-singleton DAG: every peel resolves one node; threshold 25%
+        // can never be reached.
+        let g = CsrGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let s = AlgoState::new(&g);
+        let out = par_fwbw(&s, &cfg(), crate::state::INITIAL_COLOR);
+        assert!(!out.giant_found);
+        assert_eq!(out.trials, 5);
+        assert_eq!(out.resolved, 5);
+    }
+
+    #[test]
+    fn max_degree_pivot_hits_hub() {
+        // star-of-cycles: central 3-cycle with high degree; pendant nodes.
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        for i in 3..40u32 {
+            edges.push((0, i));
+        }
+        let g = CsrGraph::from_edges(40, &edges);
+        let s = AlgoState::new(&g);
+        let c = SccConfig {
+            pivot: PivotStrategy::MaxDegreeProduct,
+            giant_threshold: 0.05,
+            max_trials: 1,
+            ..cfg()
+        };
+        let out = par_fwbw(&s, &c, crate::state::INITIAL_COLOR);
+        assert!(
+            out.giant_found,
+            "degree-product pivot must land in the hub cycle"
+        );
+        assert_eq!(out.resolved, 3);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let s = AlgoState::new(&g);
+        let out = par_fwbw(&s, &cfg(), crate::state::INITIAL_COLOR);
+        assert_eq!(out.resolved, 0);
+        assert_eq!(out.trials, 0);
+    }
+
+    #[test]
+    fn resolved_nodes_share_component() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3)]);
+        let s = AlgoState::new(&g);
+        let c = SccConfig {
+            giant_threshold: 0.5,
+            max_trials: 10,
+            ..cfg()
+        };
+        let _ = par_fwbw(&s, &c, crate::state::INITIAL_COLOR);
+        for v in 0..4u32 {
+            if s.alive(v) {
+                s.resolve_singleton(v);
+            }
+        }
+        let r = s.into_result();
+        assert!(r.same_component(0, 1));
+        assert!(!r.same_component(2, 3));
+    }
+
+    #[test]
+    fn direction_optimizing_same_outcome_on_cycle() {
+        let n = 5000u32;
+        let mut edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        // chords to give the BFS big levels so bottom-up actually triggers
+        for i in 0..n / 2 {
+            edges.push((i, (i * 7 + 13) % n));
+        }
+        let g = CsrGraph::from_edges(n as usize, &edges);
+
+        let s1 = AlgoState::new(&g);
+        let o1 = par_fwbw(&s1, &cfg(), crate::state::INITIAL_COLOR);
+        let s2 = AlgoState::new(&g);
+        let o2 = par_fwbw(&s2, &dobfs_cfg(), crate::state::INITIAL_COLOR);
+        assert_eq!(o1.resolved, o2.resolved);
+        assert_eq!(o1.giant_found, o2.giant_found);
+        assert_eq!(s1.count_alive(), s2.count_alive());
+    }
+
+    #[test]
+    fn direction_optimizing_full_method_matches_tarjan() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(61);
+        for _ in 0..8 {
+            let n = rng.random_range(50..400usize);
+            let m = rng.random_range(n..6 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            let c = SccConfig {
+                direction_optimizing: true,
+                ..SccConfig::with_threads(2)
+            };
+            let (r, _) = crate::method2::method2_scc(&g, &c);
+            assert_eq!(
+                r.canonical_labels(),
+                crate::tarjan::tarjan_scc(&g).canonical_labels()
+            );
+        }
+    }
+}

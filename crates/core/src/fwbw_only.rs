@@ -1,0 +1,97 @@
+//! Pure FW-BW (Fleischer, Hendrickson, Pınar 2000) — no Trim step.
+//!
+//! The original parallel SCC algorithm the paper's Baseline descends from
+//! (reference \[13\]). McLendon et al.'s Trim extension "greatly improves the
+//! performance of the previous FW-BW algorithm, especially for real-world
+//! graphs" (§2.1–2.2) *because* size-1 SCCs dominate those graphs; without
+//! Trim every trivial SCC costs a full FW + BW reachability pair. This
+//! implementation exists to quantify that gap (the `ablation_trim` harness)
+//! and as an extra cross-validation point.
+
+use crate::config::SccConfig;
+use crate::fwbw::recursive::{process_task, seed_tasks, RecurContext, Task};
+use crate::instrument::{Collector, Phase, RunReport};
+use crate::result::SccResult;
+use crate::state::AlgoState;
+use swscc_graph::CsrGraph;
+use swscc_parallel::{pool::with_pool, TwoLevelQueue};
+
+/// Runs the original FW-BW algorithm: the recursive FW-BW kernel over the
+/// work queue, with no trimming at all.
+pub fn fwbw_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
+    with_pool(cfg.threads, || {
+        let state = AlgoState::new(g);
+        let collector = Collector::new(cfg.task_log_limit);
+
+        let tasks = seed_tasks(&state, cfg);
+        let initial_tasks = tasks.len();
+        let queue: TwoLevelQueue<Task> = TwoLevelQueue::new(cfg.resolve_k(1));
+        for t in tasks {
+            queue.push_global(t);
+        }
+        let ctx = RecurContext::new(&state, &collector, cfg);
+        let stats = collector.phase(Phase::RecurFwbw, || {
+            let stats = queue.run(cfg.threads, |task, worker| process_task(&ctx, task, worker));
+            (ctx.resolved_count(), stats)
+        });
+
+        let report = collector.into_report(stats, initial_tasks);
+        (state.into_result(), report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tarjan::tarjan_scc;
+
+    #[test]
+    fn correct_without_trim() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (2, 3),
+                (6, 7),
+            ],
+        );
+        for threads in [1, 2] {
+            let (r, _) = fwbw_scc(&g, &SccConfig::with_threads(threads));
+            assert_eq!(r.canonical_labels(), tarjan_scc(&g).canonical_labels());
+        }
+    }
+
+    #[test]
+    fn every_node_resolved_on_dag() {
+        // Worst case for pure FW-BW: a DAG means one task per node.
+        let g = CsrGraph::from_edges(50, &(0..49u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let (r, report) = fwbw_scc(&g, &SccConfig::with_threads(2));
+        assert_eq!(r.num_components(), 50);
+        assert_eq!(report.resolved_in(Phase::RecurFwbw), 50);
+        assert_eq!(report.resolved_in(Phase::ParTrim), 0, "no trim ran");
+        // every singleton cost its own task
+        assert!(report.queue.tasks_executed >= 50);
+    }
+
+    #[test]
+    fn matches_tarjan_on_random() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(53);
+        for _ in 0..8 {
+            let n = rng.random_range(1..120usize);
+            let m = rng.random_range(0..4 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            let (r, _) = fwbw_scc(&g, &SccConfig::with_threads(2));
+            assert_eq!(r.canonical_labels(), tarjan_scc(&g).canonical_labels());
+        }
+    }
+}

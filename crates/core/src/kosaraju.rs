@@ -1,0 +1,151 @@
+//! Kosaraju's sequential SCC algorithm (test oracle).
+//!
+//! Two passes: an iterative DFS over the graph recording reverse-finish
+//! order, then DFS over the transpose in that order — each tree of the
+//! second pass is one SCC. Asymptotically the same O(N + M) as Tarjan but
+//! with two traversals; kept as an *independent* oracle so a bug in one
+//! sequential implementation cannot silently validate the parallel methods.
+//! (The transpose is free: [`swscc_graph::CsrGraph`] stores in-edges.)
+
+use crate::result::SccResult;
+use swscc_graph::{CsrGraph, NodeId};
+
+/// Runs Kosaraju's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use swscc_core::kosaraju::kosaraju_scc;
+/// use swscc_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+/// let r = kosaraju_scc(&g);
+/// assert_eq!(r.num_components(), 2);
+/// ```
+pub fn kosaraju_scc(g: &CsrGraph) -> SccResult {
+    let n = g.num_nodes();
+    // Pass 1: finish order via iterative post-order DFS on out-edges.
+    let mut visited = vec![false; n];
+    let mut finish_order: Vec<NodeId> = Vec::with_capacity(n);
+    let mut control: Vec<(NodeId, u32)> = Vec::new();
+    for root in 0..n as NodeId {
+        if visited[root as usize] {
+            continue;
+        }
+        visited[root as usize] = true;
+        control.push((root, 0));
+        while let Some(&mut (v, ref mut ei)) = control.last_mut() {
+            let nbrs = g.out_neighbors(v);
+            if (*ei as usize) < nbrs.len() {
+                let w = nbrs[*ei as usize];
+                *ei += 1;
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    control.push((w, 0));
+                }
+            } else {
+                control.pop();
+                finish_order.push(v);
+            }
+        }
+    }
+
+    // Pass 2: DFS on in-edges (the transpose) in reverse finish order.
+    let mut comp = vec![u32::MAX; n];
+    let mut next_comp = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &root in finish_order.iter().rev() {
+        if comp[root as usize] != u32::MAX {
+            continue;
+        }
+        comp[root as usize] = next_comp;
+        stack.push(root);
+        while let Some(v) = stack.pop() {
+            for &w in g.in_neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next_comp;
+                    stack.push(w);
+                }
+            }
+        }
+        next_comp += 1;
+    }
+    SccResult::from_assignment(comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tarjan::tarjan_scc;
+
+    #[test]
+    fn empty_and_isolated() {
+        assert_eq!(
+            kosaraju_scc(&CsrGraph::from_edges(0, &[])).num_components(),
+            0
+        );
+        assert_eq!(
+            kosaraju_scc(&CsrGraph::from_edges(4, &[])).num_components(),
+            4
+        );
+    }
+
+    #[test]
+    fn matches_tarjan_on_small_cases() {
+        let cases: Vec<(usize, Vec<(u32, u32)>)> = vec![
+            (3, vec![(0, 1), (1, 2), (2, 0)]),
+            (4, vec![(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]),
+            (5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),
+            (2, vec![(0, 0), (1, 1)]),
+            (
+                6,
+                vec![
+                    (0, 1),
+                    (1, 0),
+                    (1, 2),
+                    (2, 3),
+                    (3, 2),
+                    (3, 4),
+                    (4, 5),
+                    (5, 4),
+                ],
+            ),
+        ];
+        for (n, edges) in cases {
+            let g = CsrGraph::from_edges(n, &edges);
+            assert_eq!(
+                kosaraju_scc(&g).canonical_labels(),
+                tarjan_scc(&g).canonical_labels(),
+                "mismatch on {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_tarjan_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let n = rng.random_range(1..200usize);
+            let m = rng.random_range(0..4 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            assert_eq!(
+                kosaraju_scc(&g).canonical_labels(),
+                tarjan_scc(&g).canonical_labels(),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_graph_no_overflow() {
+        let n = 300_000u32;
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        assert_eq!(kosaraju_scc(&g).num_components(), 1);
+    }
+}

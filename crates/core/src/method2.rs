@@ -1,0 +1,225 @@
+//! Method 2 (Algorithm 9): the full pipeline.
+//!
+//! Method 1 plus the two §3.3–3.5 extensions:
+//!
+//! * **Par-Trim′** — Par-Trim, then one Par-Trim2 pass (size-2 SCCs; §3.4),
+//!   then Par-Trim again. Trim2 runs once because it is costlier than Trim;
+//!   its payoff is mostly in shrinking the WCC step's input.
+//! * **Par-WCC** — re-partitions the post-peel residue into its weakly
+//!   connected components, one work item each, lifting phase-2 task-level
+//!   parallelism from O(1) to the paper's observed ~10,000 items (§3.3).
+//!
+//! Work-queue batch size K = 8 (§4.3) — Method 2 has enough tasks for
+//! batching to pay off.
+
+use crate::config::SccConfig;
+use crate::fwbw::parallel::par_fwbw;
+use crate::fwbw::recursive::{process_task, RecurContext, Task};
+use crate::instrument::{Collector, Phase, RunReport};
+use crate::result::SccResult;
+use crate::state::{AlgoState, INITIAL_COLOR};
+use crate::trim::par_trim;
+use crate::trim2::par_trim2;
+use crate::wcc::{par_wcc, par_wcc_unionfind};
+use std::sync::atomic::Ordering;
+use swscc_graph::CsrGraph;
+use swscc_parallel::{pool::with_pool, TwoLevelQueue};
+
+/// Paper default work-queue batch size for Method 2 (§4.3).
+pub const METHOD2_K: usize = 8;
+
+/// Runs Algorithm 9.
+pub fn method2_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
+    with_pool(cfg.threads, || {
+        let state = AlgoState::new(g);
+        let collector = Collector::new(cfg.task_log_limit);
+
+        // Phase 1: parallelism in trims, traversals and WCC.
+        collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
+        let outcome = collector.phase(Phase::ParFwbw, || {
+            let o = par_fwbw(&state, cfg, INITIAL_COLOR);
+            (o.resolved, o)
+        });
+        collector
+            .fwbw_trials
+            .fetch_add(outcome.trials, Ordering::Relaxed);
+        // Par-Trim′ = Trim; Trim2 (once); Trim (§3.5).
+        collector.phase(Phase::ParTrim2, || {
+            let mut resolved = par_trim(&state);
+            resolved += par_trim2(&state);
+            resolved += par_trim(&state);
+            (resolved, ())
+        });
+        // Par-WCC: one fresh color (and one work item) per weak component.
+        let groups = collector.phase(Phase::ParWcc, || {
+            let out = match cfg.wcc_impl {
+                crate::config::WccImpl::LabelPropagation => par_wcc(&state),
+                crate::config::WccImpl::UnionFind => par_wcc_unionfind(&state),
+            };
+            (0, out.groups)
+        });
+
+        // Phase 2: parallelism in recursion, seeded by the WCC groups.
+        let initial_tasks = groups.len();
+        let queue: TwoLevelQueue<Task> = TwoLevelQueue::new(cfg.resolve_k(METHOD2_K));
+        for (color, members) in groups {
+            if cfg.hybrid_sets {
+                queue.push_global(Task::WithMembers { color, members });
+            } else {
+                queue.push_global(Task::ColorOnly { color });
+            }
+        }
+        let ctx = RecurContext::new(&state, &collector, cfg);
+        let stats = collector.phase(Phase::RecurFwbw, || {
+            let stats = queue.run(cfg.threads, |task, worker| process_task(&ctx, task, worker));
+            (ctx.resolved_count(), stats)
+        });
+
+        let report = collector.into_report(stats, initial_tasks);
+        (state.into_result(), report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tarjan::tarjan_scc;
+
+    fn check(g: &CsrGraph, threads: usize) {
+        let cfg = SccConfig::with_threads(threads);
+        let (r, report) = method2_scc(g, &cfg);
+        assert_eq!(
+            r.canonical_labels(),
+            tarjan_scc(g).canonical_labels(),
+            "method2 disagrees with tarjan ({threads} threads)"
+        );
+        let resolved: usize = report.phase_resolved.iter().map(|(_, n)| n).sum();
+        assert_eq!(resolved, g.num_nodes());
+    }
+
+    #[test]
+    fn correct_on_small_world_shape() {
+        // giant 4-cycle + satellite 3-cycle + size-2 pair + tendrils
+        let g = CsrGraph::from_edges(
+            12,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4), // OUT satellite 3-cycle
+                (4, 5),
+                (5, 6),
+                (6, 4),
+                (0, 7), // OUT pair
+                (7, 8),
+                (8, 7),
+                (9, 0),  // IN tendril
+                (0, 10), // OUT tendril chain
+                (10, 11),
+            ],
+        );
+        for threads in [1, 2, 4] {
+            check(&g, threads);
+        }
+    }
+
+    #[test]
+    fn wcc_splits_satellites_into_tasks() {
+        // giant 3-cycle; 8 satellite 3-cycles hanging off node 0 (OUT
+        // side). 3-cycles survive Trim and Trim2, so they must reach the
+        // WCC step, which splits them into 8 independent work items.
+        // Pivot = MaxDegreeProduct lands deterministically on hub node 0.
+        let mut edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 0)];
+        let mut next = 3u32;
+        for _ in 0..8 {
+            edges.push((0, next)); // attach
+            edges.push((next, next + 1));
+            edges.push((next + 1, next + 2));
+            edges.push((next + 2, next));
+            next += 3;
+        }
+        let n = next as usize;
+        let g = CsrGraph::from_edges(n, &edges);
+        let cfg = SccConfig {
+            pivot: crate::PivotStrategy::MaxDegreeProduct,
+            ..SccConfig::with_threads(2)
+        };
+        let (r, report) = method2_scc(&g, &cfg);
+        assert_eq!(r.num_components(), 9);
+        assert_eq!(report.resolved_in(Phase::ParFwbw), 3, "peel got the giant");
+        // Each satellite 3-cycle is a separate WCC => a separate task.
+        assert_eq!(report.initial_tasks, 8);
+        assert_eq!(report.resolved_in(Phase::RecurFwbw), 24);
+    }
+
+    #[test]
+    fn trim2_contributes() {
+        // Pair chain hanging off a giant cycle, plus a pendant (node 7)
+        // that makes node 0 the unambiguous degree-product pivot:
+        //   {0,1,2} cycle; 0 -> (3<->4) -> (5<->6); 0 -> 7.
+        let g = CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (0, 3),
+                (3, 4),
+                (4, 3),
+                (4, 5),
+                (5, 6),
+                (6, 5),
+                (0, 7),
+            ],
+        );
+        let cfg = SccConfig {
+            pivot: crate::PivotStrategy::MaxDegreeProduct,
+            ..SccConfig::with_threads(1)
+        };
+        let (r, report) = method2_scc(&g, &cfg);
+        assert_eq!(r.num_components(), 4); // {0,1,2}, {3,4}, {5,6}, {7}
+        assert_eq!(
+            report.resolved_in(Phase::ParTrim),
+            1,
+            "pendant 7 trims first"
+        );
+        assert_eq!(report.resolved_in(Phase::ParFwbw), 3, "giant peeled");
+        // Both pairs fall to the Trim′ block (pattern a for {3,4} once the
+        // giant is gone; pattern b for the chain-end {5,6}).
+        assert_eq!(report.resolved_in(Phase::ParTrim2), 4);
+        assert_eq!(report.resolved_in(Phase::RecurFwbw), 0);
+    }
+
+    #[test]
+    fn correct_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(47);
+        for trial in 0..10 {
+            let n = rng.random_range(1..150usize);
+            let m = rng.random_range(0..5 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            check(&g, 1 + trial % 4);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let (r, _) = method2_scc(&g, &SccConfig::with_threads(2));
+        assert_eq!(r.num_components(), 0);
+    }
+
+    #[test]
+    fn color_only_ablation_still_correct() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2), (4, 5)]);
+        let mut cfg = SccConfig::with_threads(2);
+        cfg.hybrid_sets = false;
+        let (r, _) = method2_scc(&g, &cfg);
+        assert_eq!(r.canonical_labels(), tarjan_scc(&g).canonical_labels());
+    }
+}

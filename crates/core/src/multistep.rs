@@ -1,0 +1,243 @@
+//! Multistep SCC (Slota, Rajamanickam, Madduri — IPDPS'14), the direct
+//! follow-on of the paper.
+//!
+//! Multistep took this paper's two-phase idea further: **Trim → one
+//! FW-BW peel with a max-degree-product pivot → Coloring for the mid-size
+//! tail → serial Tarjan for the tiny residue**. Each stage handles the
+//! regime it is best at: the peel takes the giant SCC with data
+//! parallelism, Coloring mops up the power-law tail (many SCCs per round,
+//! no task queue needed), and the residue is small enough for a sequential
+//! finish. Implemented here as an extension/future-work feature; every
+//! building block is a kernel from this crate.
+
+use crate::config::{PivotStrategy, SccConfig};
+use crate::fwbw::parallel::par_fwbw;
+use crate::instrument::{Collector, Phase, RunReport};
+use crate::result::SccResult;
+use crate::state::{AlgoState, INITIAL_COLOR};
+use crate::tarjan::tarjan_scc;
+use crate::trim::par_trim;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use swscc_graph::{CsrGraph, NodeId};
+use swscc_parallel::pool::with_pool;
+
+/// Below this many alive nodes, stop parallel rounds and finish with
+/// sequential Tarjan on the induced residual subgraph.
+const SERIAL_CUTOFF: usize = 512;
+/// Cap on Coloring rounds before falling through to the serial finish
+/// regardless of residue size.
+const MAX_COLOR_ROUNDS: usize = 8;
+
+/// Runs Multistep. Phase attribution in the report: the FW-BW peel under
+/// `ParFwbw`, Coloring rounds under `ParWcc` (the label-propagation slot),
+/// and the serial finish under `RecurFwbw`.
+pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
+    with_pool(cfg.threads, || {
+        let state = AlgoState::new(g);
+        let collector = Collector::new(cfg.task_log_limit);
+        let n = g.num_nodes();
+
+        // 1. Trim.
+        collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
+
+        // 2. One FW-BW peel aimed straight at the giant SCC.
+        let peel_cfg = SccConfig {
+            pivot: PivotStrategy::MaxDegreeProduct,
+            max_trials: 1,
+            ..*cfg
+        };
+        let outcome = collector.phase(Phase::ParFwbw, || {
+            let o = par_fwbw(&state, &peel_cfg, INITIAL_COLOR);
+            (o.resolved, o)
+        });
+        collector
+            .fwbw_trials
+            .fetch_add(outcome.trials, Ordering::Relaxed);
+        collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
+
+        // 3. Coloring rounds on the tail.
+        let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+        let mut rounds = 0usize;
+        loop {
+            let alive: Vec<NodeId> = (0..n as NodeId)
+                .into_par_iter()
+                .filter(|&v| state.alive(v))
+                .collect();
+            if alive.len() <= SERIAL_CUTOFF || rounds >= MAX_COLOR_ROUNDS {
+                break;
+            }
+            rounds += 1;
+            collector.phase(Phase::ParWcc, || {
+                (coloring_round(&state, &labels, &alive), ())
+            });
+            collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
+        }
+
+        // 4. Serial finish on the induced residue.
+        collector.phase(Phase::RecurFwbw, || {
+            let alive: Vec<NodeId> = (0..n as NodeId).filter(|&v| state.alive(v)).collect();
+            let count = alive.len();
+            if !alive.is_empty() {
+                let sub = g.induced_subgraph(&alive);
+                let sub_scc = tarjan_scc(&sub);
+                let mut comp_map = vec![u32::MAX; sub_scc.num_components()];
+                for (i, &v) in alive.iter().enumerate() {
+                    let sc = sub_scc.component(i as u32) as usize;
+                    if comp_map[sc] == u32::MAX {
+                        comp_map[sc] = state.alloc_component();
+                    }
+                    state.resolve_into(v, comp_map[sc]);
+                }
+            }
+            (count, ())
+        });
+
+        let mut report = collector.into_report(Default::default(), 0);
+        report.fwbw_trials += rounds; // surface the round count too
+        (state.into_result(), report)
+    })
+}
+
+/// One Coloring round restricted to nodes whose colors partition the
+/// residue: labels respect the color classes (max-label flows only between
+/// same-color alive nodes), so every detected SCC stays within one class.
+/// Returns the number of nodes resolved.
+fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId]) -> usize {
+    alive
+        .par_iter()
+        .for_each(|&v| labels[v as usize].store(v, Ordering::Relaxed));
+    loop {
+        let changed = AtomicBool::new(false);
+        alive.par_iter().for_each(|&v| {
+            let cv = state.color(v);
+            let mut max = labels[v as usize].load(Ordering::Relaxed);
+            for &u in state.g.in_neighbors(v) {
+                if u != v && state.color(u) == cv {
+                    max = max.max(labels[u as usize].load(Ordering::Relaxed));
+                }
+            }
+            if max > labels[v as usize].load(Ordering::Relaxed) {
+                labels[v as usize].fetch_max(max, Ordering::Relaxed);
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    let resolved = AtomicUsize::new(0);
+    let roots: Vec<NodeId> = alive
+        .par_iter()
+        .copied()
+        .filter(|&v| labels[v as usize].load(Ordering::Relaxed) == v)
+        .collect();
+    roots.par_iter().for_each(|&r| {
+        let comp = state.alloc_component();
+        let cr = state.color(r);
+        state.resolve_into(r, comp);
+        resolved.fetch_add(1, Ordering::Relaxed);
+        let mut stack = vec![r];
+        while let Some(v) = stack.pop() {
+            for &u in state.g.in_neighbors(v) {
+                if u != v && state.color(u) == cr && labels[u as usize].load(Ordering::Relaxed) == r
+                {
+                    state.resolve_into(u, comp);
+                    resolved.fetch_add(1, Ordering::Relaxed);
+                    stack.push(u);
+                }
+            }
+        }
+    });
+    resolved.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(g: &CsrGraph, threads: usize) {
+        let (r, _) = multistep_scc(g, &SccConfig::with_threads(threads));
+        assert_eq!(
+            r.canonical_labels(),
+            tarjan_scc(g).canonical_labels(),
+            "multistep disagrees with tarjan"
+        );
+    }
+
+    #[test]
+    fn simple_shapes() {
+        check(&CsrGraph::from_edges(0, &[]), 1);
+        check(&CsrGraph::from_edges(3, &[(0, 1), (1, 0), (2, 2)]), 2);
+        check(
+            &CsrGraph::from_edges(
+                7,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 0),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 3),
+                    (5, 6),
+                ],
+            ),
+            2,
+        );
+    }
+
+    #[test]
+    fn random_graphs_match_tarjan() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(83);
+        for trial in 0..12 {
+            let n = rng.random_range(1..200usize);
+            let m = rng.random_range(0..4 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            check(&g, 1 + trial % 4);
+        }
+    }
+
+    #[test]
+    fn giant_scc_taken_by_peel() {
+        // hub-heavy cycle so the degree-product pivot lands inside it
+        let n = 2000u32;
+        let mut edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        for i in 0..200u32 {
+            edges.push((0, n + i)); // tendrils
+        }
+        let g = CsrGraph::from_edges((n + 200) as usize, &edges);
+        let (r, report) = multistep_scc(&g, &SccConfig::with_threads(2));
+        assert_eq!(r.largest_component_size(), 2000);
+        assert_eq!(report.resolved_in(Phase::ParFwbw), 2000);
+        assert_eq!(report.resolved_in(Phase::ParTrim), 200);
+    }
+
+    #[test]
+    fn report_covers_all_nodes() {
+        use crate::instrument::Phase;
+        let g = CsrGraph::from_edges(
+            10,
+            &[
+                (0, 1),
+                (1, 0),
+                (2, 3),
+                (3, 4),
+                (4, 2),
+                (5, 6),
+                (6, 5),
+                (7, 8),
+                (8, 9),
+            ],
+        );
+        let (_, report) = multistep_scc(&g, &SccConfig::with_threads(2));
+        let total: usize = report.phase_resolved.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 10);
+        let _ = Phase::all();
+    }
+}

@@ -1,0 +1,198 @@
+//! Pearce's memory-efficient sequential SCC algorithm (second test oracle).
+//!
+//! David Pearce's imperative, iterative variant of Tarjan ("An Improved
+//! Algorithm for Finding the Strongly Connected Components of a Directed
+//! Graph", 2005) folds `index`, `lowlink`, and the component id into a
+//! single `rindex` array: in-progress nodes carry DFS indices counting up
+//! from 1, completed nodes carry component ids counting down from N-1, and
+//! the bookkeeping (`index` decremented as nodes complete) maintains the
+//! invariant that in-progress indices never exceed unassigned component
+//! ids, so the `min` update never confuses the two. A third independent
+//! implementation to cross-check Tarjan, Kosaraju, and the parallel
+//! methods.
+
+use crate::result::SccResult;
+use swscc_graph::{CsrGraph, NodeId};
+
+const UNVISITED: u64 = 0;
+
+/// Runs Pearce's algorithm. O(N + M) time, iterative (explicit stacks).
+///
+/// # Examples
+///
+/// ```
+/// use swscc_core::pearce::pearce_scc;
+/// use swscc_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+/// let r = pearce_scc(&g);
+/// assert_eq!(r.num_components(), 2);
+/// assert!(r.same_component(0, 2));
+/// ```
+pub fn pearce_scc(g: &CsrGraph) -> SccResult {
+    let n = g.num_nodes();
+    if n == 0 {
+        return SccResult::from_assignment(vec![]);
+    }
+    let mut rindex = vec![UNVISITED; n];
+    let mut root_flag = vec![false; n];
+    let mut component_stack: Vec<NodeId> = Vec::new();
+    // (node, next edge index) control stack.
+    let mut visit_stack: Vec<(NodeId, u32)> = Vec::new();
+    let mut index: u64 = 1;
+    let mut c: u64 = n as u64; // component ids: n, n-1, ...; 0 stays "unvisited"
+
+    for start in 0..n as NodeId {
+        if rindex[start as usize] != UNVISITED {
+            continue;
+        }
+        // beginVisiting(start)
+        visit_stack.push((start, 0));
+        root_flag[start as usize] = true;
+        rindex[start as usize] = index;
+        index += 1;
+
+        while let Some(&mut (v, ref mut ei)) = visit_stack.last_mut() {
+            let nbrs = g.out_neighbors(v);
+            let mut descended = false;
+            while (*ei as usize) < nbrs.len() {
+                let w = nbrs[*ei as usize];
+                *ei += 1;
+                if rindex[w as usize] == UNVISITED {
+                    // tree edge: descend
+                    visit_stack.push((w, 0));
+                    root_flag[w as usize] = true;
+                    rindex[w as usize] = index;
+                    index += 1;
+                    descended = true;
+                    break;
+                } else if rindex[w as usize] < rindex[v as usize] {
+                    // finishEdge: pull down rindex. Correct for both
+                    // in-progress w (Tarjan lowlink) and completed w
+                    // (cannot fire: completed ids exceed in-progress ones).
+                    rindex[v as usize] = rindex[w as usize];
+                    root_flag[v as usize] = false;
+                }
+            }
+            if descended {
+                continue;
+            }
+            // finishVisiting(v)
+            visit_stack.pop();
+            if let Some(&(parent, _)) = visit_stack.last() {
+                if rindex[v as usize] < rindex[parent as usize] {
+                    rindex[parent as usize] = rindex[v as usize];
+                    root_flag[parent as usize] = false;
+                }
+            }
+            if root_flag[v as usize] {
+                index -= 1;
+                while let Some(&w) = component_stack.last() {
+                    if rindex[w as usize] >= rindex[v as usize] {
+                        component_stack.pop();
+                        rindex[w as usize] = c;
+                        index -= 1;
+                    } else {
+                        break;
+                    }
+                }
+                rindex[v as usize] = c;
+                c -= 1;
+            } else {
+                component_stack.push(v);
+            }
+        }
+    }
+    debug_assert!(component_stack.is_empty());
+    // rindex now holds component labels in (c, n]; compress to dense u32.
+    let raw: Vec<u32> = rindex.iter().map(|&r| (r - c - 1) as u32).collect();
+    SccResult::from_assignment(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kosaraju::kosaraju_scc;
+    use crate::tarjan::tarjan_scc;
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(
+            pearce_scc(&CsrGraph::from_edges(0, &[])).num_components(),
+            0
+        );
+    }
+
+    #[test]
+    fn single_node() {
+        assert_eq!(
+            pearce_scc(&CsrGraph::from_edges(1, &[])).num_components(),
+            1
+        );
+    }
+
+    #[test]
+    fn cycle_and_tail() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let r = pearce_scc(&g);
+        assert_eq!(r.num_components(), 3);
+        assert!(r.same_component(0, 1));
+        assert!(!r.same_component(3, 4));
+    }
+
+    #[test]
+    fn self_loops() {
+        let g = CsrGraph::from_edges(3, &[(0, 0), (1, 1), (1, 2)]);
+        assert_eq!(pearce_scc(&g).num_components(), 3);
+    }
+
+    #[test]
+    fn matches_other_oracles_on_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        for trial in 0..30 {
+            let n = rng.random_range(1..150usize);
+            let m = rng.random_range(0..5 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            let p = pearce_scc(&g).canonical_labels();
+            assert_eq!(
+                p,
+                tarjan_scc(&g).canonical_labels(),
+                "vs tarjan, trial {trial}"
+            );
+            assert_eq!(
+                p,
+                kosaraju_scc(&g).canonical_labels(),
+                "vs kosaraju, trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_graph_no_overflow() {
+        let n = 300_000u32;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        assert_eq!(pearce_scc(&g).num_components(), n as usize);
+    }
+
+    #[test]
+    fn dense_clique() {
+        let n = 40u32;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let r = pearce_scc(&g);
+        assert_eq!(r.num_components(), 1);
+    }
+}

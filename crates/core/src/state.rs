@@ -1,0 +1,360 @@
+//! Shared mutable state of the parallel SCC algorithms: the `Color` and
+//! `mark` overlays of §4.1.
+//!
+//! The paper never mutates the CSR graph. Instead:
+//!
+//! * `Color` — an O(N) integer array encoding the current partitioning.
+//!   Nodes of different colors are considered disconnected even where a
+//!   CSR edge exists. Fresh colors are allocated per partition.
+//! * `mark` — an O(N) boolean array; a marked node's SCC is known and the
+//!   node is treated as detached from the graph.
+//!
+//! This module adds the output channel the pseudocode leaves implicit: a
+//! per-node component id, assigned exactly once when a node is resolved.
+//! Resolution is an atomic claim (`mark` fetch-or), so concurrent kernels
+//! can never double-assign a node.
+
+use crate::result::SccResult;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+use swscc_graph::{CsrGraph, NodeId};
+use swscc_parallel::AtomicBitSet;
+
+/// Partition color. 32 bits keep the hot Color array at 4 bytes/node
+/// (§4.1's O(N) array is the most random-accessed structure in every
+/// traversal, so halving it pays in cache hits); allocation is checked, so
+/// exhausting ~4.29 billion partition ids panics instead of wrapping.
+pub type Color = u32;
+
+/// The color every node starts with (one whole-graph partition).
+pub const INITIAL_COLOR: Color = 0;
+/// The color of resolved (detached) nodes — the paper's `-1`.
+pub const DONE_COLOR: Color = Color::MAX;
+/// Colors at or above this value are reserved sentinels.
+const COLOR_LIMIT: Color = Color::MAX - 8;
+
+/// Shared state threaded through all parallel kernels.
+pub struct AlgoState<'g> {
+    /// The input graph (never mutated).
+    pub g: &'g CsrGraph,
+    color: Vec<AtomicU32>,
+    mark: AtomicBitSet,
+    comp: Vec<AtomicU32>,
+    next_color: AtomicU32,
+    next_comp: AtomicU32,
+}
+
+impl<'g> AlgoState<'g> {
+    /// Fresh state: all nodes alive with [`INITIAL_COLOR`].
+    pub fn new(g: &'g CsrGraph) -> Self {
+        let n = g.num_nodes();
+        let mut color = Vec::with_capacity(n);
+        color.resize_with(n, || AtomicU32::new(INITIAL_COLOR));
+        let mut comp = Vec::with_capacity(n);
+        comp.resize_with(n, || AtomicU32::new(u32::MAX));
+        AlgoState {
+            g,
+            color,
+            mark: AtomicBitSet::new(n),
+            comp,
+            next_color: AtomicU32::new(1),
+            next_comp: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.g.num_nodes()
+    }
+
+    /// Current color of `n`.
+    #[inline]
+    pub fn color(&self, n: NodeId) -> Color {
+        self.color[n as usize].load(Ordering::Relaxed)
+    }
+
+    /// Unconditionally recolors `n`.
+    #[inline]
+    pub fn set_color(&self, n: NodeId, c: Color) {
+        self.color[n as usize].store(c, Ordering::Relaxed);
+    }
+
+    /// Atomically recolors `n` from `from` to `to`; `true` iff this call
+    /// won the claim. The visitation primitive of every BFS/DFS kernel.
+    #[inline]
+    pub fn cas_color(&self, n: NodeId, from: Color, to: Color) -> bool {
+        self.color[n as usize]
+            .compare_exchange(from, to, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// `true` iff `n` has not been resolved yet.
+    #[inline]
+    pub fn alive(&self, n: NodeId) -> bool {
+        !self.mark.get(n as usize)
+    }
+
+    /// Allocates a fresh partition color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 32-bit color space is exhausted (> 4.2 billion
+    /// partitions — more than 10x the node limit of the `u32` node ids).
+    #[inline]
+    pub fn alloc_color(&self) -> Color {
+        let c = self.next_color.fetch_add(1, Ordering::Relaxed);
+        assert!(c < COLOR_LIMIT, "partition color space exhausted");
+        c
+    }
+
+    /// Allocates a fresh component id.
+    #[inline]
+    pub fn alloc_component(&self) -> u32 {
+        self.next_comp.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Resolves `n` as a size-1 SCC (the Trim outcome). Atomic claim:
+    /// returns `false` (and does nothing) if `n` was already resolved.
+    pub fn resolve_singleton(&self, n: NodeId) -> bool {
+        if !self.mark.set(n as usize) {
+            return false;
+        }
+        let c = self.alloc_component();
+        self.comp[n as usize].store(c, Ordering::Relaxed);
+        self.set_color(n, DONE_COLOR);
+        true
+    }
+
+    /// Resolves `n` into component `comp` (an SCC found by FW∩BW).
+    /// The caller must have claimed `n` (e.g. with a color CAS) so that no
+    /// other thread resolves it concurrently.
+    pub fn resolve_into(&self, n: NodeId, comp: u32) {
+        let newly = self.mark.set(n as usize);
+        debug_assert!(newly, "node {n} resolved twice");
+        self.comp[n as usize].store(comp, Ordering::Relaxed);
+        self.set_color(n, DONE_COLOR);
+    }
+
+    /// Effective in-degree of `n`: alive in-neighbors of the same color,
+    /// self-loops excluded, counting stops at `cap` (the trim kernels only
+    /// ever need "is it 0" or "is it exactly 1").
+    pub fn effective_in_degree(&self, n: NodeId, cap: usize) -> usize {
+        let cn = self.color(n);
+        let mut count = 0;
+        for &k in self.g.in_neighbors(n) {
+            if k != n && self.color(k) == cn {
+                count += 1;
+                if count >= cap {
+                    break;
+                }
+            }
+        }
+        count
+    }
+
+    /// Effective out-degree of `n` (see [`AlgoState::effective_in_degree`]).
+    pub fn effective_out_degree(&self, n: NodeId, cap: usize) -> usize {
+        let cn = self.color(n);
+        let mut count = 0;
+        for &k in self.g.out_neighbors(n) {
+            if k != n && self.color(k) == cn {
+                count += 1;
+                if count >= cap {
+                    break;
+                }
+            }
+        }
+        count
+    }
+
+    /// The unique alive same-color in-neighbor of `n`, if the effective
+    /// in-degree is exactly 1.
+    pub fn unique_in_neighbor(&self, n: NodeId) -> Option<NodeId> {
+        let cn = self.color(n);
+        let mut found = None;
+        for &k in self.g.in_neighbors(n) {
+            if k != n && self.color(k) == cn {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(k);
+            }
+        }
+        found
+    }
+
+    /// The unique alive same-color out-neighbor of `n`, if the effective
+    /// out-degree is exactly 1.
+    pub fn unique_out_neighbor(&self, n: NodeId) -> Option<NodeId> {
+        let cn = self.color(n);
+        let mut found = None;
+        for &k in self.g.out_neighbors(n) {
+            if k != n && self.color(k) == cn {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(k);
+            }
+        }
+        found
+    }
+
+    /// Number of unresolved nodes (parallel scan).
+    pub fn count_alive(&self) -> usize {
+        self.num_nodes() - self.mark_count()
+    }
+
+    /// Number of resolved nodes.
+    pub fn mark_count(&self) -> usize {
+        self.mark.count_ones()
+    }
+
+    /// Groups the alive nodes by color: `(color, members)` with members
+    /// ascending, colors in ascending order. This is the §4.2 "scan of
+    /// non-marked nodes to construct the initial work items".
+    pub fn alive_groups(&self) -> Vec<(Color, Vec<NodeId>)> {
+        let mut pairs: Vec<(Color, NodeId)> = (0..self.num_nodes() as NodeId)
+            .into_par_iter()
+            .filter(|&n| self.alive(n))
+            .map(|n| (self.color(n), n))
+            .collect();
+        pairs.par_sort_unstable();
+        let mut groups: Vec<(Color, Vec<NodeId>)> = Vec::new();
+        for (c, n) in pairs {
+            match groups.last_mut() {
+                Some((gc, members)) if *gc == c => members.push(n),
+                _ => groups.push((c, vec![n])),
+            }
+        }
+        groups
+    }
+
+    /// Finishes the run: every node must be resolved.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if any node is unresolved.
+    pub fn into_result(self) -> SccResult {
+        debug_assert_eq!(self.mark_count(), self.num_nodes(), "unresolved nodes");
+        let raw: Vec<u32> = self.comp.into_iter().map(AtomicU32::into_inner).collect();
+        debug_assert!(raw.iter().all(|&c| c != u32::MAX), "unassigned component");
+        SccResult::from_assignment(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CsrGraph {
+        // 0 -> 1 -> 2 -> 0 cycle, 2 -> 3, self-loop on 3
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 3)])
+    }
+
+    #[test]
+    fn fresh_state() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        assert_eq!(s.count_alive(), 4);
+        assert!(s.alive(0));
+        assert_eq!(s.color(0), INITIAL_COLOR);
+    }
+
+    #[test]
+    fn singleton_resolution_claims_once() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        assert!(s.resolve_singleton(3));
+        assert!(!s.resolve_singleton(3));
+        assert!(!s.alive(3));
+        assert_eq!(s.color(3), DONE_COLOR);
+        assert_eq!(s.count_alive(), 3);
+    }
+
+    #[test]
+    fn effective_degrees_skip_self_loops_and_done() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        // node 3: in-nbrs {2, 3}; self-loop excluded -> 1
+        assert_eq!(s.effective_in_degree(3, 8), 1);
+        // out-nbrs {3} -> 0
+        assert_eq!(s.effective_out_degree(3, 8), 0);
+        // resolve 2: 3's in-degree drops to 0
+        s.resolve_singleton(2);
+        assert_eq!(s.effective_in_degree(3, 8), 0);
+    }
+
+    #[test]
+    fn color_partitioning_detaches() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        let c = s.alloc_color();
+        s.set_color(0, c);
+        // 1's in-nbrs: {0}; different color now -> effective 0
+        assert_eq!(s.effective_in_degree(1, 8), 0);
+    }
+
+    #[test]
+    fn unique_neighbor_queries() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        assert_eq!(s.unique_in_neighbor(1), Some(0));
+        assert_eq!(s.unique_out_neighbor(1), Some(2));
+        assert_eq!(s.unique_in_neighbor(0), Some(2));
+        // node 2 has out-nbrs {0, 3}: not unique
+        assert_eq!(s.unique_out_neighbor(2), None);
+        // self-loop excluded: 3's unique in-neighbor is 2
+        assert_eq!(s.unique_in_neighbor(3), Some(2));
+    }
+
+    #[test]
+    fn cas_color_claims() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        let c = s.alloc_color();
+        assert!(s.cas_color(0, INITIAL_COLOR, c));
+        assert!(!s.cas_color(0, INITIAL_COLOR, c));
+        assert_eq!(s.color(0), c);
+    }
+
+    #[test]
+    fn alive_groups_by_color() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        let c = s.alloc_color();
+        s.set_color(1, c);
+        s.set_color(3, c);
+        s.resolve_singleton(0);
+        let groups = s.alive_groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], (INITIAL_COLOR, vec![2]));
+        assert_eq!(groups[1], (c, vec![1, 3]));
+    }
+
+    #[test]
+    fn into_result_roundtrip() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        let comp = s.alloc_component();
+        for n in [0u32, 1, 2] {
+            s.resolve_into(n, comp);
+        }
+        s.resolve_singleton(3);
+        let r = s.into_result();
+        assert_eq!(r.num_components(), 2);
+        assert!(r.same_component(0, 2));
+        assert!(!r.same_component(0, 3));
+    }
+
+    #[test]
+    fn color_allocator_is_unique() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        let a = s.alloc_color();
+        let b = s.alloc_color();
+        assert_ne!(a, b);
+        assert_ne!(a, INITIAL_COLOR);
+        assert_ne!(a, DONE_COLOR);
+    }
+}

@@ -1,0 +1,200 @@
+//! Tarjan's sequential SCC algorithm — the paper's speedup baseline.
+//!
+//! The classic 1972 algorithm is a single DFS maintaining `index`/`lowlink`
+//! values plus a node stack. §4.2 of the paper warns that a recursive
+//! implementation needs a program stack proportional to the largest SCC
+//! (hundreds of MB for real graphs), so — like the paper's C++ — this is an
+//! *iterative* implementation with an explicit control stack. The paper
+//! also notes the membership test on the node stack must be O(1): here the
+//! `on_stack` flag array plays the paper's "vector + boolean array" role.
+
+use crate::result::SccResult;
+use swscc_graph::{CsrGraph, NodeId};
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Runs Tarjan's algorithm. O(N + M) time, O(N) extra space, no recursion.
+///
+/// # Examples
+///
+/// ```
+/// use swscc_core::tarjan::tarjan_scc;
+/// use swscc_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+/// let r = tarjan_scc(&g);
+/// assert_eq!(r.num_components(), 2);
+/// assert!(r.same_component(0, 1));
+/// assert!(r.same_component(2, 3));
+/// ```
+pub fn tarjan_scc(g: &CsrGraph) -> SccResult {
+    let n = g.num_nodes();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![u32::MAX; n];
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    // Control stack: (node, next out-edge offset to examine).
+    let mut control: Vec<(NodeId, u32)> = Vec::new();
+
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        control.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut ei)) = control.last_mut() {
+            let nbrs = g.out_neighbors(v);
+            if (*ei as usize) < nbrs.len() {
+                let w = nbrs[*ei as usize];
+                *ei += 1;
+                if index[w as usize] == UNVISITED {
+                    // Tree edge: descend.
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    control.push((w, 0));
+                } else if on_stack[w as usize] {
+                    // Back/cross edge into the current spine.
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // All edges of v done: pop and propagate lowlink.
+                control.pop();
+                if let Some(&(parent, _)) = control.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is a root: pop its SCC off the node stack.
+                    loop {
+                        let w = stack.pop().expect("stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    debug_assert!(comp.iter().all(|&c| c != u32::MAX));
+    SccResult::from_assignment(comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(tarjan_scc(&g).num_components(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = CsrGraph::from_edges(5, &[]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), 5);
+        assert_eq!(r.num_trivial(), 5);
+    }
+
+    #[test]
+    fn single_cycle() {
+        let edges: Vec<_> = (0..10u32).map(|i| (i, (i + 1) % 10)).collect();
+        let g = CsrGraph::from_edges(10, &edges);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), 1);
+        assert_eq!(r.largest_component_size(), 10);
+    }
+
+    #[test]
+    fn dag_is_all_trivial() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), 5);
+    }
+
+    #[test]
+    fn self_loop_is_singleton() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), 2);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // 0<->1 -> 2<->3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), 2);
+        assert!(r.same_component(0, 1));
+        assert!(r.same_component(2, 3));
+        assert!(!r.same_component(1, 2));
+    }
+
+    #[test]
+    fn condensation_is_acyclic() {
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+            ],
+        );
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), 3);
+        let dag = r.condensation(&g);
+        // Kahn peel must consume every condensation node.
+        let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+        let mut queue: Vec<_> = dag.nodes().filter(|&v| indeg[v as usize] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in dag.out_neighbors(u) {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        assert_eq!(seen, dag.num_nodes());
+    }
+
+    #[test]
+    fn long_path_no_stack_overflow() {
+        // A 500k-node path would overflow a recursive implementation.
+        let n = 500_000u32;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), n as usize);
+    }
+
+    #[test]
+    fn long_cycle_no_stack_overflow() {
+        let n = 500_000u32;
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let r = tarjan_scc(&g);
+        assert_eq!(r.num_components(), 1);
+        assert_eq!(r.largest_component_size(), n as usize);
+    }
+}

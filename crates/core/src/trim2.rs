@@ -1,0 +1,179 @@
+//! Par-Trim2 (Algorithm 8): single-pass parallel detection of size-2 SCCs.
+//!
+//! §3.4: a large subset of size-2 SCCs is recognizable purely from local
+//! neighborhoods — two nodes with a mutual edge where either (a) both have
+//! no *other* incoming edge, or (b) both have no *other* outgoing edge
+//! (Fig. 4); no larger cycle can contain them. The paper applies Trim2
+//! exactly once (it is costlier than Trim) and reports that its real payoff
+//! is cutting chains of weakly connected size-2 SCCs before the Par-WCC
+//! step, shrinking WCC time by up to 50%.
+//!
+//! Race-freedom (the paper's pseudocode lets two threads claim overlapping
+//! pairs): the qualifying relation is symmetric and each node can qualify
+//! with at most one partner, so the pair is claimed deterministically by
+//! its smaller-id endpoint — no CAS retry loop is needed, and a debug
+//! assertion verifies no double-resolution.
+
+use crate::state::AlgoState;
+use rayon::prelude::*;
+use swscc_graph::NodeId;
+
+/// Runs one parallel Trim2 sweep. Returns the number of nodes resolved
+/// (always even: whole pairs).
+pub fn par_trim2(state: &AlgoState<'_>) -> usize {
+    let n = state.num_nodes();
+    let pairs: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+        .into_par_iter()
+        .filter(|&v| state.alive(v))
+        .filter_map(|v| find_partner(state, v).map(|k| (v, k)))
+        .filter(|&(v, k)| v < k) // each pair claimed once, by its min node
+        .collect();
+    for &(v, k) in &pairs {
+        let comp = state.alloc_component();
+        // `find_partner` results are mutually exclusive across pairs (a
+        // node qualifies with at most one partner), so these claims can
+        // never collide.
+        state.resolve_into(v, comp);
+        state.resolve_into(k, comp);
+    }
+    2 * pairs.len()
+}
+
+/// If `{v, partner}` forms a Trim2-detectable size-2 SCC, returns the
+/// partner. Patterns of Fig. 4 (within v's current color):
+///
+/// * (a) `in(v) = {k}`, `v -> k` exists, `in(k) = {v}` — no other way in;
+/// * (b) `out(v) = {k}`, `k -> v` exists, `out(k) = {v}` — no other way out.
+fn find_partner(state: &AlgoState<'_>, v: NodeId) -> Option<NodeId> {
+    let cv = state.color(v);
+    // Pattern (a): unique in-neighbor with a mutual edge, itself in-unique.
+    if let Some(k) = state.unique_in_neighbor(v) {
+        if state.color(k) == cv && state.g.has_edge(v, k) && state.unique_in_neighbor(k) == Some(v)
+        {
+            return Some(k);
+        }
+    }
+    // Pattern (b): unique out-neighbor with a mutual edge, itself out-unique.
+    if let Some(k) = state.unique_out_neighbor(v) {
+        if state.color(k) == cv && state.g.has_edge(k, v) && state.unique_out_neighbor(k) == Some(v)
+        {
+            return Some(k);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swscc_graph::CsrGraph;
+
+    #[test]
+    fn isolated_pair_detected() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 2);
+        let r = s.into_result();
+        assert_eq!(r.num_components(), 1);
+        assert!(r.same_component(0, 1));
+    }
+
+    #[test]
+    fn pattern_a_no_other_incoming() {
+        // Fig. 4(b)-ish: pair {0,1} with extra outgoing edges but no other
+        // incoming edges.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2), (1, 3)]);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 2);
+        assert!(!s.alive(0) && !s.alive(1));
+        assert!(s.alive(2) && s.alive(3));
+    }
+
+    #[test]
+    fn pattern_b_no_other_outgoing() {
+        // pair {2,3} with extra incoming edges but no other outgoing.
+        let g = CsrGraph::from_edges(4, &[(2, 3), (3, 2), (0, 2), (1, 3)]);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 2);
+        assert!(!s.alive(2) && !s.alive(3));
+    }
+
+    #[test]
+    fn pair_in_larger_cycle_not_detected() {
+        // 0 <-> 1 but also 1 -> 2 -> 0: the pair is part of a 3-cycle SCC
+        // and has another incoming (0 from 2) and outgoing (1 to 2) — must
+        // NOT be claimed.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 0)]);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 0);
+    }
+
+    #[test]
+    fn middle_of_pair_chain_not_detected_in_one_pass() {
+        // (0<->1) -> (2<->3) -> (4<->5): §3.4 — one pass gets the end
+        // pairs (pattern a fires for {0,1}, pattern b for {4,5}) but not
+        // the middle.
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 5),
+                (5, 4),
+            ],
+        );
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 4);
+        assert!(s.alive(2) && s.alive(3));
+        // A second pass now catches the middle pair.
+        assert_eq!(par_trim2(&s), 2);
+    }
+
+    #[test]
+    fn respects_colors() {
+        // pair 0<->1 with an extra incoming edge (2 -> 0, blocks pattern a)
+        // and an extra outgoing edge (1 -> 3, blocks pattern b): not
+        // detectable — until 2 and 3 move to a different color, which
+        // detaches both blocking edges.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 0), (2, 0), (1, 3)]);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 0);
+        let c = s.alloc_color();
+        s.set_color(2, c);
+        s.set_color(3, c);
+        assert_eq!(par_trim2(&s), 2);
+    }
+
+    #[test]
+    fn self_loops_do_not_confuse() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 2);
+    }
+
+    #[test]
+    fn many_disjoint_pairs() {
+        let n = 1000u32;
+        let mut edges = Vec::new();
+        for i in (0..n).step_by(2) {
+            edges.push((i, i + 1));
+            edges.push((i + 1, i));
+        }
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), n as usize);
+        let r = s.into_result();
+        assert_eq!(r.num_components(), n as usize / 2);
+    }
+
+    #[test]
+    fn three_cycle_untouched() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let s = AlgoState::new(&g);
+        assert_eq!(par_trim2(&s), 0);
+    }
+}

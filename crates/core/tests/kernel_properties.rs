@@ -1,0 +1,157 @@
+//! Property-based tests for the individual algorithm kernels, checked
+//! against independent oracles (Tarjan for SCC facts, union-find for weak
+//! connectivity).
+
+use proptest::prelude::*;
+use swscc_core::state::AlgoState;
+use swscc_core::tarjan::tarjan_scc;
+use swscc_core::trim::par_trim;
+use swscc_core::trim2::par_trim2;
+use swscc_core::wcc::par_wcc;
+use swscc_graph::CsrGraph;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..4 * n)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+/// Plain union-find, the oracle for weak connectivity.
+struct Dsu(Vec<u32>);
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n as u32).collect())
+    }
+    fn find(&mut self, x: u32) -> u32 {
+        if self.0[x as usize] != x {
+            let r = self.find(self.0[x as usize]);
+            self.0[x as usize] = r;
+        }
+        self.0[x as usize]
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.0[ra as usize] = rb;
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn trim_resolves_exactly_a_subset_of_trivial_sccs(g in arb_graph(60)) {
+        let oracle = tarjan_scc(&g);
+        let sizes = oracle.component_sizes();
+        let state = AlgoState::new(&g);
+        let resolved = par_trim(&state);
+        let mut seen = 0;
+        for v in 0..g.num_nodes() as u32 {
+            if !state.alive(v) {
+                seen += 1;
+                prop_assert_eq!(
+                    sizes[oracle.component(v) as usize], 1,
+                    "trim removed node {} from a size-{} SCC",
+                    v, sizes[oracle.component(v) as usize]
+                );
+            }
+        }
+        prop_assert_eq!(seen, resolved);
+    }
+
+    #[test]
+    fn trim_is_complete_on_dags(g in arb_graph(60)) {
+        // build the condensation of a random graph: a DAG where trim must
+        // resolve every node
+        let oracle = tarjan_scc(&g);
+        let dag = oracle.condensation(&g);
+        let state = AlgoState::new(&dag);
+        let resolved = par_trim(&state);
+        prop_assert_eq!(resolved, dag.num_nodes(), "trim must fully peel a DAG");
+    }
+
+    #[test]
+    fn trim2_resolves_only_real_size2_sccs(g in arb_graph(60)) {
+        let oracle = tarjan_scc(&g);
+        let sizes = oracle.component_sizes();
+        let state = AlgoState::new(&g);
+        let resolved = par_trim2(&state);
+        prop_assert!(resolved.is_multiple_of(2));
+        for v in 0..g.num_nodes() as u32 {
+            if !state.alive(v) {
+                prop_assert_eq!(sizes[oracle.component(v) as usize], 2);
+            }
+        }
+    }
+
+    #[test]
+    fn trim2_pairs_are_mutual(g in arb_graph(50)) {
+        let state = AlgoState::new(&g);
+        par_trim2(&state);
+        // every resolved node's partner (same component) is also resolved,
+        // and the two have mutual edges
+        let oracle = tarjan_scc(&g);
+        for v in 0..g.num_nodes() as u32 {
+            if !state.alive(v) {
+                let partner = (0..g.num_nodes() as u32)
+                    .find(|&u| u != v && oracle.same_component(u, v));
+                let partner = partner.expect("size-2 SCC has a partner");
+                prop_assert!(!state.alive(partner));
+                prop_assert!(g.has_edge(v, partner) && g.has_edge(partner, v));
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_groups_equal_union_find_components(g in arb_graph(60)) {
+        let n = g.num_nodes();
+        let state = AlgoState::new(&g);
+        let out = par_wcc(&state);
+        let mut dsu = Dsu::new(n);
+        for (u, v) in g.edges() {
+            if u != v {
+                dsu.union(u, v);
+            }
+        }
+        // same number of groups
+        let roots: Vec<u32> = (0..n as u32).map(|v| dsu.find(v)).collect();
+        let mut distinct = roots.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(out.groups.len(), distinct.len());
+        // and identical membership: nodes share a wcc color iff same root
+        let color_of: Vec<u32> = (0..n as u32).map(|v| state.color(v)).collect();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                prop_assert_eq!(
+                    color_of[a] == color_of[b],
+                    roots[a] == roots[b],
+                    "nodes {} and {}", a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_compose_with_oracle_partition(g in arb_graph(50)) {
+        // run trim, trim2, then wcc — afterwards every alive color class is
+        // a union of whole SCCs (no kernel may split an SCC)
+        let oracle = tarjan_scc(&g);
+        let state = AlgoState::new(&g);
+        par_trim(&state);
+        par_trim2(&state);
+        par_wcc(&state);
+        for a in 0..g.num_nodes() as u32 {
+            for b in 0..g.num_nodes() as u32 {
+                if oracle.same_component(a, b) {
+                    prop_assert_eq!(state.alive(a), state.alive(b));
+                    if state.alive(a) {
+                        prop_assert_eq!(state.color(a), state.color(b),
+                            "SCC of {} and {} split across colors", a, b);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,863 @@
+//! Distributed (BSP) versions of the paper's neighbor-local kernels, and
+//! the full pipeline combining them.
+//!
+//! Everything here follows the §6 observation that the paper's extensions
+//! "only require data from direct neighbors": every kernel is expressed as
+//! messages between node owners —
+//!
+//! * **Trim** (Alg. 4): a degree census (one message per edge endpoint)
+//!   followed by decrement notifications as nodes resolve;
+//! * **FW/BW reachability** (§3.2): visit waves;
+//! * **WCC** (Alg. 7): min-label gossip within color classes.
+//!
+//! Per-node state (color, component, degree counters, label) is written
+//! only by the node's owning worker; remote information arrives only in
+//! messages. The coordinator (the thread between BSP runs) performs the
+//! global decisions the paper's shared-memory code makes implicitly:
+//! pivot reduction, trial accounting, and the final residual gather.
+
+use crate::bsp::{run_supersteps, BspStats, Outbox};
+use crate::partition::Partition;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use swscc_core::tarjan::tarjan_scc;
+use swscc_core::SccResult;
+use swscc_graph::bfs::Direction;
+use swscc_graph::{CsrGraph, NodeId};
+
+const DONE: u64 = u64::MAX;
+const INITIAL: u64 = 0;
+/// Safety cap on supersteps per BSP run (quiescence normally ends runs
+/// long before; only a bug would reach this).
+const MAX_SUPERSTEPS: usize = 1_000_000;
+
+/// Shared run state. Per-node entries are written only by the owning
+/// worker during supersteps (the atomics exist to make that discipline
+/// expressible in safe Rust, not for cross-worker synchronization).
+pub(crate) struct DistState<'g> {
+    g: &'g CsrGraph,
+    part: Partition,
+    color: Vec<AtomicU64>,
+    comp: Vec<AtomicU32>,
+    next_comp: AtomicU32,
+    next_color: AtomicU64,
+}
+
+impl<'g> DistState<'g> {
+    fn new(g: &'g CsrGraph, num_workers: usize) -> Self {
+        let n = g.num_nodes();
+        let mut color = Vec::with_capacity(n);
+        color.resize_with(n, || AtomicU64::new(INITIAL));
+        let mut comp = Vec::with_capacity(n);
+        comp.resize_with(n, || AtomicU32::new(u32::MAX));
+        DistState {
+            g,
+            part: Partition::new(n, num_workers),
+            color,
+            comp,
+            next_comp: AtomicU32::new(0),
+            next_color: AtomicU64::new(1),
+        }
+    }
+
+    #[inline]
+    fn color(&self, v: NodeId) -> u64 {
+        self.color[v as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn set_color(&self, v: NodeId, c: u64) {
+        self.color[v as usize].store(c, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn alive(&self, v: NodeId) -> bool {
+        self.color(v) != DONE
+    }
+
+    fn resolve(&self, v: NodeId, comp: u32) {
+        debug_assert!(self.alive(v));
+        self.comp[v as usize].store(comp, Ordering::Relaxed);
+        self.set_color(v, DONE);
+    }
+
+    fn alloc_comp(&self) -> u32 {
+        self.next_comp.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn alloc_color(&self) -> u64 {
+        self.next_color.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn count_alive(&self) -> usize {
+        (0..self.g.num_nodes() as NodeId)
+            .filter(|&v| self.alive(v))
+            .count()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed Trim
+// ---------------------------------------------------------------------------
+
+/// Messages of the distributed Trim protocol.
+#[derive(Clone, Copy, Debug)]
+enum TrimMsg {
+    /// Kick-off marker (superstep 0 census trigger).
+    Kick,
+    /// "I am your in-neighbor and my color is `color`."
+    CensusIn { dst: NodeId, color: u64 },
+    /// "I am your out-neighbor and my color is `color`."
+    CensusOut { dst: NodeId, color: u64 },
+    /// "Your in-neighbor of color `color` resolved; decrement."
+    DecrIn { dst: NodeId, color: u64 },
+    /// "Your out-neighbor of color `color` resolved; decrement."
+    DecrOut { dst: NodeId, color: u64 },
+}
+
+/// Per-worker Trim scratch: effective degrees of owned nodes.
+struct TrimScratch {
+    eff_in: Vec<u32>,
+    eff_out: Vec<u32>,
+}
+
+/// Distributed Par-Trim (Alg. 4): resolves size-1 SCCs to fixpoint.
+/// Returns (nodes resolved, BSP statistics).
+pub(crate) fn dist_trim(state: &DistState<'_>) -> (usize, BspStats) {
+    let p = state.part.num_workers();
+    let resolved = AtomicUsize::new(0);
+    let scratch: Vec<Mutex<TrimScratch>> = (0..p)
+        .map(|w| {
+            let len = state.part.range(w).len();
+            Mutex::new(TrimScratch {
+                eff_in: vec![0; len],
+                eff_out: vec![0; len],
+            })
+        })
+        .collect();
+
+    let trim_owned = |w: usize, sc: &mut TrimScratch, out: &mut Outbox<TrimMsg>| {
+        // Resolve every owned node whose effective degree reached zero,
+        // cascading within this worker's block in the same superstep.
+        let range = state.part.range(w);
+        let base = range.start;
+        let mut frontier: Vec<NodeId> = range
+            .clone()
+            .filter(|&v| {
+                state.alive(v)
+                    && (sc.eff_in[(v - base) as usize] == 0 || sc.eff_out[(v - base) as usize] == 0)
+            })
+            .collect();
+        while let Some(v) = frontier.pop() {
+            if !state.alive(v) {
+                continue;
+            }
+            let li = (v - base) as usize;
+            if sc.eff_in[li] != 0 && sc.eff_out[li] != 0 {
+                continue;
+            }
+            let cv = state.color(v);
+            state.resolve(v, state.alloc_comp());
+            resolved.fetch_add(1, Ordering::Relaxed);
+            for &nbr in state.g.out_neighbors(v) {
+                if nbr == v {
+                    continue;
+                }
+                if state.part.owner(nbr) == w {
+                    if state.alive(nbr) && state.color(nbr) == cv {
+                        let nli = (nbr - base) as usize;
+                        sc.eff_in[nli] = sc.eff_in[nli].saturating_sub(1);
+                        if sc.eff_in[nli] == 0 {
+                            frontier.push(nbr);
+                        }
+                    }
+                } else {
+                    out.send(
+                        state.part.owner(nbr),
+                        TrimMsg::DecrIn {
+                            dst: nbr,
+                            color: cv,
+                        },
+                    );
+                }
+            }
+            for &nbr in state.g.in_neighbors(v) {
+                if nbr == v {
+                    continue;
+                }
+                if state.part.owner(nbr) == w {
+                    if state.alive(nbr) && state.color(nbr) == cv {
+                        let nli = (nbr - base) as usize;
+                        sc.eff_out[nli] = sc.eff_out[nli].saturating_sub(1);
+                        if sc.eff_out[nli] == 0 {
+                            frontier.push(nbr);
+                        }
+                    }
+                } else {
+                    out.send(
+                        state.part.owner(nbr),
+                        TrimMsg::DecrOut {
+                            dst: nbr,
+                            color: cv,
+                        },
+                    );
+                }
+            }
+        }
+    };
+
+    let seed: Vec<Vec<TrimMsg>> = (0..p).map(|_| vec![TrimMsg::Kick]).collect();
+    let stats = run_supersteps(p, seed, MAX_SUPERSTEPS, |w, step, inbox, out| {
+        let mut sc = scratch[w].lock();
+        if step == 0 {
+            // Census: advertise my color along every *cross-partition*
+            // edge (intra-block neighbors are counted locally below —
+            // sending to oneself would double-count them).
+            for v in state.part.range(w) {
+                if !state.alive(v) {
+                    continue;
+                }
+                let cv = state.color(v);
+                for &nbr in state.g.out_neighbors(v) {
+                    let owner = state.part.owner(nbr);
+                    if nbr != v && owner != w {
+                        out.send(
+                            owner,
+                            TrimMsg::CensusIn {
+                                dst: nbr,
+                                color: cv,
+                            },
+                        );
+                    }
+                }
+                for &nbr in state.g.in_neighbors(v) {
+                    let owner = state.part.owner(nbr);
+                    if nbr != v && owner != w {
+                        out.send(
+                            owner,
+                            TrimMsg::CensusOut {
+                                dst: nbr,
+                                color: cv,
+                            },
+                        );
+                    }
+                }
+            }
+            // Local census needs no messages: count same-block neighbors
+            // directly (they are owned, so their colors are readable).
+            let range = state.part.range(w);
+            let base = range.start;
+            for v in range.clone() {
+                if !state.alive(v) {
+                    continue;
+                }
+                let cv = state.color(v);
+                let li = (v - base) as usize;
+                sc.eff_in[li] = state
+                    .g
+                    .in_neighbors(v)
+                    .iter()
+                    .filter(|&&u| u != v && state.part.owner(u) == w && state.color(u) == cv)
+                    .count() as u32;
+                sc.eff_out[li] = state
+                    .g
+                    .out_neighbors(v)
+                    .iter()
+                    .filter(|&&u| u != v && state.part.owner(u) == w && state.color(u) == cv)
+                    .count() as u32;
+            }
+            return;
+        }
+        let range = state.part.range(w);
+        let base = range.start;
+        for msg in inbox {
+            match *msg {
+                TrimMsg::Kick => {}
+                TrimMsg::CensusIn { dst, color } => {
+                    if state.alive(dst) && state.color(dst) == color {
+                        sc.eff_in[(dst - base) as usize] += 1;
+                    }
+                }
+                TrimMsg::CensusOut { dst, color } => {
+                    if state.alive(dst) && state.color(dst) == color {
+                        sc.eff_out[(dst - base) as usize] += 1;
+                    }
+                }
+                TrimMsg::DecrIn { dst, color } => {
+                    if state.alive(dst) && state.color(dst) == color {
+                        let li = (dst - base) as usize;
+                        sc.eff_in[li] = sc.eff_in[li].saturating_sub(1);
+                    }
+                }
+                TrimMsg::DecrOut { dst, color } => {
+                    if state.alive(dst) && state.color(dst) == color {
+                        let li = (dst - base) as usize;
+                        sc.eff_out[li] = sc.eff_out[li].saturating_sub(1);
+                    }
+                }
+            }
+        }
+        trim_owned(w, &mut sc, out);
+    });
+    (resolved.load(Ordering::Relaxed), stats)
+}
+
+// ---------------------------------------------------------------------------
+// Distributed reachability waves
+// ---------------------------------------------------------------------------
+
+/// Forward reachability wave: claims `from -> to` along `dir` starting at
+/// `pivot`. Returns (claimed count, stats).
+pub(crate) fn dist_reach(
+    state: &DistState<'_>,
+    pivot: NodeId,
+    from: u64,
+    to: u64,
+    dir: Direction,
+) -> (usize, BspStats) {
+    let p = state.part.num_workers();
+    let claimed = AtomicUsize::new(0);
+    let mut seed: Vec<Vec<NodeId>> = (0..p).map(|_| Vec::new()).collect();
+    seed[state.part.owner(pivot)].push(pivot);
+    let stats = run_supersteps(p, seed, MAX_SUPERSTEPS, |w, _step, inbox, out| {
+        // Local wave: expand owned claims within the block immediately;
+        // only cross-partition hops cost a superstep.
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &v in inbox {
+            if state.color(v) == from {
+                state.set_color(v, to);
+                claimed.fetch_add(1, Ordering::Relaxed);
+                stack.push(v);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &nbr in dir.neighbors(state.g, v) {
+                let owner = state.part.owner(nbr);
+                if owner == w {
+                    if state.color(nbr) == from {
+                        state.set_color(nbr, to);
+                        claimed.fetch_add(1, Ordering::Relaxed);
+                        stack.push(nbr);
+                    }
+                } else if state.color(nbr) == from {
+                    // Remote color reads are only a *hint* to avoid
+                    // redundant messages; the owner re-checks on receipt.
+                    out.send(owner, nbr);
+                }
+            }
+        }
+    });
+    (claimed.load(Ordering::Relaxed), stats)
+}
+
+/// Backward wave of an FW-BW trial: from `pivot` along in-edges, claim
+/// `candidate -> bw` and `fw -> scc`. Returns (bw count, scc count, stats).
+pub(crate) fn dist_backward(
+    state: &DistState<'_>,
+    pivot: NodeId,
+    candidate: u64,
+    fw: u64,
+    bw: u64,
+    scc: u64,
+) -> (usize, usize, BspStats) {
+    let p = state.part.num_workers();
+    let n_bw = AtomicUsize::new(0);
+    let n_scc = AtomicUsize::new(0);
+    let mut seed: Vec<Vec<NodeId>> = (0..p).map(|_| Vec::new()).collect();
+    seed[state.part.owner(pivot)].push(pivot);
+    let stats = run_supersteps(p, seed, MAX_SUPERSTEPS, |w, _step, inbox, out| {
+        let claim = |v: NodeId| -> bool {
+            let c = state.color(v);
+            if c == candidate {
+                state.set_color(v, bw);
+                n_bw.fetch_add(1, Ordering::Relaxed);
+                true
+            } else if c == fw {
+                state.set_color(v, scc);
+                n_scc.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        };
+        let mut stack: Vec<NodeId> = Vec::new();
+        for &v in inbox {
+            if claim(v) {
+                stack.push(v);
+            }
+        }
+        while let Some(v) = stack.pop() {
+            for &nbr in state.g.in_neighbors(v) {
+                let owner = state.part.owner(nbr);
+                if owner == w {
+                    if claim(nbr) {
+                        stack.push(nbr);
+                    }
+                } else {
+                    let c = state.color(nbr);
+                    if c == candidate || c == fw {
+                        out.send(owner, nbr);
+                    }
+                }
+            }
+        }
+    });
+    (
+        n_bw.load(Ordering::Relaxed),
+        n_scc.load(Ordering::Relaxed),
+        stats,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Distributed WCC (Alg. 7 as gossip)
+// ---------------------------------------------------------------------------
+
+/// One WCC gossip message: "node `dst`, a neighbor of yours in color
+/// `color` carries label `label`".
+#[derive(Clone, Copy, Debug)]
+struct LabelMsg {
+    dst: NodeId,
+    color: u64,
+    label: u32,
+}
+
+/// Distributed Par-WCC: min-label gossip among alive nodes within each
+/// color class. Returns (number of weak components found, stats).
+pub(crate) fn dist_wcc(state: &DistState<'_>) -> (usize, BspStats) {
+    let p = state.part.num_workers();
+    let n = state.g.num_nodes();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+
+    let broadcast = |w: usize, v: NodeId, label: u32, cv: u64, out: &mut Outbox<LabelMsg>| {
+        for &nbr in state
+            .g
+            .out_neighbors(v)
+            .iter()
+            .chain(state.g.in_neighbors(v))
+        {
+            if nbr != v {
+                let owner = state.part.owner(nbr);
+                if owner != w {
+                    out.send(
+                        owner,
+                        LabelMsg {
+                            dst: nbr,
+                            color: cv,
+                            label,
+                        },
+                    );
+                }
+            }
+        }
+    };
+
+    let seed: Vec<Vec<LabelMsg>> = (0..p)
+        .map(|_| {
+            vec![LabelMsg {
+                dst: 0,
+                color: 0,
+                label: 0,
+            }]
+        })
+        .collect(); // kick-off markers; content ignored in step 0
+    let stats = run_supersteps(p, seed, MAX_SUPERSTEPS, |w, step, inbox, out| {
+        let range = state.part.range(w);
+        if step == 0 {
+            // Local convergence first (labels within the block), then
+            // advertise across the cut.
+            local_label_sweep(state, w, &labels);
+            for v in range.clone() {
+                if state.alive(v) {
+                    broadcast(
+                        w,
+                        v,
+                        labels[v as usize].load(Ordering::Relaxed),
+                        state.color(v),
+                        out,
+                    );
+                }
+            }
+            return;
+        }
+        // Apply incoming labels.
+        let mut changed: Vec<NodeId> = Vec::new();
+        for m in inbox {
+            let v = m.dst;
+            if state.alive(v) && state.color(v) == m.color {
+                let cur = labels[v as usize].load(Ordering::Relaxed);
+                if m.label < cur {
+                    labels[v as usize].store(m.label, Ordering::Relaxed);
+                    changed.push(v);
+                }
+            }
+        }
+        if changed.is_empty() {
+            return;
+        }
+        // Re-converge locally, then gossip every improved node outward.
+        local_label_sweep(state, w, &labels);
+        for v in range {
+            if state.alive(v) {
+                let l = labels[v as usize].load(Ordering::Relaxed);
+                if l < v {
+                    broadcast(w, v, l, state.color(v), out);
+                }
+            }
+        }
+    });
+
+    // Count distinct (color, root-label) pairs among alive nodes.
+    let mut roots: Vec<u32> = (0..n as NodeId)
+        .filter(|&v| state.alive(v))
+        .map(|v| labels[v as usize].load(Ordering::Relaxed))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    (roots.len(), stats)
+}
+
+/// In-block min-label propagation to fixpoint (no messages needed: all
+/// state owned by worker `w`).
+fn local_label_sweep(state: &DistState<'_>, w: usize, labels: &[AtomicU32]) {
+    let range = state.part.range(w);
+    loop {
+        let mut changed = false;
+        for v in range.clone() {
+            if !state.alive(v) {
+                continue;
+            }
+            let cv = state.color(v);
+            let mut min = labels[v as usize].load(Ordering::Relaxed);
+            for &u in state
+                .g
+                .out_neighbors(v)
+                .iter()
+                .chain(state.g.in_neighbors(v))
+            {
+                if u != v && state.part.owner(u) == w && state.alive(u) && state.color(u) == cv {
+                    min = min.min(labels[u as usize].load(Ordering::Relaxed));
+                }
+            }
+            if min < labels[v as usize].load(Ordering::Relaxed) {
+                labels[v as usize].store(min, Ordering::Relaxed);
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The full pipeline
+// ---------------------------------------------------------------------------
+
+/// Statistics of a [`dist_scc`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistSccReport {
+    /// Nodes resolved by the two distributed Trim rounds.
+    pub trim_resolved: usize,
+    /// Nodes resolved by the distributed FW-BW peel.
+    pub peel_resolved: usize,
+    /// FW-BW pivot trials.
+    pub peel_trials: usize,
+    /// Weak components found by the distributed WCC pass.
+    pub wcc_groups: usize,
+    /// Alive nodes gathered to the coordinator for the sequential finish.
+    pub residual_nodes: usize,
+    /// Total BSP supersteps across all kernels.
+    pub supersteps: usize,
+    /// Total messages across all kernels.
+    pub messages: usize,
+}
+
+impl DistSccReport {
+    fn absorb(&mut self, s: BspStats) {
+        self.supersteps += s.supersteps;
+        self.messages += s.messages;
+    }
+}
+
+/// Runs the full distributed SCC pipeline on `g` with `num_workers`
+/// partitions: Trim → FW-BW giant peel → Trim → WCC → residual gather.
+///
+/// The result is the exact SCC partition (cross-validated against Tarjan
+/// in the tests). `giant_threshold` and `max_trials` follow §3.2 (defaults
+/// in [`dist_scc`]: 1% and 5).
+pub fn dist_scc_with(
+    g: &CsrGraph,
+    num_workers: usize,
+    giant_threshold: f64,
+    max_trials: usize,
+) -> (SccResult, DistSccReport) {
+    let state = DistState::new(g, num_workers);
+    let mut report = DistSccReport::default();
+    let n = g.num_nodes();
+    if n == 0 {
+        return (SccResult::from_assignment(vec![]), report);
+    }
+
+    // Phase 1: distributed trim.
+    let (t, s) = dist_trim(&state);
+    report.trim_resolved += t;
+    report.absorb(s);
+
+    // Phase 2: distributed FW-BW peel of the giant SCC.
+    let giant_min = ((n as f64) * giant_threshold).ceil() as usize;
+    let mut candidate = INITIAL;
+    let mut candidate_size = state.count_alive();
+    while report.peel_trials < max_trials && candidate_size > 0 {
+        // Coordinator-side pivot reduction (max degree product).
+        let pivot = (0..n as NodeId)
+            .filter(|&v| state.alive(v) && state.color(v) == candidate)
+            .max_by_key(|&v| (g.in_degree(v) as u64 + 1) * (g.out_degree(v) as u64 + 1));
+        let Some(pivot) = pivot else { break };
+        report.peel_trials += 1;
+
+        let fw = state.alloc_color();
+        let bw = state.alloc_color();
+        let scc = state.alloc_color();
+        let (fw_claimed, s1) = dist_reach(&state, pivot, candidate, fw, Direction::Forward);
+        report.absorb(s1);
+        let (bw_claimed, scc_claimed, s2) = dist_backward(&state, pivot, candidate, fw, bw, scc);
+        report.absorb(s2);
+
+        // Resolve the SCC (each owner handles its own nodes; done on the
+        // coordinator here since the state is shared in the simulation).
+        let comp = state.alloc_comp();
+        for v in 0..n as NodeId {
+            if state.color(v) == scc {
+                state.resolve(v, comp);
+            }
+        }
+        report.peel_resolved += scc_claimed;
+
+        if scc_claimed >= giant_min {
+            break;
+        }
+        let fw_rest = fw_claimed.saturating_sub(scc_claimed);
+        let remaining = candidate_size.saturating_sub(fw_claimed + bw_claimed);
+        if fw_rest >= bw_claimed && fw_rest >= remaining {
+            candidate = fw;
+            candidate_size = fw_rest;
+        } else if bw_claimed >= remaining {
+            candidate = bw;
+            candidate_size = bw_claimed;
+        } else {
+            candidate_size = remaining;
+        }
+    }
+
+    // Phase 3: trim again (the peel exposes new trims — §3.2).
+    let (t, s) = dist_trim(&state);
+    report.trim_resolved += t;
+    report.absorb(s);
+
+    // Phase 4: distributed WCC (the §3.3/§6 kernel; group count feeds the
+    // report — the residual finish below does not depend on it).
+    let (groups, s) = dist_wcc(&state);
+    report.wcc_groups = groups;
+    report.absorb(s);
+
+    // Phase 5: residual gather — standard distributed-SCC practice: the
+    // leftover after trim+peel is orders of magnitude smaller than N on
+    // small-world graphs (Fig. 8), so ship it to the coordinator and
+    // finish sequentially.
+    let alive: Vec<NodeId> = (0..n as NodeId).filter(|&v| state.alive(v)).collect();
+    report.residual_nodes = alive.len();
+    if !alive.is_empty() {
+        // No color filter needed: colors partition the residue without
+        // splitting any SCC (Lemma 1), so cross-color residual edges can
+        // never lie on a cycle — Tarjan on the full induced subgraph finds
+        // exactly the per-color SCCs.
+        let sub = g.induced_subgraph(&alive);
+        let sub_scc = tarjan_scc(&sub);
+        let base = state
+            .next_comp
+            .fetch_add(sub_scc.num_components() as u32, Ordering::Relaxed);
+        for (i, &v) in alive.iter().enumerate() {
+            state.resolve(v, base + sub_scc.component(i as u32));
+        }
+    }
+
+    let raw: Vec<u32> = state
+        .comp
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    (SccResult::from_assignment(raw), report)
+}
+
+/// [`dist_scc_with`] with the paper's §3.2 defaults (1% giant threshold,
+/// 5 trials).
+///
+/// # Examples
+///
+/// ```
+/// use swscc_distributed::dist_scc;
+/// use swscc_graph::CsrGraph;
+///
+/// let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+/// let (scc, report) = dist_scc(&g, 2);
+/// assert_eq!(scc.num_components(), 3);
+/// assert!(report.supersteps > 0);
+/// ```
+pub fn dist_scc(g: &CsrGraph, num_workers: usize) -> (SccResult, DistSccReport) {
+    dist_scc_with(g, num_workers, 0.01, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swscc_core::tarjan::tarjan_scc;
+
+    fn check(g: &CsrGraph, workers: usize) {
+        let (r, report) = dist_scc(g, workers);
+        assert_eq!(
+            r.canonical_labels(),
+            tarjan_scc(g).canonical_labels(),
+            "dist_scc disagrees with tarjan at {workers} workers"
+        );
+        assert!(report.supersteps >= 1);
+    }
+
+    #[test]
+    fn trim_resolves_dag() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let state = DistState::new(&g, 3);
+        let (resolved, stats) = dist_trim(&state);
+        assert_eq!(resolved, 6);
+        assert!(stats.supersteps >= 2);
+    }
+
+    #[test]
+    fn trim_keeps_cycles() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+        let state = DistState::new(&g, 2);
+        let (resolved, _) = dist_trim(&state);
+        assert_eq!(resolved, 2); // 3 and 4 trim; the 3-cycle stays
+        assert!(state.alive(0) && state.alive(1) && state.alive(2));
+    }
+
+    #[test]
+    fn trim_cascades_across_partition_boundaries() {
+        // chain crossing every boundary: 0 -> 1 -> 2 -> ... -> 9
+        let edges: Vec<_> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(10, &edges);
+        let state = DistState::new(&g, 5);
+        let (resolved, stats) = dist_trim(&state);
+        assert_eq!(resolved, 10);
+        // boundary cascades need extra supersteps
+        assert!(stats.supersteps >= 3, "supersteps = {}", stats.supersteps);
+    }
+
+    #[test]
+    fn reach_wave_crosses_partitions() {
+        let edges: Vec<_> = (0..7u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(8, &edges);
+        let state = DistState::new(&g, 4);
+        let to = state.alloc_color();
+        let (claimed, _) = dist_reach(&state, 2, INITIAL, to, Direction::Forward);
+        assert_eq!(claimed, 6); // nodes 2..=7
+        assert_eq!(state.color(1), INITIAL);
+        assert_eq!(state.color(5), to);
+    }
+
+    #[test]
+    fn backward_wave_classifies() {
+        // cycle {0,1,2}; 3 -> 0 (IN); 2 -> 4 (OUT)
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 0), (2, 4)]);
+        let state = DistState::new(&g, 2);
+        let fw = state.alloc_color();
+        let bw = state.alloc_color();
+        let scc = state.alloc_color();
+        let (fw_claimed, _) = dist_reach(&state, 0, INITIAL, fw, Direction::Forward);
+        assert_eq!(fw_claimed, 4); // 0,1,2,4
+        let (n_bw, n_scc, _) = dist_backward(&state, 0, INITIAL, fw, bw, scc);
+        assert_eq!(n_scc, 3); // the cycle
+        assert_eq!(n_bw, 1); // node 3
+    }
+
+    #[test]
+    fn wcc_counts_groups() {
+        // two weak components + an isolated node
+        let g = CsrGraph::from_edges(5, &[(0, 1), (3, 2)]);
+        let state = DistState::new(&g, 3);
+        let (groups, _) = dist_wcc(&state);
+        assert_eq!(groups, 3);
+    }
+
+    #[test]
+    fn wcc_spans_partitions() {
+        // one long weak chain over 4 partitions = 1 group
+        let edges: Vec<_> = (0..19u32).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(20, &edges);
+        let state = DistState::new(&g, 4);
+        let (groups, stats) = dist_wcc(&state);
+        assert_eq!(groups, 1);
+        assert!(stats.supersteps >= 2);
+    }
+
+    #[test]
+    fn full_pipeline_small_cases() {
+        let g = CsrGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 3),
+                (5, 6),
+                (6, 5),
+                (6, 7),
+            ],
+        );
+        for workers in [1, 2, 3, 8] {
+            check(&g, workers);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_random_graphs() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(71);
+        for trial in 0..12 {
+            let n = rng.random_range(1..150usize);
+            let m = rng.random_range(0..4 * n);
+            let edges: Vec<_> = (0..m)
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            check(&g, 1 + trial % 5);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let (r, _) = dist_scc(&g, 4);
+        assert_eq!(r.num_components(), 0);
+    }
+
+    #[test]
+    fn giant_scc_resolved_by_peel_not_residual() {
+        // one big cycle + tendrils: the peel must take the cycle, leaving a
+        // tiny (or empty) residual.
+        let n = 300u32;
+        let mut edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        for i in 0..50u32 {
+            edges.push((i, n + i)); // OUT tendrils
+        }
+        let g = CsrGraph::from_edges((n + 50) as usize, &edges);
+        let (r, report) = dist_scc(&g, 4);
+        assert_eq!(r.largest_component_size(), 300);
+        assert_eq!(report.peel_resolved, 300);
+        assert_eq!(report.residual_nodes, 0);
+        assert_eq!(report.trim_resolved, 50);
+    }
+}

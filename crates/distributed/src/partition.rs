@@ -1,0 +1,119 @@
+//! Block partitioning of the node set across workers.
+
+use swscc_graph::NodeId;
+
+/// A contiguous block partition of `0..num_nodes` into `num_workers`
+/// ranges of near-equal size.
+///
+/// # Examples
+///
+/// ```
+/// use swscc_distributed::Partition;
+///
+/// let p = Partition::new(10, 3);
+/// assert_eq!(p.owner(0), 0);
+/// assert_eq!(p.owner(9), 2);
+/// assert_eq!(p.range(0), 0..4); // 10 = 4 + 3 + 3
+/// assert_eq!(p.range(2), 7..10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Partition {
+    num_nodes: usize,
+    num_workers: usize,
+    /// `starts[w]..starts[w+1]` is worker w's block.
+    starts: Vec<usize>,
+}
+
+impl Partition {
+    /// Creates a block partition. `num_workers` is clamped to at least 1;
+    /// empty blocks are allowed when there are more workers than nodes.
+    pub fn new(num_nodes: usize, num_workers: usize) -> Self {
+        let num_workers = num_workers.max(1);
+        let base = num_nodes / num_workers;
+        let extra = num_nodes % num_workers;
+        let mut starts = Vec::with_capacity(num_workers + 1);
+        let mut s = 0;
+        starts.push(0);
+        for w in 0..num_workers {
+            s += base + usize::from(w < extra);
+            starts.push(s);
+        }
+        Partition {
+            num_nodes,
+            num_workers,
+            starts,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The worker owning `node`. O(log P).
+    #[inline]
+    pub fn owner(&self, node: NodeId) -> usize {
+        debug_assert!((node as usize) < self.num_nodes);
+        // partition_point: first index with start > node
+        self.starts.partition_point(|&s| s <= node as usize) - 1
+    }
+
+    /// The node range owned by `worker`.
+    pub fn range(&self, worker: usize) -> std::ops::Range<NodeId> {
+        self.starts[worker] as NodeId..self.starts[worker + 1] as NodeId
+    }
+
+    /// Local index of `node` within its owner's block.
+    #[inline]
+    pub fn local_index(&self, node: NodeId) -> usize {
+        node as usize - self.starts[self.owner(node)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_nodes_exactly_once() {
+        for (n, p) in [(10usize, 3usize), (7, 7), (5, 8), (100, 1), (0, 4), (1, 1)] {
+            let part = Partition::new(n, p);
+            let mut count = 0;
+            for w in 0..part.num_workers() {
+                for node in part.range(w) {
+                    assert_eq!(part.owner(node), w, "n={n} p={p} node={node}");
+                    count += 1;
+                }
+            }
+            assert_eq!(count, n, "n={n} p={p}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_balanced() {
+        let part = Partition::new(103, 4);
+        let sizes: Vec<usize> = (0..4).map(|w| part.range(w).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().all(|&s| s == 25 || s == 26));
+    }
+
+    #[test]
+    fn local_index() {
+        let part = Partition::new(10, 3);
+        assert_eq!(part.local_index(0), 0);
+        assert_eq!(part.local_index(4), 0); // first node of worker 1
+        assert_eq!(part.local_index(9), 2);
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        let part = Partition::new(5, 0);
+        assert_eq!(part.num_workers(), 1);
+        assert_eq!(part.range(0), 0..5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Property-based tests for the distributed pipeline: random graphs,
+//! random worker counts, always the exact Tarjan partition.
+
+use proptest::prelude::*;
+use swscc_core::tarjan::tarjan_scc;
+use swscc_distributed::{dist_scc, Partition};
+use swscc_graph::CsrGraph;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..4 * n)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dist_scc_matches_tarjan(g in arb_graph(100), workers in 1usize..9) {
+        let (r, report) = dist_scc(&g, workers);
+        prop_assert_eq!(r.canonical_labels(), tarjan_scc(&g).canonical_labels());
+        prop_assert_eq!(
+            report.trim_resolved + report.peel_resolved + report.residual_nodes,
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn partition_owner_is_consistent(n in 0usize..500, workers in 1usize..17) {
+        let p = Partition::new(n, workers);
+        let mut total = 0;
+        for w in 0..p.num_workers() {
+            let range = p.range(w);
+            total += range.len();
+            for node in range {
+                prop_assert_eq!(p.owner(node), w);
+                prop_assert!(p.local_index(node) < p.range(w).len());
+            }
+        }
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn worker_count_invariant(g in arb_graph(60)) {
+        let (r1, _) = dist_scc(&g, 1);
+        let (r5, _) = dist_scc(&g, 5);
+        prop_assert_eq!(r1.canonical_labels(), r5.canonical_labels());
+    }
+}

@@ -1,0 +1,244 @@
+//! Breadth-first search, sequential and level-synchronous parallel (§4.2).
+//!
+//! The SCC algorithms in `swscc-core` embed their own color-aware BFS; this
+//! module provides the plain graph traversals used by diameter estimation
+//! (Table 1), weak-connectivity checks, and as a reference implementation
+//! the parallel traversal is tested against.
+
+use crate::csr::{CsrGraph, NodeId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Level value for unreached nodes.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Which adjacency direction a traversal follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow out-edges (forward reachability).
+    Forward,
+    /// Follow in-edges (backward reachability).
+    Backward,
+}
+
+impl Direction {
+    /// Neighbors of `n` in this direction.
+    #[inline]
+    pub fn neighbors(self, g: &CsrGraph, n: NodeId) -> &[NodeId] {
+        match self {
+            Direction::Forward => g.out_neighbors(n),
+            Direction::Backward => g.in_neighbors(n),
+        }
+    }
+
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// Sequential BFS from `src`; returns per-node level ([`UNREACHED`] if not
+/// reachable).
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::{CsrGraph, bfs};
+///
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]);
+/// let lv = bfs::bfs_levels(&g, 0, bfs::Direction::Forward);
+/// assert_eq!(lv, vec![0, 1, 2, bfs::UNREACHED]);
+/// ```
+pub fn bfs_levels(g: &CsrGraph, src: NodeId, dir: Direction) -> Vec<u32> {
+    let mut levels = vec![UNREACHED; g.num_nodes()];
+    if g.num_nodes() == 0 {
+        return levels;
+    }
+    let mut frontier = vec![src];
+    levels[src as usize] = 0;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in dir.neighbors(g, u) {
+                if levels[v as usize] == UNREACHED {
+                    levels[v as usize] = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    levels
+}
+
+/// Level-synchronous parallel BFS from `src`.
+///
+/// Each level expands the frontier with a parallel flat-map; node visitation
+/// is claimed with a compare-and-swap on the level array, so every node is
+/// placed in the next frontier exactly once. Matches [`bfs_levels`] exactly
+/// (tested), because level assignment in a level-synchronous BFS is
+/// deterministic even though claim order is not.
+pub fn par_bfs_levels(g: &CsrGraph, src: NodeId, dir: Direction) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut levels_atomic: Vec<AtomicU32> = Vec::with_capacity(n);
+    levels_atomic.resize_with(n, || AtomicU32::new(UNREACHED));
+    if n == 0 {
+        return Vec::new();
+    }
+    levels_atomic[src as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![src];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let next: Vec<NodeId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| dir.neighbors(g, u).iter().copied())
+            .filter(|&v| {
+                // test-then-CAS: cheap load filters visited nodes first
+                levels_atomic[v as usize].load(Ordering::Relaxed) == UNREACHED
+                    && levels_atomic[v as usize]
+                        .compare_exchange(UNREACHED, depth, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+            })
+            .collect();
+        frontier = next;
+    }
+    levels_atomic
+        .into_iter()
+        .map(AtomicU32::into_inner)
+        .collect()
+}
+
+/// The set of nodes reachable from `src` (including `src`), as a sorted vec.
+pub fn reachable_set(g: &CsrGraph, src: NodeId, dir: Direction) -> Vec<NodeId> {
+    bfs_levels(g, src, dir)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &lv)| lv != UNREACHED)
+        .map(|(i, _)| i as NodeId)
+        .collect()
+}
+
+/// Eccentricity of `src`: the maximum finite BFS level. Returns 0 for an
+/// isolated node.
+pub fn eccentricity(g: &CsrGraph, src: NodeId, dir: Direction) -> u32 {
+    bfs_levels(g, src, dir)
+        .into_iter()
+        .filter(|&lv| lv != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+/// BFS treating the graph as undirected (follows both edge directions).
+/// Used by weak-connectivity checks and road-network diameter estimation.
+pub fn undirected_bfs_levels(g: &CsrGraph, src: NodeId) -> Vec<u32> {
+    let mut levels = vec![UNREACHED; g.num_nodes()];
+    if g.num_nodes() == 0 {
+        return levels;
+    }
+    let mut frontier = vec![src];
+    levels[src as usize] = 0;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if levels[v as usize] == UNREACHED {
+                    levels[v as usize] = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: u32) -> CsrGraph {
+        CsrGraph::from_edges(
+            n as usize,
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn levels_on_chain() {
+        let g = chain(5);
+        assert_eq!(bfs_levels(&g, 0, Direction::Forward), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&g, 4, Direction::Backward), vec![4, 3, 2, 1, 0]);
+        assert_eq!(
+            bfs_levels(&g, 2, Direction::Forward),
+            vec![UNREACHED, UNREACHED, 0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn par_matches_seq_on_random() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 500u32;
+        let edges: Vec<_> = (0..3000)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        for src in [0u32, 13, 499] {
+            for dir in [Direction::Forward, Direction::Backward] {
+                assert_eq!(bfs_levels(&g, src, dir), par_bfs_levels(&g, src, dir));
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_set_cycle() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(reachable_set(&g, 0, Direction::Forward), vec![0, 1, 2]);
+        assert_eq!(reachable_set(&g, 3, Direction::Forward), vec![3]);
+        assert_eq!(reachable_set(&g, 0, Direction::Backward), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn eccentricity_chain() {
+        let g = chain(6);
+        assert_eq!(eccentricity(&g, 0, Direction::Forward), 5);
+        assert_eq!(eccentricity(&g, 5, Direction::Forward), 0);
+    }
+
+    #[test]
+    fn undirected_ignores_direction() {
+        let g = CsrGraph::from_edges(3, &[(1, 0), (1, 2)]);
+        let lv = undirected_bfs_levels(&g, 0);
+        assert_eq!(lv, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::Forward.reverse(), Direction::Backward);
+        assert_eq!(Direction::Backward.reverse(), Direction::Forward);
+    }
+
+    #[test]
+    fn empty_graph_bfs() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(par_bfs_levels(&g, 0, Direction::Forward).is_empty());
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let lv = bfs_levels(&g, 0, Direction::Forward);
+        assert_eq!(lv[2], UNREACHED);
+        assert_eq!(lv[3], UNREACHED);
+    }
+}

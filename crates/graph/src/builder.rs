@@ -1,0 +1,190 @@
+//! Incremental edge-list accumulation with optional cleanup.
+//!
+//! The generators and loaders produce raw edge streams that may contain
+//! duplicates and self-loops. [`GraphBuilder`] collects them and finalizes
+//! into a [`CsrGraph`], optionally deduplicating and dropping self-loops.
+//! (Self-loops are *allowed* by the SCC algorithms — a self-loop does not
+//! change any SCC — but the paper's datasets are simple digraphs, so the
+//! default cleans them.)
+
+use crate::csr::{CsrGraph, NodeId};
+
+/// Accumulates directed edges and builds a [`CsrGraph`].
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(0, 1); // duplicate
+/// b.add_edge(1, 1); // self-loop
+/// b.add_edge(1, 2);
+/// let g = b.build(); // default: dedup, drop self-loops
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    dedup: bool,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph with `num_nodes` nodes. Defaults:
+    /// deduplicate edges, drop self-loops.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            dedup: true,
+            keep_self_loops: false,
+        }
+    }
+
+    /// New builder with pre-reserved edge capacity.
+    pub fn with_capacity(num_nodes: usize, edge_capacity: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.edges.reserve(edge_capacity);
+        b
+    }
+
+    /// Keep duplicate parallel edges in the final graph.
+    pub fn keep_duplicates(mut self) -> Self {
+        self.dedup = false;
+        self
+    }
+
+    /// Keep self-loops in the final graph.
+    pub fn keep_self_loops(mut self) -> Self {
+        self.keep_self_loops = true;
+        self
+    }
+
+    /// Number of nodes this builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of raw edges added so far (before cleanup).
+    pub fn raw_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the directed edge `u -> v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    #[inline]
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge ({u}, {v}) out of range"
+        );
+        self.edges.push((u, v));
+    }
+
+    /// Adds both `u -> v` and `v -> u` (an undirected edge).
+    #[inline]
+    pub fn add_undirected_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Extends from an iterator of directed edges.
+    pub fn extend(&mut self, it: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        self.edges.extend(it);
+    }
+
+    /// Finalizes into a [`CsrGraph`], applying the configured cleanup.
+    pub fn build(mut self) -> CsrGraph {
+        if !self.keep_self_loops {
+            self.edges.retain(|&(u, v)| u != v);
+        }
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        CsrGraph::from_edges(self.num_nodes, &self.edges)
+    }
+
+    /// Consumes the builder and returns the (cleaned) edge list without
+    /// building the CSR — used by tests and by generators that post-process.
+    pub fn into_edges(mut self) -> Vec<(NodeId, NodeId)> {
+        if !self.keep_self_loops {
+            self.edges.retain(|&(u, v)| u != v);
+        }
+        if self.dedup {
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_defaults() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        b.add_edge(3, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn keep_everything() {
+        let mut b = GraphBuilder::new(3).keep_duplicates().keep_self_loops();
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn undirected_adds_both_directions() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(0, 1);
+        let g = b.build();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn extend_from_iterator() {
+        let mut b = GraphBuilder::new(5);
+        b.extend((0..4u32).map(|i| (i, i + 1)));
+        assert_eq!(b.raw_edge_count(), 4);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn into_edges_cleans() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 2);
+        assert_eq!(b.into_edges(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new(7).build();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

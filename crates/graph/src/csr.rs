@@ -1,0 +1,410 @@
+//! Compressed sparse row (CSR) representation of a directed graph.
+//!
+//! The paper (§4.1) stores the graph as two flat arrays — an O(N) offset
+//! array pointing into an O(M) adjacency array — because this is compact,
+//! bandwidth-friendly, and ideal for traversal-heavy algorithms. SCC
+//! detection needs *backward* reachability too, so [`CsrGraph`] additionally
+//! keeps the reverse adjacency (in-edges) in the same format.
+//!
+//! The structure is immutable: the SCC algorithms never delete nodes or
+//! edges; they overlay `Color`/`mark` arrays instead (paper §4.1).
+
+use rayon::prelude::*;
+
+/// Node identifier. 32 bits covers every instance in the paper's Table 1
+/// except Friendster, whose analog here is scaled down anyway; using `u32`
+/// halves the memory traffic of the adjacency arrays (perf-book: smaller
+/// integers for indices).
+pub type NodeId = u32;
+
+/// An immutable directed graph in CSR form with both forward (out-edge) and
+/// reverse (in-edge) adjacency.
+///
+/// Construction is via [`CsrGraph::from_edges`] (which tolerates duplicate
+/// edges and self-loops as-is) or [`crate::builder::GraphBuilder`] (which can
+/// deduplicate and filter).
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::CsrGraph;
+///
+/// // 0 -> 1 -> 2 -> 0 cycle plus a pendant 2 -> 3
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 4);
+/// assert_eq!(g.out_neighbors(2), &[0, 3]);
+/// assert_eq!(g.in_neighbors(0), &[2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `num_nodes` nodes from a directed edge list.
+    ///
+    /// Edges are kept exactly as given (duplicates and self-loops included);
+    /// use [`crate::builder::GraphBuilder`] for filtering. Each adjacency
+    /// list ends up sorted by target id, which makes neighbor lookups
+    /// binary-searchable and output deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        for &(u, v) in edges {
+            assert!(
+                (u as usize) < num_nodes && (v as usize) < num_nodes,
+                "edge ({u}, {v}) out of range for {num_nodes} nodes"
+            );
+        }
+        let (out_offsets, out_targets) = build_adjacency(num_nodes, edges.iter().copied());
+        let (in_offsets, in_targets) =
+            build_adjacency(num_nodes, edges.iter().map(|&(u, v)| (v, u)));
+        CsrGraph {
+            num_nodes,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbors of `n` (sorted by id).
+    #[inline]
+    pub fn out_neighbors(&self, n: NodeId) -> &[NodeId] {
+        let n = n as usize;
+        &self.out_targets[self.out_offsets[n]..self.out_offsets[n + 1]]
+    }
+
+    /// In-neighbors of `n` (sorted by id).
+    #[inline]
+    pub fn in_neighbors(&self, n: NodeId) -> &[NodeId] {
+        let n = n as usize;
+        &self.in_targets[self.in_offsets[n]..self.in_offsets[n + 1]]
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out_neighbors(n).len()
+    }
+
+    /// In-degree of `n`.
+    #[inline]
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.in_neighbors(n).len()
+    }
+
+    /// `true` if the directed edge `u -> v` exists (binary search, O(log d)).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all node ids `0..num_nodes`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.num_nodes as NodeId
+    }
+
+    /// Parallel iterator over all node ids.
+    pub fn par_nodes(&self) -> impl ParallelIterator<Item = NodeId> + '_ {
+        (0..self.num_nodes as NodeId).into_par_iter()
+    }
+
+    /// Iterator over every directed edge `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Returns the transpose graph (every edge reversed). O(N+M) — it just
+    /// swaps the two adjacency structures.
+    pub fn transpose(&self) -> CsrGraph {
+        CsrGraph {
+            num_nodes: self.num_nodes,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_targets.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_targets: self.out_targets.clone(),
+        }
+    }
+
+    /// Builds the subgraph induced by `nodes` (which must be sorted,
+    /// deduplicated, and in range). Returns the subgraph — whose node `i`
+    /// corresponds to `nodes[i]` — so callers can map results back.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `nodes` is not sorted/deduplicated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use swscc_graph::CsrGraph;
+    ///
+    /// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+    /// let sub = g.induced_subgraph(&[0, 2, 3]);
+    /// assert_eq!(sub.num_nodes(), 3);
+    /// // kept edges: 2->0 and 2->3 (locally 1->0 and 1->2)
+    /// assert_eq!(sub.num_edges(), 2);
+    /// assert!(sub.has_edge(1, 0));
+    /// assert!(sub.has_edge(1, 2));
+    /// ```
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> CsrGraph {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "nodes must be sorted+dedup"
+        );
+        let mut local = vec![u32::MAX; self.num_nodes];
+        for (i, &v) in nodes.iter().enumerate() {
+            local[v as usize] = i as u32;
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            for &u in self.out_neighbors(v) {
+                let lu = local[u as usize];
+                if lu != u32::MAX {
+                    edges.push((i as NodeId, lu));
+                }
+            }
+        }
+        CsrGraph::from_edges(nodes.len(), &edges)
+    }
+
+    /// Approximate heap footprint in bytes (offset + target arrays).
+    pub fn memory_bytes(&self) -> usize {
+        self.out_offsets.len() * std::mem::size_of::<usize>() * 2
+            + self.out_targets.len() * std::mem::size_of::<NodeId>() * 2
+    }
+}
+
+/// Counting-sort construction of one adjacency direction: O(N + M), no
+/// per-node allocation, adjacency lists sorted by (source asc, target asc)
+/// because edges are placed in two stable passes.
+fn build_adjacency(
+    num_nodes: usize,
+    edges: impl Iterator<Item = (NodeId, NodeId)> + Clone,
+) -> (Vec<usize>, Vec<NodeId>) {
+    let mut offsets = vec![0usize; num_nodes + 1];
+    for (u, _) in edges.clone() {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..num_nodes {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut targets = vec![0 as NodeId; offsets[num_nodes]];
+    let mut cursor = offsets.clone();
+    for (u, v) in edges {
+        let c = &mut cursor[u as usize];
+        targets[*c] = v;
+        *c += 1;
+    }
+    // Sort each adjacency list for determinism and binary-searchability.
+    // Lists are typically short (scale-free: most nodes have few neighbors),
+    // so per-list sort is cheap; do it in parallel for the heavy hubs.
+    let slices: Vec<(usize, usize)> = (0..num_nodes)
+        .map(|i| (offsets[i], offsets[i + 1]))
+        .collect();
+    // Safety note: the ranges are disjoint by construction, so a parallel
+    // mutable chunk iteration is expressible safely via split_at_mut-style
+    // recursion; simplest is to sort via par_chunks over an index structure.
+    parallel_sort_ranges(&mut targets, &slices);
+    (offsets, targets)
+}
+
+/// Sorts each `[start, end)` range of `data` in parallel. Ranges must be
+/// disjoint and ascending (guaranteed by CSR construction).
+fn parallel_sort_ranges(data: &mut [NodeId], ranges: &[(usize, usize)]) {
+    fn go(mut data: &mut [NodeId], base: usize, ranges: &[(usize, usize)]) {
+        const SEQ_CUTOFF: usize = 64;
+        if ranges.len() <= SEQ_CUTOFF {
+            for &(s, e) in ranges {
+                data[s - base..e - base].sort_unstable();
+            }
+            return;
+        }
+        let mid = ranges.len() / 2;
+        let (left, right) = ranges.split_at(mid);
+        let split_point = right[0].0;
+        let (dl, dr) = std::mem::take(&mut data).split_at_mut(split_point - base);
+        rayon::join(|| go(dl, base, left), || go(dr, split_point, right));
+    }
+    if !ranges.is_empty() {
+        go(data, 0, ranges);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn single_node_no_edges() {
+        let g = CsrGraph::from_edges(1, &[]);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.out_degree(0), 0);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn self_loop_kept() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)]);
+        assert_eq!(g.out_neighbors(0), &[0, 1]);
+        assert_eq!(g.in_neighbors(0), &[0]);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_kept() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1, 1]);
+        assert_eq!(g.in_neighbors(1), &[0, 0]);
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let g = CsrGraph::from_edges(5, &[(0, 4), (0, 2), (0, 3), (0, 1)]);
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn in_out_consistency() {
+        let edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 3), (1, 3)];
+        let g = CsrGraph::from_edges(4, &edges);
+        // every out-edge appears as exactly one in-edge
+        let mut outs: Vec<_> = g.edges().collect();
+        let mut ins: Vec<_> = g
+            .nodes()
+            .flat_map(|v| g.in_neighbors(v).iter().map(move |&u| (u, v)))
+            .collect();
+        outs.sort_unstable();
+        ins.sort_unstable();
+        assert_eq!(outs, ins);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let t = g.transpose();
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(2, 1));
+        assert!(!t.has_edge(0, 1));
+        assert_eq!(t.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let edges = [(0, 1), (1, 2), (2, 0), (0, 2)];
+        let g = CsrGraph::from_edges(3, &edges);
+        let tt = g.transpose().transpose();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = tt.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn edges_iterator_matches_input() {
+        let mut edges = vec![(3u32, 1u32), (0, 2), (1, 1), (2, 3), (0, 1)];
+        let g = CsrGraph::from_edges(4, &edges);
+        let mut got: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(edges, got);
+    }
+
+    #[test]
+    fn degrees_sum_to_edge_count() {
+        let edges = [(0, 1), (0, 2), (1, 2), (2, 0), (2, 1), (2, 2)];
+        let g = CsrGraph::from_edges(3, &edges);
+        let out_sum: usize = g.nodes().map(|n| g.out_degree(n)).sum();
+        let in_sum: usize = g.nodes().map(|n| g.in_degree(n)).sum();
+        assert_eq!(out_sum, edges.len());
+        assert_eq!(in_sum, edges.len());
+    }
+
+    #[test]
+    fn large_star_graph() {
+        // hub 0 -> all others; stresses the parallel range sort on one big list
+        let n = 10_000u32;
+        let edges: Vec<_> = (1..n).map(|v| (0, v)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        assert_eq!(g.out_degree(0), (n - 1) as usize);
+        let nb = g.out_neighbors(0);
+        assert!(nb.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let sub = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        let mut edges: Vec<_> = sub.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]); // 1->2, 1->3, 2->3
+    }
+
+    #[test]
+    fn induced_subgraph_empty_and_full() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let empty = g.induced_subgraph(&[]);
+        assert_eq!(empty.num_nodes(), 0);
+        let full = g.induced_subgraph(&[0, 1, 2]);
+        assert_eq!(full.num_edges(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_self_loops() {
+        let g = CsrGraph::from_edges(3, &[(1, 1), (0, 2)]);
+        let sub = g.induced_subgraph(&[1]);
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 0));
+    }
+
+    #[test]
+    fn has_edge_negative() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn memory_bytes_positive() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.memory_bytes() > 0);
+    }
+}

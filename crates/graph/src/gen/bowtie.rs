@@ -1,0 +1,423 @@
+//! Bow-tie small-world graph generator with *planted* SCC structure.
+//!
+//! §2.2 and §3.3 of the paper describe the SCC anatomy of real small-world
+//! graphs (after Broder et al. \[11\] and Kumar et al. \[17\]):
+//!
+//! * one **giant SCC** of size O(N) at the center,
+//! * a **power-law tail** of small SCCs attached around it (Fig. 2/9),
+//! * a horde of **size-1 SCCs** (most frequent of all),
+//! * small SCCs grouped into weakly connected clusters hanging off the
+//!   giant (Fig. 3) — the structure that starves the recursive FW-BW phase
+//!   and that Method 2's WCC step exploits,
+//! * chains of **size-2 SCCs** — the Trim2 (§3.4) target pattern.
+//!
+//! This generator plants each of those features explicitly and returns the
+//! ground-truth SCC partition alongside the graph, which makes it both the
+//! paper-faithful workload for the benchmark harness and an exact oracle
+//! for correctness tests: attachment edges are always oriented consistently
+//! (IN-side satellites only point *toward* the core / earlier satellites,
+//! OUT-side only *away*), so no unplanned cycle can arise.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use crate::gen::sample_power_law;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`bowtie`].
+#[derive(Clone, Copy, Debug)]
+pub struct BowtieConfig {
+    /// Total number of nodes N.
+    pub num_nodes: usize,
+    /// Fraction of N inside the giant SCC (Table 1: 0.28–0.96 across the
+    /// paper's small-world instances).
+    pub giant_frac: f64,
+    /// Extra random chord edges per core node (beyond the Hamiltonian cycle
+    /// that guarantees strong connectivity). Controls density and diameter.
+    pub core_edge_factor: usize,
+    /// Power-law exponent for satellite SCC sizes (Fig. 2 slope).
+    pub sat_alpha: f64,
+    /// Cap on satellite SCC size.
+    pub sat_max_size: u64,
+    /// Fraction of the non-giant nodes that become size-1 SCCs (tendrils).
+    pub trivial_frac: f64,
+    /// Number of chains of mutually-linked node pairs (size-2 SCCs), the
+    /// §3.4 Trim2 pattern.
+    pub two_cycle_chains: usize,
+    /// Pairs per chain.
+    pub chain_len: usize,
+    /// Probability that a satellite also links to a previously generated
+    /// satellite on the same side, creating multi-SCC weakly connected
+    /// clusters (Fig. 3) for the Par-WCC phase to split.
+    pub inter_sat_prob: f64,
+    /// Attachment edges from each satellite to the core.
+    pub attach_edges: usize,
+    /// Exponent skewing chord targets toward low node ids, which creates
+    /// scale-free in-degree hubs inside the core (§4.3's load-imbalance
+    /// driver). 1.0 = uniform.
+    pub hub_gamma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BowtieConfig {
+    fn default() -> Self {
+        BowtieConfig {
+            num_nodes: 100_000,
+            giant_frac: 0.6,
+            core_edge_factor: 8,
+            sat_alpha: 2.5,
+            sat_max_size: 1000,
+            trivial_frac: 0.6,
+            two_cycle_chains: 50,
+            chain_len: 3,
+            inter_sat_prob: 0.3,
+            attach_edges: 2,
+            hub_gamma: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated bow-tie graph plus its planted ground truth.
+#[derive(Clone, Debug)]
+pub struct BowtieGraph {
+    /// The graph itself.
+    pub graph: CsrGraph,
+    /// Size of the planted giant SCC (nodes `0..core_size`).
+    pub core_size: usize,
+    /// Planted sizes of every SCC, including the giant, every satellite,
+    /// every size-2 pair, and every trivial node. Sums to `num_nodes`.
+    pub scc_sizes: Vec<usize>,
+    /// Ground-truth component id per node (components numbered arbitrarily).
+    pub component_of: Vec<u32>,
+}
+
+/// Generates a bow-tie small-world graph. See [`BowtieConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::gen::{bowtie, BowtieConfig};
+///
+/// let bt = bowtie(&BowtieConfig { num_nodes: 5000, ..Default::default() });
+/// assert_eq!(bt.graph.num_nodes(), 5000);
+/// assert!(bt.core_size >= 2500); // giant_frac 0.6 of 5000, minus rounding
+/// assert_eq!(bt.scc_sizes.iter().sum::<usize>(), 5000);
+/// ```
+pub fn bowtie(cfg: &BowtieConfig) -> BowtieGraph {
+    assert!(cfg.num_nodes >= 8, "bow-tie needs at least 8 nodes");
+    assert!((0.0..=1.0).contains(&cfg.giant_frac));
+    assert!((0.0..=1.0).contains(&cfg.trivial_frac));
+    let n = cfg.num_nodes;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let core_size = ((n as f64 * cfg.giant_frac) as usize).clamp(2, n);
+    let chain_nodes = (2 * cfg.chain_len * cfg.two_cycle_chains).min(n - core_size);
+    let rest = n - core_size - chain_nodes;
+    let trivial_count = (rest as f64 * cfg.trivial_frac) as usize;
+    let sat_region = rest - trivial_count;
+
+    let mut b = GraphBuilder::with_capacity(n, core_size * (cfg.core_edge_factor + 1) + 4 * rest);
+    let mut component_of = vec![0u32; n];
+    let mut scc_sizes: Vec<usize> = Vec::new();
+    let mut next_comp = 0u32;
+
+    // --- Giant core: Hamiltonian cycle + skewed random chords -------------
+    for i in 0..core_size {
+        b.add_edge(i as NodeId, ((i + 1) % core_size) as NodeId);
+    }
+    let pick_core_hub = |rng: &mut SmallRng| -> NodeId {
+        // Skew toward low ids: hub structure / scale-free in-degree.
+        let u: f64 = rng.random();
+        ((u.powf(cfg.hub_gamma) * core_size as f64) as usize).min(core_size - 1) as NodeId
+    };
+    for _ in 0..core_size * cfg.core_edge_factor {
+        let u = rng.random_range(0..core_size) as NodeId;
+        let v = pick_core_hub(&mut rng);
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    scc_sizes.push(core_size);
+    // component 0 = core (component_of already zeroed)
+    next_comp += 1;
+
+    // --- Satellite SCCs with power-law sizes ------------------------------
+    // Satellites occupy ids [core_size, core_size + sat_region).
+    // `in_side[i]` / `out_side[i]`: representative node of satellite i, for
+    // inter-satellite weak links.
+    let mut in_side_sats: Vec<(NodeId, usize)> = Vec::new(); // (first node, size)
+    let mut out_side_sats: Vec<(NodeId, usize)> = Vec::new();
+    let mut cursor = core_size;
+    let sat_end = core_size + sat_region;
+    while cursor < sat_end {
+        let want = sample_power_law(&mut rng, 2, cfg.sat_max_size, cfg.sat_alpha) as usize;
+        let size = want.min(sat_end - cursor);
+        let first = cursor as NodeId;
+        if size == 1 {
+            // Remainder too small for a cycle: degrade to a trivial node.
+            attach_trivial(&mut b, &mut rng, first, core_size, pick_core_hub);
+            scc_sizes.push(1);
+            component_of[cursor] = next_comp;
+            next_comp += 1;
+            cursor += 1;
+            continue;
+        }
+        // Internal cycle => exactly one SCC of `size` nodes.
+        for k in 0..size {
+            let u = (cursor + k) as NodeId;
+            let v = (cursor + (k + 1) % size) as NodeId;
+            b.add_edge(u, v);
+            component_of[cursor + k] = next_comp;
+        }
+        // A few internal chords for realism (stay inside the satellite).
+        for _ in 0..size / 4 {
+            let u = (cursor + rng.random_range(0..size)) as NodeId;
+            let v = (cursor + rng.random_range(0..size)) as NodeId;
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let is_in_side = rng.random_bool(0.5);
+        for _ in 0..cfg.attach_edges.max(1) {
+            let sat_node = (cursor + rng.random_range(0..size)) as NodeId;
+            let core_node = pick_core_hub(&mut rng);
+            if is_in_side {
+                b.add_edge(sat_node, core_node); // IN set: can reach core
+            } else {
+                b.add_edge(core_node, sat_node); // OUT set: reachable from core
+            }
+        }
+        // Weak link to an earlier satellite on the same side. Direction is
+        // fixed by side so no inter-satellite cycle can form:
+        //   IN side:  later -> earlier (both eventually reach the core)
+        //   OUT side: earlier -> later (both reachable from the core)
+        let side_list = if is_in_side {
+            &mut in_side_sats
+        } else {
+            &mut out_side_sats
+        };
+        if !side_list.is_empty() && rng.random_bool(cfg.inter_sat_prob) {
+            let (peer_first, peer_size) = side_list[rng.random_range(0..side_list.len())];
+            let here = (cursor + rng.random_range(0..size)) as NodeId;
+            let there = peer_first + rng.random_range(0..peer_size) as NodeId;
+            if is_in_side {
+                b.add_edge(here, there);
+            } else {
+                b.add_edge(there, here);
+            }
+        }
+        side_list.push((first, size));
+        scc_sizes.push(size);
+        next_comp += 1;
+        cursor += size;
+    }
+
+    // --- Size-2 SCC chains (Trim2 pattern, §3.4) --------------------------
+    // Each chain: core -> (A1 <-> B1) -> (A2 <-> B2) -> ... (OUT side).
+    let chain_end = sat_end + chain_nodes;
+    {
+        let mut c = sat_end;
+        'chains: for _ in 0..cfg.two_cycle_chains {
+            let mut prev_b: Option<NodeId> = None;
+            for _ in 0..cfg.chain_len {
+                if c + 2 > chain_end {
+                    break 'chains;
+                }
+                let a = c as NodeId;
+                let bb = (c + 1) as NodeId;
+                b.add_edge(a, bb);
+                b.add_edge(bb, a);
+                match prev_b {
+                    None => b.add_edge(pick_core_hub(&mut rng), a),
+                    Some(p) => b.add_edge(p, a),
+                }
+                component_of[c] = next_comp;
+                component_of[c + 1] = next_comp;
+                scc_sizes.push(2);
+                next_comp += 1;
+                prev_b = Some(bb);
+                c += 2;
+            }
+        }
+        // Any chain slots left unused (break above) become trivial nodes.
+        while c < chain_end {
+            attach_trivial(&mut b, &mut rng, c as NodeId, core_size, pick_core_hub);
+            component_of[c] = next_comp;
+            scc_sizes.push(1);
+            next_comp += 1;
+            c += 1;
+        }
+    }
+
+    // --- Trivial tendrils: size-1 SCCs, some in chains (iterative Trim) ---
+    let mut t = chain_end;
+    while t < n {
+        let chain = rng.random_range(1..=3usize).min(n - t);
+        let inbound = rng.random_bool(0.5);
+        // tendril chain: core -> t -> t+1 -> ... (or reversed for IN side)
+        for k in 0..chain {
+            let node = (t + k) as NodeId;
+            let prev: NodeId = if k == 0 {
+                pick_core_hub(&mut rng)
+            } else {
+                (t + k - 1) as NodeId
+            };
+            if inbound {
+                b.add_edge(node, prev);
+            } else {
+                b.add_edge(prev, node);
+            }
+            component_of[t + k] = next_comp;
+            scc_sizes.push(1);
+            next_comp += 1;
+        }
+        t += chain;
+    }
+
+    debug_assert_eq!(scc_sizes.iter().sum::<usize>(), n);
+    BowtieGraph {
+        graph: b.build(),
+        core_size,
+        scc_sizes,
+        component_of,
+    }
+}
+
+fn attach_trivial(
+    b: &mut GraphBuilder,
+    rng: &mut SmallRng,
+    node: NodeId,
+    core_size: usize,
+    pick_core_hub: impl Fn(&mut SmallRng) -> NodeId,
+) {
+    let _ = core_size;
+    let core_node = pick_core_hub(rng);
+    if rng.random_bool(0.5) {
+        b.add_edge(node, core_node);
+    } else {
+        b.add_edge(core_node, node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> BowtieConfig {
+        BowtieConfig {
+            num_nodes: 2000,
+            giant_frac: 0.5,
+            core_edge_factor: 4,
+            sat_alpha: 2.3,
+            sat_max_size: 50,
+            trivial_frac: 0.5,
+            two_cycle_chains: 10,
+            chain_len: 2,
+            inter_sat_prob: 0.4,
+            attach_edges: 2,
+            hub_gamma: 2.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sizes_partition_the_nodes() {
+        let bt = bowtie(&small_cfg());
+        assert_eq!(bt.scc_sizes.iter().sum::<usize>(), 2000);
+        assert_eq!(bt.graph.num_nodes(), 2000);
+        // component_of covers exactly the planted components
+        let num_comps = bt.scc_sizes.len();
+        let max_comp = *bt.component_of.iter().max().unwrap() as usize;
+        assert_eq!(max_comp + 1, num_comps);
+    }
+
+    #[test]
+    fn giant_is_component_zero_with_right_size() {
+        let bt = bowtie(&small_cfg());
+        let zero_count = bt.component_of.iter().filter(|&&c| c == 0).count();
+        assert_eq!(zero_count, bt.core_size);
+        assert_eq!(bt.scc_sizes[0], bt.core_size);
+        assert_eq!(bt.core_size, 1000);
+    }
+
+    #[test]
+    fn component_sizes_match_table() {
+        let bt = bowtie(&small_cfg());
+        let mut counts = vec![0usize; bt.scc_sizes.len()];
+        for &c in &bt.component_of {
+            counts[c as usize] += 1;
+        }
+        assert_eq!(counts, bt.scc_sizes);
+    }
+
+    #[test]
+    fn core_is_strongly_connected() {
+        use crate::bfs::{bfs_levels, Direction, UNREACHED};
+        let bt = bowtie(&small_cfg());
+        let fw = bfs_levels(&bt.graph, 0, Direction::Forward);
+        let bw = bfs_levels(&bt.graph, 0, Direction::Backward);
+        for v in 0..bt.core_size {
+            assert_ne!(fw[v], UNREACHED, "core node {v} not forward-reachable");
+            assert_ne!(bw[v], UNREACHED, "core node {v} not backward-reachable");
+        }
+    }
+
+    #[test]
+    fn no_cycle_escapes_the_plant() {
+        // Every mutually-reachable pair must be in the same planted
+        // component: check via forward/backward BFS from a sample of nodes.
+        use crate::bfs::{bfs_levels, Direction, UNREACHED};
+        let bt = bowtie(&small_cfg());
+        for src in (0..2000u32).step_by(97) {
+            let fw = bfs_levels(&bt.graph, src, Direction::Forward);
+            let bw = bfs_levels(&bt.graph, src, Direction::Backward);
+            for v in 0..2000usize {
+                let mutual = fw[v] != UNREACHED && bw[v] != UNREACHED;
+                let same = bt.component_of[v] == bt.component_of[src as usize];
+                assert_eq!(
+                    mutual, same,
+                    "node {v} vs src {src}: mutual={mutual} planted-same={same}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn has_many_trivial_sccs() {
+        let bt = bowtie(&small_cfg());
+        let ones = bt.scc_sizes.iter().filter(|&&s| s == 1).count();
+        assert!(ones > 100, "expected a horde of size-1 SCCs, got {ones}");
+    }
+
+    #[test]
+    fn has_size_two_chains() {
+        let bt = bowtie(&small_cfg());
+        let twos = bt.scc_sizes.iter().filter(|&&s| s == 2).count();
+        assert!(twos >= 10, "expected planted size-2 SCCs, got {twos}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = bowtie(&small_cfg());
+        let b = bowtie(&small_cfg());
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        assert_eq!(ea, eb);
+        assert_eq!(a.scc_sizes, b.scc_sizes);
+    }
+
+    #[test]
+    fn small_diameter() {
+        use crate::bfs::eccentricity;
+        use crate::bfs::Direction;
+        let bt = bowtie(&BowtieConfig {
+            num_nodes: 20_000,
+            ..small_cfg()
+        });
+        // hub chords keep the core diameter tiny relative to its size
+        let ecc = eccentricity(&bt.graph, 0, Direction::Forward);
+        assert!(ecc < 60, "eccentricity {ecc} too large for a small world");
+    }
+}

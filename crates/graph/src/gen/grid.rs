@@ -1,0 +1,187 @@
+//! Road-network generator (the CA-road analog).
+//!
+//! §5 of the paper uses CA-road as the *negative* case: an (almost) planar
+//! graph with diameter ~850 that violates every small-world assumption —
+//! level-synchronous BFS needs hundreds of levels, the WCC label propagation
+//! needs many iterations, and the SCC size distribution contains many
+//! mid-sized components instead of a power-law tail (Fig. 9(i)).
+//!
+//! The analog is a 2D street lattice: most street segments are two-way
+//! (mutual edges), a configurable fraction are one-way (random single
+//! direction, matching the Table 1 footnote's random orientation of the
+//! undirected original), and a small fraction of segments are missing
+//! (dead ends / city blocks), which fragments the strong connectivity into
+//! the many mid-sized SCCs the paper observes.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`road_grid`].
+#[derive(Clone, Copy, Debug)]
+pub struct RoadGridConfig {
+    /// Grid width (nodes per row).
+    pub width: usize,
+    /// Grid height (rows).
+    pub height: usize,
+    /// Fraction of street segments that are one-way (random direction).
+    pub one_way_frac: f64,
+    /// Fraction of street segments removed entirely.
+    pub missing_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RoadGridConfig {
+    fn default() -> Self {
+        RoadGridConfig {
+            width: 300,
+            height: 300,
+            // Tuned so a 100x100 grid reproduces the CA-road SCC profile of
+            // Table 1 / Fig. 9(i): giant SCC ≈ 60% of N and a long tail of
+            // mid-sized SCCs (city blocks sealed off by one-way loops).
+            one_way_frac: 0.8,
+            missing_frac: 0.12,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a road-network lattice. N = width * height; edges connect each
+/// node to its right and down neighbor (two-way, one-way, or missing per the
+/// configured fractions).
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::gen::{road_grid, RoadGridConfig};
+///
+/// let g = road_grid(&RoadGridConfig { width: 10, height: 10, ..Default::default() });
+/// assert_eq!(g.num_nodes(), 100);
+/// ```
+pub fn road_grid(cfg: &RoadGridConfig) -> CsrGraph {
+    let n = cfg.width * cfg.height;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::with_capacity(n, 4 * n);
+    let id = |x: usize, y: usize| (y * cfg.width + x) as NodeId;
+    let add_segment = |b: &mut GraphBuilder, rng: &mut SmallRng, u: NodeId, v: NodeId| {
+        if rng.random_bool(cfg.missing_frac) {
+            return;
+        }
+        if rng.random_bool(cfg.one_way_frac) {
+            if rng.random_bool(0.5) {
+                b.add_edge(u, v);
+            } else {
+                b.add_edge(v, u);
+            }
+        } else {
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+    };
+    for y in 0..cfg.height {
+        for x in 0..cfg.width {
+            if x + 1 < cfg.width {
+                add_segment(&mut b, &mut rng, id(x, y), id(x + 1, y));
+            }
+            if y + 1 < cfg.height {
+                add_segment(&mut b, &mut rng, id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{bfs_levels, Direction, UNREACHED};
+
+    #[test]
+    fn node_count() {
+        let g = road_grid(&RoadGridConfig {
+            width: 20,
+            height: 30,
+            ..Default::default()
+        });
+        assert_eq!(g.num_nodes(), 600);
+    }
+
+    #[test]
+    fn all_two_way_grid_is_strongly_connected() {
+        let g = road_grid(&RoadGridConfig {
+            width: 15,
+            height: 15,
+            one_way_frac: 0.0,
+            missing_frac: 0.0,
+            seed: 1,
+        });
+        let fw = bfs_levels(&g, 0, Direction::Forward);
+        let bw = bfs_levels(&g, 0, Direction::Backward);
+        assert!(fw.iter().all(|&l| l != UNREACHED));
+        assert!(bw.iter().all(|&l| l != UNREACHED));
+    }
+
+    #[test]
+    fn planar_grid_has_large_diameter() {
+        let g = road_grid(&RoadGridConfig {
+            width: 50,
+            height: 50,
+            one_way_frac: 0.0,
+            missing_frac: 0.0,
+            seed: 2,
+        });
+        let lv = bfs_levels(&g, 0, Direction::Forward);
+        let max = lv.iter().copied().max().unwrap();
+        // Manhattan distance corner-to-corner = 98.
+        assert_eq!(max, 98);
+    }
+
+    #[test]
+    fn edges_are_only_between_lattice_neighbors() {
+        let w = 12usize;
+        let g = road_grid(&RoadGridConfig {
+            width: w,
+            height: 9,
+            ..Default::default()
+        });
+        for (u, v) in g.edges() {
+            let (ux, uy) = (u as usize % w, u as usize / w);
+            let (vx, vy) = (v as usize % w, v as usize / w);
+            let manhattan = ux.abs_diff(vx) + uy.abs_diff(vy);
+            assert_eq!(manhattan, 1, "non-lattice edge {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RoadGridConfig {
+            width: 25,
+            height: 25,
+            ..Default::default()
+        };
+        let a: Vec<_> = road_grid(&cfg).edges().collect();
+        let b: Vec<_> = road_grid(&cfg).edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn missing_fraction_reduces_edges() {
+        let full = road_grid(&RoadGridConfig {
+            width: 40,
+            height: 40,
+            one_way_frac: 0.0,
+            missing_frac: 0.0,
+            seed: 3,
+        });
+        let sparse = road_grid(&RoadGridConfig {
+            width: 40,
+            height: 40,
+            one_way_frac: 0.0,
+            missing_frac: 0.3,
+            seed: 3,
+        });
+        assert!(sparse.num_edges() < full.num_edges());
+    }
+}

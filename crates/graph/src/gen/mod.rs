@@ -1,0 +1,91 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on nine real-world datasets (Table 1). Those raw
+//! files are not redistributable here, so this module provides generators
+//! for each *structural class* the paper's analysis depends on:
+//!
+//! * [`mod@rmat`] — R-MAT/Kronecker graphs: scale-free degree distribution and
+//!   the small-world property (tiny diameter). Used as the edge fabric of
+//!   the web/social analogs.
+//! * [`mod@bowtie`] — the Broder bow-tie SCC structure (one giant O(N) SCC with
+//!   power-law-sized satellite SCCs attached around it), which §2.2/§3.3 of
+//!   the paper identify as the property driving Method 1 and Method 2.
+//! * [`dag`] — citation DAGs (the Patents analog: *no* cycles at all).
+//! * [`grid`] — 2D road lattices (the CA-road analog: planar, huge diameter,
+//!   many mid-sized SCCs — the paper's negative case).
+//! * [`mod@erdos_renyi`], [`mod@watts_strogatz`] — classic baselines used in tests
+//!   and property checks.
+//! * [`orient`] — random orientation of undirected edges (Table 1 footnote:
+//!   Friendster/Orkut/CA-road are undirected and each edge receives a
+//!   random direction).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod bowtie;
+pub mod dag;
+pub mod erdos_renyi;
+pub mod grid;
+pub mod orient;
+pub mod rmat;
+pub mod watts_strogatz;
+
+pub use bowtie::{bowtie, BowtieConfig};
+pub use dag::{citation_dag, CitationConfig};
+pub use erdos_renyi::erdos_renyi;
+pub use grid::{road_grid, RoadGridConfig};
+pub use orient::orient_randomly;
+pub use rmat::{rmat, RmatConfig};
+pub use watts_strogatz::watts_strogatz;
+
+use rand::RngExt;
+
+/// Samples a discrete power-law ("Pareto") value in `[xmin, xmax]` with
+/// exponent `alpha > 1`: P(X = k) ∝ k^-alpha. Uses the continuous inverse
+/// CDF and floors, which is the standard cheap approximation and reproduces
+/// the heavy tail the SCC-size histograms (Fig. 2 / Fig. 9) require.
+pub(crate) fn sample_power_law(rng: &mut impl rand::Rng, xmin: u64, xmax: u64, alpha: f64) -> u64 {
+    debug_assert!(alpha > 1.0 && xmin >= 1 && xmax >= xmin);
+    let u: f64 = rng.random::<f64>();
+    // Inverse-CDF of the truncated continuous Pareto on [xmin, xmax+1).
+    let a = 1.0 - alpha;
+    let lo = (xmin as f64).powf(a);
+    let hi = ((xmax + 1) as f64).powf(a);
+    let x = (lo + u * (hi - lo)).powf(1.0 / a);
+    (x.floor() as u64).clamp(xmin, xmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_law_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = sample_power_law(&mut rng, 1, 100, 2.5);
+            assert!((1..=100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_headed() {
+        // With alpha=2.5 the mode is xmin and small values dominate.
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| sample_power_law(&mut rng, 1, 1000, 2.5) == 1)
+            .count();
+        assert!(
+            ones > n / 2,
+            "expected majority of samples at xmin, got {ones}/{n}"
+        );
+    }
+
+    #[test]
+    fn power_law_degenerate_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(sample_power_law(&mut rng, 5, 5, 2.0), 5);
+    }
+}

@@ -1,0 +1,61 @@
+//! Random orientation of undirected edges.
+//!
+//! Table 1 of the paper marks Friendster, Orkut and CA-road with `*`: "the
+//! original graph is undirected; we randomly assign a direction for each
+//! edge with 50% probability for each direction". This module implements
+//! exactly that convention.
+
+use crate::csr::NodeId;
+use rand::RngExt;
+
+/// Orients each undirected edge `(u, v)` as `u -> v` or `v -> u` with equal
+/// probability. Self-loops keep their single orientation.
+pub fn orient_randomly(
+    undirected: &[(NodeId, NodeId)],
+    rng: &mut impl rand::Rng,
+) -> Vec<(NodeId, NodeId)> {
+    undirected
+        .iter()
+        .map(|&(u, v)| if rng.random_bool(0.5) { (u, v) } else { (v, u) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preserves_edge_count_and_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let undirected = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let directed = orient_randomly(&undirected, &mut rng);
+        assert_eq!(directed.len(), 4);
+        for (i, &(u, v)) in directed.iter().enumerate() {
+            let (a, b) = undirected[i];
+            assert!((u, v) == (a, b) || (u, v) == (b, a));
+        }
+    }
+
+    #[test]
+    fn both_orientations_occur() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let undirected: Vec<_> = (0..1000u32).map(|i| (i, i + 1000)).collect();
+        let undirected_padded: Vec<_> = undirected.iter().map(|&(u, v)| (u, v % 2000)).collect();
+        let directed = orient_randomly(&undirected_padded, &mut rng);
+        let forward = directed
+            .iter()
+            .zip(&undirected_padded)
+            .filter(|(d, u)| d == u)
+            .count();
+        // Binomial(1000, 0.5): wildly improbable to fall outside [350, 650].
+        assert!((350..=650).contains(&forward), "forward = {forward}");
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(orient_randomly(&[], &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! R-MAT (recursive matrix) graph generator.
+//!
+//! R-MAT recursively subdivides the adjacency matrix into quadrants with
+//! probabilities `(a, b, c, d)` and drops each edge into a leaf cell. With
+//! the Graph500 parameters `(0.57, 0.19, 0.19, 0.05)` it produces graphs
+//! with a scale-free degree distribution and small diameter — the two
+//! properties (§2.2, §4.3 of the paper) that make the paper's workloads
+//! "small-world". Generation is parallel over edges and deterministic for a
+//! given seed (each edge derives its own RNG stream from the seed).
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+
+/// Configuration for [`rmat`].
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// log2 of the number of nodes (N = 2^scale).
+    pub scale: u32,
+    /// Average directed edges per node (M = N * edge_factor).
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to ~1.0.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Per-level multiplicative noise on the quadrant probabilities, in
+    /// `[0, 1)`; breaks up the exact self-similarity of pure R-MAT.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters at the given scale/edge factor.
+    pub fn graph500(scale: u32, edge_factor: usize, seed: u64) -> Self {
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+            seed,
+        }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph. Duplicate edges and self-loops are removed, so
+/// the realized edge count is slightly below `N * edge_factor` (heavier loss
+/// at small scales, exactly as with the reference Graph500 generator).
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::gen::{rmat, RmatConfig};
+///
+/// let g = rmat(&RmatConfig::graph500(10, 8, 42));
+/// assert_eq!(g.num_nodes(), 1024);
+/// assert!(g.num_edges() > 4000);
+/// ```
+pub fn rmat(cfg: &RmatConfig) -> CsrGraph {
+    let n = 1usize << cfg.scale;
+    let m = n * cfg.edge_factor;
+    let edges: Vec<(NodeId, NodeId)> = (0..m as u64)
+        .into_par_iter()
+        .map(|i| {
+            // Independent stream per edge => deterministic and parallel.
+            let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i);
+            sample_edge(cfg, &mut rng)
+        })
+        .collect();
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend(edges);
+    b.build()
+}
+
+/// Generates the raw (deduplicated, loop-free) R-MAT edge list without
+/// building a CSR. Used by composite generators that embed an R-MAT fabric
+/// into a larger graph.
+pub fn rmat_edges(cfg: &RmatConfig) -> Vec<(NodeId, NodeId)> {
+    let n = 1usize << cfg.scale;
+    let m = n * cfg.edge_factor;
+    let edges: Vec<(NodeId, NodeId)> = (0..m as u64)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i);
+            sample_edge(cfg, &mut rng)
+        })
+        .collect();
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.extend(edges);
+    b.into_edges()
+}
+
+fn sample_edge(cfg: &RmatConfig, rng: &mut SmallRng) -> (NodeId, NodeId) {
+    let (mut a, mut b, mut c, mut d) = (cfg.a, cfg.b, cfg.c, cfg.d());
+    let (mut u, mut v) = (0u64, 0u64);
+    for _ in 0..cfg.scale {
+        let r: f64 = rng.random();
+        u <<= 1;
+        v <<= 1;
+        if r < a {
+            // top-left
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+        if cfg.noise > 0.0 {
+            // Multiplicative noise, renormalized (Graph500 "noise" variant).
+            let mut jitter = |p: f64| p * (1.0 - cfg.noise + 2.0 * cfg.noise * rng.random::<f64>());
+            a = jitter(a);
+            b = jitter(b);
+            c = jitter(c);
+            d = jitter(d);
+            let s = a + b + c + d;
+            a /= s;
+            b /= s;
+            c /= s;
+            d /= s;
+        }
+    }
+    (u as NodeId, v as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RmatConfig::graph500(8, 8, 99);
+        let g1 = rmat(&cfg);
+        let g2 = rmat(&cfg);
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = rmat(&RmatConfig::graph500(8, 8, 1));
+        let g2 = rmat(&RmatConfig::graph500(8, 8, 2));
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = rmat(&RmatConfig::graph500(9, 8, 3));
+        let mut edges: Vec<_> = g.edges().collect();
+        assert!(edges.iter().all(|&(u, v)| u != v));
+        let before = edges.len();
+        edges.sort_unstable();
+        edges.dedup();
+        assert_eq!(before, edges.len());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // Scale-free check: the max degree should far exceed the average.
+        let g = rmat(&RmatConfig::graph500(12, 8, 4));
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        let max = g.nodes().map(|v| g.out_degree(v)).max().unwrap() as f64;
+        assert!(
+            max > 8.0 * avg,
+            "max degree {max} not ≫ average {avg}; not scale-free"
+        );
+    }
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let g = rmat(&RmatConfig::graph500(5, 4, 5));
+        assert_eq!(g.num_nodes(), 32);
+    }
+}

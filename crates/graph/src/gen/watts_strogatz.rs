@@ -1,0 +1,123 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The canonical "re-wire a ring lattice" construction from the paper's
+//! reference \[29\] (Watts & Strogatz 1998): §2.2 cites it as the reason the
+//! small-world property is near-universal — re-wiring only a few edges
+//! collapses the diameter. The undirected result is randomly oriented per
+//! the Table 1 footnote convention.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{CsrGraph, NodeId};
+use crate::gen::orient::orient_randomly;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a Watts–Strogatz graph: ring lattice of `n` nodes each joined
+/// to its `k` nearest neighbors (k/2 per side), then each edge re-wired with
+/// probability `beta`; finally each undirected edge is randomly oriented.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::gen::watts_strogatz;
+///
+/// let g = watts_strogatz(100, 6, 0.1, 3);
+/// assert_eq!(g.num_nodes(), 100);
+/// ```
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k < n, "k must be < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut undirected: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    for i in 0..n {
+        for j in 1..=k / 2 {
+            let u = i as NodeId;
+            let mut v = ((i + j) % n) as NodeId;
+            if rng.random_bool(beta) {
+                // Re-wire the far endpoint to a uniform random node (avoid
+                // self-loop; duplicate edges are cleaned by the builder).
+                loop {
+                    let cand = rng.random_range(0..n) as NodeId;
+                    if cand != u {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            undirected.push((u, v));
+        }
+    }
+    let directed = orient_randomly(&undirected, &mut rng);
+    let mut b = GraphBuilder::with_capacity(n, directed.len());
+    b.extend(directed);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::{undirected_bfs_levels, UNREACHED};
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = watts_strogatz(200, 4, 0.05, 1);
+        assert_eq!(g.num_nodes(), 200);
+        // k/2 * n undirected edges, each oriented once (some lost to dedup)
+        assert!(g.num_edges() <= 400 && g.num_edges() > 350);
+    }
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 2);
+        // Every node connects to its successor (direction random).
+        for i in 0..20u32 {
+            let j = (i + 1) % 20;
+            assert!(g.has_edge(i, j) || g.has_edge(j, i));
+        }
+    }
+
+    #[test]
+    fn weakly_connected_at_low_beta() {
+        let g = watts_strogatz(500, 6, 0.1, 3);
+        let lv = undirected_bfs_levels(&g, 0);
+        assert!(lv.iter().all(|&l| l != UNREACHED));
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        // Small-world effect: eccentricity under undirected BFS drops
+        // sharply once beta > 0. Ring with k=4: radius = n/4 hops. Use k=4
+        // so the rewired graph stays connected (k=2 with rewiring can
+        // fragment the ring, which would make the eccentricity spuriously
+        // small or large).
+        let ring = watts_strogatz(400, 4, 0.0, 4);
+        let rewired = watts_strogatz(400, 4, 0.3, 4);
+        let ecc = |g: &CsrGraph| {
+            undirected_bfs_levels(g, 0)
+                .into_iter()
+                .filter(|&l| l != UNREACHED)
+                .max()
+                .unwrap()
+        };
+        let (r, w) = (ecc(&ring), ecc(&rewired));
+        assert!(w * 3 < r, "rewired ecc {w} not ≪ ring ecc {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_panics() {
+        watts_strogatz(10, 3, 0.1, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = watts_strogatz(50, 4, 0.2, 5).edges().collect();
+        let b: Vec<_> = watts_strogatz(50, 4, 0.2, 5).edges().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # swscc-graph — directed-graph substrate
+//!
+//! Compressed-sparse-row (CSR) directed graphs plus everything needed to
+//! *produce* the graph instances evaluated by the SC'13 paper
+//! *"On Fast Parallel Detection of Strongly Connected Components (SCC) in
+//! Small-World Graphs"* (Hong, Rodia, Olukotun):
+//!
+//! * [`csr::CsrGraph`] — immutable CSR with forward **and** reverse adjacency
+//!   (§4.1 of the paper), the representation all SCC algorithms traverse.
+//! * [`builder::GraphBuilder`] — edge-list accumulation with optional
+//!   deduplication and self-loop filtering, O(N+M) counting-sort finalize.
+//! * [`gen`] — synthetic generators reproducing the structural classes of the
+//!   paper's nine datasets: R-MAT / Erdős–Rényi / Watts–Strogatz small-world
+//!   graphs, a bow-tie web-graph generator with power-law satellite SCCs, a
+//!   citation DAG (Patents analog), and a 2D road lattice (CA-road analog).
+//! * [`datasets`] — the per-dataset analog registry used by the benchmark
+//!   harness (`livej`, `flickr`, …, `ca_road`).
+//! * [`bfs`] — sequential and level-synchronous parallel BFS (§4.2).
+//! * [`stats`] — degree/SCC-size histograms and sampled diameter estimation
+//!   (Table 1, Figures 2 and 9).
+//! * [`io`] — SNAP-style edge-list text loader/writer so the original
+//!   datasets can be dropped in when available.
+
+pub mod bfs;
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, NodeId};

@@ -1,0 +1,309 @@
+//! Graph statistics: degree/SCC-size distributions and diameter estimation.
+//!
+//! These back the paper's descriptive artifacts — Table 1 (sizes, largest
+//! SCC, estimated diameter), Figure 2 and Figure 9 (SCC-size histograms).
+//! The diameter estimate follows the paper's own method: "graph diameters
+//! are estimated from a random sampling of nodes".
+
+use crate::bfs::{undirected_bfs_levels, UNREACHED};
+use crate::csr::{CsrGraph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// A size-frequency histogram: `counts[size] = how many groups of that size`.
+///
+/// Built from a component assignment (`component_of[node] = component id`)
+/// or directly from a list of sizes. Exposes exact and log-binned views —
+/// Fig. 2/9 are log-log plots, so the harness prints the log-binned form.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SizeHistogram {
+    /// Sorted `(size, frequency)` pairs.
+    entries: Vec<(usize, usize)>,
+}
+
+impl SizeHistogram {
+    /// Builds from a per-node component assignment.
+    pub fn from_assignment(component_of: &[u32]) -> Self {
+        let mut sizes: FxHashMap<u32, usize> = FxHashMap::default();
+        for &c in component_of {
+            *sizes.entry(c).or_insert(0) += 1;
+        }
+        let mut freq: FxHashMap<usize, usize> = FxHashMap::default();
+        for &s in sizes.values() {
+            *freq.entry(s).or_insert(0) += 1;
+        }
+        let mut entries: Vec<_> = freq.into_iter().collect();
+        entries.sort_unstable();
+        SizeHistogram { entries }
+    }
+
+    /// Builds from an explicit list of group sizes.
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        let mut freq: FxHashMap<usize, usize> = FxHashMap::default();
+        for &s in sizes {
+            *freq.entry(s).or_insert(0) += 1;
+        }
+        let mut entries: Vec<_> = freq.into_iter().collect();
+        entries.sort_unstable();
+        SizeHistogram { entries }
+    }
+
+    /// Sorted `(size, frequency)` pairs.
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
+
+    /// Number of groups of exactly `size`.
+    pub fn count_of(&self, size: usize) -> usize {
+        self.entries
+            .binary_search_by_key(&size, |e| e.0)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The largest group size present (0 for an empty histogram).
+    pub fn max_size(&self) -> usize {
+        self.entries.last().map(|e| e.0).unwrap_or(0)
+    }
+
+    /// Total number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.entries.iter().map(|e| e.1).sum()
+    }
+
+    /// Total number of elements (sum of size * frequency).
+    pub fn num_elements(&self) -> usize {
+        self.entries.iter().map(|e| e.0 * e.1).sum()
+    }
+
+    /// Log2-binned view: `(bin_lower_bound, total_frequency)` with bins
+    /// `[1,1], [2,3], [4,7], [8,15], ...` — the presentation used by the
+    /// paper's log-log SCC-size plots.
+    pub fn log_binned(&self) -> Vec<(usize, usize)> {
+        let mut bins: FxHashMap<u32, usize> = FxHashMap::default();
+        for &(size, f) in &self.entries {
+            let bin = usize::BITS - 1 - (size.max(1)).leading_zeros();
+            *bins.entry(bin).or_insert(0) += f;
+        }
+        let mut out: Vec<_> = bins.into_iter().map(|(b, f)| (1usize << b, f)).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Out-degree histogram (scale-free check; §4.3 load-imbalance driver).
+pub fn out_degree_histogram(g: &CsrGraph) -> SizeHistogram {
+    let sizes: Vec<usize> = g.nodes().map(|v| g.out_degree(v)).collect();
+    SizeHistogram::from_sizes(&sizes)
+}
+
+/// In-degree histogram.
+pub fn in_degree_histogram(g: &CsrGraph) -> SizeHistogram {
+    let sizes: Vec<usize> = g.nodes().map(|v| g.in_degree(v)).collect();
+    SizeHistogram::from_sizes(&sizes)
+}
+
+/// Estimates the diameter by running undirected BFS from `samples` random
+/// nodes and taking the maximum eccentricity observed — exactly the paper's
+/// Table 1 method ("estimated from a random sampling of nodes; the actual
+/// diameters are likely somewhat larger"). Returns 0 for an empty graph.
+pub fn estimate_diameter(g: &CsrGraph, samples: usize, seed: u64) -> u32 {
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sources: Vec<NodeId> = (0..samples)
+        .map(|_| rng.random_range(0..g.num_nodes()) as NodeId)
+        .collect();
+    sources
+        .par_iter()
+        .map(|&s| {
+            undirected_bfs_levels(g, s)
+                .into_iter()
+                .filter(|&l| l != UNREACHED)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Estimates the average local clustering coefficient by sampling
+/// `samples` random nodes (treating edges as undirected, the standard
+/// small-world definition from Watts & Strogatz — the paper's ref. \[29\]).
+///
+/// A node's local coefficient is `2·links / (k·(k−1))` where `k` is its
+/// number of distinct undirected neighbors and `links` counts undirected
+/// neighbor pairs that are themselves connected. Nodes with `k < 2`
+/// contribute 0. Small-world graphs combine a *small diameter* with a
+/// clustering coefficient far above the Erdős–Rényi baseline `~k̄/N`.
+pub fn estimate_clustering_coefficient(g: &CsrGraph, samples: usize, seed: u64) -> f64 {
+    if g.num_nodes() == 0 || samples == 0 {
+        return 0.0;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sources: Vec<NodeId> = (0..samples)
+        .map(|_| rng.random_range(0..g.num_nodes()) as NodeId)
+        .collect();
+    let coeffs: Vec<f64> = sources
+        .par_iter()
+        .map(|&v| {
+            let mut nbrs: Vec<NodeId> = g
+                .out_neighbors(v)
+                .iter()
+                .chain(g.in_neighbors(v))
+                .copied()
+                .filter(|&u| u != v)
+                .collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            let k = nbrs.len();
+            if k < 2 {
+                return 0.0;
+            }
+            let mut links = 0usize;
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if g.has_edge(a, b) || g.has_edge(b, a) {
+                        links += 1;
+                    }
+                }
+            }
+            2.0 * links as f64 / (k * (k - 1)) as f64
+        })
+        .collect();
+    coeffs.iter().sum::<f64>() / coeffs.len() as f64
+}
+
+/// Average out-degree.
+pub fn average_degree(g: &CsrGraph) -> f64 {
+    if g.num_nodes() == 0 {
+        0.0
+    } else {
+        g.num_edges() as f64 / g.num_nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_from_assignment() {
+        // components: {0,1,2}, {3,4}, {5}
+        let comp = [0u32, 0, 0, 1, 1, 2];
+        let h = SizeHistogram::from_assignment(&comp);
+        assert_eq!(h.entries(), &[(1, 1), (2, 1), (3, 1)]);
+        assert_eq!(h.max_size(), 3);
+        assert_eq!(h.num_groups(), 3);
+        assert_eq!(h.num_elements(), 6);
+    }
+
+    #[test]
+    fn histogram_count_of() {
+        let h = SizeHistogram::from_sizes(&[1, 1, 1, 5, 5, 9]);
+        assert_eq!(h.count_of(1), 3);
+        assert_eq!(h.count_of(5), 2);
+        assert_eq!(h.count_of(2), 0);
+    }
+
+    #[test]
+    fn log_binning() {
+        let h = SizeHistogram::from_sizes(&[1, 1, 2, 3, 4, 7, 8, 100]);
+        let bins = h.log_binned();
+        assert_eq!(bins, vec![(1, 2), (2, 2), (4, 2), (8, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = SizeHistogram::from_sizes(&[]);
+        assert_eq!(h.max_size(), 0);
+        assert_eq!(h.num_groups(), 0);
+        assert!(h.log_binned().is_empty());
+    }
+
+    #[test]
+    fn diameter_of_chain() {
+        let n = 50u32;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        // Sampling every node must find the true undirected diameter 49.
+        assert_eq!(estimate_diameter(&g, 200, 1), 49);
+    }
+
+    #[test]
+    fn diameter_sampling_is_lower_bound() {
+        let n = 100u32;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let few = estimate_diameter(&g, 2, 3);
+        assert!(few <= 99);
+        assert!(few > 0);
+    }
+
+    #[test]
+    fn degree_histograms() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let out = out_degree_histogram(&g);
+        assert_eq!(out.count_of(2), 1); // node 0
+        assert_eq!(out.count_of(1), 1); // node 1
+        assert_eq!(out.count_of(0), 1); // node 2
+        let inn = in_degree_histogram(&g);
+        assert_eq!(inn.count_of(2), 1); // node 2
+    }
+
+    #[test]
+    fn average_degree_simple() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!((average_degree(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_eq!(estimate_diameter(&g, 5, 1), 0);
+        assert_eq!(average_degree(&g), 0.0);
+        assert_eq!(estimate_clustering_coefficient(&g, 5, 1), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let c = estimate_clustering_coefficient(&g, 30, 1);
+        assert!((c - 1.0).abs() < 1e-9, "triangle clustering = {c}");
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let edges: Vec<_> = (1..10u32).map(|i| (0, i)).collect();
+        let g = CsrGraph::from_edges(10, &edges);
+        assert_eq!(estimate_clustering_coefficient(&g, 50, 2), 0.0);
+    }
+
+    #[test]
+    fn clustering_partial() {
+        // 0 connected to 1,2,3; only the (1,2) pair is linked: c(0) = 1/3.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        // sample only node 0 deterministically by sampling many times and
+        // checking the average is between star (0) and triangle (1)
+        let c = estimate_clustering_coefficient(&g, 400, 3);
+        assert!(c > 0.0 && c < 1.0, "c = {c}");
+    }
+
+    #[test]
+    fn lattice_more_clustered_than_random() {
+        // Watts–Strogatz premise: a ring lattice with k=4 is highly
+        // clustered; an ER graph of the same density is not.
+        use crate::gen::{erdos_renyi, watts_strogatz};
+        let ws = watts_strogatz(600, 6, 0.0, 4);
+        let er = erdos_renyi(600, ws.num_edges(), 4);
+        let c_ws = estimate_clustering_coefficient(&ws, 100, 5);
+        let c_er = estimate_clustering_coefficient(&er, 100, 5);
+        assert!(
+            c_ws > 3.0 * c_er,
+            "lattice clustering {c_ws:.3} not ≫ random {c_er:.3}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use swscc_graph::bfs::{bfs_levels, par_bfs_levels, undirected_bfs_levels, Direction, UNREACHED};
+use swscc_graph::stats::SizeHistogram;
+use swscc_graph::{CsrGraph, GraphBuilder};
+
+fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..5 * n).prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_preserves_edge_multiset((n, edges) in arb_edges(60)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut want = edges.clone();
+        want.sort_unstable();
+        let mut got: Vec<_> = g.edges().collect();
+        got.sort_unstable();
+        prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn in_degree_sum_equals_out_degree_sum((n, edges) in arb_edges(60)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let out: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let inn: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out, inn);
+        prop_assert_eq!(out, edges.len());
+    }
+
+    #[test]
+    fn builder_dedup_is_set_semantics((n, edges) in arb_edges(50)) {
+        let mut b = GraphBuilder::new(n);
+        b.extend(edges.iter().copied());
+        let g = b.build();
+        use std::collections::BTreeSet;
+        let want: BTreeSet<_> = edges.iter().copied().filter(|&(u, v)| u != v).collect();
+        let got: BTreeSet<_> = g.edges().collect();
+        prop_assert_eq!(want, got);
+    }
+
+    #[test]
+    fn transpose_involution((n, edges) in arb_edges(50)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let tt = g.transpose().transpose();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = tt.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bfs_levels_differ_by_at_most_one_along_edges((n, edges) in arb_edges(50)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let lv = bfs_levels(&g, 0, Direction::Forward);
+        for (u, v) in g.edges() {
+            if lv[u as usize] != UNREACHED {
+                prop_assert!(lv[v as usize] != UNREACHED);
+                prop_assert!(lv[v as usize] <= lv[u as usize] + 1,
+                    "edge {}->{} levels {} -> {}", u, v, lv[u as usize], lv[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn par_bfs_equals_seq_bfs((n, edges) in arb_edges(50)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        for dir in [Direction::Forward, Direction::Backward] {
+            prop_assert_eq!(bfs_levels(&g, 0, dir), par_bfs_levels(&g, 0, dir));
+        }
+    }
+
+    #[test]
+    fn undirected_bfs_reaches_superset((n, edges) in arb_edges(50)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let directed = bfs_levels(&g, 0, Direction::Forward);
+        let undirected = undirected_bfs_levels(&g, 0);
+        for v in 0..n {
+            if directed[v] != UNREACHED {
+                prop_assert!(undirected[v] != UNREACHED);
+                prop_assert!(undirected[v] <= directed[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_are_subset((n, edges) in arb_edges(40), keep_mask in proptest::collection::vec(any::<bool>(), 40)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let nodes: Vec<u32> = (0..n as u32).filter(|&v| keep_mask[v as usize % keep_mask.len()]).collect();
+        let sub = g.induced_subgraph(&nodes);
+        prop_assert_eq!(sub.num_nodes(), nodes.len());
+        for (lu, lv) in sub.edges() {
+            prop_assert!(g.has_edge(nodes[lu as usize], nodes[lv as usize]));
+        }
+        // edge count equals internal-edge count of the original
+        let internal = g.edges().filter(|&(u, v)| {
+            nodes.binary_search(&u).is_ok() && nodes.binary_search(&v).is_ok()
+        }).count();
+        prop_assert_eq!(sub.num_edges(), internal);
+    }
+
+    #[test]
+    fn histogram_accounts_for_every_element(sizes in proptest::collection::vec(1usize..50, 0..60)) {
+        let h = SizeHistogram::from_sizes(&sizes);
+        prop_assert_eq!(h.num_groups(), sizes.len());
+        prop_assert_eq!(h.num_elements(), sizes.iter().sum::<usize>());
+        let binned: usize = h.log_binned().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(binned, sizes.len());
+    }
+
+    #[test]
+    fn histogram_from_assignment_matches_sizes(assignment in proptest::collection::vec(0u32..10, 1..80)) {
+        let h = SizeHistogram::from_assignment(&assignment);
+        prop_assert_eq!(h.num_elements(), assignment.len());
+        use std::collections::HashMap;
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for &c in &assignment {
+            *counts.entry(c).or_default() += 1;
+        }
+        prop_assert_eq!(h.num_groups(), counts.len());
+        for (_, size) in counts {
+            prop_assert!(h.count_of(size) >= 1);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # swscc-parallel — parallel runtime substrate
+//!
+//! The execution machinery underneath the SCC algorithms of `swscc-core`,
+//! mirroring §4.3 of the SC'13 paper:
+//!
+//! * [`workqueue::TwoLevelQueue`] — the paper's custom work queue for
+//!   task-level parallelism: a global queue plus per-thread private queues
+//!   with batch size `K` (K items fetched when a local queue runs dry, K
+//!   items spilled when a local queue reaches 2K). Includes the queue-depth
+//!   instrumentation the paper uses in §3.3 ("recorded maximum queue depth
+//!   … is only six").
+//! * [`bitset::AtomicBitSet`] — the `mark` array (§4.1): lock-free
+//!   node-detached flags with a fetch-or claim primitive.
+//! * [`pool`] — helpers to run a closure inside a rayon pool of an exact
+//!   thread count (the paper's thread-count sweep axis in Fig. 6/7).
+
+pub mod bitset;
+pub mod pool;
+pub mod workqueue;
+
+pub use bitset::AtomicBitSet;
+pub use workqueue::{QueueStats, TwoLevelQueue, Worker};

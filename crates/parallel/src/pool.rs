@@ -1,0 +1,79 @@
+//! Rayon thread-pool helpers for the thread-count sweep axis.
+//!
+//! Figures 6 and 7 of the paper sweep the number of threads (1 → 32). The
+//! data-parallel phases (Par-Trim, Par-FWBW, Par-Trim2, Par-WCC) run on
+//! rayon; this module pins them to an exact thread count so a measurement
+//! at "4 threads" really uses 4 threads regardless of the machine.
+
+/// Runs `f` inside a dedicated rayon pool with exactly `num_threads`
+/// threads. Panics if pool construction fails (only possible with
+/// pathological resource exhaustion).
+///
+/// # Examples
+///
+/// ```
+/// use rayon::prelude::*;
+///
+/// let sum: u64 = swscc_parallel::pool::with_pool(2, || {
+///     (0..1000u64).into_par_iter().sum()
+/// });
+/// assert_eq!(sum, 499500);
+/// ```
+pub fn with_pool<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(num_threads)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+/// The machine's available hardware parallelism (1 if undetectable).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The default thread-count sweep for the Fig. 6/7 harnesses: powers of two
+/// up to the hardware limit, always including 1.
+pub fn default_thread_sweep() -> Vec<usize> {
+    let hw = hardware_threads();
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t <= hw {
+        v.push(t);
+        t *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_uses_requested_threads() {
+        let n = with_pool(3, rayon::current_num_threads);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn pool_computes() {
+        let v: Vec<u32> = with_pool(2, || (0..100u32).into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[99], 198);
+    }
+
+    #[test]
+    fn sweep_starts_at_one() {
+        let s = default_thread_sweep();
+        assert_eq!(s[0], 1);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn hardware_threads_positive() {
+        assert!(hardware_threads() >= 1);
+    }
+}

@@ -1,0 +1,363 @@
+//! Two-level work queue for task-level parallelism (§4.3 of the paper).
+//!
+//! > "our custom work queue implementation … is composed of two levels of
+//! > queues: a global queue and per-thread private queues. Initially, each
+//! > thread fetches up to K work items from the global queue into its local
+//! > queue; whenever the local queue becomes empty, more work is fetched
+//! > from the global queue. Each newly generated work item goes to a local
+//! > queue first. When the size of a local queue grows to 2K, K items are
+//! > moved to the global queue."
+//!
+//! The paper sets `K = 1` for the Baseline and Method 1 (task-starved) and
+//! `K = 8` for Method 2. Termination: a worker exits when the global queue
+//! is empty *and* no task is in flight anywhere (an in-flight task may
+//! still spawn new ones).
+//!
+//! [`QueueStats`] records the instrumentation §3.3 relies on: the maximum
+//! global-queue depth and the total number of tasks executed — the numbers
+//! behind "the recorded maximum queue depth with single threaded execution
+//! is only six" and "about 10,000 work items in the queue".
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counters captured while a [`TwoLevelQueue`] drains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// High-watermark of the global queue length.
+    pub max_global_depth: usize,
+    /// High-watermark of queued-plus-running tasks (total outstanding work).
+    pub max_outstanding: usize,
+    /// Total tasks executed.
+    pub tasks_executed: usize,
+}
+
+/// The shared two-level work queue. `T` is the task type.
+///
+/// Seed tasks go in with [`TwoLevelQueue::push_global`]; then
+/// [`TwoLevelQueue::run`] drains the queue with `num_threads` workers, each
+/// of which may push follow-on tasks through its [`Worker`] handle.
+///
+/// # Examples
+///
+/// ```
+/// use swscc_parallel::TwoLevelQueue;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// // Count down a tree: each task n spawns tasks n-1 and n-2.
+/// let q = TwoLevelQueue::new(4);
+/// q.push_global(10u32);
+/// let executed = AtomicUsize::new(0);
+/// let stats = q.run(2, |n, worker| {
+///     executed.fetch_add(1, Ordering::Relaxed);
+///     if n >= 2 {
+///         worker.push(n - 1);
+///         worker.push(n - 2);
+///     }
+/// });
+/// assert_eq!(stats.tasks_executed, executed.load(Ordering::Relaxed));
+/// ```
+pub struct TwoLevelQueue<T> {
+    global: Mutex<VecDeque<T>>,
+    /// Tasks queued (global or local) plus tasks currently being processed.
+    outstanding: AtomicUsize,
+    k: usize,
+    max_global_depth: AtomicUsize,
+    max_outstanding: AtomicUsize,
+    tasks_executed: AtomicUsize,
+}
+
+impl<T: Send> TwoLevelQueue<T> {
+    /// Creates a queue with local-batch parameter `K >= 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        TwoLevelQueue {
+            global: Mutex::new(VecDeque::new()),
+            outstanding: AtomicUsize::new(0),
+            k,
+            max_global_depth: AtomicUsize::new(0),
+            max_outstanding: AtomicUsize::new(0),
+            tasks_executed: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured batch parameter K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Pushes a seed task onto the global queue (usable before or during a
+    /// run; workers also reach this through [`Worker::push`] spills).
+    pub fn push_global(&self, task: T) {
+        self.note_outstanding(self.outstanding.fetch_add(1, Ordering::Relaxed) + 1);
+        let mut g = self.global.lock();
+        g.push_back(task);
+        self.note_global_depth(g.len());
+    }
+
+    /// Drains the queue with `num_threads` workers running `handler`.
+    /// Returns the run's [`QueueStats`]. Tasks pushed by the handler are
+    /// processed in the same run. The queue can be reused afterwards.
+    pub fn run<F>(&self, num_threads: usize, handler: F) -> QueueStats
+    where
+        F: Fn(T, &mut Worker<'_, T>) + Sync,
+    {
+        assert!(num_threads >= 1);
+        std::thread::scope(|s| {
+            for _ in 0..num_threads {
+                s.spawn(|| {
+                    let mut w = Worker {
+                        queue: self,
+                        local: VecDeque::new(),
+                    };
+                    w.work_loop(&handler);
+                });
+            }
+        });
+        QueueStats {
+            max_global_depth: self.max_global_depth.load(Ordering::Relaxed),
+            max_outstanding: self.max_outstanding.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the recorded statistics (outstanding work must be zero).
+    pub fn reset_stats(&self) {
+        debug_assert_eq!(self.outstanding.load(Ordering::Relaxed), 0);
+        self.max_global_depth.store(0, Ordering::Relaxed);
+        self.max_outstanding.store(0, Ordering::Relaxed);
+        self.tasks_executed.store(0, Ordering::Relaxed);
+    }
+
+    fn note_global_depth(&self, depth: usize) {
+        self.max_global_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn note_outstanding(&self, n: usize) {
+        self.max_outstanding.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Pops up to `k` tasks from the global queue.
+    fn fetch_batch(&self, into: &mut VecDeque<T>) -> usize {
+        let mut g = self.global.lock();
+        let take = self.k.min(g.len());
+        for _ in 0..take {
+            // drain from the front: FIFO across batches
+            into.push_back(g.pop_front().expect("len checked"));
+        }
+        take
+    }
+
+    /// Moves `k` tasks from a full local queue to the global queue.
+    fn spill(&self, from: &mut VecDeque<T>) {
+        let mut g = self.global.lock();
+        for _ in 0..self.k {
+            if let Some(t) = from.pop_front() {
+                g.push_back(t);
+            }
+        }
+        self.note_global_depth(g.len());
+    }
+}
+
+/// A worker's view of the queue: its private local deque plus a handle to
+/// the shared global queue. Passed to the task handler so it can enqueue
+/// follow-on tasks (paper: "each newly generated work item goes to a local
+/// queue first").
+pub struct Worker<'q, T> {
+    queue: &'q TwoLevelQueue<T>,
+    local: VecDeque<T>,
+}
+
+impl<'q, T: Send> Worker<'q, T> {
+    /// Enqueues a follow-on task. Goes to this worker's local queue; if the
+    /// local queue reaches 2K, K items spill to the global queue.
+    pub fn push(&mut self, task: T) {
+        self.queue
+            .note_outstanding(self.queue.outstanding.fetch_add(1, Ordering::Relaxed) + 1);
+        self.local.push_back(task);
+        if self.local.len() >= 2 * self.queue.k {
+            self.queue.spill(&mut self.local);
+        }
+    }
+
+    /// Number of tasks currently in this worker's local queue.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+
+    fn work_loop<F>(&mut self, handler: &F)
+    where
+        F: Fn(T, &mut Worker<'_, T>) + Sync,
+    {
+        let mut spin = 0u32;
+        loop {
+            let task = match self.local.pop_front() {
+                Some(t) => Some(t),
+                None => {
+                    if self.queue.fetch_batch(&mut self.local) > 0 {
+                        self.local.pop_front()
+                    } else {
+                        None
+                    }
+                }
+            };
+            match task {
+                Some(t) => {
+                    spin = 0;
+                    handler(t, self);
+                    self.queue.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                    self.queue.outstanding.fetch_sub(1, Ordering::Relaxed);
+                }
+                None => {
+                    // Global queue empty. If nothing is outstanding anywhere
+                    // the run is over; otherwise another worker may still
+                    // spawn tasks — back off and re-check.
+                    if self.queue.outstanding.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    spin += 1;
+                    if spin < 64 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_task_single_thread() {
+        let q = TwoLevelQueue::new(1);
+        q.push_global(42u32);
+        let seen = AtomicUsize::new(0);
+        let stats = q.run(1, |t, _| {
+            assert_eq!(t, 42);
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.tasks_executed, 1);
+        assert_eq!(stats.max_global_depth, 1);
+    }
+
+    #[test]
+    fn fibonacci_tree_spawning() {
+        // Task n spawns n-1 and n-2; total tasks = 2*fib(n+1) - 1.
+        for threads in [1, 2, 4] {
+            let q = TwoLevelQueue::new(2);
+            q.push_global(12u64);
+            let sum = AtomicUsize::new(0);
+            let stats = q.run(threads, |n, w| {
+                if n < 2 {
+                    sum.fetch_add(n as usize, Ordering::Relaxed);
+                } else {
+                    w.push(n - 1);
+                    w.push(n - 2);
+                }
+            });
+            // leaves of the fib call tree sum to fib(12) = 144
+            assert_eq!(sum.load(Ordering::Relaxed), 144, "threads={threads}");
+            assert!(stats.tasks_executed > 100);
+        }
+    }
+
+    #[test]
+    fn all_tasks_processed_exactly_once() {
+        let q = TwoLevelQueue::new(8);
+        let n = 10_000usize;
+        let flags: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for i in 0..n {
+            q.push_global(i);
+        }
+        q.run(4, |i, _| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn spill_keeps_tasks_visible_to_other_workers() {
+        // One producer task fans out 1000 children with K=4; with 4 workers
+        // every child must still execute.
+        let q = TwoLevelQueue::new(4);
+        q.push_global(usize::MAX);
+        let count = AtomicUsize::new(0);
+        let stats = q.run(4, |t, w| {
+            if t == usize::MAX {
+                for i in 0..1000 {
+                    w.push(i);
+                }
+            } else {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(stats.tasks_executed, 1001);
+        assert!(stats.max_outstanding <= 1001);
+        assert!(stats.max_global_depth >= 4, "spills must hit global queue");
+    }
+
+    #[test]
+    fn queue_reusable_after_run() {
+        let q = TwoLevelQueue::new(1);
+        q.push_global(1u32);
+        q.run(2, |_, _| {});
+        q.reset_stats();
+        q.push_global(2u32);
+        let stats = q.run(2, |_, _| {});
+        assert_eq!(stats.tasks_executed, 1);
+    }
+
+    #[test]
+    fn empty_run_terminates() {
+        let q: TwoLevelQueue<u32> = TwoLevelQueue::new(1);
+        let stats = q.run(3, |_, _| {});
+        assert_eq!(stats.tasks_executed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "K must be at least 1")]
+    fn zero_k_panics() {
+        let _: TwoLevelQueue<u32> = TwoLevelQueue::new(0);
+    }
+
+    #[test]
+    fn max_outstanding_tracks_high_water() {
+        let q = TwoLevelQueue::new(64);
+        for i in 0..100u32 {
+            q.push_global(i);
+        }
+        let stats = q.run(1, |_, _| {});
+        assert_eq!(stats.max_outstanding, 100);
+        assert_eq!(stats.max_global_depth, 100);
+    }
+
+    #[test]
+    fn stress_many_threads_random_spawning() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let q = TwoLevelQueue::new(8);
+        for i in 0..64u64 {
+            q.push_global((i, 3u32));
+        }
+        let executed = AtomicUsize::new(0);
+        q.run(8, |(seed, depth), w| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if depth > 0 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                for j in 0..rng.random_range(0..4u64) {
+                    w.push((seed.wrapping_mul(31).wrapping_add(j), depth - 1));
+                }
+            }
+        });
+        assert!(executed.load(Ordering::Relaxed) >= 64);
+    }
+}

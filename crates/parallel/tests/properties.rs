@@ -1,0 +1,79 @@
+//! Property-based tests for the parallel substrate.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use swscc_parallel::{AtomicBitSet, TwoLevelQueue};
+
+proptest! {
+    #[test]
+    fn bitset_matches_model(ops in proptest::collection::vec((0usize..200, any::<bool>()), 0..300)) {
+        // model: a plain Vec<bool>; operations: set (true) / clear (false)
+        let bits = AtomicBitSet::new(200);
+        let mut model = [false; 200];
+        for (i, set) in ops {
+            if set {
+                let changed = bits.set(i);
+                prop_assert_eq!(changed, !model[i]);
+                model[i] = true;
+            } else {
+                let changed = bits.clear(i);
+                prop_assert_eq!(changed, model[i]);
+                model[i] = false;
+            }
+        }
+        for (i, &want) in model.iter().enumerate() {
+            prop_assert_eq!(bits.get(i), want, "bit {}", i);
+        }
+        prop_assert_eq!(bits.count_ones(), model.iter().filter(|&&b| b).count());
+        let ones: Vec<usize> = bits.iter_ones().collect();
+        let want: Vec<usize> = (0..200).filter(|&i| model[i]).collect();
+        prop_assert_eq!(ones, want);
+    }
+
+    #[test]
+    fn queue_executes_every_task_once(
+        k in 1usize..16,
+        threads in 1usize..5,
+        n_tasks in 0usize..300,
+    ) {
+        let q = TwoLevelQueue::new(k);
+        for i in 0..n_tasks {
+            q.push_global(i);
+        }
+        let hits: Vec<AtomicUsize> = (0..n_tasks).map(|_| AtomicUsize::new(0)).collect();
+        let stats = q.run(threads, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert_eq!(stats.tasks_executed, n_tasks);
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "task {}", i);
+        }
+    }
+
+    #[test]
+    fn queue_spawned_tasks_all_run(
+        k in 1usize..10,
+        threads in 1usize..5,
+        fanouts in proptest::collection::vec(0usize..5, 1..30),
+    ) {
+        // each seed task i spawns `fanouts[i]` children; children spawn none
+        let q = TwoLevelQueue::new(k);
+        for (i, _) in fanouts.iter().enumerate() {
+            q.push_global((i, true));
+        }
+        let children = AtomicUsize::new(0);
+        let fanouts_ref = &fanouts;
+        let stats = q.run(threads, |(i, is_seed), w| {
+            if is_seed {
+                for _ in 0..fanouts_ref[i] {
+                    w.push((i, false));
+                }
+            } else {
+                children.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let want: usize = fanouts.iter().sum();
+        prop_assert_eq!(children.load(Ordering::Relaxed), want);
+        prop_assert_eq!(stats.tasks_executed, want + fanouts.len());
+    }
+}

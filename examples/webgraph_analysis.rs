@@ -1,0 +1,89 @@
+//! Bow-tie decomposition of a synthetic web graph.
+//!
+//! Broder et al.'s classic result (reference \[11\] of the paper) decomposes
+//! the web into a giant SCC ("CORE"), the pages that can reach it ("IN"),
+//! the pages reachable from it ("OUT"), and the rest ("TENDRILS &
+//! DISCONNECTED"). This example runs the paper's Method 2 to find the SCCs
+//! of a LiveJournal-analog web graph, then classifies every node with two
+//! BFS passes from the giant component.
+//!
+//! ```text
+//! cargo run --release --example webgraph_analysis
+//! ```
+
+use swscc::graph::bfs::{bfs_levels, Direction, UNREACHED};
+use swscc::graph::datasets::Dataset;
+use swscc::{detect_scc, Algorithm, SccConfig};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    println!("generating livej analog at scale {scale}…");
+    let g = Dataset::Livej.generate(scale, 42);
+    println!("  {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    let cfg = SccConfig::default();
+    let (scc, report) = detect_scc(&g, Algorithm::Method2, &cfg);
+    println!(
+        "SCC detection: {} components in {:?}",
+        scc.num_components(),
+        report.total_time
+    );
+
+    // The CORE is the largest SCC.
+    let sizes = scc.component_sizes();
+    let (core_id, &core_size) = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| s)
+        .expect("non-empty graph");
+    let core_rep = (0..g.num_nodes() as u32)
+        .find(|&v| scc.component(v) == core_id as u32)
+        .expect("core member exists");
+
+    // IN = reaches the core; OUT = reachable from the core.
+    let fw = bfs_levels(&g, core_rep, Direction::Forward);
+    let bw = bfs_levels(&g, core_rep, Direction::Backward);
+    let (mut n_core, mut n_in, mut n_out, mut n_rest) = (0usize, 0usize, 0usize, 0usize);
+    for v in 0..g.num_nodes() {
+        let in_core = scc.component(v as u32) == core_id as u32;
+        let fwd = fw[v] != UNREACHED;
+        let back = bw[v] != UNREACHED;
+        if in_core {
+            n_core += 1;
+        } else if back {
+            n_in += 1; // v reaches the core
+        } else if fwd {
+            n_out += 1; // core reaches v
+        } else {
+            n_rest += 1;
+        }
+    }
+    assert_eq!(n_core, core_size);
+
+    let n = g.num_nodes() as f64;
+    println!("\nbow-tie decomposition:");
+    println!(
+        "  CORE     {:>9} ({:>5.1}%)",
+        n_core,
+        100.0 * n_core as f64 / n
+    );
+    println!("  IN       {:>9} ({:>5.1}%)", n_in, 100.0 * n_in as f64 / n);
+    println!(
+        "  OUT      {:>9} ({:>5.1}%)",
+        n_out,
+        100.0 * n_out as f64 / n
+    );
+    println!(
+        "  TENDRILS {:>9} ({:>5.1}%)",
+        n_rest,
+        100.0 * n_rest as f64 / n
+    );
+
+    println!("\nSCC size histogram (log-binned):");
+    for (lo, count) in scc.size_histogram().log_binned() {
+        println!("  size ≥ {lo:>8}: {count:>8} SCCs");
+    }
+}

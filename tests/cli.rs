@@ -1,0 +1,167 @@
+//! Integration tests for the `swscc` command-line tool, driving the real
+//! binary via `CARGO_BIN_EXE`.
+
+use std::process::{Command, Output};
+
+fn swscc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_swscc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn help_exits_zero() {
+    let o = swscc(&["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("USAGE"));
+}
+
+#[test]
+fn no_args_shows_help() {
+    let o = swscc(&[]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let o = swscc(&["frobnicate"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown command"));
+}
+
+#[test]
+fn scc_on_builtin_dataset() {
+    let o = swscc(&[
+        "scc",
+        "dataset:baidu",
+        "--scale",
+        "0.02",
+        "--algo",
+        "method2",
+    ]);
+    assert!(
+        o.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&o.stderr)
+    );
+    let out = stdout(&o);
+    assert!(out.contains("components:"));
+    assert!(out.contains("largest scc:"));
+}
+
+#[test]
+fn scc_all_algorithms_agree_via_cli() {
+    let mut counts = Vec::new();
+    for algo in [
+        "tarjan",
+        "kosaraju",
+        "pearce",
+        "fwbw",
+        "coloring",
+        "baseline",
+        "method1",
+        "method2",
+        "multistep",
+    ] {
+        let o = swscc(&["scc", "dataset:flickr", "--scale", "0.02", "--algo", algo]);
+        assert!(o.status.success(), "{algo} failed");
+        let out = stdout(&o);
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("components:"))
+            .expect("components line");
+        counts.push((algo, line.to_string()));
+    }
+    let first = counts[0].1.clone();
+    for (algo, line) in &counts {
+        assert_eq!(line, &first, "{algo} component count differs");
+    }
+}
+
+#[test]
+fn unknown_algorithm_fails_gracefully() {
+    let o = swscc(&["scc", "dataset:baidu", "--algo", "magic"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown algorithm"));
+}
+
+#[test]
+fn unknown_dataset_fails_gracefully() {
+    let o = swscc(&["scc", "dataset:nope"]);
+    assert!(!o.status.success());
+    assert!(String::from_utf8_lossy(&o.stderr).contains("unknown dataset"));
+}
+
+#[test]
+fn gen_stats_condense_pipeline() {
+    let dir = std::env::temp_dir().join("swscc_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_txt = dir.join("g.txt");
+    let graph_bin = dir.join("g.bin");
+    let dag = dir.join("dag.txt");
+
+    // gen text + binary
+    let o = swscc(&[
+        "gen",
+        "orkut",
+        "--out",
+        graph_txt.to_str().unwrap(),
+        "--scale",
+        "0.02",
+    ]);
+    assert!(o.status.success());
+    let o = swscc(&[
+        "gen",
+        "orkut",
+        "--out",
+        graph_bin.to_str().unwrap(),
+        "--scale",
+        "0.02",
+    ]);
+    assert!(o.status.success());
+
+    // stats on both formats agree on the edge count line
+    let s_txt = stdout(&swscc(&["stats", graph_txt.to_str().unwrap()]));
+    let s_bin = stdout(&swscc(&["stats", graph_bin.to_str().unwrap()]));
+    let edges = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("edges:"))
+            .map(str::to_string)
+            .expect("edges line")
+    };
+    assert_eq!(edges(&s_txt), edges(&s_bin));
+
+    // condense produces a loadable DAG
+    let o = swscc(&[
+        "condense",
+        graph_bin.to_str().unwrap(),
+        "--out",
+        dag.to_str().unwrap(),
+    ]);
+    assert!(o.status.success());
+    let o = swscc(&["stats", dag.to_str().unwrap()]);
+    assert!(o.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scc_histogram_flag() {
+    let o = swscc(&["scc", "dataset:patents", "--scale", "0.02", "--histogram"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("scc-size histogram"));
+    // a DAG: every SCC is size 1, so exactly one histogram bin
+    assert!(stdout(&o).contains("size ≥ 1"));
+}
+
+#[test]
+fn missing_file_fails() {
+    let o = swscc(&["stats", "/nonexistent/graph.txt"]);
+    assert!(!o.status.success());
+}

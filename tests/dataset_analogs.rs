@@ -1,0 +1,153 @@
+//! Structural invariants of the dataset analogs: each must exhibit the
+//! Table 1 / Fig. 9 properties its original is used for in the paper.
+
+use swscc::graph::bfs::{bfs_levels, Direction, UNREACHED};
+use swscc::graph::datasets::Dataset;
+use swscc::graph::stats::estimate_diameter;
+use swscc::{detect_scc, Algorithm, SccConfig};
+
+const SCALE: f64 = 0.1;
+
+fn scc_of(d: Dataset) -> (swscc::CsrGraph, swscc::SccResult) {
+    let g = d.generate(SCALE, 42);
+    let (r, _) = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default());
+    (g, r)
+}
+
+#[test]
+fn small_world_analogs_have_giant_scc_near_table1_fraction() {
+    for d in Dataset::small_world() {
+        let (g, r) = scc_of(d);
+        let frac = r.largest_component_size() as f64 / g.num_nodes() as f64;
+        let want = d.table1_giant_frac();
+        assert!(
+            (frac - want).abs() < 0.08,
+            "{}: giant fraction {frac:.2}, Table 1 says {want:.2}",
+            d.name()
+        );
+    }
+}
+
+#[test]
+fn small_world_analogs_have_dominant_trivial_sccs() {
+    // §2.2: "tiny-sized SCCs are much more frequent than large-sized ones".
+    for d in Dataset::small_world() {
+        let (_, r) = scc_of(d);
+        let trivial = r.num_trivial();
+        assert!(
+            trivial * 10 >= r.num_components() * 8,
+            "{}: size-1 SCCs are only {trivial} of {} components",
+            d.name(),
+            r.num_components()
+        );
+    }
+}
+
+#[test]
+fn small_world_analogs_have_small_diameter() {
+    for d in Dataset::small_world() {
+        let g = d.generate(SCALE, 42);
+        let diam = estimate_diameter(&g, 8, 1);
+        assert!(
+            diam <= 40,
+            "{}: sampled diameter {diam} is not small-world",
+            d.name()
+        );
+    }
+}
+
+#[test]
+fn small_world_analogs_have_powerlaw_scc_tail() {
+    // Fig. 9: SCC counts decay with size — sizes in (1, giant) exist and
+    // size-2 SCCs outnumber size-8+ non-giant SCCs.
+    for d in Dataset::small_world() {
+        let (_, r) = scc_of(d);
+        let h = r.size_histogram();
+        let twos = h.count_of(2);
+        let giant = r.largest_component_size();
+        let bigger: usize = h
+            .entries()
+            .iter()
+            .filter(|&&(s, _)| s >= 8 && s != giant)
+            .map(|&(_, c)| c)
+            .sum();
+        assert!(
+            twos > bigger,
+            "{}: {} size-2 SCCs vs {} size>=8 — no power-law decay",
+            d.name(),
+            twos,
+            bigger
+        );
+    }
+}
+
+#[test]
+fn patents_analog_is_acyclic_all_trivial() {
+    let (g, r) = scc_of(Dataset::Patents);
+    assert_eq!(r.num_components(), g.num_nodes());
+    assert_eq!(r.largest_component_size(), 1);
+}
+
+#[test]
+fn ca_road_analog_violates_small_world() {
+    let (g, r) = scc_of(Dataset::CaRoad);
+    // Large diameter…
+    let diam = estimate_diameter(&g, 8, 1);
+    assert!(diam > 60, "road diameter {diam} unexpectedly small");
+    // …and many mid-sized SCCs (unlike the small-world instances).
+    let h = r.size_histogram();
+    let giant = r.largest_component_size();
+    let mids: usize = h
+        .entries()
+        .iter()
+        .filter(|&&(s, _)| s >= 4 && s != giant)
+        .map(|&(_, c)| c)
+        .sum();
+    assert!(
+        mids > 30,
+        "road analog has only {mids} mid-sized SCCs; Fig. 9(i) wants many"
+    );
+    // Giant SCC still exists (Table 1: 1.17M of 1.97M).
+    let frac = giant as f64 / g.num_nodes() as f64;
+    assert!((0.3..0.9).contains(&frac), "road giant fraction {frac:.2}");
+}
+
+#[test]
+fn bowtie_analogs_are_weakly_connected_enough() {
+    // The bow-tie construction attaches everything to the core: from a core
+    // node, undirected reachability must cover nearly all nodes.
+    for d in [Dataset::Livej, Dataset::Twitter] {
+        let g = d.generate(SCALE, 42);
+        let fw = bfs_levels(&g, 0, Direction::Forward);
+        let bw = bfs_levels(&g, 0, Direction::Backward);
+        let touched = fw
+            .iter()
+            .zip(&bw)
+            .filter(|(f, b)| **f != UNREACHED || **b != UNREACHED)
+            .count();
+        assert!(
+            touched * 10 >= g.num_nodes() * 7,
+            "{}: only {touched}/{} nodes attach to the core",
+            d.name(),
+            g.num_nodes()
+        );
+    }
+}
+
+#[test]
+fn analogs_scale_deterministically() {
+    for d in [Dataset::Flickr, Dataset::CaRoad, Dataset::Patents] {
+        let a = d.generate(0.05, 9);
+        let b = d.generate(0.05, 9);
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>(),
+            "{} not deterministic",
+            d.name()
+        );
+        // a different seed changes the graph
+        let c = d.generate(0.05, 10);
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+}

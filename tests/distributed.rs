@@ -1,0 +1,121 @@
+//! Integration tests for the distributed (BSP) pipeline: §6 of the paper.
+
+use swscc::distributed::{dist_scc, run_supersteps, Outbox};
+use swscc::graph::datasets::Dataset;
+use swscc::{detect_scc, Algorithm, SccConfig};
+
+#[test]
+fn matches_shared_memory_on_dataset_analogs() {
+    for d in [
+        Dataset::Livej,
+        Dataset::Baidu,
+        Dataset::Patents,
+        Dataset::CaRoad,
+    ] {
+        let g = d.generate(0.02, 42);
+        let (want, _) = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default());
+        for workers in [1usize, 4] {
+            let (got, report) = dist_scc(&g, workers);
+            assert_eq!(
+                got.canonical_labels(),
+                want.canonical_labels(),
+                "{} with {workers} workers",
+                d.name()
+            );
+            assert!(report.supersteps > 0);
+            assert_eq!(
+                report.trim_resolved + report.peel_resolved + report.residual_nodes,
+                g.num_nodes(),
+                "{}: phase accounting must cover every node",
+                d.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn small_world_residual_is_tiny() {
+    // Fig. 8's distributed corollary: trim + peel resolve almost everything,
+    // so the coordinator gather is a small fraction of N.
+    let g = Dataset::Livej.generate(0.1, 42);
+    let (_, report) = dist_scc(&g, 4);
+    assert!(
+        report.residual_nodes * 10 < g.num_nodes(),
+        "residual {} of {} nodes",
+        report.residual_nodes,
+        g.num_nodes()
+    );
+    assert!(
+        report.peel_resolved > g.num_nodes() / 2,
+        "peel must take the giant"
+    );
+}
+
+#[test]
+fn superstep_count_is_small_world_friendly() {
+    // The §6 argument: all kernels are neighbor-local, so the number of
+    // global rounds tracks how often waves cross partition boundaries —
+    // bounded for small-world graphs, worse for the planar road analog.
+    // (Each worker expands waves locally to a fixpoint within a superstep,
+    // so the gap is boundary-crossings, not raw diameter.)
+    let g = Dataset::Flickr.generate(0.05, 42);
+    let (_, small_world) = dist_scc(&g, 4);
+    let road = Dataset::CaRoad.generate(0.05, 42);
+    let (_, planar) = dist_scc(&road, 4);
+    assert!(
+        planar.supersteps > small_world.supersteps,
+        "road {} supersteps vs small-world {}",
+        planar.supersteps,
+        small_world.supersteps
+    );
+    // and the small-world pipeline stays within a few dozen global rounds
+    assert!(
+        small_world.supersteps < 40,
+        "small-world pipeline took {} supersteps",
+        small_world.supersteps
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_partition() {
+    let g = Dataset::Wiki.generate(0.03, 7);
+    let (r1, _) = dist_scc(&g, 1);
+    for workers in [2usize, 3, 6, 16] {
+        let (r, _) = dist_scc(&g, workers);
+        assert_eq!(
+            r.canonical_labels(),
+            r1.canonical_labels(),
+            "{workers} workers"
+        );
+    }
+}
+
+#[test]
+fn engine_usable_directly() {
+    // The BSP engine is a public building block: broadcast-and-ack.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let acks = AtomicUsize::new(0);
+    let stats = run_supersteps(
+        3,
+        vec![vec![(0usize, 0u8)], vec![], vec![]],
+        10,
+        |w, _, inbox, out: &mut Outbox<(usize, u8)>| {
+            for &(from, kind) in inbox {
+                match kind {
+                    0 => {
+                        // broadcast: send an ack back and forward to next
+                        out.send(from, (w, 1));
+                        if w + 1 < 3 {
+                            out.send(w + 1, (from, 0));
+                        }
+                    }
+                    _ => {
+                        acks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        },
+    );
+    assert_eq!(acks.load(Ordering::Relaxed), 3);
+    assert!(stats.supersteps <= 5);
+}

@@ -1,0 +1,151 @@
+//! End-to-end pipeline tests: condensation, membership queries, reports.
+
+use swscc::core::instrument::Phase;
+use swscc::graph::datasets::Dataset;
+use swscc::{detect_scc, Algorithm, CsrGraph, SccConfig};
+
+fn kahn_is_acyclic(dag: &CsrGraph) -> bool {
+    let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
+    let mut queue: Vec<u32> = dag.nodes().filter(|&v| indeg[v as usize] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in dag.out_neighbors(u) {
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    seen == dag.num_nodes()
+}
+
+#[test]
+fn condensation_is_always_a_dag() {
+    for d in [Dataset::Livej, Dataset::Baidu, Dataset::CaRoad] {
+        let g = d.generate(0.05, 42);
+        let (r, _) = detect_scc(&g, Algorithm::Method2, &SccConfig::default());
+        let dag = r.condensation(&g);
+        assert_eq!(dag.num_nodes(), r.num_components());
+        assert!(
+            kahn_is_acyclic(&dag),
+            "{} condensation has a cycle",
+            d.name()
+        );
+    }
+}
+
+#[test]
+fn condensation_preserves_cross_edges() {
+    let g = Dataset::Flickr.generate(0.03, 11);
+    let (r, _) = detect_scc(&g, Algorithm::Method1, &SccConfig::default());
+    let dag = r.condensation(&g);
+    // every original cross-component edge appears in the condensation
+    for (u, v) in g.edges() {
+        if !r.same_component(u, v) {
+            assert!(
+                dag.has_edge(r.component(u), r.component(v)),
+                "cross edge {u}->{v} missing from condensation"
+            );
+        }
+    }
+}
+
+#[test]
+fn membership_queries_consistent() {
+    let g = Dataset::Baidu.generate(0.05, 3);
+    let (r, _) = detect_scc(&g, Algorithm::Method2, &SccConfig::default());
+    assert!(r.check_dense());
+    let sizes = r.component_sizes();
+    assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
+    // members() round-trips with component()
+    let c = r.component(0);
+    let members = r.members(c);
+    assert!(members.contains(&0));
+    assert!(members.iter().all(|&m| r.component(m) == c));
+    assert_eq!(members.len(), sizes[c as usize]);
+}
+
+#[test]
+fn report_phase_accounting_covers_all_nodes() {
+    for algo in Algorithm::parallel() {
+        let g = Dataset::Livej.generate(0.05, 42);
+        let (_, report) = detect_scc(&g, algo, &SccConfig::with_threads(2));
+        let resolved: usize = report.phase_resolved.iter().map(|(_, n)| n).sum();
+        assert_eq!(resolved, g.num_nodes(), "{} loses nodes", algo.name());
+        assert!(report.total_time.as_nanos() > 0);
+    }
+}
+
+#[test]
+fn method2_wcc_increases_initial_tasks() {
+    // The §3.3 effect: Method 2's WCC phase seeds far more work items than
+    // Method 1's color scan.
+    let g = Dataset::Flickr.generate(0.1, 42);
+    let cfg = SccConfig::with_threads(1);
+    let (_, rep1) = detect_scc(&g, Algorithm::Method1, &cfg);
+    let (_, rep2) = detect_scc(&g, Algorithm::Method2, &cfg);
+    assert!(
+        rep2.initial_tasks >= 10 * rep1.initial_tasks.max(1),
+        "WCC did not multiply task parallelism: method1={} method2={}",
+        rep1.initial_tasks,
+        rep2.initial_tasks
+    );
+}
+
+#[test]
+fn method2_trim_resolves_majority_on_small_world() {
+    // Fig. 8 shape: data-parallel phases (trim + peel + trim') account for
+    // the overwhelming majority of nodes on small-world graphs.
+    let g = Dataset::Livej.generate(0.1, 42);
+    let (_, report) = detect_scc(&g, Algorithm::Method2, &SccConfig::default());
+    let data_parallel = report.resolved_in(Phase::ParTrim)
+        + report.resolved_in(Phase::ParFwbw)
+        + report.resolved_in(Phase::ParTrim2);
+    assert!(
+        data_parallel as f64 >= 0.9 * g.num_nodes() as f64,
+        "only {data_parallel}/{} resolved in phase 1",
+        g.num_nodes()
+    );
+}
+
+#[test]
+fn patents_resolved_entirely_by_trim() {
+    // §5: "the SCC structure of this graph was identified by the Trim
+    // operation".
+    let g = Dataset::Patents.generate(0.1, 42);
+    let (_, report) = detect_scc(&g, Algorithm::Method2, &SccConfig::default());
+    assert_eq!(report.resolved_in(Phase::ParTrim), g.num_nodes());
+    assert_eq!(report.resolved_in(Phase::RecurFwbw), 0);
+}
+
+#[test]
+fn task_log_limit_respected_end_to_end() {
+    let g = Dataset::Baidu.generate(0.05, 42);
+    let cfg = SccConfig {
+        task_log_limit: 7,
+        ..SccConfig::with_threads(1)
+    };
+    let (_, report) = detect_scc(&g, Algorithm::Method2, &cfg);
+    assert!(report.task_log.len() <= 7);
+    assert!(!report.task_log.is_empty());
+}
+
+#[test]
+fn sequential_oracles_report_shape() {
+    let g = Dataset::Orkut.generate(0.03, 42);
+    for algo in [Algorithm::Tarjan, Algorithm::Kosaraju, Algorithm::Pearce] {
+        let (r, report) = detect_scc(&g, algo, &SccConfig::default());
+        assert!(r.num_components() > 0);
+        assert!(report.phase_times.is_empty());
+        assert_eq!(report.initial_tasks, 0);
+    }
+}
+
+#[test]
+fn algorithm_names_round_trip() {
+    for a in Algorithm::all() {
+        assert_eq!(Algorithm::from_name(a.name()), Some(a));
+    }
+    assert_eq!(Algorithm::from_name("bogus"), None);
+}

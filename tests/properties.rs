@@ -1,0 +1,96 @@
+//! Property-based tests (proptest): partition validity on random graphs.
+
+use proptest::prelude::*;
+use swscc::graph::bfs::{bfs_levels, Direction, UNREACHED};
+use swscc::{detect_scc, Algorithm, CsrGraph, SccConfig};
+
+/// Strategy: a random directed graph with up to `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..4 * n)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+/// Checks that an assignment is exactly the SCC partition: nodes share a
+/// component iff they are mutually reachable. O(N·(N+M)) — test-only.
+fn is_scc_partition(g: &CsrGraph, r: &swscc::SccResult) -> bool {
+    for src in g.nodes() {
+        let fw = bfs_levels(g, src, Direction::Forward);
+        let bw = bfs_levels(g, src, Direction::Backward);
+        for v in g.nodes() {
+            let mutual = fw[v as usize] != UNREACHED && bw[v as usize] != UNREACHED;
+            if mutual != r.same_component(src, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tarjan_produces_true_scc_partition(g in arb_graph(40)) {
+        let (r, _) = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default());
+        prop_assert!(is_scc_partition(&g, &r));
+    }
+
+    #[test]
+    fn method2_produces_true_scc_partition(g in arb_graph(40)) {
+        let (r, _) = detect_scc(&g, Algorithm::Method2, &SccConfig::with_threads(2));
+        prop_assert!(is_scc_partition(&g, &r));
+    }
+
+    #[test]
+    fn all_algorithms_agree(g in arb_graph(80)) {
+        let cfg = SccConfig::with_threads(2);
+        let (want, _) = detect_scc(&g, Algorithm::Tarjan, &cfg);
+        let want = want.canonical_labels();
+        for a in Algorithm::all().into_iter().filter(|&a| a != Algorithm::Tarjan) {
+            let (r, _) = detect_scc(&g, a, &cfg);
+            prop_assert_eq!(r.canonical_labels(), want.clone(), "{} disagrees", a.name());
+        }
+    }
+
+    #[test]
+    fn component_count_bounded(g in arb_graph(60)) {
+        let (r, _) = detect_scc(&g, Algorithm::Method1, &SccConfig::default());
+        prop_assert!(r.num_components() <= g.num_nodes().max(1));
+        prop_assert_eq!(r.component_sizes().iter().sum::<usize>(), g.num_nodes());
+        prop_assert!(r.check_dense());
+    }
+
+    #[test]
+    fn condensation_edge_endpoints_valid(g in arb_graph(50)) {
+        let (r, _) = detect_scc(&g, Algorithm::Method2, &SccConfig::default());
+        let dag = r.condensation(&g);
+        prop_assert_eq!(dag.num_nodes(), r.num_components());
+        for (u, v) in dag.edges() {
+            prop_assert!(u != v, "condensation self-loop {}", u);
+        }
+    }
+
+    #[test]
+    fn reversing_graph_preserves_sccs(g in arb_graph(50)) {
+        // SCCs of G and of its transpose are identical.
+        let cfg = SccConfig::default();
+        let (a, _) = detect_scc(&g, Algorithm::Tarjan, &cfg);
+        let (b, _) = detect_scc(&g.transpose(), Algorithm::Tarjan, &cfg);
+        prop_assert_eq!(a.canonical_labels(), b.canonical_labels());
+    }
+
+    #[test]
+    fn adding_parallel_edges_changes_nothing(g in arb_graph(40)) {
+        let cfg = SccConfig::default();
+        let (before, _) = detect_scc(&g, Algorithm::Tarjan, &cfg);
+        let mut edges: Vec<_> = g.edges().collect();
+        let dup: Vec<_> = edges.iter().copied().take(10).collect();
+        edges.extend(dup);
+        let g2 = CsrGraph::from_edges(g.num_nodes(), &edges);
+        let (after, _) = detect_scc(&g2, Algorithm::Method2, &cfg);
+        prop_assert_eq!(before.canonical_labels(), after.canonical_labels());
+    }
+}
