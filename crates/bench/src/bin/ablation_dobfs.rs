@@ -13,7 +13,9 @@ use swscc_core::fwbw::parallel::par_fwbw;
 use swscc_core::state::{AlgoState, INITIAL_COLOR};
 use swscc_core::trim::par_trim;
 use swscc_core::SccConfig;
+use swscc_graph::bfs::{self, Direction, UNREACHED};
 use swscc_graph::datasets::Dataset;
+use swscc_graph::NodeId;
 use swscc_parallel::pool::with_pool;
 
 fn peel_ms(d: Dataset, cfg: &SccConfig) -> (f64, usize) {
@@ -32,6 +34,37 @@ fn peel_ms(d: Dataset, cfg: &SccConfig) -> (f64, usize) {
         resolved = r;
     }
     (best, resolved)
+}
+
+/// Times one full BFS of the raw `EdgeMap` kernel (no SCC machinery) from
+/// the highest-out-degree node, with and without the bottom-up switch.
+/// Returns `(top_down_ms, dir_opt_ms, reached)`.
+fn kernel_ms(d: Dataset, threads: usize) -> (f64, f64, usize) {
+    let g = d.load(scale(), 42);
+    let src: NodeId = (0..g.num_nodes() as NodeId)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0);
+    let mut best_td = f64::INFINITY;
+    let mut best_do = f64::INFINITY;
+    let mut reached = 0usize;
+    for _ in 0..reps() {
+        let (ms_td, r_td, ms_do, r_do) = with_pool(threads, || {
+            let t0 = Instant::now();
+            let lv = bfs::par_bfs_levels(&g, src, Direction::Forward);
+            let ms_td = t0.elapsed().as_secs_f64() * 1e3;
+            let r_td = lv.iter().filter(|&&l| l != UNREACHED).count();
+            let t0 = Instant::now();
+            let lv = bfs::par_bfs_levels_dobfs(&g, src, Direction::Forward);
+            let ms_do = t0.elapsed().as_secs_f64() * 1e3;
+            let r_do = lv.iter().filter(|&&l| l != UNREACHED).count();
+            (ms_td, r_td, ms_do, r_do)
+        });
+        assert_eq!(r_td, r_do, "both kernel modes must reach the same set");
+        best_td = best_td.min(ms_td);
+        best_do = best_do.min(ms_do);
+        reached = r_td;
+    }
+    (best_td, best_do, reached)
 }
 
 fn main() {
@@ -56,6 +89,28 @@ fn main() {
             t_do,
             t_td / t_do,
             r1
+        );
+    }
+
+    // The same switch measured on the raw EdgeMap kernel — one forward
+    // BFS from the top-degree hub, no trim/pivot/color machinery — to
+    // separate the traversal effect from the peel around it.
+    println!();
+    print_header("raw EdgeMap kernel: one forward BFS from the top hub");
+    println!(
+        "{:<9} {:>14} {:>14} {:>8} {:>10}",
+        "name", "top-down (ms)", "dir-opt (ms)", "ratio", "reached"
+    );
+    let threads = SccConfig::default().threads;
+    for d in Dataset::small_world() {
+        let (t_td, t_do, reached) = kernel_ms(d, threads);
+        println!(
+            "{:<9} {:>14.2} {:>14.2} {:>7.2}x {:>10}",
+            d.name(),
+            t_td,
+            t_do,
+            t_td / t_do,
+            reached
         );
     }
 }

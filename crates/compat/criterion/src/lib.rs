@@ -1,0 +1,293 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! A plain timing harness exposing the group/bench surface the workspace's
+//! benches use: `benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement: each benchmark is warmed up, then timed for `sample_size`
+//! samples of auto-scaled iteration counts; the median, minimum, and
+//! throughput (when set) are printed as one line. No statistical analysis,
+//! plots, or saved baselines — compare numbers across runs by hand. A
+//! benchmark-name filter can be passed on the command line exactly like
+//! upstream (`cargo bench -- <substring>`).
+
+use std::time::{Duration, Instant};
+
+/// Re-export location some code uses for `black_box`.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; anything else non-flag is a filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.matches(&full_id) {
+            run_benchmark(&full_id, self.sample_size, self.throughput, |b| f(b));
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id.into().id);
+        if self.criterion.matches(&full_id) {
+            run_benchmark(&full_id, self.sample_size, self.throughput, |b| f(b, input));
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the payload `self.iters` times, recording total elapsed time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+fn run_benchmark(
+    full_id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut run: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: run single iterations until ~20ms total to size samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    run(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for samples of ~30ms, capped so one benchmark stays tractable.
+    let target = Duration::from_millis(30);
+    let iters_per_sample = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        run(&mut b);
+        samples.push(b.elapsed / iters_per_sample as u32);
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  thrpt: {:>12}/s", human_count(per_sec))
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  thrpt: {:>11}B/s", human_count(per_sec))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{full_id:<48} time: [{} .. {}]{thrpt}",
+        human_time(min),
+        human_time(median),
+    );
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_count(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.1}")
+    } else if x < 1e6 {
+        format!("{:.2}K", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.2}M", x / 1e6)
+    } else {
+        format!("{:.2}G", x / 1e9)
+    }
+}
+
+/// Groups benchmark functions under one name callable from
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("drain", 8).id, "drain/8");
+        assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+    }
+
+    #[test]
+    fn harness_runs_payload() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("t");
+        let mut hits = 0u64;
+        group.sample_size(2).bench_function("count", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        group.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("x", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

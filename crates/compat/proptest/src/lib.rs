@@ -1,0 +1,414 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Implements the slice this workspace uses: integer-range and tuple
+//! strategies, `collection::vec`, `any::<bool>()`, `prop_map` /
+//! `prop_flat_map`, the `proptest!` macro (including the
+//! `#![proptest_config(..)]` header), `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline shim:
+//!
+//! * **No shrinking.** A failing case reports its seed and arguments via
+//!   the panic message; re-running is deterministic (case seeds derive from
+//!   the test name), so failures reproduce exactly, just unminimized.
+//! * Default case count is 64 (upstream: 256), overridable per block with
+//!   `ProptestConfig::with_cases` or globally via `PROPTEST_CASES`.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub mod test_runner {
+    use super::*;
+
+    /// Per-block test configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    pub struct TestRng(pub(crate) SmallRng);
+
+    impl TestRng {
+        /// Case seeds mix the test name so distinct tests in one block see
+        /// distinct streams, deterministically across runs.
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(
+                h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::*;
+
+    /// A generator of values of one type. (No shrink tree — see crate docs.)
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            MapStrategy { base: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMapStrategy<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMapStrategy { base: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> FilterStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            FilterStrategy {
+                base: self,
+                f,
+                reason,
+            }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct MapStrategy<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, O> Strategy for MapStrategy<B, F>
+    where
+        B: Strategy,
+        F: Fn(B::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    pub struct FlatMapStrategy<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, S> Strategy for FlatMapStrategy<B, F>
+    where
+        B: Strategy,
+        S: Strategy,
+        F: Fn(B::Value) -> S,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let inner = (self.f)(self.base.generate(rng));
+            inner.generate(rng)
+        }
+    }
+
+    pub struct FilterStrategy<B, F> {
+        base: B,
+        f: F,
+        reason: &'static str,
+    }
+
+    impl<B, F> Strategy for FilterStrategy<B, F>
+    where
+        B: Strategy,
+        F: Fn(&B::Value) -> bool,
+    {
+        type Value = B::Value;
+        fn generate(&self, rng: &mut TestRng) -> B::Value {
+            for _ in 0..1000 {
+                let v = self.base.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.reason);
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident . $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.random::<bool>()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.0.random::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T> AnyStrategy<T> {
+        pub(crate) fn new() -> Self {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Uniform sampling over `T`'s arbitrary domain.
+pub fn any<T: strategy::Arbitrary>() -> strategy::AnyStrategy<T> {
+    strategy::AnyStrategy::new()
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// Length specification for [`vec()`]: an exact size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.random_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests. Supported grammar (the subset upstream's macro
+/// accepts that this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(48))]  // optional
+///     #[test]
+///     fn name(arg in strategy, (a, b) in strategy2) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair(max: usize) -> impl Strategy<Value = (usize, usize)> {
+        (1..max).prop_flat_map(|n| (0..n, 0..n).prop_map(move |(a, b)| (a.min(b), n)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3..10u32, y in 0..5usize) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn vec_and_any(v in crate::collection::vec((0usize..200, crate::any::<bool>()), 0..300)) {
+            prop_assert!(v.len() < 300);
+            for (i, _b) in v {
+                prop_assert!(i < 200);
+            }
+        }
+
+        #[test]
+        fn flat_map_pattern_args((lo, n) in arb_pair(40)) {
+            prop_assert!(lo < n && n < 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0usize..1000, 5..10);
+        let mut r1 = crate::test_runner::TestRng::for_case("x", 3);
+        let mut r2 = crate::test_runner::TestRng::for_case("x", 3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline drop-in subset of the `rand` API.
+//!
+//! Provides the slice of rand 0.10 that this workspace uses: a seedable
+//! [`rngs::SmallRng`] (xoshiro256++), the [`Rng`] core trait, and the
+//! [`RngExt`] extension methods `random`, `random_range`, `random_bool`.
+//! Statistical quality matches the upstream generator family; the exact
+//! output streams differ from upstream rand, which is fine because every
+//! consumer in this workspace only relies on *determinism per seed*, never
+//! on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds an RNG from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable uniformly from the full type domain (the `Standard`
+/// distribution of upstream rand).
+pub trait StandardUniform: Sized {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> f64 {
+        // 53 random mantissa bits in [0, 1)
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> f32 {
+        (rng() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for u64 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> u64 {
+        rng()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> u32 {
+        (rng() >> 32) as u32
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard(rng: &mut dyn FnMut() -> u64) -> bool {
+        rng() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng() % span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64 + 1;
+                if span == 0 {
+                    // full-domain inclusive range of a 64-bit type
+                    return start + rng() as $t;
+                }
+                start + (rng() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize, u16, u8);
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`]
+/// (rand 0.10's split of the method surface out of the core trait).
+pub trait RngExt: Rng {
+    /// A uniform sample over `T`'s full domain (`f64`/`f32`: `[0, 1)`).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(&mut || self.next_u64())
+    }
+
+    /// A uniform sample from `range`. Panics on an empty range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Small fast RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream expands the seed into full generator state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(10..20usize);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(1..=3u32);
+            assert!((1..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        // crude uniformity check
+        assert!((sum / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.03);
+    }
+}

@@ -1,0 +1,105 @@
+//! Offline drop-in subset of `rustc-hash`.
+//!
+//! A fast non-cryptographic multiply-fold hasher in the FxHash family plus
+//! the `FxHashMap`/`FxHashSet` aliases. Hash *values* need not match the
+//! upstream crate (nothing in this workspace persists hashes); only the
+//! speed-over-DoS-resistance trade-off and the API are preserved.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate hasher (the rustc FxHash construction).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn hash_distinguishes_values() {
+        use std::hash::BuildHasher;
+        let bh = FxBuildHasher::default();
+        let h = |x: u64| bh.hash_one(x);
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(1), h(1 << 32));
+    }
+}

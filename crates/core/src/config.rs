@@ -67,6 +67,11 @@ pub struct SccConfig {
     /// (the paper's evaluation uses plain level-synchronous BFS); the
     /// `ablation_dobfs` harness measures the difference.
     pub direction_optimizing: bool,
+    /// Frontier size below which a traversal level expands sequentially
+    /// (the hybrid per-level expansion of the `EdgeMap` kernel — fork-join
+    /// overhead exceeds the work on the tiny ramp-up/ramp-down levels that
+    /// bracket a small-world BFS).
+    pub par_frontier_threshold: usize,
 }
 
 impl Default for SccConfig {
@@ -83,6 +88,7 @@ impl Default for SccConfig {
             task_log_limit: 0,
             wcc_impl: WccImpl::LabelPropagation,
             direction_optimizing: false,
+            par_frontier_threshold: swscc_graph::traverse::DEFAULT_PAR_FRONTIER_THRESHOLD,
         }
     }
 }
@@ -101,6 +107,15 @@ impl SccConfig {
     pub fn resolve_k(&self, method_default: usize) -> usize {
         self.k.unwrap_or(method_default).max(1)
     }
+
+    /// The traversal-kernel configuration implied by this config.
+    pub fn traversal(&self) -> swscc_graph::traverse::TraversalConfig {
+        swscc_graph::traverse::TraversalConfig {
+            par_threshold: self.par_frontier_threshold.max(1),
+            direction_optimizing: self.direction_optimizing,
+            alpha: swscc_graph::traverse::DEFAULT_DOBFS_ALPHA,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +131,20 @@ mod tests {
         assert_eq!(c.max_trials, 5);
         assert!(c.hybrid_sets);
         assert_eq!(c.task_log_limit, 0);
+        assert_eq!(c.par_frontier_threshold, 256);
+        assert!(!c.direction_optimizing);
+    }
+
+    #[test]
+    fn traversal_config_from_scc_config() {
+        let c = SccConfig {
+            direction_optimizing: true,
+            par_frontier_threshold: 64,
+            ..Default::default()
+        };
+        let t = c.traversal();
+        assert!(t.direction_optimizing);
+        assert_eq!(t.par_threshold, 64);
     }
 
     #[test]

@@ -14,18 +14,15 @@
 //! that follows anyway, so only the Color array is written and the initial
 //! phase-2 work items are built later by a scan.
 //!
-//! Two §4.2-inspired traversal optimizations, both measured by benches:
-//!
-//! * **hybrid per-level expansion** — levels below a size threshold expand
-//!   sequentially; fork-join overhead exceeds the work on the tiny ramp-up
-//!   and ramp-down levels that bracket a small-world BFS.
-//! * **direction-optimizing BFS** (Beamer et al., the paper's ref. \[10\];
-//!   §4.2 explicitly anticipates such BFS improvements) — once the frontier
-//!   covers a large fraction of the unexplored partition, switch from
-//!   top-down edge expansion to bottom-up "does any of my predecessors
-//!   belong to the visited set" sweeps. Off by default
-//!   ([`SccConfig::direction_optimizing`]); the `ablation_dobfs` harness
-//!   quantifies it.
+//! Both traversal passes run on the unified
+//! [`swscc_graph::traverse::EdgeMap`] kernel (§4.2), which owns
+//! the hybrid sequential fallback ([`SccConfig::par_frontier_threshold`])
+//! and the Beamer direction-optimizing switch
+//! ([`SccConfig::direction_optimizing`]; measured by the `ablation_dobfs`
+//! harness). The two passes differ only in their claim protocol, expressed
+//! as [`EdgeMapOps`] implementations: the forward pass claims a single
+//! color transition, the backward pass claims two (backward-only nodes and
+//! the FW∩BW intersection) in one traversal.
 
 use crate::config::{PivotStrategy, SccConfig};
 use crate::state::{AlgoState, Color};
@@ -34,6 +31,7 @@ use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use swscc_graph::bfs::Direction;
+use swscc_graph::traverse::{Adjacency, EdgeMap, EdgeMapOps};
 use swscc_graph::NodeId;
 
 /// Result of the phase-1 peel.
@@ -46,16 +44,6 @@ pub struct ParFwbwOutcome {
     /// Whether a giant SCC (≥ threshold) was found.
     pub giant_found: bool,
 }
-
-/// Below this frontier size a BFS level is expanded sequentially — the
-/// per-level fork-join overhead exceeds the expansion work. Small-world
-/// graphs have a handful of huge levels (which parallelize) bracketed by
-/// tiny ramp-up/ramp-down levels (which must not).
-const PAR_FRONTIER_THRESHOLD: usize = 256;
-
-/// Switch to bottom-up when `frontier · ALPHA > remaining`; cheap node-count
-/// approximation of Beamer's edge-count heuristic.
-const DOBFS_ALPHA: usize = 8;
 
 /// Runs the phase-1 parallel FW-BW peel starting from the partition
 /// `start_color`. See the module docs for the stopping rule.
@@ -143,9 +131,85 @@ pub fn par_fwbw(state: &AlgoState<'_>, cfg: &SccConfig, start_color: Color) -> P
     }
 }
 
+/// Runs one reachability pass on the shared [`EdgeMap`] kernel: seeds the
+/// (pre-claimed) pivot and traverses `dir` under `ops`' claim protocol.
+/// Returns the number of nodes claimed beyond the pivot. Both the forward
+/// and the backward pass of a trial go through here — the claim protocol
+/// is the *only* thing that differs between them.
+fn run_reach<O: EdgeMapOps>(
+    state: &AlgoState<'_>,
+    cfg: &SccConfig,
+    pivot: NodeId,
+    dir: Direction,
+    candidate_size: usize,
+    ops: &O,
+) -> usize {
+    let mut em = EdgeMap::new(state.g, Adjacency::Directed(dir), cfg.traversal());
+    em.seed(pivot);
+    em.set_remaining(candidate_size.saturating_sub(1));
+    em.run(ops)
+}
+
+/// Single-color claim protocol: `from_color -> to_color`, a test-then-CAS
+/// on the Color array (the plain load filters already-claimed targets
+/// before paying for the atomic RMW).
+struct ColorClaimOps<'a, 'g> {
+    state: &'a AlgoState<'g>,
+    from_color: Color,
+    to_color: Color,
+}
+
+impl EdgeMapOps for ColorClaimOps<'_, '_> {
+    #[inline]
+    fn claim(&self, _src: NodeId, v: NodeId, _depth: u32) -> bool {
+        self.state.color(v) == self.from_color
+            && self.state.cas_color(v, self.from_color, self.to_color)
+    }
+
+    #[inline]
+    fn candidate(&self, v: NodeId) -> bool {
+        self.state.color(v) == self.from_color
+    }
+}
+
+/// Dual-claim protocol of the backward pass: candidate-colored nodes join
+/// the backward-only set (`bw_color`), forward-colored nodes are the FW∩BW
+/// intersection and join the SCC (`scc_color`). Both transitions count.
+struct DualClaimOps<'a, 'g> {
+    state: &'a AlgoState<'g>,
+    candidate_color: Color,
+    fw_color: Color,
+    bw_color: Color,
+    scc_color: Color,
+    bw_claimed: AtomicUsize,
+    scc_claimed: AtomicUsize,
+}
+
+impl EdgeMapOps for DualClaimOps<'_, '_> {
+    #[inline]
+    fn claim(&self, _src: NodeId, v: NodeId, _depth: u32) -> bool {
+        let c = self.state.color(v);
+        if c == self.candidate_color && self.state.cas_color(v, self.candidate_color, self.bw_color)
+        {
+            self.bw_claimed.fetch_add(1, Ordering::Relaxed);
+            true
+        } else if c == self.fw_color && self.state.cas_color(v, self.fw_color, self.scc_color) {
+            self.scc_claimed.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    fn candidate(&self, v: NodeId) -> bool {
+        let c = self.state.color(v);
+        c == self.candidate_color || c == self.fw_color
+    }
+}
+
 /// Single-color reachability claiming `from_color -> to_color` along `dir`.
-/// Level-synchronous; hybrid seq/parallel per level; optionally
-/// direction-optimizing. Returns the number of nodes claimed (incl. pivot).
+/// Returns the number of nodes claimed (incl. pivot).
 fn reach(
     state: &AlgoState<'_>,
     cfg: &SccConfig,
@@ -158,66 +222,12 @@ fn reach(
     if !state.cas_color(pivot, from_color, to_color) {
         return 0;
     }
-    let claimed_total = AtomicUsize::new(1);
-    let mut frontier = vec![pivot];
-    // Unexplored candidates, materialized lazily on the first bottom-up
-    // level and shrunk thereafter.
-    let mut bottom_up_pool: Option<Vec<NodeId>> = None;
-    let mut remaining = candidate_size.saturating_sub(1);
-
-    while !frontier.is_empty() {
-        let bottom_up = cfg.direction_optimizing
-            && frontier.len() * DOBFS_ALPHA > remaining
-            && remaining > PAR_FRONTIER_THRESHOLD;
-        frontier = if bottom_up {
-            let pool = bottom_up_pool.get_or_insert_with(|| {
-                (0..state.num_nodes() as NodeId)
-                    .into_par_iter()
-                    .filter(|&v| state.color(v) == from_color)
-                    .collect()
-            });
-            // Bottom-up sweep: an unexplored node joins when any of its
-            // reverse-direction neighbors is already in the visited set.
-            let next: Vec<NodeId> = pool
-                .par_iter()
-                .copied()
-                .filter(|&v| {
-                    state.color(v) == from_color
-                        && dir
-                            .reverse()
-                            .neighbors(state.g, v)
-                            .iter()
-                            .any(|&u| state.color(u) == to_color)
-                        && state.cas_color(v, from_color, to_color)
-                })
-                .collect();
-            pool.retain(|&v| state.color(v) == from_color);
-            next
-        } else if frontier.len() < PAR_FRONTIER_THRESHOLD {
-            let mut next = Vec::new();
-            for &u in &frontier {
-                for &v in dir.neighbors(state.g, u) {
-                    if state.color(v) == from_color && state.cas_color(v, from_color, to_color) {
-                        next.push(v);
-                    }
-                }
-            }
-            next
-        } else {
-            frontier
-                .par_iter()
-                .flat_map_iter(|&u| dir.neighbors(state.g, u).iter().copied())
-                .filter(|&v| {
-                    // test-then-CAS: a plain load filters already-claimed
-                    // targets before paying for the atomic RMW
-                    state.color(v) == from_color && state.cas_color(v, from_color, to_color)
-                })
-                .collect()
-        };
-        claimed_total.fetch_add(frontier.len(), Ordering::Relaxed);
-        remaining = remaining.saturating_sub(frontier.len());
-    }
-    claimed_total.load(Ordering::Relaxed)
+    let ops = ColorClaimOps {
+        state,
+        from_color,
+        to_color,
+    };
+    1 + run_reach(state, cfg, pivot, dir, candidate_size, &ops)
 }
 
 /// The backward pass of one FW-BW trial: from `pivot`, following in-edges,
@@ -237,88 +247,19 @@ fn backward_reach(
     // The pivot is in FW by construction, so it joins the SCC first.
     let ok = state.cas_color(pivot, fw_color, scc_color);
     debug_assert!(ok, "pivot lost its forward color");
-    let bw_claimed = AtomicUsize::new(0);
-    let scc_claimed = AtomicUsize::new(1);
-    let mut frontier: Vec<NodeId> = vec![pivot];
-    let mut bottom_up_pool: Option<Vec<NodeId>> = None;
-    let mut remaining = candidate_size.saturating_sub(1);
-
-    // Claim attempt; `Some(v)` iff v newly joined the backward set.
-    let claim = |v: NodeId| -> Option<NodeId> {
-        let c = state.color(v);
-        if c == candidate_color && state.cas_color(v, candidate_color, bw_color) {
-            bw_claimed.fetch_add(1, Ordering::Relaxed);
-            Some(v)
-        } else if c == fw_color && state.cas_color(v, fw_color, scc_color) {
-            scc_claimed.fetch_add(1, Ordering::Relaxed);
-            Some(v)
-        } else {
-            None
-        }
+    let ops = DualClaimOps {
+        state,
+        candidate_color,
+        fw_color,
+        bw_color,
+        scc_color,
+        bw_claimed: AtomicUsize::new(0),
+        scc_claimed: AtomicUsize::new(1),
     };
-
-    while !frontier.is_empty() {
-        let bottom_up = cfg.direction_optimizing
-            && frontier.len() * DOBFS_ALPHA > remaining
-            && remaining > PAR_FRONTIER_THRESHOLD;
-        frontier = if bottom_up {
-            let pool = bottom_up_pool.get_or_insert_with(|| {
-                (0..state.num_nodes() as NodeId)
-                    .into_par_iter()
-                    .filter(|&v| {
-                        let c = state.color(v);
-                        c == candidate_color || c == fw_color
-                    })
-                    .collect()
-            });
-            // Backward BFS bottom-up: v joins when one of its OUT-neighbors
-            // already belongs to the backward set (bw or scc colored).
-            let next: Vec<NodeId> = pool
-                .par_iter()
-                .copied()
-                .filter_map(|v| {
-                    let cv = state.color(v);
-                    if cv != candidate_color && cv != fw_color {
-                        return None;
-                    }
-                    let joined = state.g.out_neighbors(v).iter().any(|&u| {
-                        let cu = state.color(u);
-                        cu == bw_color || cu == scc_color
-                    });
-                    if joined {
-                        claim(v)
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            pool.retain(|&v| {
-                let c = state.color(v);
-                c == candidate_color || c == fw_color
-            });
-            next
-        } else if frontier.len() < PAR_FRONTIER_THRESHOLD {
-            let mut next = Vec::new();
-            for &u in &frontier {
-                for &v in state.g.in_neighbors(u) {
-                    if let Some(v) = claim(v) {
-                        next.push(v);
-                    }
-                }
-            }
-            next
-        } else {
-            frontier
-                .par_iter()
-                .flat_map_iter(|&u| state.g.in_neighbors(u).iter().copied())
-                .filter_map(&claim)
-                .collect()
-        };
-        remaining = remaining.saturating_sub(frontier.len());
-    }
+    run_reach(state, cfg, pivot, Direction::Backward, candidate_size, &ops);
     (
-        bw_claimed.load(Ordering::Relaxed),
-        scc_claimed.load(Ordering::Relaxed),
+        ops.bw_claimed.load(Ordering::Relaxed),
+        ops.scc_claimed.load(Ordering::Relaxed),
     )
 }
 

@@ -16,11 +16,23 @@
 //! can never cross an edge against its direction); since the paper defines
 //! WCC over undirected edges and relies on that semantics, the propagation
 //! here scans in-neighbors too.
+//!
+//! The propagation runs on the unified
+//! [`swscc_graph::traverse::EdgeMap`] kernel over
+//! [`Adjacency::Undirected`]: the frontier holds the nodes whose label
+//! changed last round, the claim is a fetch-min on the label array
+//! (deduplicated per round by a [`ClaimSet`]), and between kernel steps a
+//! pointer-jumping sweep over the alive nodes shortcuts label chains —
+//! nodes the sweep improves re-enter the frontier. Frontier storage
+//! reuses its buffers across rounds instead of collecting a fresh vector
+//! per round.
 
 use crate::state::{AlgoState, Color};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
+use swscc_graph::traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};
 use swscc_graph::NodeId;
+use swscc_parallel::ClaimSet;
 
 /// Outcome of a Par-WCC run.
 #[derive(Debug)]
@@ -35,6 +47,40 @@ pub struct WccOutcome {
     pub iterations: usize,
 }
 
+/// The Par-WCC claim protocol: push the source's label to the destination
+/// with a fetch-min, restricted to same-color (same-partition) alive
+/// pairs. A node enters the next frontier at most once per round — the
+/// `queued` claim set dedups concurrent enqueue attempts; the driver
+/// releases a node's bit when it leaves the frontier so later label
+/// improvements can re-activate it.
+struct MinLabelOps<'a, 'g> {
+    state: &'a AlgoState<'g>,
+    labels: &'a [AtomicU32],
+    queued: ClaimSet,
+}
+
+impl EdgeMapOps for MinLabelOps<'_, '_> {
+    #[inline]
+    fn claim(&self, src: NodeId, dst: NodeId, _depth: u32) -> bool {
+        if src == dst || self.state.color(dst) != self.state.color(src) {
+            return false;
+        }
+        let l = self.labels[src as usize].load(Ordering::Relaxed);
+        if l >= self.labels[dst as usize].load(Ordering::Relaxed) {
+            return false;
+        }
+        self.labels[dst as usize].fetch_min(l, Ordering::Relaxed);
+        self.queued.claim(dst as usize)
+    }
+
+    #[inline]
+    fn candidate(&self, _v: NodeId) -> bool {
+        // Label propagation has no "visited" notion: every alive node
+        // stays claimable whenever its label can still decrease.
+        true
+    }
+}
+
 /// Runs Par-WCC over all alive nodes, respecting the current coloring
 /// (labels never cross between different colors). Re-colors every alive
 /// node with its WCC's fresh color and returns the groups.
@@ -46,41 +92,54 @@ pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
         .filter(|&v| state.alive(v))
         .collect();
 
+    let ops = MinLabelOps {
+        state,
+        labels: &labels,
+        queued: ClaimSet::new(n),
+    };
+    // Bottom-up sweeps are meaningless for label propagation (every node
+    // is a permanent candidate), so the kernel runs pure top-down.
+    let mut em = EdgeMap::new(
+        state.g,
+        Adjacency::Undirected,
+        TraversalConfig {
+            direction_optimizing: false,
+            ..Default::default()
+        },
+    );
+    em.extend(&alive);
+
     let mut iterations = 0usize;
     loop {
         iterations += 1;
-        let changed = AtomicBool::new(false);
-        // Propagation: pull the minimum label over same-color neighbors in
-        // both edge directions (undirected semantics).
-        alive.par_iter().for_each(|&v| {
-            let cv = state.color(v);
-            let mut min = labels[v as usize].load(Ordering::Relaxed);
-            let before = min;
-            for &k in state
-                .g
-                .out_neighbors(v)
-                .iter()
-                .chain(state.g.in_neighbors(v))
-            {
-                if k != v && state.color(k) == cv {
-                    min = min.min(labels[k as usize].load(Ordering::Relaxed));
+        // Dequeue the current frontier: clear its bits so a node whose
+        // label drops again during this round re-enters the next one.
+        for &v in em.frontier() {
+            ops.queued.release(v as usize);
+        }
+        // Push round: changed nodes push their labels to same-color
+        // neighbors in both edge directions (undirected semantics).
+        em.step(&ops);
+        // Shortcutting (pointer jumping): WCC(n) <- WCC(WCC(n)). A jump
+        // target is always a same-group node (labels only ever take
+        // values of group members), and improved nodes must re-enter the
+        // frontier so neighbors observe their new label.
+        let jumped: Vec<NodeId> = alive
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                let l = labels[v as usize].load(Ordering::Relaxed);
+                let ll = labels[l as usize].load(Ordering::Relaxed);
+                if ll < l {
+                    labels[v as usize].fetch_min(ll, Ordering::Relaxed);
+                    ops.queued.claim(v as usize)
+                } else {
+                    false
                 }
-            }
-            if min < before {
-                labels[v as usize].fetch_min(min, Ordering::Relaxed);
-                changed.store(true, Ordering::Relaxed);
-            }
-        });
-        // Shortcutting (pointer jumping): WCC(n) <- WCC(WCC(n)).
-        alive.par_iter().for_each(|&v| {
-            let l = labels[v as usize].load(Ordering::Relaxed);
-            let ll = labels[l as usize].load(Ordering::Relaxed);
-            if ll < l {
-                labels[v as usize].fetch_min(ll, Ordering::Relaxed);
-                changed.store(true, Ordering::Relaxed);
-            }
-        });
-        if !changed.load(Ordering::Relaxed) {
+            })
+            .collect();
+        em.extend(&jumped);
+        if em.frontier().is_empty() {
             break;
         }
     }

@@ -6,7 +6,7 @@
 //! the parallel traversal is tested against.
 
 use crate::csr::{CsrGraph, NodeId};
-use rayon::prelude::*;
+use crate::traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Level value for unreached nodes.
@@ -77,42 +77,78 @@ pub fn bfs_levels(g: &CsrGraph, src: NodeId, dir: Direction) -> Vec<u32> {
     levels
 }
 
-/// Level-synchronous parallel BFS from `src`.
-///
-/// Each level expands the frontier with a parallel flat-map; node visitation
-/// is claimed with a compare-and-swap on the level array, so every node is
-/// placed in the next frontier exactly once. Matches [`bfs_levels`] exactly
-/// (tested), because level assignment in a level-synchronous BFS is
-/// deterministic even though claim order is not.
-pub fn par_bfs_levels(g: &CsrGraph, src: NodeId, dir: Direction) -> Vec<u32> {
+/// The BFS claim protocol: a test-then-CAS on the atomic level array.
+/// The cheap load filters visited nodes before paying for the RMW; level
+/// assignment is deterministic (level-synchronous), claim order is not.
+struct LevelClaimOps<'a> {
+    levels: &'a [AtomicU32],
+}
+
+impl EdgeMapOps for LevelClaimOps<'_> {
+    #[inline]
+    fn claim(&self, _src: NodeId, dst: NodeId, depth: u32) -> bool {
+        self.levels[dst as usize].load(Ordering::Relaxed) == UNREACHED
+            && self.levels[dst as usize]
+                .compare_exchange(UNREACHED, depth, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    #[inline]
+    fn candidate(&self, v: NodeId) -> bool {
+        self.levels[v as usize].load(Ordering::Relaxed) == UNREACHED
+    }
+}
+
+/// Level-synchronous parallel BFS over an arbitrary adjacency with an
+/// explicit [`TraversalConfig`] — the [`crate::traverse::EdgeMap`] kernel
+/// instantiated with the level-array claim protocol. Matches the matching
+/// sequential BFS exactly (tested), in every kernel mode: level assignment
+/// in a level-synchronous BFS is deterministic even though claim order is
+/// not, and the kernel's bottom-up sweeps join against frontier membership
+/// (not the visited set) so they assign identical depths.
+pub fn par_bfs_levels_with(
+    g: &CsrGraph,
+    src: NodeId,
+    adj: Adjacency,
+    cfg: &TraversalConfig,
+) -> Vec<u32> {
     let n = g.num_nodes();
-    let mut levels_atomic: Vec<AtomicU32> = Vec::with_capacity(n);
-    levels_atomic.resize_with(n, || AtomicU32::new(UNREACHED));
     if n == 0 {
         return Vec::new();
     }
-    levels_atomic[src as usize].store(0, Ordering::Relaxed);
-    let mut frontier = vec![src];
-    let mut depth = 0u32;
-    while !frontier.is_empty() {
-        depth += 1;
-        let next: Vec<NodeId> = frontier
-            .par_iter()
-            .flat_map_iter(|&u| dir.neighbors(g, u).iter().copied())
-            .filter(|&v| {
-                // test-then-CAS: cheap load filters visited nodes first
-                levels_atomic[v as usize].load(Ordering::Relaxed) == UNREACHED
-                    && levels_atomic[v as usize]
-                        .compare_exchange(UNREACHED, depth, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-            })
-            .collect();
-        frontier = next;
-    }
-    levels_atomic
-        .into_iter()
-        .map(AtomicU32::into_inner)
-        .collect()
+    let mut levels: Vec<AtomicU32> = Vec::with_capacity(n);
+    levels.resize_with(n, || AtomicU32::new(UNREACHED));
+    levels[src as usize].store(0, Ordering::Relaxed);
+    let mut em = EdgeMap::new(g, adj, *cfg);
+    em.seed(src);
+    em.run(&LevelClaimOps { levels: &levels });
+    levels.into_iter().map(AtomicU32::into_inner).collect()
+}
+
+/// Level-synchronous parallel BFS from `src` (default kernel settings).
+pub fn par_bfs_levels(g: &CsrGraph, src: NodeId, dir: Direction) -> Vec<u32> {
+    par_bfs_levels_with(
+        g,
+        src,
+        Adjacency::Directed(dir),
+        &TraversalConfig::default(),
+    )
+}
+
+/// [`par_bfs_levels`] with the Beamer direction-optimizing switch enabled.
+pub fn par_bfs_levels_dobfs(g: &CsrGraph, src: NodeId, dir: Direction) -> Vec<u32> {
+    par_bfs_levels_with(
+        g,
+        src,
+        Adjacency::Directed(dir),
+        &TraversalConfig::direction_optimizing(),
+    )
+}
+
+/// Parallel BFS treating the graph as undirected — the kernel over
+/// [`Adjacency::Undirected`]. Matches [`undirected_bfs_levels`] exactly.
+pub fn par_undirected_bfs_levels(g: &CsrGraph, src: NodeId) -> Vec<u32> {
+    par_bfs_levels_with(g, src, Adjacency::Undirected, &TraversalConfig::default())
 }
 
 /// The set of nodes reachable from `src` (including `src`), as a sorted vec.
@@ -197,6 +233,41 @@ mod tests {
             for dir in [Direction::Forward, Direction::Backward] {
                 assert_eq!(bfs_levels(&g, src, dir), par_bfs_levels(&g, src, dir));
             }
+        }
+    }
+
+    #[test]
+    fn dobfs_matches_seq_on_random() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(23);
+        let n = 800u32;
+        let edges: Vec<_> = (0..8000)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        for src in [0u32, 400, 799] {
+            for dir in [Direction::Forward, Direction::Backward] {
+                assert_eq!(bfs_levels(&g, src, dir), par_bfs_levels_dobfs(&g, src, dir));
+            }
+        }
+    }
+
+    #[test]
+    fn par_undirected_matches_seq() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        let n = 300u32;
+        let edges: Vec<_> = (0..900)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        for src in [0u32, 150, 299] {
+            assert_eq!(
+                undirected_bfs_levels(&g, src),
+                par_undirected_bfs_levels(&g, src)
+            );
         }
     }
 

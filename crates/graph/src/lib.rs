@@ -16,6 +16,10 @@
 //! * [`datasets`] — the per-dataset analog registry used by the benchmark
 //!   harness (`livej`, `flickr`, …, `ca_road`).
 //! * [`bfs`] — sequential and level-synchronous parallel BFS (§4.2).
+//! * [`traverse`] — the unified `EdgeMap` traversal kernel: zero-allocation
+//!   frontiers, hybrid sequential fallback, and the Beamer
+//!   direction-optimizing switch shared by BFS, the FW/BW peels, and
+//!   frontier-driven WCC.
 //! * [`stats`] — degree/SCC-size histograms and sampled diameter estimation
 //!   (Table 1, Figures 2 and 9).
 //! * [`io`] — SNAP-style edge-list text loader/writer so the original
@@ -28,6 +32,8 @@ pub mod datasets;
 pub mod gen;
 pub mod io;
 pub mod stats;
+pub mod traverse;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, NodeId};
+pub use traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};

@@ -1,0 +1,505 @@
+//! The unified traversal kernel (§4.2): one `EdgeMap` driver under every
+//! level-synchronous BFS-shaped algorithm in the workspace.
+//!
+//! Plain BFS, the FW/BW reachability peels of Par-FWBW, and frontier-driven
+//! Par-WCC all share the same skeleton: expand the current frontier along
+//! some adjacency, attempt an atomic *claim* per discovered edge endpoint,
+//! and gather the newly claimed nodes into the next frontier. What differs
+//! is only the claim protocol (CAS on a level array, CAS on the Color
+//! array, fetch-min on a label array) and the adjacency (forward, backward,
+//! or undirected). [`EdgeMap`] owns everything else:
+//!
+//! * **zero-allocation frontiers** — levels advance through
+//!   [`swscc_parallel::Frontier`]'s double-buffered, per-worker chunked
+//!   collection instead of a per-level `Vec`/`collect()`;
+//! * **the hybrid sequential fallback** — frontiers below
+//!   [`TraversalConfig::par_threshold`] expand inline on the calling
+//!   thread, because per-level fork-join overhead exceeds the work on the
+//!   tiny ramp-up/ramp-down levels that bracket a small-world BFS;
+//! * **the Beamer direction-optimizing switch** (the paper's ref. \[10\];
+//!   §4.2 explicitly anticipates such BFS improvements) — when the
+//!   frontier covers a large fraction of the remaining candidates, flip to
+//!   bottom-up sweeps: scan unclaimed candidates and join any whose
+//!   reverse-adjacency touches the *current frontier*. Membership is
+//!   checked against a dense per-level [`ClaimSet`], not the visited set,
+//!   so bottom-up levels assign exactly the same depths as top-down ones
+//!   and the two modes are differentially testable against sequential BFS.
+//!
+//! Algorithms plug in via [`EdgeMapOps`]: `claim` is the per-edge
+//! visitation attempt (must be atomic — exactly one concurrent claimant
+//! may win), `candidate` tells the bottom-up sweep which nodes are still
+//! claimable.
+
+use crate::bfs::Direction;
+use crate::csr::{CsrGraph, NodeId};
+use rayon::prelude::*;
+use swscc_parallel::{ClaimSet, Frontier};
+
+/// Default frontier size below which a level is expanded sequentially.
+pub const DEFAULT_PAR_FRONTIER_THRESHOLD: usize = 256;
+
+/// Default direction-optimizing switch factor: go bottom-up when
+/// `frontier · alpha > remaining` (a cheap node-count approximation of
+/// Beamer's edge-count heuristic).
+pub const DEFAULT_DOBFS_ALPHA: usize = 8;
+
+/// Tuning knobs of the traversal kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct TraversalConfig {
+    /// Frontiers smaller than this expand sequentially on the calling
+    /// thread (hybrid per-level expansion).
+    pub par_threshold: usize,
+    /// Enable the Beamer top-down/bottom-up switch.
+    pub direction_optimizing: bool,
+    /// Bottom-up switch factor (see [`DEFAULT_DOBFS_ALPHA`]).
+    pub alpha: usize,
+}
+
+impl Default for TraversalConfig {
+    fn default() -> Self {
+        TraversalConfig {
+            par_threshold: DEFAULT_PAR_FRONTIER_THRESHOLD,
+            direction_optimizing: false,
+            alpha: DEFAULT_DOBFS_ALPHA,
+        }
+    }
+}
+
+impl TraversalConfig {
+    /// The default configuration with direction optimization switched on.
+    pub fn direction_optimizing() -> Self {
+        TraversalConfig {
+            direction_optimizing: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Which adjacency the traversal follows. `Undirected` follows both edge
+/// directions (the Par-WCC view of the graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adjacency {
+    /// Follow one edge direction of the digraph.
+    Directed(Direction),
+    /// Follow both directions (weak-connectivity semantics).
+    Undirected,
+}
+
+impl Adjacency {
+    /// Visits every traversal-direction neighbor of `u`.
+    #[inline]
+    fn for_each_out(self, g: &CsrGraph, u: NodeId, f: &mut impl FnMut(NodeId)) {
+        match self {
+            Adjacency::Directed(d) => {
+                for &v in d.neighbors(g, u) {
+                    f(v);
+                }
+            }
+            Adjacency::Undirected => {
+                for &v in g.out_neighbors(u) {
+                    f(v);
+                }
+                for &v in g.in_neighbors(u) {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// First reverse-direction neighbor of `v` satisfying `pred` (the
+    /// bottom-up "do I have a parent in the frontier" probe; early-exits).
+    #[inline]
+    fn find_in(self, g: &CsrGraph, v: NodeId, pred: impl Fn(NodeId) -> bool) -> Option<NodeId> {
+        match self {
+            Adjacency::Directed(d) => d
+                .reverse()
+                .neighbors(g, v)
+                .iter()
+                .copied()
+                .find(|&u| pred(u)),
+            Adjacency::Undirected => g
+                .out_neighbors(v)
+                .iter()
+                .chain(g.in_neighbors(v))
+                .copied()
+                .find(|&u| pred(u)),
+        }
+    }
+}
+
+/// The algorithm-specific half of a traversal: the claim protocol.
+pub trait EdgeMapOps: Sync {
+    /// Attempts to claim `dst`, discovered from `src` at `depth` (the
+    /// level being built; the seed level is 0). Must be an atomic claim:
+    /// of all threads calling `claim` for the same `dst` within one level,
+    /// at most one may receive `true`. Returning `true` places `dst` in
+    /// the next frontier.
+    fn claim(&self, src: NodeId, dst: NodeId, depth: u32) -> bool;
+
+    /// `true` iff `v` is still claimable — drives the bottom-up candidate
+    /// pool. Must be consistent with `claim`: once a node is claimed it
+    /// must stop being a candidate.
+    fn candidate(&self, v: NodeId) -> bool;
+}
+
+/// The unified level-synchronous traversal driver. See the module docs.
+///
+/// Drive it with [`run`](EdgeMap::run) (to the fixpoint) or level by level
+/// with [`step`](EdgeMap::step) (algorithms like frontier-driven WCC that
+/// interleave other work between levels).
+pub struct EdgeMap<'g> {
+    g: &'g CsrGraph,
+    adj: Adjacency,
+    cfg: TraversalConfig,
+    frontier: Frontier,
+    /// Dense membership bits of the *current* frontier; built lazily on
+    /// the first bottom-up level, sparse-reset afterwards.
+    in_frontier: Option<ClaimSet>,
+    /// Unclaimed-candidate pool for bottom-up sweeps; materialized lazily
+    /// and shrunk as candidates are claimed.
+    pool: Option<Vec<NodeId>>,
+    depth: u32,
+    remaining: usize,
+    claimed: usize,
+}
+
+impl<'g> EdgeMap<'g> {
+    /// A kernel over `g` following `adj`, with an empty frontier at depth 0.
+    pub fn new(g: &'g CsrGraph, adj: Adjacency, cfg: TraversalConfig) -> Self {
+        EdgeMap {
+            g,
+            adj,
+            cfg,
+            frontier: Frontier::new(),
+            in_frontier: None,
+            pool: None,
+            depth: 0,
+            // Until told otherwise, assume everything else is claimable.
+            remaining: g.num_nodes(),
+            claimed: 0,
+        }
+    }
+
+    /// Seeds the frontier with one node. The caller must have already
+    /// claimed it (seeds are never passed to [`EdgeMapOps::claim`]).
+    pub fn seed(&mut self, v: NodeId) {
+        self.frontier.push(v);
+        self.remaining = self.remaining.saturating_sub(1);
+    }
+
+    /// Appends pre-claimed nodes to the current frontier (multi-source
+    /// traversals; re-activation between [`step`](EdgeMap::step)s).
+    pub fn extend(&mut self, items: &[NodeId]) {
+        self.frontier.extend_from_slice(items);
+    }
+
+    /// Overrides the remaining-candidate estimate used by the bottom-up
+    /// switch heuristic (e.g. the size of the color partition being
+    /// traversed rather than the whole graph).
+    pub fn set_remaining(&mut self, remaining: usize) {
+        self.remaining = remaining;
+    }
+
+    /// Depth of the most recently built level (0 before the first step).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Members of the current frontier.
+    pub fn frontier(&self) -> &[NodeId] {
+        self.frontier.as_slice()
+    }
+
+    /// Total number of successful claims so far (seeds excluded).
+    pub fn claimed(&self) -> usize {
+        self.claimed
+    }
+
+    /// Advances one level; returns the size of the newly built frontier
+    /// (0 when the traversal is exhausted).
+    pub fn step<O: EdgeMapOps>(&mut self, ops: &O) -> usize {
+        if self.frontier.is_empty() {
+            return 0;
+        }
+        self.depth += 1;
+        let depth = self.depth;
+        let flen = self.frontier.len();
+        let workers = if flen < self.cfg.par_threshold {
+            1
+        } else {
+            rayon::current_num_threads()
+        };
+        let bottom_up = self.cfg.direction_optimizing
+            && flen * self.cfg.alpha > self.remaining
+            && self.remaining > self.cfg.par_threshold;
+
+        let g = self.g;
+        let adj = self.adj;
+        if bottom_up {
+            let set = self
+                .in_frontier
+                .get_or_insert_with(|| ClaimSet::new(g.num_nodes()));
+            for &u in self.frontier.as_slice() {
+                set.claim(u as usize);
+            }
+            let pool = self.pool.get_or_insert_with(|| {
+                (0..g.num_nodes() as NodeId)
+                    .into_par_iter()
+                    .filter(|&v| ops.candidate(v))
+                    .collect()
+            });
+            let set = &*set;
+            self.frontier.advance_over(pool, workers, |chunk, out| {
+                for &v in chunk {
+                    if !ops.candidate(v) {
+                        continue;
+                    }
+                    if let Some(u) = adj.find_in(g, v, |u| set.contains(u as usize)) {
+                        if ops.claim(u, v, depth) {
+                            out.push(v);
+                        }
+                    }
+                }
+            });
+            // sparse-reset the just-expanded level's membership bits
+            let set = self.in_frontier.as_ref().expect("built above");
+            for &u in self.frontier.previous() {
+                set.release(u as usize);
+            }
+            self.pool
+                .as_mut()
+                .expect("built above")
+                .retain(|&v| ops.candidate(v));
+        } else {
+            self.frontier.advance(workers, |chunk, out| {
+                for &u in chunk {
+                    adj.for_each_out(g, u, &mut |v| {
+                        if ops.claim(u, v, depth) {
+                            out.push(v);
+                        }
+                    });
+                }
+            });
+        }
+
+        let added = self.frontier.len();
+        self.claimed += added;
+        self.remaining = self.remaining.saturating_sub(added);
+        added
+    }
+
+    /// Runs to the fixpoint; returns the total number of claims (seeds
+    /// excluded).
+    pub fn run<O: EdgeMapOps>(&mut self, ops: &O) -> usize {
+        while self.step(ops) > 0 {}
+        self.claimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    /// Plain reachability ops over a visited ClaimSet.
+    struct VisitOps {
+        visited: ClaimSet,
+    }
+
+    impl EdgeMapOps for VisitOps {
+        fn claim(&self, _src: NodeId, dst: NodeId, _depth: u32) -> bool {
+            self.visited.claim(dst as usize)
+        }
+        fn candidate(&self, v: NodeId) -> bool {
+            !self.visited.contains(v as usize)
+        }
+    }
+
+    /// Level-recording ops (the BFS claim protocol).
+    struct LevelOps {
+        levels: Vec<AtomicU32>,
+    }
+
+    impl LevelOps {
+        fn new(n: usize, src: NodeId) -> Self {
+            let mut levels = Vec::with_capacity(n);
+            levels.resize_with(n, || AtomicU32::new(u32::MAX));
+            levels[src as usize].store(0, Ordering::Relaxed);
+            LevelOps { levels }
+        }
+        fn level(&self, v: NodeId) -> u32 {
+            self.levels[v as usize].load(Ordering::Relaxed)
+        }
+    }
+
+    impl EdgeMapOps for LevelOps {
+        fn claim(&self, _src: NodeId, dst: NodeId, depth: u32) -> bool {
+            self.levels[dst as usize].load(Ordering::Relaxed) == u32::MAX
+                && self.levels[dst as usize]
+                    .compare_exchange(u32::MAX, depth, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+        }
+        fn candidate(&self, v: NodeId) -> bool {
+            self.levels[v as usize].load(Ordering::Relaxed) == u32::MAX
+        }
+    }
+
+    fn visit_all(g: &CsrGraph, src: NodeId, adj: Adjacency, cfg: TraversalConfig) -> (usize, u32) {
+        let ops = VisitOps {
+            visited: ClaimSet::new(g.num_nodes()),
+        };
+        ops.visited.claim(src as usize);
+        let mut em = EdgeMap::new(g, adj, cfg);
+        em.seed(src);
+        let claimed = em.run(&ops);
+        assert_eq!(claimed, em.claimed());
+        (claimed + 1, em.depth())
+    }
+
+    #[test]
+    fn single_node_no_edges() {
+        let g = CsrGraph::from_edges(1, &[]);
+        let (reached, depth) = visit_all(
+            &g,
+            0,
+            Adjacency::Directed(Direction::Forward),
+            TraversalConfig::default(),
+        );
+        assert_eq!(reached, 1);
+        assert_eq!(depth, 1, "one (empty) expansion of the seed level");
+    }
+
+    #[test]
+    fn self_loops_do_not_requeue() {
+        let g = CsrGraph::from_edges(3, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 0)]);
+        let (reached, _) = visit_all(
+            &g,
+            0,
+            Adjacency::Directed(Direction::Forward),
+            TraversalConfig::default(),
+        );
+        assert_eq!(reached, 3);
+    }
+
+    #[test]
+    fn source_with_zero_out_degree() {
+        let g = CsrGraph::from_edges(4, &[(1, 0), (2, 3)]);
+        let (reached, _) = visit_all(
+            &g,
+            0,
+            Adjacency::Directed(Direction::Forward),
+            TraversalConfig::default(),
+        );
+        assert_eq!(reached, 1, "nothing reachable forward from a sink");
+        let (reached_bw, _) = visit_all(
+            &g,
+            0,
+            Adjacency::Directed(Direction::Backward),
+            TraversalConfig::default(),
+        );
+        assert_eq!(reached_bw, 2);
+    }
+
+    #[test]
+    fn undirected_adjacency_crosses_edge_direction() {
+        // 0 -> 1 <- 2: directed misses 2, undirected reaches it
+        let g = CsrGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        let (fwd, _) = visit_all(
+            &g,
+            0,
+            Adjacency::Directed(Direction::Forward),
+            TraversalConfig::default(),
+        );
+        assert_eq!(fwd, 2);
+        let (und, _) = visit_all(&g, 0, Adjacency::Undirected, TraversalConfig::default());
+        assert_eq!(und, 3);
+    }
+
+    /// A star: the frontier after level 1 is exactly `width`, probing the
+    /// sequential/parallel boundary of the hybrid expansion.
+    fn star_levels(width: usize, cfg: TraversalConfig) {
+        let n = width + 2;
+        let mut edges: Vec<(u32, u32)> = (0..width).map(|i| (0, (i + 1) as u32)).collect();
+        // all spokes point at a common sink so the parallel level has work
+        edges.extend((0..width).map(|i| ((i + 1) as u32, (width + 1) as u32)));
+        let g = CsrGraph::from_edges(n, &edges);
+        let ops = LevelOps::new(n, 0);
+        let mut em = EdgeMap::new(&g, Adjacency::Directed(Direction::Forward), cfg);
+        em.seed(0);
+        assert_eq!(em.step(&ops), width, "level 1 = the spokes");
+        assert_eq!(em.step(&ops), 1, "level 2 = the sink");
+        assert_eq!(em.step(&ops), 0);
+        assert_eq!(ops.level(0), 0);
+        for i in 0..width {
+            assert_eq!(ops.level((i + 1) as u32), 1);
+        }
+        assert_eq!(ops.level((width + 1) as u32), 2);
+    }
+
+    #[test]
+    fn frontier_exactly_at_par_threshold() {
+        // width == par_threshold: the level expands in parallel;
+        // width == par_threshold - 1: sequentially. Same answers.
+        let cfg = TraversalConfig::default();
+        star_levels(cfg.par_threshold, cfg);
+        star_levels(cfg.par_threshold - 1, cfg);
+    }
+
+    #[test]
+    fn bottom_up_switch_threshold_boundary() {
+        // remaining must strictly exceed par_threshold for bottom-up to
+        // engage; probe both sides of the boundary and both traversal
+        // modes must agree with sequential BFS levels.
+        for extra in [0usize, 1, 600] {
+            let width = DEFAULT_PAR_FRONTIER_THRESHOLD + extra;
+            let td = TraversalConfig::default();
+            let bu = TraversalConfig::direction_optimizing();
+            star_levels(width, td);
+            star_levels(width, bu);
+        }
+    }
+
+    #[test]
+    fn direction_optimizing_matches_top_down_levels() {
+        use rand::rngs::SmallRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 2000u32;
+        let edges: Vec<_> = (0..16_000)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        for adj in [
+            Adjacency::Directed(Direction::Forward),
+            Adjacency::Directed(Direction::Backward),
+            Adjacency::Undirected,
+        ] {
+            let a = LevelOps::new(n as usize, 0);
+            let mut em = EdgeMap::new(&g, adj, TraversalConfig::default());
+            em.seed(0);
+            em.run(&a);
+            let b = LevelOps::new(n as usize, 0);
+            let mut em = EdgeMap::new(&g, adj, TraversalConfig::direction_optimizing());
+            em.seed(0);
+            em.run(&b);
+            for v in 0..n {
+                assert_eq!(a.level(v), b.level(v), "node {v} under {adj:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let ops = VisitOps {
+            visited: ClaimSet::new(0),
+        };
+        let mut em = EdgeMap::new(
+            &g,
+            Adjacency::Directed(Direction::Forward),
+            TraversalConfig::default(),
+        );
+        assert_eq!(em.run(&ops), 0);
+        assert_eq!(em.depth(), 0);
+    }
+}

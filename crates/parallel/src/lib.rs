@@ -11,12 +11,18 @@
 //!   … is only six").
 //! * [`bitset::AtomicBitSet`] — the `mark` array (§4.1): lock-free
 //!   node-detached flags with a fetch-or claim primitive.
+//! * [`frontier::Frontier`] / [`frontier::ClaimSet`] — double-buffered
+//!   frontier storage with per-worker chunked gathering and the shared
+//!   visited/claim layer; the zero-allocation substrate under every
+//!   level-synchronous traversal (§4.2).
 //! * [`pool`] — helpers to run a closure inside a rayon pool of an exact
 //!   thread count (the paper's thread-count sweep axis in Fig. 6/7).
 
 pub mod bitset;
+pub mod frontier;
 pub mod pool;
 pub mod workqueue;
 
 pub use bitset::AtomicBitSet;
+pub use frontier::{ClaimSet, Frontier};
 pub use workqueue::{QueueStats, TwoLevelQueue, Worker};
