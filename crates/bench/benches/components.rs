@@ -2,18 +2,21 @@
 //!
 //! Times Par-Trim, Par-Trim2, Par-WCC, the Par-FWBW peel, and the BFS
 //! primitive in isolation, each on a fresh state over the LiveJournal
-//! analog — the per-phase costs that Fig. 7 stacks.
+//! analog — the per-phase costs that Fig. 7 stacks. The `residue_sweep`
+//! group isolates the live-residue subset win: the same kernels on a
+//! post-peel residue, dense full sweep vs compacted live set.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use swscc_core::fwbw::parallel::par_fwbw;
 use swscc_core::state::{AlgoState, INITIAL_COLOR};
 use swscc_core::trim::{par_trim, par_trim_sweeping};
 use swscc_core::trim2::par_trim2;
 use swscc_core::wcc::par_wcc;
-use swscc_core::SccConfig;
+use swscc_core::{CompactionPolicy, SccConfig};
 use swscc_graph::bfs::{bfs_levels, par_bfs_levels, Direction};
 use swscc_graph::datasets::Dataset;
+use swscc_parallel::pool::with_pool;
 
 fn bench_kernels(c: &mut Criterion) {
     let g = Dataset::Livej.generate(0.05, 42);
@@ -62,6 +65,66 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a post-peel residue: trim, one FW-BW peel, then Trim/Trim2 to a
+/// fixed point so every benched kernel below is a pure sweep (no further
+/// resolutions — re-running it measures only scan cost).
+fn residue_state(g: &swscc_graph::CsrGraph) -> AlgoState<'_> {
+    let cfg = SccConfig::with_threads(2);
+    let state = AlgoState::new(g);
+    with_pool(2, || {
+        par_trim(&state);
+        par_fwbw(&state, &cfg, INITIAL_COLOR);
+        loop {
+            let a = par_trim(&state);
+            let b = par_trim2(&state);
+            if a == 0 && b == 0 {
+                break;
+            }
+        }
+    });
+    state
+}
+
+/// Full-sweep (dense, `Never`) vs live-set (compacted) Trim, Trim2, and WCC
+/// on the same post-peel residue at 1/2/4 threads. The residue is ~1-5% of
+/// the graph, so the dense variants pay O(N) per sweep for O(|residue|)
+/// useful work.
+fn bench_residue_sweep(c: &mut Criterion) {
+    // Larger than the kernels group: the sweep gap only shows once the
+    // dense O(N) scan dwarfs per-round pool dispatch overhead.
+    let g = Dataset::Livej.generate(0.5, 42);
+    let dense = residue_state(&g);
+    let sparse = residue_state(&g);
+    sparse.compact_live(CompactionPolicy::Always);
+    assert!(!dense.live().is_sparse() && sparse.live().is_sparse());
+    assert_eq!(dense.count_alive(), sparse.count_alive());
+    eprintln!(
+        "residue_sweep: residue {} of {} nodes ({:.2}%)",
+        dense.count_alive(),
+        g.num_nodes(),
+        100.0 * dense.count_alive() as f64 / g.num_nodes() as f64
+    );
+
+    let mut group = c.benchmark_group("residue_sweep");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for (mode, state) in [("full", &dense), ("live", &sparse)] {
+            group.bench_function(BenchmarkId::new(format!("trim-{mode}"), threads), |b| {
+                with_pool(threads, || b.iter(|| black_box(par_trim(state))))
+            });
+            group.bench_function(BenchmarkId::new(format!("trim2-{mode}"), threads), |b| {
+                with_pool(threads, || b.iter(|| black_box(par_trim2(state))))
+            });
+            group.bench_function(BenchmarkId::new(format!("wcc-{mode}"), threads), |b| {
+                with_pool(threads, || {
+                    b.iter(|| black_box(par_wcc(state).groups.len()))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_bfs(c: &mut Criterion) {
     let g = Dataset::Livej.generate(0.05, 42);
     let mut group = c.benchmark_group("bfs");
@@ -76,5 +139,5 @@ fn bench_bfs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_bfs);
+criterion_group!(benches, bench_kernels, bench_residue_sweep, bench_bfs);
 criterion_main!(benches);

@@ -2,8 +2,9 @@
 //!
 //! A plain timing harness exposing the group/bench surface the workspace's
 //! benches use: `benchmark_group`, `sample_size`, `throughput`,
-//! `bench_function`, `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
-//! and the `criterion_group!`/`criterion_main!` macros.
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `Bencher::iter_batched` (+ `BatchSize`), `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
 //!
 //! Measurement: each benchmark is warmed up, then timed for `sample_size`
 //! samples of auto-scaled iteration counts; the median, minimum, and
@@ -139,6 +140,17 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Batch sizing hint for [`Bencher::iter_batched`]. The shim times every
+/// iteration individually regardless, so the variants only exist for
+/// upstream source compatibility.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum BatchSize {
+    #[default]
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
 /// Passed to the benchmark closure; [`Bencher::iter`] times the payload.
 pub struct Bencher {
     iters: u64,
@@ -153,6 +165,26 @@ impl Bencher {
             black_box(f());
         }
         self.elapsed = t0.elapsed();
+    }
+
+    /// Like upstream `iter_batched`: `setup` builds a fresh input per
+    /// iteration *outside* the timed section, `routine` consumes it inside.
+    /// Use when the payload mutates its input (e.g. resolving nodes in an
+    /// `AlgoState`) and re-running on the mutated value would mis-measure.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            elapsed += t0.elapsed();
+        }
+        self.elapsed = elapsed;
     }
 }
 
@@ -274,6 +306,30 @@ mod tests {
         });
         group.finish();
         assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("t");
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.sample_size(2).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64, 2, 3]
+                },
+                |v| {
+                    runs += 1;
+                    v.into_iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(setups > 0);
+        assert_eq!(setups, runs, "one fresh input per routine run");
     }
 
     #[test]

@@ -25,8 +25,10 @@ pub fn baseline_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
         let state = AlgoState::new(g);
         let collector = Collector::new(cfg.task_log_limit);
 
-        // Phase A: parallel trim.
+        // Phase A: parallel trim, then a live-set compaction so the
+        // seed-task scan costs O(|residue|).
         collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
+        state.compact_live(cfg.live_set_compaction);
 
         // Phase B: recursive FW-BW over the work queue.
         let tasks = seed_tasks(&state, cfg);

@@ -1,5 +1,7 @@
 //! Runtime configuration for the parallel SCC methods.
 
+pub use swscc_parallel::liveset::CompactionPolicy;
+
 /// How Par-FWBW chooses its pivot when hunting for the giant SCC (§3.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PivotStrategy {
@@ -72,6 +74,13 @@ pub struct SccConfig {
     /// overhead exceeds the work on the tiny ramp-up/ramp-down levels that
     /// bracket a small-world BFS).
     pub par_frontier_threshold: usize,
+    /// When the live-residue vertex subset compacts at phase boundaries
+    /// (after the trims, the giant-SCC peel, and each Coloring/Multistep
+    /// hand-off). `Auto` (default) compacts when at most half the current
+    /// candidates are still alive, making every post-peel full-sweep kernel
+    /// O(|residue|); `Never` keeps the pre-LiveSet O(N) sweeps (the
+    /// ablation baseline); `Always` compacts at every boundary.
+    pub live_set_compaction: CompactionPolicy,
 }
 
 impl Default for SccConfig {
@@ -89,6 +98,7 @@ impl Default for SccConfig {
             wcc_impl: WccImpl::LabelPropagation,
             direction_optimizing: false,
             par_frontier_threshold: swscc_graph::traverse::DEFAULT_PAR_FRONTIER_THRESHOLD,
+            live_set_compaction: CompactionPolicy::Auto,
         }
     }
 }
@@ -133,6 +143,7 @@ mod tests {
         assert_eq!(c.task_log_limit, 0);
         assert_eq!(c.par_frontier_threshold, 256);
         assert!(!c.direction_optimizing);
+        assert_eq!(c.live_set_compaction, CompactionPolicy::Auto);
     }
 
     #[test]

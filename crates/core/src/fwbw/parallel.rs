@@ -28,7 +28,6 @@ use crate::config::{PivotStrategy, SccConfig};
 use crate::state::{AlgoState, Color};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use swscc_graph::bfs::Direction;
 use swscc_graph::traverse::{Adjacency, EdgeMap, EdgeMapOps};
@@ -96,12 +95,14 @@ pub fn par_fwbw(state: &AlgoState<'_>, cfg: &SccConfig, start_color: Color) -> P
         );
 
         // Resolve the SCC: scan-claim every scc_color node. (Phase 1 keeps
-        // no member lists — §4.2 — so this is a color-array sweep.)
+        // no member lists — §4.2 — so this is a color sweep over the live
+        // set; scc_color nodes are alive by construction, hence candidates.)
         let comp = state.alloc_component();
-        (0..n as NodeId)
-            .into_par_iter()
-            .filter(|&v| state.color(v) == scc_color)
-            .for_each(|v| state.resolve_into(v, comp));
+        state.live().par_for_each(|v| {
+            if state.color(v) == scc_color {
+                state.resolve_into(v, comp);
+            }
+        });
 
         resolved += scc;
         if scc >= giant_min {
@@ -265,35 +266,41 @@ fn backward_reach(
 
 /// Picks a pivot from the alive nodes of `color`, per the configured
 /// strategy. Random probing first (O(1) expected when the partition is a
-/// large fraction of N), falling back to a parallel scan.
+/// large fraction of the live set's candidates — probing samples the
+/// sparse candidate list once the set has been compacted), falling back
+/// to a parallel scan over the live set.
 fn pick_pivot(
     state: &AlgoState<'_>,
     cfg: &SccConfig,
     color: Color,
     rng: &mut SmallRng,
 ) -> Option<NodeId> {
-    let n = state.num_nodes();
-    if n == 0 {
-        return None;
-    }
+    let live = state.live();
     match cfg.pivot {
         PivotStrategy::Random { .. } => {
-            for _ in 0..64 {
-                let v = rng.random_range(0..n) as NodeId;
-                if state.alive(v) && state.color(v) == color {
-                    return Some(v);
+            let probed = live.with_sparse(|sparse| {
+                let domain = sparse.map_or(state.num_nodes(), <[NodeId]>::len);
+                if domain == 0 {
+                    return None;
                 }
-            }
-            (0..n as NodeId)
-                .into_par_iter()
-                .find_any(|&v| state.alive(v) && state.color(v) == color)
+                for _ in 0..64 {
+                    let i = rng.random_range(0..domain);
+                    let v = match sparse {
+                        Some(list) => list[i],
+                        None => i as NodeId,
+                    };
+                    if state.alive(v) && state.color(v) == color {
+                        return Some(v);
+                    }
+                }
+                None
+            });
+            probed.or_else(|| live.par_find_any(|v| state.alive(v) && state.color(v) == color))
         }
-        PivotStrategy::MaxDegreeProduct => (0..n as NodeId)
-            .into_par_iter()
-            .filter(|&v| state.alive(v) && state.color(v) == color)
-            .max_by_key(|&v| {
-                (state.g.in_degree(v) as u64 + 1) * (state.g.out_degree(v) as u64 + 1)
-            }),
+        PivotStrategy::MaxDegreeProduct => live.par_max_by_key(
+            |v| state.alive(v) && state.color(v) == color,
+            |v| (state.g.in_degree(v) as u64 + 1) * (state.g.out_degree(v) as u64 + 1),
+        ),
     }
 }
 

@@ -56,7 +56,7 @@ pub mod trim;
 pub mod trim2;
 pub mod wcc;
 
-pub use config::{PivotStrategy, SccConfig, WccImpl};
+pub use config::{CompactionPolicy, PivotStrategy, SccConfig, WccImpl};
 pub use instrument::RunReport;
 pub use result::SccResult;
 

@@ -30,8 +30,11 @@ pub fn method1_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
         let state = AlgoState::new(g);
         let collector = Collector::new(cfg.task_log_limit);
 
-        // Phase 1: parallelism in trims and traversals.
+        // Phase 1: parallelism in trims and traversals. Each phase boundary
+        // is a live-set compaction point: once the giant SCC is peeled, the
+        // remaining sweeps cost O(|residue|) instead of O(N).
         collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
+        state.compact_live(cfg.live_set_compaction);
         let outcome = collector.phase(Phase::ParFwbw, || {
             let o = par_fwbw(&state, cfg, INITIAL_COLOR);
             (o.resolved, o)
@@ -39,11 +42,13 @@ pub fn method1_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
         collector
             .fwbw_trials
             .fetch_add(outcome.trials, Ordering::Relaxed);
+        state.compact_live(cfg.live_set_compaction);
         // "the algorithm applies parallel Trim once more after the
         // Par-FWBW step because detection of the giant SCC may present an
         // opportunity for further trimming" (§3.2). Attributed to the
         // Par-Trim′ segment per the Fig. 7 caption.
         collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
+        state.compact_live(cfg.live_set_compaction);
 
         // Phase 2: parallelism in recursion.
         let tasks = seed_tasks(&state, cfg);

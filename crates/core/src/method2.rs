@@ -34,8 +34,13 @@ pub fn method2_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
         let state = AlgoState::new(g);
         let collector = Collector::new(cfg.task_log_limit);
 
-        // Phase 1: parallelism in trims, traversals and WCC.
+        // Phase 1: parallelism in trims, traversals and WCC. Each phase
+        // boundary is a live-set compaction point — Method 2 strings the
+        // most full sweeps together (trim; trim2; trim; wcc; pivot;
+        // partition), so it gains the most from O(|residue|) iteration
+        // after the giant-SCC peel.
         collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
+        state.compact_live(cfg.live_set_compaction);
         let outcome = collector.phase(Phase::ParFwbw, || {
             let o = par_fwbw(&state, cfg, INITIAL_COLOR);
             (o.resolved, o)
@@ -43,13 +48,16 @@ pub fn method2_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
         collector
             .fwbw_trials
             .fetch_add(outcome.trials, Ordering::Relaxed);
+        state.compact_live(cfg.live_set_compaction);
         // Par-Trim′ = Trim; Trim2 (once); Trim (§3.5).
         collector.phase(Phase::ParTrim2, || {
             let mut resolved = par_trim(&state);
+            state.compact_live(cfg.live_set_compaction);
             resolved += par_trim2(&state);
             resolved += par_trim(&state);
             (resolved, ())
         });
+        state.compact_live(cfg.live_set_compaction);
         // Par-WCC: one fresh color (and one work item) per weak component.
         let groups = collector.phase(Phase::ParWcc, || {
             let out = match cfg.wcc_impl {

@@ -38,8 +38,10 @@ pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
         let collector = Collector::new(cfg.task_log_limit);
         let n = g.num_nodes();
 
-        // 1. Trim.
+        // 1. Trim (then a live-set hand-off compaction — power-law graphs
+        // can lose a large node fraction to the first trim alone).
         collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
+        state.compact_live(cfg.live_set_compaction);
 
         // 2. One FW-BW peel aimed straight at the giant SCC.
         let peel_cfg = SccConfig {
@@ -56,14 +58,13 @@ pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
             .fetch_add(outcome.trials, Ordering::Relaxed);
         collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
 
-        // 3. Coloring rounds on the tail.
+        // 3. Coloring rounds on the tail. Each hand-off compacts the live
+        // set, so the per-round alive gather costs O(|residue|).
         let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
         let mut rounds = 0usize;
         loop {
-            let alive: Vec<NodeId> = (0..n as NodeId)
-                .into_par_iter()
-                .filter(|&v| state.alive(v))
-                .collect();
+            state.compact_live(cfg.live_set_compaction);
+            let alive: Vec<NodeId> = state.collect_alive();
             if alive.len() <= SERIAL_CUTOFF || rounds >= MAX_COLOR_ROUNDS {
                 break;
             }
@@ -74,9 +75,10 @@ pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
             collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
         }
 
-        // 4. Serial finish on the induced residue.
+        // 4. Serial finish on the induced residue (gathered from the
+        // already-compacted live set).
         collector.phase(Phase::RecurFwbw, || {
-            let alive: Vec<NodeId> = (0..n as NodeId).filter(|&v| state.alive(v)).collect();
+            let alive: Vec<NodeId> = state.collect_alive();
             let count = alive.len();
             if !alive.is_empty() {
                 let sub = g.induced_subgraph(&alive);

@@ -15,10 +15,9 @@
 //! can never double-assign a node.
 
 use crate::result::SccResult;
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use swscc_graph::{CsrGraph, NodeId};
-use swscc_parallel::AtomicBitSet;
+use swscc_parallel::{AtomicBitSet, CompactionPolicy, LiveSet};
 
 /// Partition color. 32 bits keep the hot Color array at 4 bytes/node
 /// (§4.1's O(N) array is the most random-accessed structure in every
@@ -42,6 +41,12 @@ pub struct AlgoState<'g> {
     comp: Vec<AtomicU32>,
     next_color: AtomicU32,
     next_comp: AtomicU32,
+    /// Candidate-alive iteration domain for the full-sweep kernels; a
+    /// superset of `{v | alive(v)}` (marks are monotone, deletion is lazy).
+    live: LiveSet,
+    /// Nodes resolved so far — keeps [`AlgoState::count_alive`] O(1) for
+    /// the compaction-policy checks at phase boundaries.
+    resolved: AtomicUsize,
 }
 
 impl<'g> AlgoState<'g> {
@@ -59,6 +64,8 @@ impl<'g> AlgoState<'g> {
             comp,
             next_color: AtomicU32::new(1),
             next_comp: AtomicU32::new(0),
+            live: LiveSet::new_dense(n),
+            resolved: AtomicUsize::new(0),
         }
     }
 
@@ -120,6 +127,7 @@ impl<'g> AlgoState<'g> {
         if !self.mark.set(n as usize) {
             return false;
         }
+        self.resolved.fetch_add(1, Ordering::Relaxed);
         let c = self.alloc_component();
         self.comp[n as usize].store(c, Ordering::Relaxed);
         self.set_color(n, DONE_COLOR);
@@ -132,6 +140,7 @@ impl<'g> AlgoState<'g> {
     pub fn resolve_into(&self, n: NodeId, comp: u32) {
         let newly = self.mark.set(n as usize);
         debug_assert!(newly, "node {n} resolved twice");
+        self.resolved.fetch_add(1, Ordering::Relaxed);
         self.comp[n as usize].store(comp, Ordering::Relaxed);
         self.set_color(n, DONE_COLOR);
     }
@@ -200,9 +209,28 @@ impl<'g> AlgoState<'g> {
         found
     }
 
-    /// Number of unresolved nodes (parallel scan).
+    /// Number of unresolved nodes (O(1) — maintained by the resolve
+    /// primitives).
     pub fn count_alive(&self) -> usize {
-        self.num_nodes() - self.mark_count()
+        self.num_nodes() - self.resolved.load(Ordering::Relaxed)
+    }
+
+    /// The live-residue iteration domain shared by the full-sweep kernels.
+    pub fn live(&self) -> &LiveSet {
+        &self.live
+    }
+
+    /// The alive nodes, ascending — O(candidates), i.e. O(residue) once the
+    /// live set has been compacted.
+    pub fn collect_alive(&self) -> Vec<NodeId> {
+        self.live.par_collect(|v| self.alive(v))
+    }
+
+    /// Phase-boundary compaction point: shrinks the live set to exactly the
+    /// alive nodes per `policy`. Returns whether a compaction ran.
+    pub fn compact_live(&self, policy: CompactionPolicy) -> bool {
+        self.live
+            .maybe_compact(policy, self.count_alive(), |v| self.alive(v))
     }
 
     /// Number of resolved nodes.
@@ -214,11 +242,10 @@ impl<'g> AlgoState<'g> {
     /// ascending, colors in ascending order. This is the §4.2 "scan of
     /// non-marked nodes to construct the initial work items".
     pub fn alive_groups(&self) -> Vec<(Color, Vec<NodeId>)> {
-        let mut pairs: Vec<(Color, NodeId)> = (0..self.num_nodes() as NodeId)
-            .into_par_iter()
-            .filter(|&n| self.alive(n))
-            .map(|n| (self.color(n), n))
-            .collect();
+        use rayon::prelude::*;
+        let mut pairs: Vec<(Color, NodeId)> = self
+            .live
+            .par_filter_map(|n| self.alive(n).then(|| (self.color(n), n)));
         pairs.par_sort_unstable();
         let mut groups: Vec<(Color, Vec<NodeId>)> = Vec::new();
         for (c, n) in pairs {
@@ -345,6 +372,52 @@ mod tests {
         assert_eq!(r.num_components(), 2);
         assert!(r.same_component(0, 2));
         assert!(!r.same_component(0, 3));
+    }
+
+    #[test]
+    fn live_set_tracks_alive_after_compaction() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        assert!(!s.live().is_sparse());
+        assert_eq!(s.live().candidates(), 4);
+        s.resolve_singleton(1);
+        s.resolve_singleton(3);
+        // lazy deletion: candidates unchanged until a compaction point
+        assert_eq!(s.live().candidates(), 4);
+        assert_eq!(s.collect_alive(), vec![0, 2]);
+        assert!(s.compact_live(CompactionPolicy::Auto), "2 of 4 alive");
+        assert!(s.live().is_sparse());
+        assert_eq!(s.live().candidate_vec(), vec![0, 2]);
+        assert_eq!(s.collect_alive(), vec![0, 2]);
+        // Never leaves the (now sparse) set alone
+        s.resolve_singleton(0);
+        assert!(!s.compact_live(CompactionPolicy::Never));
+        assert_eq!(s.live().candidate_vec(), vec![0, 2]);
+        assert_eq!(s.collect_alive(), vec![2]);
+    }
+
+    #[test]
+    fn count_alive_is_counter_backed() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        assert_eq!(s.count_alive(), 4);
+        s.resolve_singleton(0);
+        let c = s.alloc_component();
+        s.resolve_into(1, c);
+        assert_eq!(s.count_alive(), 2);
+        assert_eq!(s.count_alive(), s.num_nodes() - s.mark_count());
+    }
+
+    #[test]
+    fn alive_groups_sparse_matches_dense() {
+        let g = tiny();
+        let s = AlgoState::new(&g);
+        let c = s.alloc_color();
+        s.set_color(1, c);
+        s.resolve_singleton(0);
+        let dense = s.alive_groups();
+        s.compact_live(CompactionPolicy::Always);
+        assert_eq!(s.alive_groups(), dense);
     }
 
     #[test]

@@ -35,12 +35,11 @@ fn trimmable(state: &AlgoState<'_>, n: NodeId) -> bool {
 /// Runs Par-Trim to fixpoint over the whole graph. Returns the number of
 /// nodes resolved (each becomes its own size-1 SCC).
 pub fn par_trim(state: &AlgoState<'_>) -> usize {
-    let n = state.num_nodes();
-    // Round 0: full parallel sweep.
-    let mut frontier: Vec<NodeId> = (0..n as NodeId)
-        .into_par_iter()
-        .filter(|&v| state.alive(v) && trimmable(state, v))
-        .collect();
+    // Round 0: parallel sweep over the live set — O(N) on a fresh state,
+    // O(|residue|) after a post-peel compaction.
+    let mut frontier: Vec<NodeId> = state
+        .live()
+        .par_collect(|v| state.alive(v) && trimmable(state, v));
     let mut resolved = 0usize;
     while !frontier.is_empty() {
         // Claim this round's trims. `resolve_singleton` is an atomic claim,

@@ -15,19 +15,19 @@
 //! assertion verifies no double-resolution.
 
 use crate::state::AlgoState;
-use rayon::prelude::*;
 use swscc_graph::NodeId;
 
 /// Runs one parallel Trim2 sweep. Returns the number of nodes resolved
 /// (always even: whole pairs).
 pub fn par_trim2(state: &AlgoState<'_>) -> usize {
-    let n = state.num_nodes();
-    let pairs: Vec<(NodeId, NodeId)> = (0..n as NodeId)
-        .into_par_iter()
-        .filter(|&v| state.alive(v))
-        .filter_map(|v| find_partner(state, v).map(|k| (v, k)))
-        .filter(|&(v, k)| v < k) // each pair claimed once, by its min node
-        .collect();
+    // Pair scan over the live set: O(|residue|) once compacted.
+    let pairs: Vec<(NodeId, NodeId)> = state.live().par_filter_map(|v| {
+        if !state.alive(v) {
+            return None;
+        }
+        // each pair claimed once, by its min node
+        find_partner(state, v).and_then(|k| (v < k).then_some((v, k)))
+    });
     for &(v, k) in &pairs {
         let comp = state.alloc_component();
         // `find_partner` results are mutually exclusive across pairs (a

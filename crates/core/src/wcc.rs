@@ -87,10 +87,8 @@ impl EdgeMapOps for MinLabelOps<'_, '_> {
 pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
     let n = state.num_nodes();
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let alive: Vec<NodeId> = (0..n as NodeId)
-        .into_par_iter()
-        .filter(|&v| state.alive(v))
-        .collect();
+    // Alive-list build over the live set: O(|residue|) once compacted.
+    let alive: Vec<NodeId> = state.collect_alive();
 
     let ops = MinLabelOps {
         state,
@@ -180,10 +178,7 @@ pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
 pub fn par_wcc_unionfind(state: &AlgoState<'_>) -> WccOutcome {
     let n = state.num_nodes();
     let parents: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let alive: Vec<NodeId> = (0..n as NodeId)
-        .into_par_iter()
-        .filter(|&v| state.alive(v))
-        .collect();
+    let alive: Vec<NodeId> = state.collect_alive();
 
     // Union every same-color alive edge. Out-edges suffice: (u, v) is seen
     // from u's side, and weak connectivity is symmetric.

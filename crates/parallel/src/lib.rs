@@ -15,14 +15,19 @@
 //!   frontier storage with per-worker chunked gathering and the shared
 //!   visited/claim layer; the zero-allocation substrate under every
 //!   level-synchronous traversal (§4.2).
+//! * [`liveset::LiveSet`] — the dense ↔ sparse live-residue vertex subset:
+//!   post-peel kernels iterate it instead of `0..N`, making every sweep
+//!   O(|residue|) once the giant SCC is gone (GBBS-style `vertexSubset`).
 //! * [`pool`] — helpers to run a closure inside a rayon pool of an exact
 //!   thread count (the paper's thread-count sweep axis in Fig. 6/7).
 
 pub mod bitset;
 pub mod frontier;
+pub mod liveset;
 pub mod pool;
 pub mod workqueue;
 
 pub use bitset::AtomicBitSet;
 pub use frontier::{ClaimSet, Frontier};
+pub use liveset::{CompactionPolicy, LiveSet};
 pub use workqueue::{QueueStats, TwoLevelQueue, Worker};

@@ -208,20 +208,30 @@ impl<'q, T: Send> Worker<'q, T> {
                     spin = 0;
                     handler(t, self);
                     self.queue.tasks_executed.fetch_add(1, Ordering::Relaxed);
-                    self.queue.outstanding.fetch_sub(1, Ordering::Relaxed);
+                    // Release pairs with the Acquire termination load below:
+                    // a worker that observes outstanding == 0 must also
+                    // observe every finished handler's side effects.
+                    self.queue.outstanding.fetch_sub(1, Ordering::Release);
                 }
                 None => {
                     // Global queue empty. If nothing is outstanding anywhere
                     // the run is over; otherwise another worker may still
-                    // spawn tasks — back off and re-check.
+                    // spawn tasks — back off and re-check. Bounded
+                    // exponential backoff: a few busy spins, then yields,
+                    // then short parks capped at ~128µs, so idle workers
+                    // stop burning a core while one straggler drains a deep
+                    // recursion.
                     if self.queue.outstanding.load(Ordering::Acquire) == 0 {
                         return;
                     }
                     spin += 1;
-                    if spin < 64 {
+                    if spin <= 16 {
                         std::hint::spin_loop();
-                    } else {
+                    } else if spin <= 32 {
                         std::thread::yield_now();
+                    } else {
+                        let exp = (spin - 32).min(7); // 1µs .. 128µs
+                        std::thread::sleep(std::time::Duration::from_micros(1 << exp));
                     }
                 }
             }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! swscc scc <input> [--algo NAME] [--threads N] [--scale S] [--histogram] [--dobfs]
+//!           [--live-compaction auto|always|never]
 //! swscc stats <input> [--scale S]
 //! swscc gen <dataset> --out FILE [--scale S] [--seed N]
 //! swscc condense <input> --out FILE [--scale S]
@@ -16,7 +17,7 @@ use std::process::ExitCode;
 use swscc::graph::datasets::Dataset;
 use swscc::graph::stats::{average_degree, estimate_diameter};
 use swscc::graph::{io, CsrGraph};
-use swscc::{detect_scc, Algorithm, SccConfig};
+use swscc::{detect_scc, Algorithm, CompactionPolicy, SccConfig};
 
 struct Args {
     positional: Vec<String>,
@@ -99,6 +100,16 @@ fn cmd_scc(args: &Args) -> Result<(), String> {
         )?,
     );
     cfg.direction_optimizing = args.flag_present("dobfs");
+    cfg.live_set_compaction = match args.flag_value("live-compaction").unwrap_or("auto") {
+        "auto" => CompactionPolicy::Auto,
+        "always" => CompactionPolicy::Always,
+        "never" => CompactionPolicy::Never,
+        v => {
+            return Err(format!(
+                "invalid --live-compaction {v:?} (auto|always|never)"
+            ))
+        }
+    };
 
     let g = load_input(input, scale, seed)?;
     eprintln!("loaded: {} nodes, {} edges", g.num_nodes(), g.num_edges());
@@ -184,6 +195,7 @@ swscc — parallel SCC detection for small-world graphs (SC'13 reproduction)
 
 USAGE:
   swscc scc <input> [--algo NAME] [--threads N] [--scale S] [--histogram] [--dobfs]
+            [--live-compaction auto|always|never]
   swscc stats <input> [--scale S]
   swscc gen <dataset> --out FILE [--scale S] [--seed N]
   swscc condense <input> --out FILE [--scale S]

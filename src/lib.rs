@@ -28,5 +28,7 @@ pub use swscc_distributed as distributed;
 pub use swscc_graph as graph;
 pub use swscc_parallel as parallel;
 
-pub use swscc_core::{detect_scc, Algorithm, PivotStrategy, RunReport, SccConfig, SccResult};
+pub use swscc_core::{
+    detect_scc, Algorithm, CompactionPolicy, PivotStrategy, RunReport, SccConfig, SccResult,
+};
 pub use swscc_graph::{CsrGraph, GraphBuilder, NodeId};

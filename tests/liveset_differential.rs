@@ -1,0 +1,190 @@
+//! Differential battery for the live-residue vertex subset.
+//!
+//! The `LiveSet` threaded through `AlgoState` must be *observationally
+//! invisible*: at every pipeline phase boundary its candidate list is a
+//! superset of the alive nodes (lazy deletion), the alive nodes gathered
+//! through it equal the ground-truth sequential scan, and — right after a
+//! forced compaction — its contents are exactly `{v | state.alive(v)}`.
+//! Checked across 1/2/4 threads and all three compaction policies, plus
+//! end-to-end: every parallel algorithm agrees with Tarjan under Auto,
+//! Always, and Never.
+
+use proptest::prelude::*;
+use swscc::core::fwbw::parallel::par_fwbw;
+use swscc::core::state::{AlgoState, INITIAL_COLOR};
+use swscc::core::tarjan::tarjan_scc;
+use swscc::core::trim::par_trim;
+use swscc::core::trim2::par_trim2;
+use swscc::core::wcc::{par_wcc, par_wcc_unionfind};
+use swscc::parallel::pool::with_pool;
+use swscc::{detect_scc, Algorithm, CompactionPolicy, CsrGraph, SccConfig};
+
+const POLICIES: [CompactionPolicy; 3] = [
+    CompactionPolicy::Auto,
+    CompactionPolicy::Always,
+    CompactionPolicy::Never,
+];
+
+/// Strategy: a random directed graph with 1..=max_n nodes (self-loops and
+/// parallel edges allowed).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..4 * n)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+/// The live-set invariants that must hold at any phase boundary:
+/// candidates ⊇ alive, and gathering through the set equals the
+/// ground-truth sequential scan. Under `Never` the set must still be dense.
+fn check_invariants(state: &AlgoState<'_>, policy: CompactionPolicy, at: &str) {
+    let n = state.num_nodes();
+    let truth: Vec<u32> = (0..n as u32).filter(|&v| state.alive(v)).collect();
+    let candidates = state.live().candidate_vec();
+    assert!(
+        truth.iter().all(|v| candidates.binary_search(v).is_ok()),
+        "{at}: candidate list lost an alive node"
+    );
+    assert_eq!(
+        state.collect_alive(),
+        truth,
+        "{at}: live-set gather diverges from sequential alive scan"
+    );
+    assert_eq!(
+        state.count_alive(),
+        truth.len(),
+        "{at}: O(1) counter drifted"
+    );
+    match policy {
+        CompactionPolicy::Never => {
+            assert!(!state.live().is_sparse(), "{at}: Never must stay dense");
+        }
+        // The driver compacts at every boundary under Always, so the
+        // candidate list must be *exactly* the alive set (fresh state:
+        // dense 0..n over an all-alive graph, also exact).
+        CompactionPolicy::Always => {
+            assert_eq!(
+                candidates, truth,
+                "{at}: compacted contents differ from alive set"
+            );
+        }
+        CompactionPolicy::Auto => {}
+    }
+}
+
+/// Drives the Method 2 phase sequence by hand — trim, peel, Trim′ block,
+/// WCC (both impls on alternate runs), seed scan — checking the invariants
+/// after every phase and compaction point.
+fn drive_pipeline(g: &CsrGraph, threads: usize, policy: CompactionPolicy, use_unionfind: bool) {
+    with_pool(threads, || {
+        let cfg = SccConfig {
+            live_set_compaction: policy,
+            ..SccConfig::with_threads(threads)
+        };
+        let state = AlgoState::new(g);
+        check_invariants(&state, policy, "fresh");
+
+        par_trim(&state);
+        state.compact_live(policy);
+        check_invariants(&state, policy, "after trim");
+
+        par_fwbw(&state, &cfg, INITIAL_COLOR);
+        state.compact_live(policy);
+        check_invariants(&state, policy, "after peel");
+
+        par_trim(&state);
+        par_trim2(&state);
+        par_trim(&state);
+        state.compact_live(policy);
+        check_invariants(&state, policy, "after trim' block");
+
+        let out = if use_unionfind {
+            par_wcc_unionfind(&state)
+        } else {
+            par_wcc(&state)
+        };
+        state.compact_live(policy);
+        check_invariants(&state, policy, "after wcc");
+
+        // WCC groups must cover the alive nodes exactly.
+        let mut covered: Vec<u32> = out.groups.iter().flat_map(|(_, m)| m.clone()).collect();
+        covered.sort_unstable();
+        let truth: Vec<u32> = (0..g.num_nodes() as u32)
+            .filter(|&v| state.alive(v))
+            .collect();
+        assert_eq!(covered, truth, "wcc groups diverge from alive set");
+
+        // Seed scan (alive_groups) runs over the live set too.
+        let seeded: usize = state.alive_groups().iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(seeded, truth.len(), "alive_groups loses nodes");
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// LiveSet contents ≡ {v | alive(v)} after every pipeline phase,
+    /// across 1/2/4 threads and all compaction policies.
+    #[test]
+    fn live_set_matches_alive_after_every_phase(g in arb_graph(120), seed in 0u64..4) {
+        for threads in [1usize, 2, 4] {
+            for policy in POLICIES {
+                drive_pipeline(&g, threads, policy, seed % 2 == 1);
+            }
+        }
+    }
+
+    /// End-to-end: all five parallel algorithms agree with Tarjan under
+    /// compaction Auto, Always, and Never.
+    #[test]
+    fn parallel_algorithms_agree_with_tarjan_under_all_policies(
+        g in arb_graph(100),
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let want = tarjan_scc(&g).canonical_labels();
+        for algo in [
+            Algorithm::Baseline,
+            Algorithm::Method1,
+            Algorithm::Method2,
+            Algorithm::Coloring,
+            Algorithm::Multistep,
+        ] {
+            for policy in POLICIES {
+                let cfg = SccConfig {
+                    live_set_compaction: policy,
+                    ..SccConfig::with_threads(threads)
+                };
+                let (r, _) = detect_scc(&g, algo, &cfg);
+                prop_assert_eq!(
+                    r.canonical_labels(),
+                    want.clone(),
+                    "{} disagrees with tarjan under {:?} ({} threads)",
+                    algo.name(), policy, threads
+                );
+            }
+        }
+    }
+}
+
+/// The `Never` policy must be byte-for-byte the pre-LiveSet behavior and
+/// all three policies must produce identical partitions on a small-world
+/// shape large enough to exercise sparse-mode pivot probing.
+#[test]
+fn policies_agree_on_small_world_dataset() {
+    use swscc::graph::datasets::Dataset;
+    let g = Dataset::Livej.generate(0.02, 42);
+    let mut labels = Vec::new();
+    for policy in POLICIES {
+        let cfg = SccConfig {
+            live_set_compaction: policy,
+            ..SccConfig::with_threads(2)
+        };
+        let (r, _) = detect_scc(&g, Algorithm::Method2, &cfg);
+        labels.push(r.canonical_labels());
+    }
+    assert_eq!(labels[0], labels[1], "auto vs always");
+    assert_eq!(labels[1], labels[2], "always vs never");
+    assert_eq!(labels[0], tarjan_scc(&g).canonical_labels(), "vs tarjan");
+}
