@@ -5,13 +5,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rayon::prelude::*;
 use std::hint::black_box;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use swscc_distributed::dist_scc;
 use swscc_graph::bfs::{self, Direction, UNREACHED};
 use swscc_graph::datasets::Dataset;
 use swscc_graph::{CsrGraph, NodeId};
 use swscc_parallel::pool::with_pool;
 use swscc_parallel::{AtomicBitSet, Frontier, TwoLevelQueue};
+use swscc_sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 fn bench_workqueue(c: &mut Criterion) {
     let mut group = c.benchmark_group("workqueue");

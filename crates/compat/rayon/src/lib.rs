@@ -19,7 +19,8 @@
 
 use std::cell::Cell;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicBool, Ordering};
+
+use swscc_sync::atomic::{AtomicBool, Ordering};
 
 pub mod prelude {
     pub use crate::{
@@ -35,10 +36,27 @@ thread_local! {
 /// innermost [`ThreadPool::install`] override, or hardware parallelism.
 pub fn current_num_threads() -> usize {
     POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
+        swscc_sync::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// Re-raises a worker panic on the caller. String payloads are re-wrapped
+/// with the worker's part index so a failure inside a parallel section
+/// names which worker died; non-string payloads (e.g. the model checker's
+/// abort sentinel) are resumed unchanged so their downcast identity
+/// survives.
+fn propagate_worker_panic(index: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    match msg {
+        Some(m) => panic!("rayon worker {index} panicked: {m}"),
+        None => std::panic::resume_unwind(payload),
+    }
 }
 
 /// Builder for a fixed-size [`ThreadPool`].
@@ -70,7 +88,7 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = match self.num_threads {
-            Some(0) | None => std::thread::available_parallelism()
+            Some(0) | None => swscc_sync::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             Some(n) => n,
@@ -118,13 +136,16 @@ where
         return (a(), b());
     }
     let inherit = POOL_THREADS.with(|t| t.get());
-    std::thread::scope(|s| {
+    swscc_sync::thread::scope(|s| {
         let hb = s.spawn(move || {
             POOL_THREADS.with(|t| t.set(inherit));
             b()
         });
         let ra = a();
-        (ra, hb.join().expect("rayon::join worker panicked"))
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => propagate_worker_panic(1, payload),
+        }
     })
 }
 
@@ -143,7 +164,7 @@ fn run_parts<R: Send>(units: usize, f: &(impl Fn(usize, usize) -> R + Sync)) -> 
         .filter(|(lo, hi)| lo < hi)
         .collect();
     let inherit = POOL_THREADS.with(|t| t.get());
-    std::thread::scope(|s| {
+    swscc_sync::thread::scope(|s| {
         let mut handles = Vec::with_capacity(bounds.len().saturating_sub(1));
         for &(lo, hi) in &bounds[1..] {
             handles.push(s.spawn(move || {
@@ -154,8 +175,13 @@ fn run_parts<R: Send>(units: usize, f: &(impl Fn(usize, usize) -> R + Sync)) -> 
         let first = f(bounds[0].0, bounds[0].1);
         let mut out = Vec::with_capacity(bounds.len());
         out.push(first);
-        for h in handles {
-            out.push(h.join().expect("rayon worker panicked"));
+        for (w, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => out.push(r),
+                // Part 0 ran inline on the caller, so spawned handle `w`
+                // is worker `w + 1`.
+                Err(payload) => propagate_worker_panic(w + 1, payload),
+            }
         }
         out
     })
@@ -349,11 +375,15 @@ pub trait ParallelIterator: Sized + Send + Sync {
                 since_check += 1;
                 if since_check >= 64 {
                     since_check = 0;
+                    // ordering: pure cancellation hint — a stale read only
+                    // delays early exit; the returned item is published by
+                    // the scope join in run_parts, not by this flag.
                     if found.load(Ordering::Relaxed) {
                         return ControlFlow::Break(());
                     }
                 }
                 if pred(&item) {
+                    // ordering: see the load above — flag is advisory only.
                     found.store(true, Ordering::Relaxed);
                     hit = Some(item);
                     return ControlFlow::Break(());
@@ -759,8 +789,46 @@ mod tests {
     }
 
     #[test]
+    fn worker_panics_carry_worker_index() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let res = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                (0..8usize).into_par_iter().for_each(|i| {
+                    // Parts are contiguous (2 items each with 4 workers),
+                    // so item 7 lands on the last spawned worker.
+                    if i == 7 {
+                        panic!("boom at {i}");
+                    }
+                })
+            })
+        });
+        let payload = res.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("enriched panic payload is a String");
+        assert!(
+            msg.contains("rayon worker") && msg.contains("boom at 7"),
+            "panic message should name the worker: {msg}"
+        );
+    }
+
+    #[test]
+    fn join_propagates_second_closure_panic() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let res = std::panic::catch_unwind(|| {
+            pool.install(|| join(|| 1, || -> u32 { panic!("right side") }))
+        });
+        let payload = res.expect_err("join worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("enriched panic payload is a String");
+        assert!(msg.contains("rayon worker 1"), "{msg}");
+        assert!(msg.contains("right side"), "{msg}");
+    }
+
+    #[test]
     fn for_each_visits_all() {
-        use std::sync::atomic::AtomicUsize;
+        use swscc_sync::atomic::AtomicUsize;
         let hits = AtomicUsize::new(0);
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         pool.install(|| {

@@ -29,9 +29,9 @@ use crate::result::SccResult;
 use crate::state::AlgoState;
 use crate::trim::par_trim;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use swscc_graph::{CsrGraph, NodeId};
 use swscc_parallel::pool::with_pool;
+use swscc_sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 /// Runs the Coloring algorithm (with an initial Par-Trim round, as every
 /// practical implementation does). Statistics land in the usual
@@ -58,6 +58,9 @@ pub fn coloring_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
                 break;
             }
             rounds += 1;
+            // ordering: per-round label reset — each worker writes only
+            // its own chunk's entries and the par_iter join publishes
+            // them before the propagation loop reads any.
             alive
                 .par_iter()
                 .for_each(|&v| labels[v as usize].store(v, Ordering::Relaxed));
@@ -67,6 +70,12 @@ pub fn coloring_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
                 loop {
                     let changed = AtomicBool::new(false);
                     alive.par_iter().for_each(|&v| {
+                        // ordering: monotone fetch_max convergence — labels
+                        // only increase, stale reads merely defer an update
+                        // to a later sweep, and the atomic fetch_max never
+                        // loses the larger value. `changed` is a sticky
+                        // flag read after the sweep's join (which is what
+                        // publishes it), so Relaxed suffices there too.
                         let mut max = labels[v as usize].load(Ordering::Relaxed);
                         for &u in state.g.in_neighbors(v) {
                             if u != v && state.alive(u) {
@@ -78,6 +87,7 @@ pub fn coloring_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
                             changed.store(true, Ordering::Relaxed);
                         }
                     });
+                    // ordering: read after the par_iter join above.
                     if !changed.load(Ordering::Relaxed) {
                         break;
                     }
@@ -88,6 +98,9 @@ pub fn coloring_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
             // Collect one SCC per root: backward BFS within the label class.
             let resolved_this_round = collector.phase(Phase::RecurFwbw, || {
                 let resolved = AtomicUsize::new(0);
+                // ordering: the propagation fixpoint completed and its
+                // joins published the final labels; these reads race with
+                // nothing.
                 let roots: Vec<NodeId> = alive
                     .par_iter()
                     .copied()
@@ -100,10 +113,16 @@ pub fn coloring_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
                     // claim via color: alive + same label + not yet claimed
                     debug_assert!(state.alive(r));
                     state.resolve_into(r, comp);
+                    // ordering: statistic counter — atomicity keeps the
+                    // total exact, the join below publishes it.
                     resolved.fetch_add(1, Ordering::Relaxed);
                     let mut stack = vec![r];
                     while let Some(v) = stack.pop() {
                         for &u in state.g.in_neighbors(v) {
+                            // ordering: label classes are frozen (fixpoint
+                            // reached, published by the joins above) and
+                            // disjoint per root, so these reads see final
+                            // values; the counter argument is as above.
                             if u != v
                                 && state.alive(u)
                                 && labels[u as usize].load(Ordering::Relaxed) == r
@@ -115,6 +134,7 @@ pub fn coloring_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
                         }
                     }
                 });
+                // ordering: read after the par_iter join.
                 let r = resolved.load(Ordering::Relaxed);
                 (r, r)
             });

@@ -28,10 +28,10 @@ use crate::config::{PivotStrategy, SccConfig};
 use crate::state::{AlgoState, Color};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use swscc_graph::bfs::Direction;
 use swscc_graph::traverse::{Adjacency, EdgeMap, EdgeMapOps};
 use swscc_graph::NodeId;
+use swscc_sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of the phase-1 peel.
 #[derive(Clone, Copy, Debug)]
@@ -190,6 +190,9 @@ impl EdgeMapOps for DualClaimOps<'_, '_> {
     #[inline]
     fn claim(&self, _src: NodeId, v: NodeId, _depth: u32) -> bool {
         let c = self.state.color(v);
+        // ordering: counters of CAS-claim wins — exact by RMW atomicity
+        // (each win adds once); the traversal's scope join publishes the
+        // totals before the reads below run.
         if c == self.candidate_color && self.state.cas_color(v, self.candidate_color, self.bw_color)
         {
             self.bw_claimed.fetch_add(1, Ordering::Relaxed);
@@ -258,6 +261,8 @@ fn backward_reach(
         scc_claimed: AtomicUsize::new(1),
     };
     run_reach(state, cfg, pivot, Direction::Backward, candidate_size, &ops);
+    // ordering: reads after run_reach's internal joins; no concurrent
+    // writers remain.
     (
         ops.bw_claimed.load(Ordering::Relaxed),
         ops.scc_claimed.load(Ordering::Relaxed),

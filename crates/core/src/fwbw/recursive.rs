@@ -16,9 +16,9 @@
 use crate::config::SccConfig;
 use crate::instrument::{Collector, TaskLogEntry};
 use crate::state::{AlgoState, Color};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use swscc_graph::NodeId;
 use swscc_parallel::Worker;
+use swscc_sync::atomic::{AtomicUsize, Ordering};
 
 /// One phase-2 work item: a partition identified by its color.
 #[derive(Clone, Debug)]
@@ -71,6 +71,9 @@ impl<'a, 'g> RecurContext<'a, 'g> {
 
     /// Total nodes resolved so far by phase-2 tasks.
     pub fn resolved_count(&self) -> usize {
+        // ordering: progress statistic; the definitive read happens after
+        // the work-queue run joins (Release/Acquire termination protocol
+        // in swscc-parallel), which publishes every add.
         self.resolved.load(Ordering::Relaxed)
     }
 }
@@ -162,6 +165,8 @@ pub fn process_task(ctx: &RecurContext<'_, '_>, task: Task, worker: &mut Worker<
             }
         }
     }
+    // ordering: statistic counter — exactness from RMW atomicity; the
+    // queue's termination protocol publishes it to the final reader.
     ctx.resolved.fetch_add(scc_size, Ordering::Relaxed);
 
     // --- Push the three residual partitions -------------------------------

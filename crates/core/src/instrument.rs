@@ -4,10 +4,10 @@
 //! the §3.3 first-five-tasks log.
 
 use crate::result::SccResult;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use swscc_parallel::QueueStats;
+use swscc_sync::atomic::{AtomicUsize, Ordering};
+use swscc_sync::Mutex;
 
 /// The phases of the paper's algorithms, in pipeline order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -207,6 +207,8 @@ impl Collector {
             phase_resolved: self.phase_resolved.into_inner(),
             queue,
             initial_tasks,
+            // ordering: read at report build, after every phase's workers
+            // have joined; nothing concurrent remains.
             fwbw_trials: self.fwbw_trials.load(Ordering::Relaxed),
             task_log: self.task_log.into_inner(),
         }

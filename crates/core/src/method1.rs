@@ -17,9 +17,9 @@ use crate::instrument::{Collector, Phase, RunReport};
 use crate::result::SccResult;
 use crate::state::{AlgoState, INITIAL_COLOR};
 use crate::trim::par_trim;
-use std::sync::atomic::Ordering;
 use swscc_graph::CsrGraph;
 use swscc_parallel::{pool::with_pool, TwoLevelQueue};
+use swscc_sync::atomic::Ordering;
 
 /// Paper default work-queue batch size for Method 1 (§4.3).
 pub const METHOD1_K: usize = 1;
@@ -39,6 +39,8 @@ pub fn method1_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
             let o = par_fwbw(&state, cfg, INITIAL_COLOR);
             (o.resolved, o)
         });
+        // ordering: driver-thread statistic updated between phases; the
+        // into_report load happens after all joins.
         collector
             .fwbw_trials
             .fetch_add(outcome.trials, Ordering::Relaxed);

@@ -21,9 +21,9 @@ use crate::state::{AlgoState, INITIAL_COLOR};
 use crate::trim::par_trim;
 use crate::trim2::par_trim2;
 use crate::wcc::{par_wcc, par_wcc_unionfind};
-use std::sync::atomic::Ordering;
 use swscc_graph::CsrGraph;
 use swscc_parallel::{pool::with_pool, TwoLevelQueue};
+use swscc_sync::atomic::Ordering;
 
 /// Paper default work-queue batch size for Method 2 (§4.3).
 pub const METHOD2_K: usize = 8;
@@ -45,6 +45,8 @@ pub fn method2_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
             let o = par_fwbw(&state, cfg, INITIAL_COLOR);
             (o.resolved, o)
         });
+        // ordering: driver-thread statistic updated between phases; the
+        // into_report load happens after all joins.
         collector
             .fwbw_trials
             .fetch_add(outcome.trials, Ordering::Relaxed);

@@ -18,9 +18,9 @@ use crate::state::{AlgoState, INITIAL_COLOR};
 use crate::tarjan::tarjan_scc;
 use crate::trim::par_trim;
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use swscc_graph::{CsrGraph, NodeId};
 use swscc_parallel::pool::with_pool;
+use swscc_sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 /// Below this many alive nodes, stop parallel rounds and finish with
 /// sequential Tarjan on the induced residual subgraph.
@@ -53,6 +53,8 @@ pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
             let o = par_fwbw(&state, &peel_cfg, INITIAL_COLOR);
             (o.resolved, o)
         });
+        // ordering: single-threaded driver statistic (phases run under
+        // the pool but this add happens between them).
         collector
             .fwbw_trials
             .fetch_add(outcome.trials, Ordering::Relaxed);
@@ -106,6 +108,8 @@ pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
 /// same-color alive nodes), so every detected SCC stays within one class.
 /// Returns the number of nodes resolved.
 fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId]) -> usize {
+    // ordering: disjoint per-round reset published by the par_iter join
+    // (same argument as the Coloring method's round setup).
     alive
         .par_iter()
         .for_each(|&v| labels[v as usize].store(v, Ordering::Relaxed));
@@ -113,6 +117,10 @@ fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId])
         let changed = AtomicBool::new(false);
         alive.par_iter().for_each(|&v| {
             let cv = state.color(v);
+            // ordering: monotone fetch_max convergence — labels only
+            // increase, a stale read defers the update to a later sweep,
+            // fetch_max never loses the larger value, and the sticky
+            // `changed` flag is read only after the sweep's join.
             let mut max = labels[v as usize].load(Ordering::Relaxed);
             for &u in state.g.in_neighbors(v) {
                 if u != v && state.color(u) == cv {
@@ -124,11 +132,14 @@ fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId])
                 changed.store(true, Ordering::Relaxed);
             }
         });
+        // ordering: read after the par_iter join above.
         if !changed.load(Ordering::Relaxed) {
             break;
         }
     }
     let resolved = AtomicUsize::new(0);
+    // ordering: fixpoint reached; final labels were published by the
+    // sweep joins, so root selection races with nothing.
     let roots: Vec<NodeId> = alive
         .par_iter()
         .copied()
@@ -138,10 +149,14 @@ fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId])
         let comp = state.alloc_component();
         let cr = state.color(r);
         state.resolve_into(r, comp);
+        // ordering: statistic counter — exactness from RMW atomicity,
+        // published by the join before the load below.
         resolved.fetch_add(1, Ordering::Relaxed);
         let mut stack = vec![r];
         while let Some(v) = stack.pop() {
             for &u in state.g.in_neighbors(v) {
+                // ordering: frozen label classes (see roots above); the
+                // counter argument is as above.
                 if u != v && state.color(u) == cr && labels[u as usize].load(Ordering::Relaxed) == r
                 {
                     state.resolve_into(u, comp);
@@ -151,6 +166,7 @@ fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId])
             }
         }
     });
+    // ordering: read after the par_iter join.
     resolved.load(Ordering::Relaxed)
 }
 

@@ -15,9 +15,9 @@
 //! can never double-assign a node.
 
 use crate::result::SccResult;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use swscc_graph::{CsrGraph, NodeId};
 use swscc_parallel::{AtomicBitSet, CompactionPolicy, LiveSet};
+use swscc_sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Partition color. 32 bits keep the hot Color array at 4 bytes/node
 /// (§4.1's O(N) array is the most random-accessed structure in every
@@ -78,12 +78,20 @@ impl<'g> AlgoState<'g> {
     /// Current color of `n`.
     #[inline]
     pub fn color(&self, n: NodeId) -> Color {
+        // ordering: colors carry no payload — a color is a self-contained
+        // u32 partition label, and every phase that writes colors is
+        // separated from the readers of the next phase by a scope join in
+        // the driving kernel (rayon/EdgeMap barrier). Within a phase, a
+        // stale read only mis-filters a candidate that the claiming CAS
+        // re-checks. Verified by the claim-once model battery.
         self.color[n as usize].load(Ordering::Relaxed)
     }
 
     /// Unconditionally recolors `n`.
     #[inline]
     pub fn set_color(&self, n: NodeId, c: Color) {
+        // ordering: see `color` — phase barriers publish, value is the
+        // whole message.
         self.color[n as usize].store(c, Ordering::Relaxed);
     }
 
@@ -91,6 +99,11 @@ impl<'g> AlgoState<'g> {
     /// won the claim. The visitation primitive of every BFS/DFS kernel.
     #[inline]
     pub fn cas_color(&self, n: NodeId, from: Color, to: Color) -> bool {
+        // ordering: claim exclusivity is carried entirely by CAS
+        // atomicity (exactly one caller sees `from`); the winner derives
+        // everything it needs from its own arguments, not from data
+        // published by other threads. Verified by the claim-once model
+        // battery.
         self.color[n as usize]
             .compare_exchange(from, to, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
@@ -110,6 +123,8 @@ impl<'g> AlgoState<'g> {
     /// partitions — more than 10x the node limit of the `u32` node ids).
     #[inline]
     pub fn alloc_color(&self) -> Color {
+        // ordering: unique-id allocator — uniqueness is RMW atomicity;
+        // no ordering with any other location is implied or needed.
         let c = self.next_color.fetch_add(1, Ordering::Relaxed);
         assert!(c < COLOR_LIMIT, "partition color space exhausted");
         c
@@ -118,6 +133,7 @@ impl<'g> AlgoState<'g> {
     /// Allocates a fresh component id.
     #[inline]
     pub fn alloc_component(&self) -> u32 {
+        // ordering: unique-id allocator, as `alloc_color`.
         self.next_comp.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -127,6 +143,10 @@ impl<'g> AlgoState<'g> {
         if !self.mark.set(n as usize) {
             return false;
         }
+        // ordering: the `mark` fetch_or above is the claim (atomicity);
+        // `resolved` is a statistic read after kernel joins, and `comp`
+        // is read only after the algorithm completes (publication by the
+        // final scope join).
         self.resolved.fetch_add(1, Ordering::Relaxed);
         let c = self.alloc_component();
         self.comp[n as usize].store(c, Ordering::Relaxed);
@@ -140,6 +160,9 @@ impl<'g> AlgoState<'g> {
     pub fn resolve_into(&self, n: NodeId, comp: u32) {
         let newly = self.mark.set(n as usize);
         debug_assert!(newly, "node {n} resolved twice");
+        // ordering: caller holds the claim (color CAS); counters and comp
+        // labels are published by the kernel's scope join, as in
+        // `resolve_singleton`.
         self.resolved.fetch_add(1, Ordering::Relaxed);
         self.comp[n as usize].store(comp, Ordering::Relaxed);
         self.set_color(n, DONE_COLOR);
@@ -212,6 +235,8 @@ impl<'g> AlgoState<'g> {
     /// Number of unresolved nodes (O(1) — maintained by the resolve
     /// primitives).
     pub fn count_alive(&self) -> usize {
+        // ordering: called between phases (after the joins that publish
+        // every resolve), never raced against in-flight resolves.
         self.num_nodes() - self.resolved.load(Ordering::Relaxed)
     }
 

@@ -29,10 +29,10 @@
 
 use crate::state::{AlgoState, Color};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
 use swscc_graph::traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};
 use swscc_graph::NodeId;
 use swscc_parallel::ClaimSet;
+use swscc_sync::atomic::{AtomicU32, Ordering};
 
 /// Outcome of a Par-WCC run.
 #[derive(Debug)]
@@ -65,6 +65,11 @@ impl EdgeMapOps for MinLabelOps<'_, '_> {
         if src == dst || self.state.color(dst) != self.state.color(src) {
             return false;
         }
+        // ordering: monotone fetch_min convergence — labels only ever
+        // decrease, so a stale read can at worst skip an improvement this
+        // round that the fixpoint loop retries next round; the fetch_min
+        // itself is atomic so no decrease is lost. Final labels are
+        // published to the grouping pass by the kernel's scope joins.
         let l = self.labels[src as usize].load(Ordering::Relaxed);
         if l >= self.labels[dst as usize].load(Ordering::Relaxed) {
             return false;
@@ -126,6 +131,9 @@ pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
             .par_iter()
             .copied()
             .filter(|&v| {
+                // ordering: same monotone fetch_min argument as the push
+                // round — stale jumps are retried, improvements are never
+                // lost, the round barrier publishes.
                 let l = labels[v as usize].load(Ordering::Relaxed);
                 let ll = labels[l as usize].load(Ordering::Relaxed);
                 if ll < l {
@@ -143,6 +151,8 @@ pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
     }
 
     // Group members by root label, assign a fresh color per group.
+    // ordering: reads after the fixpoint loop's final barrier (the scope
+    // joins inside step/par_iter published every write).
     let mut pairs: Vec<(u32, NodeId)> = alive
         .par_iter()
         .map(|&v| (labels[v as usize].load(Ordering::Relaxed), v))
@@ -217,6 +227,12 @@ pub fn par_wcc_unionfind(state: &AlgoState<'_>) -> WccOutcome {
 /// Lock-free find with path halving.
 fn find(parents: &[AtomicU32], mut x: NodeId) -> u32 {
     loop {
+        // ordering: parent pointers form a monotone union-find forest —
+        // every write moves a pointer strictly toward a smaller root, so
+        // any stale read still lands inside the same tree and the loop
+        // re-reads until it reaches a fixpoint; the path-halving CAS is
+        // a pure hint whose failure is ignored. Final structure is
+        // published by the scope join before readers consume roots.
         let p = parents[x as usize].load(Ordering::Relaxed);
         if p == x {
             return x;
@@ -243,6 +259,9 @@ fn union(parents: &[AtomicU32], a: NodeId, b: NodeId) {
             return;
         }
         let (hi, lo) = if ra < rb { (rb, ra) } else { (ra, rb) };
+        // ordering: link-by-CAS carries correctness via atomicity alone
+        // (only a root can be linked, and exactly one linker wins); the
+        // no-payload argument of `find` applies.
         if parents[hi as usize]
             .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()

@@ -18,12 +18,12 @@
 
 use crate::bsp::{run_supersteps, BspStats, Outbox};
 use crate::partition::Partition;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use swscc_core::tarjan::tarjan_scc;
 use swscc_core::SccResult;
 use swscc_graph::bfs::Direction;
 use swscc_graph::{CsrGraph, NodeId};
+use swscc_sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use swscc_sync::Mutex;
 
 const DONE: u64 = u64::MAX;
 const INITIAL: u64 = 0;
@@ -62,11 +62,18 @@ impl<'g> DistState<'g> {
 
     #[inline]
     fn color(&self, v: NodeId) -> u64 {
+        // ordering: owner-computes discipline — within a superstep only
+        // `v`'s owning worker writes this slot, so an owner's read never
+        // races; a *remote* read is only ever a message-avoidance hint
+        // that the owner re-checks on receipt. Cross-superstep
+        // publication is the BSP barrier (scope join in run_supersteps).
         self.color[v as usize].load(Ordering::Relaxed)
     }
 
     #[inline]
     fn set_color(&self, v: NodeId, c: u64) {
+        // ordering: owner-only write, published by the superstep barrier
+        // (see `color`).
         self.color[v as usize].store(c, Ordering::Relaxed);
     }
 
@@ -77,15 +84,19 @@ impl<'g> DistState<'g> {
 
     fn resolve(&self, v: NodeId, comp: u32) {
         debug_assert!(self.alive(v));
+        // ordering: owner-only write; the final assignment pass reads
+        // `comp` after the last superstep's join.
         self.comp[v as usize].store(comp, Ordering::Relaxed);
         self.set_color(v, DONE);
     }
 
     fn alloc_comp(&self) -> u32 {
+        // ordering: unique-id allocator — uniqueness is RMW atomicity.
         self.next_comp.fetch_add(1, Ordering::Relaxed)
     }
 
     fn alloc_color(&self) -> u64 {
+        // ordering: unique-id allocator — uniqueness is RMW atomicity.
         self.next_color.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -158,6 +169,8 @@ pub(crate) fn dist_trim(state: &DistState<'_>) -> (usize, BspStats) {
             }
             let cv = state.color(v);
             state.resolve(v, state.alloc_comp());
+            // ordering: statistic counter — exact by RMW atomicity, read
+            // after the superstep joins.
             resolved.fetch_add(1, Ordering::Relaxed);
             for &nbr in state.g.out_neighbors(v) {
                 if nbr == v {
@@ -299,6 +312,7 @@ pub(crate) fn dist_trim(state: &DistState<'_>) -> (usize, BspStats) {
         }
         trim_owned(w, &mut sc, out);
     });
+    // ordering: read after run_supersteps' final join.
     (resolved.load(Ordering::Relaxed), stats)
 }
 
@@ -326,6 +340,8 @@ pub(crate) fn dist_reach(
         for &v in inbox {
             if state.color(v) == from {
                 state.set_color(v, to);
+                // ordering: statistic counter — exact by RMW atomicity,
+                // read after the final superstep join.
                 claimed.fetch_add(1, Ordering::Relaxed);
                 stack.push(v);
             }
@@ -336,6 +352,7 @@ pub(crate) fn dist_reach(
                 if owner == w {
                     if state.color(nbr) == from {
                         state.set_color(nbr, to);
+                        // ordering: as the counter above.
                         claimed.fetch_add(1, Ordering::Relaxed);
                         stack.push(nbr);
                     }
@@ -347,6 +364,7 @@ pub(crate) fn dist_reach(
             }
         }
     });
+    // ordering: read after run_supersteps' final join.
     (claimed.load(Ordering::Relaxed), stats)
 }
 
@@ -370,10 +388,13 @@ pub(crate) fn dist_backward(
             let c = state.color(v);
             if c == candidate {
                 state.set_color(v, bw);
+                // ordering: statistic counters — exact by RMW atomicity,
+                // read after the final superstep join.
                 n_bw.fetch_add(1, Ordering::Relaxed);
                 true
             } else if c == fw {
                 state.set_color(v, scc);
+                // ordering: as above.
                 n_scc.fetch_add(1, Ordering::Relaxed);
                 true
             } else {
@@ -402,6 +423,7 @@ pub(crate) fn dist_backward(
             }
         }
     });
+    // ordering: reads after run_supersteps' final join.
     (
         n_bw.load(Ordering::Relaxed),
         n_scc.load(Ordering::Relaxed),
@@ -472,6 +494,8 @@ pub(crate) fn dist_wcc(state: &DistState<'_>) -> (usize, BspStats) {
                     broadcast(
                         w,
                         v,
+                        // ordering: owner-only label slot (see DistState's
+                        // owner-computes note).
                         labels[v as usize].load(Ordering::Relaxed),
                         state.color(v),
                         out,
@@ -485,6 +509,8 @@ pub(crate) fn dist_wcc(state: &DistState<'_>) -> (usize, BspStats) {
         for m in inbox {
             let v = m.dst;
             if state.alive(v) && state.color(v) == m.color {
+                // ordering: owner-only label slot; the incoming value was
+                // published by the superstep barrier.
                 let cur = labels[v as usize].load(Ordering::Relaxed);
                 if m.label < cur {
                     labels[v as usize].store(m.label, Ordering::Relaxed);
@@ -499,6 +525,7 @@ pub(crate) fn dist_wcc(state: &DistState<'_>) -> (usize, BspStats) {
         local_label_sweep(state, w, &labels);
         for v in range {
             if state.alive(v) {
+                // ordering: owner-only label slot (owner-computes).
                 let l = labels[v as usize].load(Ordering::Relaxed);
                 if l < v {
                     broadcast(w, v, l, state.color(v), out);
@@ -508,6 +535,7 @@ pub(crate) fn dist_wcc(state: &DistState<'_>) -> (usize, BspStats) {
     });
 
     // Count distinct (color, root-label) pairs among alive nodes.
+    // ordering: reads after the final superstep join published all labels.
     let mut roots: Vec<u32> = (0..n as NodeId)
         .filter(|&v| state.alive(v))
         .map(|v| labels[v as usize].load(Ordering::Relaxed))
@@ -528,6 +556,8 @@ fn local_label_sweep(state: &DistState<'_>, w: usize, labels: &[AtomicU32]) {
                 continue;
             }
             let cv = state.color(v);
+            // ordering: all slots touched in this sweep belong to worker
+            // `w` (owner-computes) — purely local, no concurrent access.
             let mut min = labels[v as usize].load(Ordering::Relaxed);
             for &u in state
                 .g
@@ -535,6 +565,7 @@ fn local_label_sweep(state: &DistState<'_>, w: usize, labels: &[AtomicU32]) {
                 .iter()
                 .chain(state.g.in_neighbors(v))
             {
+                // ordering: owner-only slots, as above.
                 if u != v && state.part.owner(u) == w && state.alive(u) && state.color(u) == cv {
                     min = min.min(labels[u as usize].load(Ordering::Relaxed));
                 }
@@ -674,6 +705,8 @@ pub fn dist_scc_with(
         // exactly the per-color SCCs.
         let sub = g.induced_subgraph(&alive);
         let sub_scc = tarjan_scc(&sub);
+        // ordering: block-id allocation on the (now single-threaded)
+        // serial-finish path; uniqueness by RMW atomicity.
         let base = state
             .next_comp
             .fetch_add(sub_scc.num_components() as u32, Ordering::Relaxed);
@@ -682,6 +715,8 @@ pub fn dist_scc_with(
         }
     }
 
+    // ordering: final single-threaded read-back after every superstep and
+    // worker join.
     let raw: Vec<u32> = state
         .comp
         .iter()

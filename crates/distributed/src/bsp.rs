@@ -60,7 +60,7 @@ pub struct BspStats {
 ///
 /// ```
 /// use swscc_distributed::{run_supersteps, Outbox};
-/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use swscc_sync::atomic::{AtomicUsize, Ordering};
 ///
 /// // Token passing: worker w forwards a counter to w+1 until it reaches 3.
 /// let hits = AtomicUsize::new(0);
@@ -96,7 +96,7 @@ where
         stats.supersteps += 1;
         stats.messages += inboxes.iter().map(Vec::len).sum::<usize>();
 
-        let results: Vec<Outbox<M>> = std::thread::scope(|s| {
+        let results: Vec<Outbox<M>> = swscc_sync::thread::scope(|s| {
             let step = &step;
             let handles: Vec<_> = inboxes
                 .iter()
@@ -111,7 +111,12 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .enumerate()
+                .map(|(w, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        swscc_parallel::pool::propagate_worker_panic("BSP superstep", w, payload)
+                    })
+                })
                 .collect()
         });
 
@@ -135,7 +140,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use swscc_sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn quiescence_with_no_seed() {

@@ -7,7 +7,7 @@
 
 use crate::csr::{CsrGraph, NodeId};
 use crate::traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};
-use std::sync::atomic::{AtomicU32, Ordering};
+use swscc_sync::atomic::{AtomicU32, Ordering};
 
 /// Level value for unreached nodes.
 pub const UNREACHED: u32 = u32::MAX;
@@ -87,6 +87,12 @@ struct LevelClaimOps<'a> {
 impl EdgeMapOps for LevelClaimOps<'_> {
     #[inline]
     fn claim(&self, _src: NodeId, dst: NodeId, depth: u32) -> bool {
+        // ordering: exclusivity comes from CAS atomicity alone — the level
+        // value carries no payload a reader could see torn (every writer
+        // in a level writes the same `depth`), and cross-level publication
+        // is the EdgeMap barrier (scope join) between levels. A stale load
+        // in the pre-filter only costs a redundant CAS. Verified by the
+        // ClaimSet/frontier model battery.
         self.levels[dst as usize].load(Ordering::Relaxed) == UNREACHED
             && self.levels[dst as usize]
                 .compare_exchange(UNREACHED, depth, Ordering::Relaxed, Ordering::Relaxed)
@@ -95,6 +101,9 @@ impl EdgeMapOps for LevelClaimOps<'_> {
 
     #[inline]
     fn candidate(&self, v: NodeId) -> bool {
+        // ordering: heuristic pre-filter for the bottom-up sweep; claims
+        // from prior levels are published by the inter-level barrier, and
+        // same-level claims are re-checked by the CAS in `claim`.
         self.levels[v as usize].load(Ordering::Relaxed) == UNREACHED
     }
 }
@@ -118,6 +127,8 @@ pub fn par_bfs_levels_with(
     }
     let mut levels: Vec<AtomicU32> = Vec::with_capacity(n);
     levels.resize_with(n, || AtomicU32::new(UNREACHED));
+    // ordering: single-threaded seeding before any worker exists; the
+    // scope spawn inside the kernel publishes it.
     levels[src as usize].store(0, Ordering::Relaxed);
     let mut em = EdgeMap::new(g, adj, *cfg);
     em.seed(src);

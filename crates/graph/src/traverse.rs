@@ -299,7 +299,7 @@ impl<'g> EdgeMap<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU32, Ordering};
+    use swscc_sync::atomic::{AtomicU32, Ordering};
 
     /// Plain reachability ops over a visited ClaimSet.
     struct VisitOps {

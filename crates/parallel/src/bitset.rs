@@ -7,7 +7,7 @@
 //! provide their own synchronization points: phase barriers and the work
 //! queue's lock).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use swscc_sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-capacity concurrent bitset.
 ///
@@ -53,6 +53,10 @@ impl AtomicBitSet {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
+        // ordering: Relaxed — membership flags carry no payload; the
+        // traversal kernels only require claim exclusivity (RMW
+        // atomicity in `set`) plus their own level barriers for
+        // publication. Verified by the ClaimSet model battery.
         self.words[i / 64].load(Ordering::Relaxed) & (1 << (i % 64)) != 0
     }
 
@@ -62,6 +66,9 @@ impl AtomicBitSet {
     pub fn set(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i % 64);
+        // ordering: Relaxed — exclusivity comes from fetch_or atomicity
+        // (exactly one concurrent setter sees the bit clear); no data is
+        // published through the bit itself.
         self.words[i / 64].fetch_or(mask, Ordering::Relaxed) & mask == 0
     }
 
@@ -70,11 +77,14 @@ impl AtomicBitSet {
     pub fn clear(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i % 64);
+        // ordering: Relaxed — same claim-atomicity argument as `set`.
         self.words[i / 64].fetch_and(!mask, Ordering::Relaxed) & mask != 0
     }
 
     /// Clears every bit.
     pub fn clear_all(&self) {
+        // ordering: Relaxed — bulk reset runs between phases, with the
+        // phase barrier (scope join / pool install) providing the sync.
         for w in &self.words {
             w.store(0, Ordering::Relaxed);
         }
@@ -82,6 +92,8 @@ impl AtomicBitSet {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
+        // ordering: Relaxed — counting is only meaningful at phase
+        // boundaries, where the caller's barrier orders the bits.
         self.words
             .iter()
             .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
@@ -91,6 +103,8 @@ impl AtomicBitSet {
     /// Iterator over the indices of set bits, ascending.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, w)| {
+            // ordering: Relaxed — phase-boundary snapshot, same argument
+            // as `count_ones`.
             let mut bits = w.load(Ordering::Relaxed);
             std::iter::from_fn(move || {
                 if bits == 0 {
@@ -169,10 +183,10 @@ mod tests {
 
     #[test]
     fn concurrent_claims_are_exclusive() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use swscc_sync::atomic::{AtomicUsize, Ordering};
         let b = AtomicBitSet::new(1000);
         let wins = AtomicUsize::new(0);
-        std::thread::scope(|s| {
+        swscc_sync::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
                     for i in 0..1000 {

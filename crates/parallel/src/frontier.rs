@@ -186,7 +186,7 @@ fn gather<F>(
     if bufs.len() < nchunks {
         bufs.resize_with(nchunks, Vec::new);
     }
-    std::thread::scope(|s| {
+    swscc_sync::thread::scope(|s| {
         let mut pairs = items.chunks(per).zip(bufs.iter_mut());
         let (chunk0, buf0) = pairs.next().expect("nonempty items");
         let handles: Vec<_> = pairs
@@ -199,8 +199,11 @@ fn gather<F>(
             .collect();
         buf0.clear();
         expand(chunk0, buf0);
-        for h in handles {
-            h.join().expect("frontier expansion worker panicked");
+        // Chunk 0 ran inline, so spawned handles cover chunks 1...
+        for (i, h) in handles.into_iter().enumerate() {
+            if let Err(payload) = h.join() {
+                crate::pool::propagate_worker_panic("frontier expansion", i + 1, payload);
+            }
         }
     });
     for buf in bufs.iter().take(nchunks) {
@@ -286,7 +289,7 @@ impl ClaimSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use swscc_sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn seed_and_inspect() {
@@ -374,12 +377,14 @@ mod tests {
 
     #[test]
     fn claims_are_exclusive_across_threads() {
-        let set = ClaimSet::new(10_000);
+        // Miri runs the same protocol at a fraction of the size.
+        let n = if cfg!(miri) { 512 } else { 10_000 };
+        let set = ClaimSet::new(n);
         let wins = AtomicUsize::new(0);
-        std::thread::scope(|s| {
+        swscc_sync::thread::scope(|s| {
             for _ in 0..4 {
                 s.spawn(|| {
-                    for i in 0..10_000 {
+                    for i in 0..n {
                         if set.claim(i) {
                             wins.fetch_add(1, Ordering::Relaxed);
                         }
@@ -387,8 +392,8 @@ mod tests {
                 });
             }
         });
-        assert_eq!(wins.load(Ordering::Relaxed), 10_000);
-        assert_eq!(set.count(), 10_000);
+        assert_eq!(wins.load(Ordering::Relaxed), n);
+        assert_eq!(set.count(), n);
     }
 
     #[test]

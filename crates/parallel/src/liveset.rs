@@ -22,8 +22,8 @@
 //! total compaction work over a whole run telescopes to O(2·N) while every
 //! sweep in between touches at most 2·|residue| slots.
 
-use parking_lot::RwLock;
 use rayon::prelude::*;
+use swscc_sync::RwLock;
 
 /// When the owner of a [`LiveSet`] should compact it at a phase boundary.
 ///
@@ -216,7 +216,7 @@ impl std::fmt::Debug for LiveSet {
 mod tests {
     use super::*;
     use crate::pool;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use swscc_sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn dense_iterates_universe() {

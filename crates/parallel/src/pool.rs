@@ -29,9 +29,29 @@ pub fn with_pool<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Send) -> R
 
 /// The machine's available hardware parallelism (1 if undetectable).
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
+    swscc_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Re-raises a worker panic on the calling thread with the worker index
+/// attached. String payloads are enriched with the `what`/`index` context;
+/// non-string payloads (including the model checker's internal abort
+/// sentinel) resume unchanged so their type-based handling still works.
+pub fn propagate_worker_panic(
+    what: &str,
+    index: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) -> ! {
+    let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        Some((*s).to_string())
+    } else {
+        payload.downcast_ref::<String>().cloned()
+    };
+    match msg {
+        Some(m) => panic!("{what} worker {index} panicked: {m}"),
+        None => std::panic::resume_unwind(payload),
+    }
 }
 
 /// The default thread-count sweep for the Fig. 6/7 harnesses: powers of two

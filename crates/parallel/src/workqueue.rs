@@ -18,9 +18,9 @@
 //! behind "the recorded maximum queue depth with single threaded execution
 //! is only six" and "about 10,000 work items in the queue".
 
-use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use swscc_sync::atomic::{AtomicUsize, Ordering};
+use swscc_sync::Mutex;
 
 /// Counters captured while a [`TwoLevelQueue`] drains.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,7 +43,7 @@ pub struct QueueStats {
 ///
 /// ```
 /// use swscc_parallel::TwoLevelQueue;
-/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use swscc_sync::atomic::{AtomicUsize, Ordering};
 ///
 /// // Count down a tree: each task n spawns tasks n-1 and n-2.
 /// let q = TwoLevelQueue::new(4);
@@ -90,6 +90,14 @@ impl<T: Send> TwoLevelQueue<T> {
     /// Pushes a seed task onto the global queue (usable before or during a
     /// run; workers also reach this through [`Worker::push`] spills).
     pub fn push_global(&self, task: T) {
+        // ordering: Relaxed is sufficient for the increment. Termination
+        // correctness rests on RMW atomicity (the counter can never skip
+        // a pending task: every task is counted before it is enqueued,
+        // and its decrement is sequenced after the handler returns), not
+        // on publication — the task payload itself is published by the
+        // global-queue Mutex, and handler side effects are published by
+        // the Release decrement / Acquire termination-load pair in
+        // `work_loop`. Verified by the model battery's termination test.
         self.note_outstanding(self.outstanding.fetch_add(1, Ordering::Relaxed) + 1);
         let mut g = self.global.lock();
         g.push_back(task);
@@ -104,7 +112,7 @@ impl<T: Send> TwoLevelQueue<T> {
         F: Fn(T, &mut Worker<'_, T>) + Sync,
     {
         assert!(num_threads >= 1);
-        std::thread::scope(|s| {
+        swscc_sync::thread::scope(|s| {
             for _ in 0..num_threads {
                 s.spawn(|| {
                     let mut w = Worker {
@@ -115,6 +123,8 @@ impl<T: Send> TwoLevelQueue<T> {
                 });
             }
         });
+        // ordering: Relaxed loads are safe — the scope join above
+        // happens-after every worker's counter updates.
         QueueStats {
             max_global_depth: self.max_global_depth.load(Ordering::Relaxed),
             max_outstanding: self.max_outstanding.load(Ordering::Relaxed),
@@ -124,6 +134,8 @@ impl<T: Send> TwoLevelQueue<T> {
 
     /// Resets the recorded statistics (outstanding work must be zero).
     pub fn reset_stats(&self) {
+        // ordering: Relaxed — callers only reset between runs, with the
+        // previous run's scope join providing the synchronization.
         debug_assert_eq!(self.outstanding.load(Ordering::Relaxed), 0);
         self.max_global_depth.store(0, Ordering::Relaxed);
         self.max_outstanding.store(0, Ordering::Relaxed);
@@ -131,10 +143,14 @@ impl<T: Send> TwoLevelQueue<T> {
     }
 
     fn note_global_depth(&self, depth: usize) {
+        // ordering: Relaxed — monotone stats high-watermark, read only
+        // after the run's scope join.
         self.max_global_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
     fn note_outstanding(&self, n: usize) {
+        // ordering: Relaxed — monotone stats high-watermark, read only
+        // after the run's scope join.
         self.max_outstanding.fetch_max(n, Ordering::Relaxed);
     }
 
@@ -174,6 +190,9 @@ impl<'q, T: Send> Worker<'q, T> {
     /// Enqueues a follow-on task. Goes to this worker's local queue; if the
     /// local queue reaches 2K, K items spill to the global queue.
     pub fn push(&mut self, task: T) {
+        // ordering: Relaxed — same argument as `push_global`: counting
+        // is carried by RMW atomicity, publication by the queue Mutex and
+        // the Release/Acquire termination pair.
         self.queue
             .note_outstanding(self.queue.outstanding.fetch_add(1, Ordering::Relaxed) + 1);
         self.local.push_back(task);
@@ -207,6 +226,7 @@ impl<'q, T: Send> Worker<'q, T> {
                 Some(t) => {
                     spin = 0;
                     handler(t, self);
+                    // ordering: Relaxed — stats counter, read after join.
                     self.queue.tasks_executed.fetch_add(1, Ordering::Relaxed);
                     // Release pairs with the Acquire termination load below:
                     // a worker that observes outstanding == 0 must also
@@ -226,12 +246,12 @@ impl<'q, T: Send> Worker<'q, T> {
                     }
                     spin += 1;
                     if spin <= 16 {
-                        std::hint::spin_loop();
+                        swscc_sync::hint::spin_loop();
                     } else if spin <= 32 {
-                        std::thread::yield_now();
+                        swscc_sync::thread::yield_now();
                     } else {
                         let exp = (spin - 32).min(7); // 1µs .. 128µs
-                        std::thread::sleep(std::time::Duration::from_micros(1 << exp));
+                        swscc_sync::thread::sleep(std::time::Duration::from_micros(1 << exp));
                     }
                 }
             }
@@ -242,7 +262,6 @@ impl<'q, T: Send> Worker<'q, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn single_task_single_thread() {
@@ -282,7 +301,8 @@ mod tests {
     #[test]
     fn all_tasks_processed_exactly_once() {
         let q = TwoLevelQueue::new(8);
-        let n = 10_000usize;
+        // Miri runs the same protocol, just fewer tasks (interpreter speed).
+        let n = if cfg!(miri) { 256 } else { 10_000usize };
         let flags: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         for i in 0..n {
             q.push_global(i);

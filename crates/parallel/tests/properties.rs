@@ -1,8 +1,8 @@
 //! Property-based tests for the parallel substrate.
 
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use swscc_parallel::{AtomicBitSet, TwoLevelQueue};
+use swscc_sync::atomic::{AtomicUsize, Ordering};
 
 proptest! {
     #[test]

@@ -1,0 +1,475 @@
+//! Scheduler-instrumented atomics (model builds only).
+//!
+//! Each type wraps the *real* std atomic. Outside an explore session the
+//! wrapper delegates straight through, so a `--cfg model` binary behaves
+//! normally until a checker run starts. Inside a session every operation:
+//!
+//! 1. takes the runtime lock and hits a scheduling point (the scheduler
+//!    may run other threads first — this is where interleavings come from),
+//! 2. consults/updates the per-location store history with the weak-memory
+//!    rules described in [`crate::model`] (Relaxed loads may read stale
+//!    stores; Acquire loads join the release clock of the store they read;
+//!    RMWs read the latest store and extend its release sequence),
+//! 3. writes the latest modification-order value through to the real
+//!    atomic, so `into_inner`/post-session reads observe the final state.
+//!
+//! Locations are keyed by the wrapper's address (see the module-level
+//! aliasing caveat in [`crate::model`]).
+
+use std::sync::atomic::Ordering;
+use std::sync::MutexGuard;
+
+use super::{current, Choice, Location, Runtime, State, StoreEntry, VClock};
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Ensure `addr` has a Location, seeding modification order with the real
+/// atomic's current value (visible to everyone, zero stamp).
+fn location<'a>(g: &'a mut MutexGuard<'_, State>, addr: usize, init: u64) -> &'a mut Location {
+    g.locations.entry(addr).or_insert_with(|| Location {
+        stores: vec![StoreEntry {
+            value: init,
+            release: VClock::default(),
+            stamp: VClock::default(),
+        }],
+        seen: Vec::new(),
+    })
+}
+
+/// Model load: pick a visible store (coherence floor = newest store this
+/// thread has seen or happens-after), Acquire joins its release clock.
+/// SeqCst reads the latest store (modeled simplification).
+fn model_load(addr: usize, init: u64, order: Ordering) -> Option<u64> {
+    let (rt, tid) = current()?;
+    let mut g = rt.st();
+    Runtime::tick(&mut g, tid);
+    g = rt.yield_point(g, tid);
+    let clock = g.threads[tid].clock.clone();
+    let (floor, len) = {
+        let loc = location(&mut g, addr, init);
+        let mut floor = loc.seen_floor(tid);
+        for j in (floor + 1)..loc.stores.len() {
+            if !loc.stores[j].stamp.is_zero() && clock.covers(&loc.stores[j].stamp) {
+                floor = j;
+            }
+        }
+        (floor, loc.stores.len())
+    };
+    let idx = if order == Ordering::SeqCst {
+        len - 1
+    } else {
+        floor + g.decide(Choice::Read, len - floor, None)
+    };
+    let loc = location(&mut g, addr, init);
+    loc.note_seen(tid, idx);
+    let entry = loc.stores[idx].clone();
+    if is_acquire(order) {
+        g.threads[tid].clock.join(&entry.release);
+    }
+    Some(entry.value)
+}
+
+/// Model store: appends to modification order. Release stores publish the
+/// thread's clock as the new release-sequence head.
+fn model_store(addr: usize, init: u64, val: u64, order: Ordering) -> Option<()> {
+    let (rt, tid) = current()?;
+    let mut g = rt.st();
+    Runtime::tick(&mut g, tid);
+    g = rt.yield_point(g, tid);
+    let clock = g.threads[tid].clock.clone();
+    let release = if is_release(order) {
+        clock.clone()
+    } else {
+        VClock::default()
+    };
+    let loc = location(&mut g, addr, init);
+    loc.stores.push(StoreEntry {
+        value: val,
+        release,
+        stamp: clock,
+    });
+    let idx = loc.stores.len() - 1;
+    loc.note_seen(tid, idx);
+    Some(())
+}
+
+/// Model RMW: reads the latest store (C11 coherence for atomic RMWs),
+/// applies `f`, and appends the result. The new store *continues the
+/// release sequence*: its release clock inherits the previous entry's,
+/// joined with this thread's clock when the RMW itself is Release.
+fn model_rmw(addr: usize, init: u64, order: Ordering, f: impl FnOnce(u64) -> u64) -> Option<u64> {
+    let (rt, tid) = current()?;
+    let mut g = rt.st();
+    Runtime::tick(&mut g, tid);
+    g = rt.yield_point(g, tid);
+    let clock = g.threads[tid].clock.clone();
+    let loc = location(&mut g, addr, init);
+    let prev = loc.stores.last().unwrap().clone();
+    let mut release = prev.release.clone();
+    if is_release(order) {
+        release.join(&clock);
+    }
+    let mut stamp = clock;
+    stamp.join(&prev.stamp);
+    loc.stores.push(StoreEntry {
+        value: f(prev.value),
+        release,
+        stamp,
+    });
+    let idx = loc.stores.len() - 1;
+    loc.note_seen(tid, idx);
+    if is_acquire(order) {
+        let rel = prev.release.clone();
+        g.threads[tid].clock.join(&rel);
+    }
+    Some(prev.value)
+}
+
+/// Model CAS. Success path is an RMW; failure path reads the latest store
+/// with the failure ordering (simplification: failure loads don't go
+/// stale — strictly fewer behaviors than C11 allows, never more).
+#[allow(clippy::too_many_arguments)]
+fn model_cas(
+    addr: usize,
+    init: u64,
+    cur: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Option<Result<u64, u64>> {
+    let (rt, tid) = current()?;
+    let mut g = rt.st();
+    Runtime::tick(&mut g, tid);
+    g = rt.yield_point(g, tid);
+    let clock = g.threads[tid].clock.clone();
+    let loc = location(&mut g, addr, init);
+    let prev = loc.stores.last().unwrap().clone();
+    let idx = loc.stores.len() - 1;
+    if prev.value == cur {
+        let mut release = prev.release.clone();
+        if is_release(success) {
+            release.join(&clock);
+        }
+        let mut stamp = clock;
+        stamp.join(&prev.stamp);
+        loc.stores.push(StoreEntry {
+            value: new,
+            release,
+            stamp,
+        });
+        let nidx = loc.stores.len() - 1;
+        loc.note_seen(tid, nidx);
+        if is_acquire(success) {
+            let rel = prev.release.clone();
+            g.threads[tid].clock.join(&rel);
+        }
+        Some(Ok(prev.value))
+    } else {
+        loc.note_seen(tid, idx);
+        if is_acquire(failure) {
+            let rel = prev.release.clone();
+            g.threads[tid].clock.join(&rel);
+        }
+        Some(Err(prev.value))
+    }
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $real:ty, $ty:ty) => {
+        /// Instrumented drop-in for the std atomic of the same name.
+        pub struct $name {
+            real: $real,
+        }
+
+        impl $name {
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    real: <$real>::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const _ as usize
+            }
+
+            fn sync_real(&self, v: $ty) {
+                // Write-through: keep the real atomic at the latest
+                // modification-order value for into_inner/fallback reads.
+                self.real.store(v, Ordering::SeqCst);
+            }
+
+            fn latest(&self) -> $ty {
+                self.real.load(Ordering::SeqCst)
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                match model_load(self.addr(), self.latest() as u64, order) {
+                    Some(v) => v as $ty,
+                    None => self.real.load(order),
+                }
+            }
+
+            pub fn store(&self, val: $ty, order: Ordering) {
+                match model_store(self.addr(), self.latest() as u64, val as u64, order) {
+                    Some(()) => self.sync_real(val),
+                    None => self.real.store(val, order),
+                }
+            }
+
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                match model_rmw(self.addr(), self.latest() as u64, order, |_| val as u64) {
+                    Some(old) => {
+                        self.sync_real(val);
+                        old as $ty
+                    }
+                    None => self.real.swap(val, order),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                cur: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                match model_cas(
+                    self.addr(),
+                    self.latest() as u64,
+                    cur as u64,
+                    new as u64,
+                    success,
+                    failure,
+                ) {
+                    Some(Ok(old)) => {
+                        self.sync_real(new);
+                        Ok(old as $ty)
+                    }
+                    Some(Err(seen)) => Err(seen as $ty),
+                    None => self.real.compare_exchange(cur, new, success, failure),
+                }
+            }
+
+            /// Modeled as the strong variant (no spurious failures —
+            /// strictly fewer behaviors than hardware allows, never more).
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(cur, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $ty {
+                self.real.into_inner()
+            }
+
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.real.get_mut()
+            }
+        }
+
+        impl $name {
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |v| v.wrapping_add(val), |r| r.fetch_add(val, order))
+            }
+
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |v| v.wrapping_sub(val), |r| r.fetch_sub(val, order))
+            }
+
+            pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |v| v | val, |r| r.fetch_or(val, order))
+            }
+
+            pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |v| v & val, |r| r.fetch_and(val, order))
+            }
+
+            pub fn fetch_min(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |v| v.min(val), |r| r.fetch_min(val, order))
+            }
+
+            pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                self.rmw(order, |v| v.max(val), |r| r.fetch_max(val, order))
+            }
+
+            fn rmw(
+                &self,
+                order: Ordering,
+                f: impl Fn($ty) -> $ty,
+                fallback: impl FnOnce(&$real) -> $ty,
+            ) -> $ty {
+                match model_rmw(self.addr(), self.latest() as u64, order, |v| {
+                    f(v as $ty) as u64
+                }) {
+                    Some(old) => {
+                        self.sync_real(f(old as $ty));
+                        old as $ty
+                    }
+                    None => fallback(&self.real),
+                }
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(v: $ty) -> Self {
+                Self::new(v)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+    };
+}
+
+model_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+model_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+/// Instrumented drop-in for `std::sync::atomic::AtomicBool`.
+pub struct AtomicBool {
+    real: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            real: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    fn latest(&self) -> u64 {
+        self.real.load(Ordering::SeqCst) as u64
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        match model_load(self.addr(), self.latest(), order) {
+            Some(v) => v != 0,
+            None => self.real.load(order),
+        }
+    }
+
+    pub fn store(&self, val: bool, order: Ordering) {
+        match model_store(self.addr(), self.latest(), val as u64, order) {
+            Some(()) => self.real.store(val, Ordering::SeqCst),
+            None => self.real.store(val, order),
+        }
+    }
+
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        match model_rmw(self.addr(), self.latest(), order, |_| val as u64) {
+            Some(old) => {
+                self.real.store(val, Ordering::SeqCst);
+                old != 0
+            }
+            None => self.real.swap(val, order),
+        }
+    }
+
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        match model_rmw(self.addr(), self.latest(), order, |v| v | (val as u64)) {
+            Some(old) => {
+                self.real.store(old != 0 || val, Ordering::SeqCst);
+                old != 0
+            }
+            None => self.real.fetch_or(val, order),
+        }
+    }
+
+    pub fn fetch_and(&self, val: bool, order: Ordering) -> bool {
+        match model_rmw(self.addr(), self.latest(), order, |v| v & (val as u64)) {
+            Some(old) => {
+                self.real.store(old != 0 && val, Ordering::SeqCst);
+                old != 0
+            }
+            None => self.real.fetch_and(val, order),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        cur: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        match model_cas(
+            self.addr(),
+            self.latest(),
+            cur as u64,
+            new as u64,
+            success,
+            failure,
+        ) {
+            Some(Ok(old)) => {
+                self.real.store(new, Ordering::SeqCst);
+                Ok(old != 0)
+            }
+            Some(Err(seen)) => Err(seen != 0),
+            None => self.real.compare_exchange(cur, new, success, failure),
+        }
+    }
+
+    /// Modeled as the strong variant (see the integer atomics).
+    pub fn compare_exchange_weak(
+        &self,
+        cur: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(cur, new, success, failure)
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.real.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.real.get_mut()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl From<bool> for AtomicBool {
+    fn from(v: bool) -> Self {
+        Self::new(v)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.load(Ordering::Relaxed))
+            .finish()
+    }
+}

@@ -1,0 +1,281 @@
+//! Scheduler-instrumented `Mutex`/`RwLock` (model builds only).
+//!
+//! Virtual-grant-first protocol: inside an explore session a thread first
+//! acquires the lock *virtually* (blocking in the scheduler until the
+//! model lock state admits it, with an acquire happens-before edge from
+//! the last release), and only then takes the real underlying lock —
+//! which is guaranteed free, because the virtual protocol already
+//! serializes admission. Outside a session the wrappers are plain
+//! `parking_lot` locks.
+//!
+//! Lock/unlock clocks give locks *strong* (acquire/release) semantics in
+//! the memory model, matching reality: data behind a mutex never goes
+//! stale.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use super::{current, Runtime};
+
+/// Session info a guard needs to virtually release on drop.
+struct Held {
+    rt: Arc<Runtime>,
+    tid: usize,
+    addr: usize,
+}
+
+fn virtual_acquire_write(addr: usize) -> Option<Held> {
+    let (rt, tid) = current()?;
+    let mut g = rt.st();
+    Runtime::tick(&mut g, tid);
+    g = rt.yield_point(g, tid);
+    g = rt.block_on(g, tid, |st| {
+        st.locks
+            .get(&addr)
+            .is_none_or(|l| !l.writer && l.readers == 0)
+    });
+    let ls = g.locks.entry(addr).or_default();
+    ls.writer = true;
+    let lc = ls.clock.clone();
+    g.threads[tid].clock.join(&lc);
+    drop(g);
+    Some(Held { rt, tid, addr })
+}
+
+fn virtual_acquire_read(addr: usize) -> Option<Held> {
+    let (rt, tid) = current()?;
+    let mut g = rt.st();
+    Runtime::tick(&mut g, tid);
+    g = rt.yield_point(g, tid);
+    g = rt.block_on(g, tid, |st| st.locks.get(&addr).is_none_or(|l| !l.writer));
+    let ls = g.locks.entry(addr).or_default();
+    ls.readers += 1;
+    let lc = ls.clock.clone();
+    g.threads[tid].clock.join(&lc);
+    drop(g);
+    Some(Held { rt, tid, addr })
+}
+
+fn try_virtual_acquire_write(addr: usize) -> Option<Option<Held>> {
+    let (rt, tid) = current()?;
+    let mut g = rt.st();
+    Runtime::tick(&mut g, tid);
+    g = rt.yield_point(g, tid);
+    let free = g
+        .locks
+        .get(&addr)
+        .is_none_or(|l| !l.writer && l.readers == 0);
+    if !free {
+        return Some(None);
+    }
+    let ls = g.locks.entry(addr).or_default();
+    ls.writer = true;
+    let lc = ls.clock.clone();
+    g.threads[tid].clock.join(&lc);
+    drop(g);
+    Some(Some(Held { rt, tid, addr }))
+}
+
+impl Held {
+    /// Virtual release. Never panics (runs in guard Drop, possibly while
+    /// unwinding on ModelAbort) — no yield point, just state + wakeups.
+    fn release(&self, write: bool) {
+        let mut g = self.rt.st();
+        Runtime::tick(&mut g, self.tid);
+        let tclock = g.threads[self.tid].clock.clone();
+        let ls = g.locks.entry(self.addr).or_default();
+        if write {
+            ls.writer = false;
+            ls.clock = tclock;
+        } else {
+            ls.readers = ls.readers.saturating_sub(1);
+            // Readers also publish: a later writer happens-after them.
+            ls.clock.join(&tclock);
+        }
+        drop(g);
+        self.rt.wake_all();
+    }
+}
+
+/// Instrumented drop-in for `parking_lot::Mutex`.
+pub struct Mutex<T: ?Sized> {
+    real: parking_lot::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    real: Option<parking_lot::MutexGuard<'a, T>>,
+    held: Option<Held>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(v: T) -> Self {
+        Self {
+            real: parking_lot::Mutex::new(v),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.real.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let held = virtual_acquire_write(self.addr());
+        MutexGuard {
+            real: Some(self.real.lock()),
+            held,
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match try_virtual_acquire_write(self.addr()) {
+            // In-session: virtual admission decides; the real try_lock
+            // then always succeeds.
+            Some(Some(held)) => Some(MutexGuard {
+                real: Some(self.real.lock()),
+                held: Some(held),
+            }),
+            Some(None) => None,
+            None => self.real.try_lock().map(|g| MutexGuard {
+                real: Some(g),
+                held: None,
+            }),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.real.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().unwrap()
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().unwrap()
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real unlock first, then virtual release (admission order is
+        // irrelevant once the real lock is free; virtual state gates it).
+        self.real = None;
+        if let Some(h) = &self.held {
+            h.release(true);
+        }
+    }
+}
+
+/// Instrumented drop-in for `parking_lot::RwLock`.
+pub struct RwLock<T: ?Sized> {
+    real: parking_lot::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    real: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    held: Option<Held>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    real: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    held: Option<Held>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(v: T) -> Self {
+        Self {
+            real: parking_lot::RwLock::new(v),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.real.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn addr(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let held = virtual_acquire_read(self.addr());
+        RwLockReadGuard {
+            real: Some(self.real.read()),
+            held,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let held = virtual_acquire_write(self.addr());
+        RwLockWriteGuard {
+            real: Some(self.real.write()),
+            held,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.real.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().unwrap()
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.real = None;
+        if let Some(h) = &self.held {
+            h.release(false);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real.as_ref().unwrap()
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real.as_mut().unwrap()
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.real = None;
+        if let Some(h) = &self.held {
+            h.release(true);
+        }
+    }
+}

@@ -1,0 +1,733 @@
+//! Deterministic schedule-exploration runtime (only compiled under
+//! `--cfg model`).
+//!
+//! # How it works
+//!
+//! Virtual threads are *real OS threads* serialized by a token protocol:
+//! one global `Mutex<State>` + `Condvar`, with `state.active` naming the
+//! single thread allowed to run. Every instrumented operation (atomic
+//! access, lock acquire/release, spawn/join, `yield_now`, `spin_loop`)
+//! calls [`Runtime::yield_point`], which picks the next runnable thread
+//! (seeded random walk or PCT priorities), hands it the token, and blocks
+//! the current thread until the token comes back. The result is a fully
+//! deterministic interleaving per `(seed, strategy)` pair.
+//!
+//! # Memory model
+//!
+//! Per atomic location the runtime keeps the *modification order* (the
+//! list of stores, each stamped with the storing thread's vector clock at
+//! `Release` strength) plus per-thread vector clocks. A load may read any
+//! store not yet "hidden" from the loading thread:
+//!
+//! * a store is hidden if the loading thread's clock already covers a
+//!   *later* store in modification order (per-location coherence), and
+//! * `Acquire` loads join the release clock of the store they read,
+//!   establishing happens-before.
+//!
+//! `Relaxed` loads therefore *can return stale values* — which is exactly
+//! what lets the checker reproduce the pre-PR-2 work-queue termination bug
+//! (a `Relaxed` decrement whose effect the terminating thread never
+//! observes). Simplifications, documented and deliberate:
+//!
+//! * RMWs (`fetch_*`, `compare_exchange`) always read the latest store in
+//!   modification order (C11 coherence requires atomic RMWs to read the
+//!   last value) and extend the release sequence of the store they modify.
+//! * `SeqCst` is modeled as `AcqRel` + read-latest. We lose exotic SC
+//!   fence distinctions, but the workspace has no SeqCst fences.
+//! * Locations are keyed by address; a freed-and-reallocated atomic at the
+//!   same address within one run would alias. Explore bodies allocate
+//!   their structures up front, so this does not arise in practice.
+//!
+//! # Exploration API
+//!
+//! [`explore`] runs a closure under many seeds, counts *distinct*
+//! schedules via trace hashing, and on failure shrinks the recorded
+//! schedule to a minimal failing prefix and returns a [`Failure`] with a
+//! replayable seed. [`replay`] re-runs one exact seed for debugging.
+
+pub mod atomic;
+pub mod lock;
+pub mod thread;
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Sentinel panic payload used to unwind virtual threads when a run is
+/// aborted (failure detected elsewhere, step bound exceeded). The
+/// catch_unwind wrapper recognizes and swallows it.
+pub(crate) struct ModelAbort;
+
+thread_local! {
+    /// Identity of the current virtual thread, if any. `None` means "not
+    /// inside an explore session" — instrumented primitives then fall back
+    /// to the real std/parking_lot behavior.
+    pub(crate) static CURRENT: std::cell::RefCell<Option<(Arc<Runtime>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Ambient runtime handle + virtual thread id for the calling OS thread,
+/// if it is a registered virtual thread of an active session.
+pub(crate) fn current() -> Option<(Arc<Runtime>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(v: Option<(Arc<Runtime>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// Vector clock: index = virtual thread id, value = that thread's
+/// operation sequence number last known to happen-before here.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, tid: usize, v: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = self.0[tid].max(v);
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            self.0[i] = self.0[i].max(v);
+        }
+    }
+
+    /// True if `self` already covers `other` (other happened-before self).
+    fn covers(&self, other: &VClock) -> bool {
+        other
+            .0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == 0 || self.get(i) >= v)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Runnable (running iff tid == state.active).
+    Runnable,
+    /// Blocked on a lock / join; woken threads re-check their predicate.
+    Blocked,
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub(crate) status: Status,
+    /// Happens-before clock of this thread.
+    pub(crate) clock: VClock,
+    /// Monotone per-thread operation counter (drives its own clock entry).
+    pub(crate) seq: u64,
+    /// PCT priority (lower = preferred). Random strategy ignores it.
+    priority: u64,
+}
+
+/// One recorded scheduling decision. Only *real* decisions (≥ 2 options)
+/// are recorded, so traces stay short and hashable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum Choice {
+    /// Scheduler picked the `idx`-th of ≥2 runnable threads.
+    Thread(usize),
+    /// A load picked the `idx`-th of ≥2 visible stores.
+    Read(usize),
+}
+
+/// Per-location store history entry.
+#[derive(Clone)]
+pub(crate) struct StoreEntry {
+    pub(crate) value: u64,
+    /// Release clock: joined into the reader's clock on Acquire loads.
+    /// All-zero for Relaxed stores that continue no release sequence.
+    pub(crate) release: VClock,
+    /// Writer's clock at store time — used for coherence: a reader whose
+    /// clock covers this stamp may no longer read *earlier* stores.
+    pub(crate) stamp: VClock,
+}
+
+pub(crate) struct Location {
+    /// Modification order. `stores[0]` is the initialization value.
+    pub(crate) stores: Vec<StoreEntry>,
+    /// Per-thread index of the newest store each thread has read-from or
+    /// written (per-location coherence floor).
+    pub(crate) seen: Vec<usize>,
+}
+
+impl Location {
+    pub(crate) fn seen_floor(&mut self, tid: usize) -> usize {
+        if self.seen.len() <= tid {
+            self.seen.resize(tid + 1, 0);
+        }
+        self.seen[tid]
+    }
+
+    pub(crate) fn note_seen(&mut self, tid: usize, idx: usize) {
+        if self.seen.len() <= tid {
+            self.seen.resize(tid + 1, 0);
+        }
+        self.seen[tid] = self.seen[tid].max(idx);
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct LockState {
+    pub(crate) writer: bool,
+    /// Read-holder count (RwLock; a plain Mutex only uses `writer`).
+    pub(crate) readers: usize,
+    /// Clock released by the last unlocker; joined on acquire.
+    pub(crate) clock: VClock,
+}
+
+pub(crate) struct State {
+    pub(crate) threads: Vec<ThreadState>,
+    /// Which virtual thread currently holds the run token.
+    pub(crate) active: usize,
+    rng: u64,
+    steps: u64,
+    max_steps: u64,
+    /// Recorded decisions of this run.
+    pub(crate) trace: Vec<Choice>,
+    /// When shrinking: follow this prefix, then fall back to the
+    /// deterministic first-option rule.
+    replay: Option<Vec<Choice>>,
+    replay_pos: usize,
+    pub(crate) locations: HashMap<usize, Location>,
+    pub(crate) locks: HashMap<usize, LockState>,
+    /// First failure observed (virtual-thread panic message, deadlock, or
+    /// step-bound violation).
+    pub(crate) failure: Option<String>,
+    /// Once set, every scheduling point unwinds with [`ModelAbort`].
+    pub(crate) abort: bool,
+    strategy: Strategy,
+    /// PCT: remaining step indices at which the running thread is demoted.
+    change_points: Vec<u64>,
+    next_priority: u64,
+}
+
+impl State {
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 — tiny, seedable, dependency-free.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn rand_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Pick among `n` alternatives, honoring a replay prefix first and
+    /// recording the decision when there are ≥ 2 options.
+    pub(crate) fn decide(
+        &mut self,
+        kind: fn(usize) -> Choice,
+        n: usize,
+        pct_pick: Option<usize>,
+    ) -> usize {
+        if n == 1 {
+            return 0;
+        }
+        let idx = if let Some(prefix) = &self.replay {
+            if self.replay_pos < prefix.len() {
+                let c = prefix[self.replay_pos];
+                self.replay_pos += 1;
+                match c {
+                    // A stale prefix entry (possible while shrinking) may
+                    // point past the current option count; clamp so replay
+                    // stays deterministic instead of panicking.
+                    Choice::Thread(i) | Choice::Read(i) => i.min(n - 1),
+                }
+            } else {
+                // Past the prefix: deterministic first option so shrunk
+                // schedules replay identically.
+                0
+            }
+        } else if let Some(p) = pct_pick {
+            p
+        } else {
+            self.rand_below(n)
+        };
+        self.trace.push(kind(idx));
+        idx
+    }
+
+    fn pct_pick(&self, runnable: &[usize]) -> Option<usize> {
+        match self.strategy {
+            Strategy::Random => None,
+            Strategy::Pct { .. } => runnable
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| self.threads[t].priority)
+                .map(|(i, _)| i),
+        }
+    }
+
+    fn runnable_except(&self, skip: Option<usize>) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| Some(*i) != skip && t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Exploration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Uniform seeded random walk over runnable threads and visible stores.
+    Random,
+    /// PCT-style: static priorities with `change_points` demotion points —
+    /// finds bugs of depth ≤ d+1 with known probability bounds.
+    Pct { change_points: usize },
+}
+
+pub struct Runtime {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Runtime {
+    fn new(
+        seed: u64,
+        max_steps: u64,
+        strategy: Strategy,
+        replay: Option<Vec<Choice>>,
+    ) -> Arc<Self> {
+        let mut st = State {
+            threads: Vec::new(),
+            active: 0,
+            rng: seed ^ 0xD6E8_FEB8_6659_FD93,
+            steps: 0,
+            max_steps,
+            trace: Vec::new(),
+            replay,
+            replay_pos: 0,
+            locations: HashMap::new(),
+            locks: HashMap::new(),
+            failure: None,
+            abort: false,
+            strategy,
+            change_points: Vec::new(),
+            next_priority: 0,
+        };
+        if let Strategy::Pct { change_points } = strategy {
+            // Sample change-point step indices up front, PCT-style.
+            for _ in 0..change_points {
+                let p = st.next_u64() % max_steps.max(1);
+                st.change_points.push(p);
+            }
+            st.change_points.sort_unstable();
+        }
+        Arc::new(Runtime {
+            state: Mutex::new(st),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Lock the state, tolerating poison: a virtual thread unwinding with
+    /// [`ModelAbort`] can drop the guard mid-panic, which poisons the std
+    /// mutex even though the State itself stays consistent (every mutation
+    /// completes before any panic_any call).
+    pub(crate) fn st(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register_thread(st: &mut State) -> usize {
+        let tid = st.threads.len();
+        let priority = st.next_priority;
+        st.next_priority += 1;
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock: VClock::default(),
+            seq: 0,
+            priority,
+        });
+        tid
+    }
+
+    /// Advance `tid`'s own clock entry (a new operation by this thread).
+    pub(crate) fn tick(st: &mut State, tid: usize) {
+        st.threads[tid].seq += 1;
+        let seq = st.threads[tid].seq;
+        st.threads[tid].clock.set(tid, seq);
+    }
+
+    fn check_abort(&self, st: &State) {
+        if st.abort {
+            self.cv.notify_all();
+            std::panic::panic_any(ModelAbort);
+        }
+    }
+
+    fn all_stuck(st: &State) -> bool {
+        st.threads.iter().all(|t| t.status != Status::Runnable)
+            && st.threads.iter().any(|t| t.status == Status::Blocked)
+    }
+
+    fn declare_deadlock(&self, st: &mut State) -> ! {
+        if st.failure.is_none() {
+            let blocked: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Blocked)
+                .map(|(i, _)| i)
+                .collect();
+            st.failure = Some(format!("deadlock: threads {blocked:?} all blocked"));
+        }
+        st.abort = true;
+        self.cv.notify_all();
+        std::panic::panic_any(ModelAbort);
+    }
+
+    /// The heart of the scheduler: called (with the state lock held) at
+    /// every instrumented operation. Picks the next thread to run, wakes
+    /// it, and blocks until this thread regains the token. Unwinds with
+    /// [`ModelAbort`] if the run is aborted.
+    pub(crate) fn yield_point<'rt>(
+        self: &'rt Arc<Self>,
+        mut g: MutexGuard<'rt, State>,
+        tid: usize,
+    ) -> MutexGuard<'rt, State> {
+        self.check_abort(&g);
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            if g.failure.is_none() {
+                g.failure = Some(format!(
+                    "step bound exceeded ({} scheduling points): possible \
+                     livelock or unbounded spin; raise Options::max_steps if \
+                     the protocol legitimately needs more",
+                    g.max_steps
+                ));
+            }
+            g.abort = true;
+            self.cv.notify_all();
+            std::panic::panic_any(ModelAbort);
+        }
+        // PCT: at a change point, demote the running thread.
+        let step = g.steps;
+        if g.change_points.first().is_some_and(|&p| p <= step) {
+            g.change_points.remove(0);
+            let np = g.next_priority;
+            g.next_priority += 1;
+            g.threads[tid].priority = np;
+        }
+        let runnable = g.runnable_except(None);
+        debug_assert!(!runnable.is_empty(), "caller is runnable");
+        let pct = g.pct_pick(&runnable);
+        let idx = g.decide(Choice::Thread, runnable.len(), pct);
+        let next = runnable[idx];
+        if next != tid {
+            g.active = next;
+            self.cv.notify_all();
+            g = self.wait_for_token(g, tid);
+        }
+        g
+    }
+
+    /// Block until `active == tid` and we are Runnable; unwinds on abort.
+    pub(crate) fn wait_for_token<'rt>(
+        self: &'rt Arc<Self>,
+        mut g: MutexGuard<'rt, State>,
+        tid: usize,
+    ) -> MutexGuard<'rt, State> {
+        while g.active != tid || g.threads[tid].status != Status::Runnable {
+            self.check_abort(&g);
+            if g.threads[tid].status == Status::Blocked && Self::all_stuck(&g) {
+                self.declare_deadlock(&mut g);
+            }
+            g = self.wait_ms(g, 50);
+        }
+        self.check_abort(&g);
+        g
+    }
+
+    /// Block the current thread (`status = Blocked`) until `pred` holds,
+    /// then become Runnable again and wait for the token. Used by model
+    /// locks and join.
+    pub(crate) fn block_on<'rt, F: Fn(&State) -> bool>(
+        self: &'rt Arc<Self>,
+        mut g: MutexGuard<'rt, State>,
+        tid: usize,
+        pred: F,
+    ) -> MutexGuard<'rt, State> {
+        if pred(&g) {
+            return g;
+        }
+        g.threads[tid].status = Status::Blocked;
+        self.hand_off(&mut g, tid);
+        loop {
+            self.check_abort(&g);
+            if pred(&g) {
+                g.threads[tid].status = Status::Runnable;
+                // If nobody holds the token (all others blocked/finished),
+                // claim it; otherwise wait to be scheduled.
+                if g.threads[g.active].status != Status::Runnable {
+                    g.active = tid;
+                }
+                self.cv.notify_all();
+                return self.wait_for_token(g, tid);
+            }
+            if Self::all_stuck(&g) {
+                self.declare_deadlock(&mut g);
+            }
+            g = self.wait_ms(g, 50);
+        }
+    }
+
+    /// Give the token away to any runnable thread (used when blocking or
+    /// finishing). If nobody is runnable, waiters' deadlock checks fire.
+    pub(crate) fn hand_off(self: &Arc<Self>, g: &mut MutexGuard<'_, State>, tid: usize) {
+        if g.active != tid {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = g.runnable_except(Some(tid));
+        if !runnable.is_empty() {
+            let pct = g.pct_pick(&runnable);
+            let idx = g.decide(Choice::Thread, runnable.len(), pct);
+            g.active = runnable[idx];
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Record a virtual-thread failure (first wins) and abort the run.
+    pub(crate) fn fail(&self, msg: String) {
+        let mut st = self.st();
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Bounded park on the condvar: a lost wakeup in the harness itself
+    /// must not hang the exploration forever.
+    fn wait_ms<'rt>(&self, g: MutexGuard<'rt, State>, ms: u64) -> MutexGuard<'rt, State> {
+        match self.cv.wait_timeout(g, Duration::from_millis(ms)) {
+            Ok((g, _)) => g,
+            Err(e) => e.into_inner().0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration API
+// ---------------------------------------------------------------------------
+
+/// Options for [`explore`].
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Number of schedules (seeds) to run.
+    pub iterations: u64,
+    /// Base seed; iteration `i` runs with seed `base_seed + i`.
+    pub base_seed: u64,
+    /// Per-run scheduling-point bound (livelock detector).
+    pub max_steps: u64,
+    pub strategy: Strategy,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            iterations: 1000,
+            base_seed: 0x5CC0_5CC0,
+            max_steps: 100_000,
+            strategy: Strategy::Random,
+        }
+    }
+}
+
+/// Outcome of an [`explore`] session.
+#[derive(Debug)]
+pub struct Report {
+    /// Schedules actually executed (stops early on first failure).
+    pub iterations: u64,
+    /// Distinct schedules (unique decision traces) among them.
+    pub distinct_schedules: u64,
+    pub failure: Option<Failure>,
+}
+
+/// A failing schedule, replayable via its `seed`.
+#[derive(Debug)]
+pub struct Failure {
+    /// Seed that produced the failure (pass to [`replay`]).
+    pub seed: u64,
+    pub strategy: Strategy,
+    /// The failure message (assertion text, deadlock, step bound, ...).
+    pub message: String,
+    /// Length of the full failing decision trace.
+    pub trace_len: usize,
+    /// Length after prefix minimization (shrinking).
+    pub shrunk_len: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failure [replay seed {:#x}, strategy {:?}, trace {} choices, \
+             shrunk to {}]: {}",
+            self.seed, self.strategy, self.trace_len, self.shrunk_len, self.message
+        )
+    }
+}
+
+/// Run `body` once under the model with the given seed/options; returns
+/// the recorded trace and failure (if any).
+fn run_once<F: Fn() + Send + Sync>(
+    seed: u64,
+    opts: &Options,
+    replay_prefix: Option<Vec<Choice>>,
+    body: &F,
+) -> (Vec<Choice>, Option<String>) {
+    let rt = Runtime::new(seed, opts.max_steps, opts.strategy, replay_prefix);
+    // The body runs as virtual thread 0 on the *current* OS thread.
+    let tid = {
+        let mut st = rt.st();
+        let tid = Runtime::register_thread(&mut st);
+        st.active = tid;
+        tid
+    };
+    set_current(Some((rt.clone(), tid)));
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    set_current(None);
+    if let Err(payload) = res {
+        if payload.downcast_ref::<ModelAbort>().is_none() {
+            // as_ref(): pass the payload itself, not the Box, as the Any.
+            rt.fail(panic_message(payload.as_ref()));
+        }
+    }
+    {
+        let mut st = rt.st();
+        st.threads[tid].status = Status::Finished;
+        // If the body returned while child virtual threads were unjoined
+        // (scope() prevents this on normal paths), abort so they unwind.
+        if st.threads.iter().any(|t| t.status != Status::Finished) {
+            st.abort = true;
+        }
+        rt.cv.notify_all();
+    }
+    let st = rt.st();
+    (st.trace.clone(), st.failure.clone())
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "virtual thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Explore `opts.iterations` schedules of `body`. The body must be
+/// re-runnable (construct its own state each call). On the first failing
+/// schedule, shrinks it and returns early with a replayable [`Failure`].
+pub fn explore<F: Fn() + Send + Sync>(opts: Options, body: F) -> Report {
+    let mut distinct: HashSet<u64> = HashSet::new();
+    let mut ran = 0u64;
+    for i in 0..opts.iterations {
+        let seed = opts.base_seed.wrapping_add(i);
+        let (trace, failure) = run_once(seed, &opts, None, &body);
+        ran += 1;
+        distinct.insert(hash_trace(&trace));
+        if let Some(message) = failure {
+            let shrunk_len = shrink(seed, &opts, &trace, &body);
+            return Report {
+                iterations: ran,
+                distinct_schedules: distinct.len() as u64,
+                failure: Some(Failure {
+                    seed,
+                    strategy: opts.strategy,
+                    message,
+                    trace_len: trace.len(),
+                    shrunk_len,
+                }),
+            };
+        }
+    }
+    Report {
+        iterations: ran,
+        distinct_schedules: distinct.len() as u64,
+        failure: None,
+    }
+}
+
+/// Re-run a single seed (e.g. one reported by a [`Failure`]). Returns the
+/// failure message if the run fails again.
+pub fn replay<F: Fn() + Send + Sync>(seed: u64, opts: Options, body: F) -> Option<String> {
+    run_once(seed, &opts, None, &body).1
+}
+
+/// Prefix minimization: binary-search the shortest replay prefix of the
+/// failing trace that still fails (decisions past the prefix fall back to
+/// the deterministic first-option rule). Returns the shrunk length.
+fn shrink<F: Fn() + Send + Sync>(seed: u64, opts: &Options, trace: &[Choice], body: &F) -> usize {
+    let fails_with = |len: usize| -> bool {
+        run_once(seed, opts, Some(trace[..len].to_vec()), body)
+            .1
+            .is_some()
+    };
+    // The full trace replayed as a prefix should fail by construction; if
+    // the deterministic tail diverges (possible when clamped Read choices
+    // shift store counts), report the unshrunk length.
+    if !fails_with(trace.len()) {
+        return trace.len();
+    }
+    let (mut lo, mut hi) = (0usize, trace.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails_with(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    hi
+}
+
+fn hash_trace(trace: &[Choice]) -> u64 {
+    // FNV-1a over the decision stream — cheap, deterministic, no deps.
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for c in trace {
+        let (tag, v) = match *c {
+            Choice::Thread(i) => (1u64, i as u64),
+            Choice::Read(i) => (2u64, i as u64),
+        };
+        for b in [tag, v] {
+            h ^= b;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+    }
+    h
+}

@@ -1,0 +1,219 @@
+//! Self-tests for the model-checker runtime itself (only meaningful under
+//! `RUSTFLAGS=--cfg model`; the whole file compiles away otherwise).
+//!
+//! These pin the properties the production `model_tests` battery relies
+//! on: stale Relaxed reads are generated, Release/Acquire publication is
+//! honored, failing seeds replay deterministically, deadlocks are
+//! detected, and schedule exploration actually diversifies.
+#![cfg(model)]
+
+use swscc_sync::atomic::{AtomicU32, Ordering};
+use swscc_sync::model::{explore, replay, Options, Strategy};
+use swscc_sync::Mutex;
+
+fn opts(iterations: u64) -> Options {
+    Options {
+        iterations,
+        base_seed: 0xDEAD_BEEF,
+        max_steps: 10_000,
+        strategy: Strategy::Random,
+    }
+}
+
+/// Classic message-passing with Relaxed on both sides: the checker must
+/// produce the stale read (flag observed set, data observed unset).
+#[test]
+fn finds_relaxed_publication_race() {
+    let report = explore(opts(2000), || {
+        let data = AtomicU32::new(0);
+        let flag = AtomicU32::new(0);
+        swscc_sync::thread::scope(|s| {
+            s.spawn(|| {
+                data.store(1, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                if flag.load(Ordering::Relaxed) == 1 {
+                    assert_eq!(
+                        data.load(Ordering::Relaxed),
+                        1,
+                        "stale data read after observing flag"
+                    );
+                }
+            });
+        });
+    });
+    let failure = report
+        .failure
+        .expect("relaxed publication race must be found");
+    assert!(failure.message.contains("stale data read"), "{failure}");
+    assert!(failure.shrunk_len <= failure.trace_len);
+}
+
+/// The same protocol with a Release store / Acquire load must be clean:
+/// once the flag is observed, the data store happens-before the reader.
+#[test]
+fn release_acquire_publication_is_safe() {
+    let report = explore(opts(500), || {
+        let data = AtomicU32::new(0);
+        let flag = AtomicU32::new(0);
+        swscc_sync::thread::scope(|s| {
+            s.spawn(|| {
+                data.store(1, Ordering::Relaxed);
+                flag.store(1, Ordering::Release);
+            });
+            s.spawn(|| {
+                if flag.load(Ordering::Acquire) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 1);
+                }
+            });
+        });
+    });
+    assert!(
+        report.failure.is_none(),
+        "release/acquire publication flagged spuriously: {:?}",
+        report.failure
+    );
+    assert!(report.distinct_schedules > 10);
+}
+
+/// Failing seeds replay: re-running the reported seed reproduces the
+/// failure, and two identical explore sessions report the same seed.
+#[test]
+fn failing_seed_replays_deterministically() {
+    let body = || {
+        let data = AtomicU32::new(0);
+        let flag = AtomicU32::new(0);
+        swscc_sync::thread::scope(|s| {
+            s.spawn(|| {
+                data.store(7, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed);
+            });
+            s.spawn(|| {
+                if flag.load(Ordering::Relaxed) == 1 {
+                    assert_eq!(data.load(Ordering::Relaxed), 7);
+                }
+            });
+        });
+    };
+    let a = explore(opts(2000), body).failure.expect("race found");
+    let b = explore(opts(2000), body).failure.expect("race found again");
+    assert_eq!(a.seed, b.seed, "exploration must be deterministic");
+    let msg = replay(a.seed, opts(1), body).expect("seed must replay the failure");
+    assert!(
+        msg.contains("assertion"),
+        "unexpected replayed failure: {msg}"
+    );
+}
+
+/// RMWs read the latest value (coherence): concurrent fetch_adds never
+/// lose increments even when fully Relaxed.
+#[test]
+fn relaxed_rmws_do_not_lose_increments() {
+    let report = explore(opts(500), || {
+        let n = AtomicU32::new(0);
+        swscc_sync::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    // ordering: counter only, total checked after join
+                    n.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 3);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.distinct_schedules > 10);
+}
+
+/// Opposite lock-order acquisition must be reported as a deadlock, not
+/// hang the harness.
+#[test]
+fn detects_lock_order_deadlock() {
+    let report = explore(opts(200), || {
+        let a = Mutex::new(0u32);
+        let b = Mutex::new(0u32);
+        swscc_sync::thread::scope(|s| {
+            s.spawn(|| {
+                let ga = a.lock();
+                let gb = b.lock();
+                let _ = (*ga, *gb);
+            });
+            s.spawn(|| {
+                let gb = b.lock();
+                let ga = a.lock();
+                let _ = (*ga, *gb);
+            });
+        });
+    });
+    let failure = report.failure.expect("deadlock must be detected");
+    assert!(failure.message.contains("deadlock"), "{failure}");
+}
+
+/// Mutual exclusion holds: a read-modify-write race through a Mutex is
+/// never torn.
+#[test]
+fn mutex_serializes_critical_sections() {
+    let report = explore(opts(300), || {
+        let n = Mutex::new(0u32);
+        swscc_sync::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut g = n.lock();
+                    let v = *g;
+                    *g = v + 1;
+                });
+            }
+        });
+        assert_eq!(*n.lock(), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+/// An unbounded spin on a flag nobody sets trips the step bound instead
+/// of hanging.
+#[test]
+fn step_bound_catches_livelock() {
+    let report = explore(
+        Options {
+            iterations: 1,
+            max_steps: 200,
+            ..opts(1)
+        },
+        || {
+            let flag = AtomicU32::new(0);
+            while flag.load(Ordering::Relaxed) == 0 {
+                swscc_sync::hint::spin_loop();
+            }
+        },
+    );
+    let failure = report.failure.expect("step bound must fire");
+    assert!(failure.message.contains("step bound"), "{failure}");
+}
+
+/// PCT strategy also finds the publication race.
+#[test]
+fn pct_strategy_finds_race_too() {
+    let report = explore(
+        Options {
+            strategy: Strategy::Pct { change_points: 3 },
+            ..opts(2000)
+        },
+        || {
+            let data = AtomicU32::new(0);
+            let flag = AtomicU32::new(0);
+            swscc_sync::thread::scope(|s| {
+                s.spawn(|| {
+                    data.store(1, Ordering::Relaxed);
+                    flag.store(1, Ordering::Relaxed);
+                });
+                s.spawn(|| {
+                    if flag.load(Ordering::Relaxed) == 1 {
+                        assert_eq!(data.load(Ordering::Relaxed), 1);
+                    }
+                });
+            });
+        },
+    );
+    assert!(report.failure.is_some(), "PCT should find the race as well");
+}

@@ -93,7 +93,7 @@ fn worker_count_does_not_change_partition() {
 #[test]
 fn engine_usable_directly() {
     // The BSP engine is a public building block: broadcast-and-ack.
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use swscc_sync::atomic::{AtomicUsize, Ordering};
     let acks = AtomicUsize::new(0);
     let stats = run_supersteps(
         3,

@@ -122,7 +122,7 @@ fn repeated_parallel_runs_under_contention() {
     let g = Dataset::Baidu.generate(0.1, 42);
     let (want, _) = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default());
     let want = want.canonical_labels();
-    std::thread::scope(|s| {
+    swscc_sync::thread::scope(|s| {
         for _ in 0..4 {
             s.spawn(|| {
                 let (r, _) = detect_scc(&g, Algorithm::Method2, &SccConfig::with_threads(2));
