@@ -791,6 +791,8 @@ mod tests {
     #[test]
     fn worker_panics_carry_worker_index() {
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        // recovery: test-local — asserting the shim rewraps a worker
+        // panic with the worker index before rethrowing it.
         let res = std::panic::catch_unwind(|| {
             pool.install(|| {
                 (0..8usize).into_par_iter().for_each(|i| {
@@ -815,6 +817,8 @@ mod tests {
     #[test]
     fn join_propagates_second_closure_panic() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        // recovery: test-local — asserting a join-arm panic propagates
+        // out of install with the worker attribution intact.
         let res = std::panic::catch_unwind(|| {
             pool.install(|| join(|| 1, || -> u32 { panic!("right side") }))
         });

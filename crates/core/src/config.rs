@@ -18,6 +18,20 @@ pub enum PivotStrategy {
     MaxDegreeProduct,
 }
 
+/// What a checked driver does when a worker panic is caught (the
+/// `*_scc_checked` entry points; legacy `*_scc` functions re-panic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicPolicy {
+    /// Recover: retry a task that died at the work-queue boundary once,
+    /// then degrade to a sequential Tarjan pass (on the surviving residue
+    /// after a boundary panic, or on the whole graph after a mid-task
+    /// panic that may have left partial claims). Recovery steps are
+    /// recorded in [`crate::instrument::RunReport::recoveries`].
+    Fallback,
+    /// Fail fast: surface [`crate::SccError::WorkerPanic`] immediately.
+    Fail,
+}
+
 /// Which Par-WCC implementation Method 2 uses (§3.3 / §5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WccImpl {
@@ -81,6 +95,15 @@ pub struct SccConfig {
     /// O(|residue|); `Never` keeps the pre-LiveSet O(N) sweeps (the
     /// ablation baseline); `Always` compacts at every boundary.
     pub live_set_compaction: CompactionPolicy,
+    /// Recovery policy for caught worker panics (checked drivers only).
+    pub on_panic: PanicPolicy,
+    /// Watchdog headroom: every fixpoint loop aborts with
+    /// [`crate::SccError::NonConvergence`] after
+    /// `watchdog_factor × theoretical_max` rounds. The theoretical bounds
+    /// are generous (≥ N rounds), so the default factor of 4 never trips
+    /// on correct kernels; 0 trips every watchdog on its first round
+    /// (test hook for the non-convergence path).
+    pub watchdog_factor: usize,
 }
 
 impl Default for SccConfig {
@@ -99,6 +122,8 @@ impl Default for SccConfig {
             direction_optimizing: false,
             par_frontier_threshold: swscc_graph::traverse::DEFAULT_PAR_FRONTIER_THRESHOLD,
             live_set_compaction: CompactionPolicy::Auto,
+            on_panic: PanicPolicy::Fallback,
+            watchdog_factor: 4,
         }
     }
 }
@@ -144,6 +169,8 @@ mod tests {
         assert_eq!(c.par_frontier_threshold, 256);
         assert!(!c.direction_optimizing);
         assert_eq!(c.live_set_compaction, CompactionPolicy::Auto);
+        assert_eq!(c.on_panic, PanicPolicy::Fallback);
+        assert_eq!(c.watchdog_factor, 4);
     }
 
     #[test]

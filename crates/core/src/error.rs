@@ -1,0 +1,201 @@
+//! Typed failure surface of the checked driver entry points.
+//!
+//! The legacy `*_scc` functions panic on internal failure and run without
+//! bound. The `*_scc_checked` drivers (and [`crate::run_checked`]) instead
+//! return an [`SccError`] and accept a [`RunGuard`] — the caller-facing
+//! handle bundling a cooperative cancellation token and an optional
+//! wall-clock deadline, both polled by every kernel loop at superstep /
+//! round granularity.
+//!
+//! A `RunGuard` cancels the run when dropped, so a caller that gives up on
+//! a result (e.g. a timeout path that stops waiting) automatically
+//! unblocks the workers; keep the guard alive for the duration of the call
+//! in the ordinary synchronous case.
+
+use std::sync::Arc;
+use std::time::Duration;
+use swscc_sync::interrupt::{AbortReason, Interrupt};
+
+/// Why a checked SCC run failed. Every variant is a *clean* exit: workers
+/// have drained, no thread is left running, and the input graph was never
+/// mutated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SccError {
+    /// The run was cooperatively cancelled (via [`Canceller::cancel`] or a
+    /// [`RunGuard`] drop).
+    Cancelled,
+    /// The wall-clock deadline of [`RunGuard::with_deadline`] passed.
+    DeadlineExceeded,
+    /// A fixpoint loop exceeded its watchdog bound — the algorithm-level
+    /// invariant "every round makes progress" was violated (a bug or an
+    /// injected fault), and the run stopped instead of spinning forever.
+    NonConvergence {
+        /// Which loop tripped and at what bound.
+        detail: String,
+    },
+    /// A worker panicked and the configured recovery policy
+    /// ([`crate::config::PanicPolicy`]) did not (or could not) absorb it.
+    WorkerPanic {
+        /// The panic payload text.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SccError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SccError::Cancelled => write!(f, "run cancelled"),
+            SccError::DeadlineExceeded => write!(f, "run exceeded its deadline"),
+            SccError::NonConvergence { detail } => {
+                write!(f, "non-convergence: {detail}")
+            }
+            SccError::WorkerPanic { message } => {
+                write!(f, "worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SccError {}
+
+impl SccError {
+    /// Builds the error for an abort recorded on `interrupt` (which must
+    /// be aborted; the NonConvergence detail string is pulled from the
+    /// token).
+    pub(crate) fn from_interrupt(reason: AbortReason, interrupt: &Interrupt) -> SccError {
+        match reason {
+            AbortReason::Cancelled => SccError::Cancelled,
+            AbortReason::DeadlineExceeded => SccError::DeadlineExceeded,
+            AbortReason::NonConvergence => SccError::NonConvergence {
+                detail: interrupt
+                    .detail()
+                    .unwrap_or_else(|| "fixpoint exceeded its watchdog bound".to_string()),
+            },
+        }
+    }
+}
+
+/// Caller handle for one checked run: cancellation token + deadline.
+///
+/// Dropping the guard cancels the run — a checked driver still executing
+/// against it observes the cancellation at its next poll and returns
+/// [`SccError::Cancelled`]. Obtain a detached [`Canceller`] to cancel from
+/// another thread while the guard stays with the caller.
+pub struct RunGuard {
+    interrupt: Arc<Interrupt>,
+}
+
+impl RunGuard {
+    /// A guard with no deadline.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> RunGuard {
+        RunGuard {
+            interrupt: Interrupt::new(),
+        }
+    }
+
+    /// A guard whose run aborts with [`SccError::DeadlineExceeded`] once
+    /// `budget` wall-clock time has elapsed from now.
+    pub fn with_deadline(budget: Duration) -> RunGuard {
+        RunGuard {
+            interrupt: Interrupt::with_deadline(budget),
+        }
+    }
+
+    /// Requests cancellation without dropping the guard.
+    pub fn cancel(&self) {
+        self.interrupt.cancel();
+    }
+
+    /// A detached handle that can cancel this guard's run from any thread.
+    pub fn canceller(&self) -> Canceller {
+        Canceller {
+            interrupt: Arc::clone(&self.interrupt),
+        }
+    }
+
+    /// The shared token the kernels poll.
+    pub(crate) fn interrupt(&self) -> &Arc<Interrupt> {
+        &self.interrupt
+    }
+}
+
+impl Drop for RunGuard {
+    fn drop(&mut self) {
+        self.interrupt.cancel();
+    }
+}
+
+/// Detached cancellation handle (see [`RunGuard::canceller`]). Cloneable
+/// and `Send`; cancelling twice (or after the run finished) is a no-op.
+#[derive(Clone)]
+pub struct Canceller {
+    interrupt: Arc<Interrupt>,
+}
+
+impl Canceller {
+    /// Requests cooperative cancellation of the associated run.
+    pub fn cancel(&self) {
+        self.interrupt.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_drop_cancels() {
+        let guard = RunGuard::new();
+        let interrupt = Arc::clone(guard.interrupt());
+        assert!(!interrupt.is_aborted());
+        drop(guard);
+        assert_eq!(interrupt.reason(), Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn canceller_works_detached() {
+        let guard = RunGuard::new();
+        let c = guard.canceller();
+        c.cancel();
+        assert_eq!(guard.interrupt().reason(), Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_guard_trips() {
+        let guard = RunGuard::with_deadline(Duration::ZERO);
+        assert_eq!(
+            guard.interrupt().poll(),
+            Some(AbortReason::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn error_from_interrupt_carries_detail() {
+        let i = Interrupt::new();
+        i.trip_non_convergence("par-wcc", 17);
+        let e = SccError::from_interrupt(i.reason().unwrap(), &i);
+        match &e {
+            SccError::NonConvergence { detail } => {
+                assert!(detail.contains("par-wcc"));
+                assert!(detail.contains("17"));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(e.to_string().contains("non-convergence"));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(SccError::Cancelled.to_string(), "run cancelled");
+        assert_eq!(
+            SccError::DeadlineExceeded.to_string(),
+            "run exceeded its deadline"
+        );
+        assert!(SccError::WorkerPanic {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+    }
+}

@@ -63,6 +63,12 @@ pub fn par_fwbw(state: &AlgoState<'_>, cfg: &SccConfig, start_color: Color) -> P
     let mut giant_found = false;
 
     while trials < cfg.max_trials && candidate_size > 0 {
+        // Cooperative bail-out between trials; mid-trial aborts are caught
+        // at superstep granularity inside `run_reach`. Either way the
+        // driver discards the state after converting the abort.
+        if state.should_stop() {
+            break;
+        }
         let Some(pivot) = pick_pivot(state, cfg, candidate_color, &mut rng) else {
             break;
         };
@@ -148,7 +154,18 @@ fn run_reach<O: EdgeMapOps>(
     let mut em = EdgeMap::new(state.g, Adjacency::Directed(dir), cfg.traversal());
     em.seed(pivot);
     em.set_remaining(candidate_size.saturating_sub(1));
-    em.run(ops)
+    loop {
+        swscc_sync::fault::point("fwbw-superstep");
+        // Superstep-granular abort check: a cancelled/expired run stops
+        // mid-traversal instead of finishing an O(N) BFS first.
+        if state.should_stop() {
+            break;
+        }
+        if em.step(ops) == 0 {
+            break;
+        }
+    }
+    em.claimed()
 }
 
 /// Single-color claim protocol: `from_color -> to_color`, a test-then-CAS

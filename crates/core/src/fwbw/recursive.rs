@@ -146,6 +146,10 @@ pub fn process_task(ctx: &RecurContext<'_, '_>, task: Task, worker: &mut Worker<
         debug_assert!(ok);
         // resolve_into re-stores DONE_COLOR; the CAS above was the claim.
         state.resolve_into(pivot, comp);
+        // Mid-task fault site, deliberately *after* the first resolve: a
+        // panic here leaves a partially-resolved SCC, exercising the dirty
+        // (full-restart) recovery path of the checked drivers.
+        swscc_sync::fault::point("recur-task");
         scc_size += 1;
         let mut stack = vec![pivot];
         while let Some(u) = stack.pop() {

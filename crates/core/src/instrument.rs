@@ -62,6 +62,34 @@ pub struct TaskLogEntry {
     pub remain: usize,
 }
 
+/// One recovery action a checked driver took after catching a worker
+/// panic (policy [`crate::config::PanicPolicy::Fallback`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryEvent {
+    /// A task died at the work-queue boundary (no shared state touched);
+    /// the intact task was re-pushed and the queue run restarted.
+    TaskRetried {
+        /// The caught panic text.
+        message: String,
+    },
+    /// Boundary retries were exhausted; the surviving residue (state still
+    /// consistent — only boundary panics occurred) was finished by
+    /// sequential Tarjan on the induced subgraph.
+    DegradedToSequential {
+        /// The caught panic text.
+        message: String,
+        /// Alive nodes handed to the sequential finish.
+        residue: usize,
+    },
+    /// A panic fired *inside* a task or a data-parallel kernel, so shared
+    /// state may hold partial claims; the whole run was redone from
+    /// scratch with sequential Tarjan on the original graph.
+    RestartedSequential {
+        /// The caught panic text.
+        message: String,
+    },
+}
+
 /// Everything measured during one SCC run.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -80,6 +108,9 @@ pub struct RunReport {
     pub fwbw_trials: usize,
     /// First-N recursive task executions, §3.3 format.
     pub task_log: Vec<TaskLogEntry>,
+    /// Recovery actions taken by a checked driver (empty on a clean run
+    /// and for the legacy entry points).
+    pub recoveries: Vec<RecoveryEvent>,
 }
 
 impl RunReport {
@@ -138,6 +169,16 @@ impl std::fmt::Display for RunReport {
                 self.initial_tasks, self.queue.tasks_executed, self.queue.max_global_depth
             )?;
         }
+        for r in &self.recoveries {
+            let what = match r {
+                RecoveryEvent::TaskRetried { .. } => "task retried after boundary panic",
+                RecoveryEvent::DegradedToSequential { .. } => {
+                    "degraded to sequential finish on residue"
+                }
+                RecoveryEvent::RestartedSequential { .. } => "restarted sequentially from scratch",
+            };
+            writeln!(f, "  recovery: {what}")?;
+        }
         Ok(())
     }
 }
@@ -151,6 +192,7 @@ pub struct Collector {
     phase_resolved: Mutex<Vec<(Phase, usize)>>,
     task_log: Mutex<Vec<TaskLogEntry>>,
     task_log_limit: usize,
+    recoveries: Mutex<Vec<RecoveryEvent>>,
     pub(crate) fwbw_trials: AtomicUsize,
 }
 
@@ -162,8 +204,14 @@ impl Collector {
             phase_resolved: Mutex::new(Vec::new()),
             task_log: Mutex::new(Vec::new()),
             task_log_limit,
+            recoveries: Mutex::new(Vec::new()),
             fwbw_trials: AtomicUsize::new(0),
         }
+    }
+
+    /// Records a panic-recovery action (checked drivers only).
+    pub fn record_recovery(&self, event: RecoveryEvent) {
+        self.recoveries.lock().push(event);
     }
 
     /// Times `f` and attributes the duration (and the number of nodes it
@@ -211,6 +259,7 @@ impl Collector {
             // have joined; nothing concurrent remains.
             fwbw_trials: self.fwbw_trials.load(Ordering::Relaxed),
             task_log: self.task_log.into_inner(),
+            recoveries: self.recoveries.into_inner(),
         }
     }
 }
@@ -280,6 +329,23 @@ mod tests {
     fn phase_names() {
         assert_eq!(Phase::all().len(), 5);
         assert_eq!(Phase::ParWcc.name(), "par-wcc");
+    }
+
+    #[test]
+    fn recoveries_surface_in_report_and_display() {
+        let c = Collector::new(0);
+        c.record_recovery(RecoveryEvent::TaskRetried {
+            message: "injected fault".into(),
+        });
+        c.record_recovery(RecoveryEvent::DegradedToSequential {
+            message: "injected fault".into(),
+            residue: 42,
+        });
+        let r = c.into_report(QueueStats::default(), 0);
+        assert_eq!(r.recoveries.len(), 2);
+        let text = r.to_string();
+        assert!(text.contains("task retried"));
+        assert!(text.contains("sequential finish"));
     }
 
     #[test]

@@ -41,6 +41,8 @@
 pub mod baseline;
 pub mod coloring;
 pub mod config;
+mod driver;
+pub mod error;
 pub mod fwbw;
 pub mod fwbw_only;
 pub mod instrument;
@@ -56,8 +58,9 @@ pub mod trim;
 pub mod trim2;
 pub mod wcc;
 
-pub use config::{CompactionPolicy, PivotStrategy, SccConfig, WccImpl};
-pub use instrument::RunReport;
+pub use config::{CompactionPolicy, PanicPolicy, PivotStrategy, SccConfig, WccImpl};
+pub use error::{Canceller, RunGuard, SccError};
+pub use instrument::{RecoveryEvent, RunReport};
 pub use result::SccResult;
 
 use swscc_graph::CsrGraph;
@@ -145,5 +148,33 @@ pub fn detect_scc(g: &CsrGraph, algo: Algorithm, cfg: &SccConfig) -> (SccResult,
         Algorithm::Method1 => method1::method1_scc(g, cfg),
         Algorithm::Method2 => method2::method2_scc(g, cfg),
         Algorithm::Multistep => multistep::multistep_scc(g, cfg),
+    }
+}
+
+/// Fault-tolerant entry point: runs the selected algorithm under `guard`
+/// (cooperative cancellation + optional deadline) with panic recovery per
+/// [`SccConfig::on_panic`] and watchdog-bounded fixpoint loops.
+///
+/// The five parallel drivers (`baseline`, `method1`, `method2`,
+/// `coloring`, `multistep`) poll the guard at superstep / round
+/// granularity and return a typed [`SccError`] on abort. The sequential
+/// oracles and the demo FW-BW cannot be interrupted mid-run; for those the
+/// guard is honoured once at entry.
+pub fn run_checked(
+    g: &CsrGraph,
+    algo: Algorithm,
+    cfg: &SccConfig,
+    guard: &RunGuard,
+) -> Result<(SccResult, RunReport), SccError> {
+    match algo {
+        Algorithm::Tarjan | Algorithm::Kosaraju | Algorithm::Pearce | Algorithm::FwBw => {
+            driver::check_guard(guard)?;
+            Ok(detect_scc(g, algo, cfg))
+        }
+        Algorithm::Coloring => coloring::coloring_scc_checked(g, cfg, guard),
+        Algorithm::Baseline => baseline::baseline_scc_checked(g, cfg, guard),
+        Algorithm::Method1 => method1::method1_scc_checked(g, cfg, guard),
+        Algorithm::Method2 => method2::method2_scc_checked(g, cfg, guard),
+        Algorithm::Multistep => multistep::multistep_scc_checked(g, cfg, guard),
     }
 }

@@ -13,14 +13,17 @@
 //! batching to pay off.
 
 use crate::config::SccConfig;
+use crate::driver;
+use crate::error::{RunGuard, SccError};
 use crate::fwbw::parallel::par_fwbw;
-use crate::fwbw::recursive::{process_task, RecurContext, Task};
+use crate::fwbw::recursive::{RecurContext, Task};
 use crate::instrument::{Collector, Phase, RunReport};
 use crate::result::SccResult;
 use crate::state::{AlgoState, INITIAL_COLOR};
 use crate::trim::par_trim;
 use crate::trim2::par_trim2;
 use crate::wcc::{par_wcc, par_wcc_unionfind};
+use std::sync::Arc;
 use swscc_graph::CsrGraph;
 use swscc_parallel::{pool::with_pool, TwoLevelQueue};
 use swscc_sync::atomic::Ordering;
@@ -28,46 +31,69 @@ use swscc_sync::atomic::Ordering;
 /// Paper default work-queue batch size for Method 2 (§4.3).
 pub const METHOD2_K: usize = 8;
 
-/// Runs Algorithm 9.
+/// Runs Algorithm 9 (legacy entry point; see
+/// [`method2_scc_checked`] for the cancellable form).
 pub fn method2_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
+    method2_scc_checked(g, cfg, &RunGuard::new())
+        .expect("method2 run with a fresh guard cannot abort")
+}
+
+/// Runs Algorithm 9 under `guard`: cancellable, deadline-aware, and
+/// panic-isolating (policy [`crate::SccConfig::on_panic`]).
+pub fn method2_scc_checked(
+    g: &CsrGraph,
+    cfg: &SccConfig,
+    guard: &RunGuard,
+) -> Result<(SccResult, RunReport), SccError> {
     with_pool(cfg.threads, || {
-        let state = AlgoState::new(g);
+        let state =
+            AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
         let collector = Collector::new(cfg.task_log_limit);
 
         // Phase 1: parallelism in trims, traversals and WCC. Each phase
         // boundary is a live-set compaction point — Method 2 strings the
         // most full sweeps together (trim; trim2; trim; wcc; pivot;
         // partition), so it gains the most from O(|residue|) iteration
-        // after the giant-SCC peel.
-        collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
-        state.compact_live(cfg.live_set_compaction);
-        let outcome = collector.phase(Phase::ParFwbw, || {
-            let o = par_fwbw(&state, cfg, INITIAL_COLOR);
-            (o.resolved, o)
-        });
-        // ordering: driver-thread statistic updated between phases; the
-        // into_report load happens after all joins.
-        collector
-            .fwbw_trials
-            .fetch_add(outcome.trials, Ordering::Relaxed);
-        state.compact_live(cfg.live_set_compaction);
-        // Par-Trim′ = Trim; Trim2 (once); Trim (§3.5).
-        collector.phase(Phase::ParTrim2, || {
-            let mut resolved = par_trim(&state);
+        // after the giant-SCC peel. A panic anywhere in here is dirty
+        // (a partial FW∩BW sweep can split an SCC) — only a full restart
+        // is sound.
+        let phase1 = driver::catch_phase(|| {
+            collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
             state.compact_live(cfg.live_set_compaction);
-            resolved += par_trim2(&state);
-            resolved += par_trim(&state);
-            (resolved, ())
+            let outcome = collector.phase(Phase::ParFwbw, || {
+                let o = par_fwbw(&state, cfg, INITIAL_COLOR);
+                (o.resolved, o)
+            });
+            // ordering: driver-thread statistic updated between phases; the
+            // into_report load happens after all joins.
+            collector
+                .fwbw_trials
+                .fetch_add(outcome.trials, Ordering::Relaxed);
+            state.compact_live(cfg.live_set_compaction);
+            // Par-Trim′ = Trim; Trim2 (once); Trim (§3.5).
+            collector.phase(Phase::ParTrim2, || {
+                let mut resolved = par_trim(&state);
+                state.compact_live(cfg.live_set_compaction);
+                resolved += par_trim2(&state);
+                resolved += par_trim(&state);
+                (resolved, ())
+            });
+            state.compact_live(cfg.live_set_compaction);
+            // Par-WCC: one fresh color (and one work item) per weak
+            // component.
+            collector.phase(Phase::ParWcc, || {
+                let out = match cfg.wcc_impl {
+                    crate::config::WccImpl::LabelPropagation => par_wcc(&state),
+                    crate::config::WccImpl::UnionFind => par_wcc_unionfind(&state),
+                };
+                (0, out.groups)
+            })
         });
-        state.compact_live(cfg.live_set_compaction);
-        // Par-WCC: one fresh color (and one work item) per weak component.
-        let groups = collector.phase(Phase::ParWcc, || {
-            let out = match cfg.wcc_impl {
-                crate::config::WccImpl::LabelPropagation => par_wcc(&state),
-                crate::config::WccImpl::UnionFind => par_wcc_unionfind(&state),
-            };
-            (0, out.groups)
-        });
+        let groups = match phase1 {
+            Ok(groups) => groups,
+            Err(message) => return driver::recover_full_restart(g, collector, cfg, message),
+        };
+        driver::check_interrupt(&state)?;
 
         // Phase 2: parallelism in recursion, seeded by the WCC groups.
         let initial_tasks = groups.len();
@@ -79,14 +105,26 @@ pub fn method2_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
                 queue.push_global(Task::ColorOnly { color });
             }
         }
-        let ctx = RecurContext::new(&state, &collector, cfg);
-        let stats = collector.phase(Phase::RecurFwbw, || {
-            let stats = queue.run(cfg.threads, |task, worker| process_task(&ctx, task, worker));
-            (ctx.resolved_count(), stats)
-        });
+        let outcome = {
+            let ctx = RecurContext::new(&state, &collector, cfg);
+            collector.phase(Phase::RecurFwbw, || {
+                match driver::run_queue_with_recovery(&queue, &ctx, cfg) {
+                    Ok(res) => (res.resolved, Ok(res.stats)),
+                    Err(e) => (0, Err(e)),
+                }
+            })
+        };
+        let stats = match outcome {
+            Ok(stats) => stats,
+            Err(driver::DriverError::Fatal(e)) => return Err(e),
+            Err(driver::DriverError::DirtyRestart(message)) => {
+                return driver::recover_full_restart(g, collector, cfg, message)
+            }
+        };
+        driver::check_interrupt(&state)?;
 
         let report = collector.into_report(stats, initial_tasks);
-        (state.into_result(), report)
+        Ok((state.into_result(), report))
     })
 }
 

@@ -11,6 +11,8 @@
 //! building block is a kernel from this crate.
 
 use crate::config::{PivotStrategy, SccConfig};
+use crate::driver;
+use crate::error::{RunGuard, SccError};
 use crate::fwbw::parallel::par_fwbw;
 use crate::instrument::{Collector, Phase, RunReport};
 use crate::result::SccResult;
@@ -18,6 +20,7 @@ use crate::state::{AlgoState, INITIAL_COLOR};
 use crate::tarjan::tarjan_scc;
 use crate::trim::par_trim;
 use rayon::prelude::*;
+use std::sync::Arc;
 use swscc_graph::{CsrGraph, NodeId};
 use swscc_parallel::pool::with_pool;
 use swscc_sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
@@ -29,78 +32,126 @@ const SERIAL_CUTOFF: usize = 512;
 /// regardless of residue size.
 const MAX_COLOR_ROUNDS: usize = 8;
 
-/// Runs Multistep. Phase attribution in the report: the FW-BW peel under
+/// Runs Multistep (legacy entry point; see [`multistep_scc_checked`] for
+/// the cancellable form).
+pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
+    multistep_scc_checked(g, cfg, &RunGuard::new())
+        .expect("multistep run with a fresh guard cannot abort")
+}
+
+/// Runs Multistep under `guard`: cancellable, deadline-aware, and
+/// panic-isolating. Phase attribution in the report: the FW-BW peel under
 /// `ParFwbw`, Coloring rounds under `ParWcc` (the label-propagation slot),
 /// and the serial finish under `RecurFwbw`.
-pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
+pub fn multistep_scc_checked(
+    g: &CsrGraph,
+    cfg: &SccConfig,
+    guard: &RunGuard,
+) -> Result<(SccResult, RunReport), SccError> {
     with_pool(cfg.threads, || {
-        let state = AlgoState::new(g);
+        let state =
+            AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
         let collector = Collector::new(cfg.task_log_limit);
-        let n = g.num_nodes();
 
-        // 1. Trim (then a live-set hand-off compaction — power-law graphs
-        // can lose a large node fraction to the first trim alone).
-        collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
-        state.compact_live(cfg.live_set_compaction);
-
-        // 2. One FW-BW peel aimed straight at the giant SCC.
-        let peel_cfg = SccConfig {
-            pivot: PivotStrategy::MaxDegreeProduct,
-            max_trials: 1,
-            ..*cfg
+        // The whole pipeline runs under panic capture: Multistep has no
+        // task queue, so any panic is dirty (a partial peel or collection
+        // can split an SCC) and recovery is a full restart.
+        let body = driver::catch_phase(|| multistep_body(g, cfg, &state, &collector));
+        let rounds = match body {
+            Ok(rounds) => rounds,
+            Err(message) => return driver::recover_full_restart(g, collector, cfg, message),
         };
-        let outcome = collector.phase(Phase::ParFwbw, || {
-            let o = par_fwbw(&state, &peel_cfg, INITIAL_COLOR);
-            (o.resolved, o)
-        });
-        // ordering: single-threaded driver statistic (phases run under
-        // the pool but this add happens between them).
-        collector
-            .fwbw_trials
-            .fetch_add(outcome.trials, Ordering::Relaxed);
-        collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
-
-        // 3. Coloring rounds on the tail. Each hand-off compacts the live
-        // set, so the per-round alive gather costs O(|residue|).
-        let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-        let mut rounds = 0usize;
-        loop {
-            state.compact_live(cfg.live_set_compaction);
-            let alive: Vec<NodeId> = state.collect_alive();
-            if alive.len() <= SERIAL_CUTOFF || rounds >= MAX_COLOR_ROUNDS {
-                break;
-            }
-            rounds += 1;
-            collector.phase(Phase::ParWcc, || {
-                (coloring_round(&state, &labels, &alive), ())
-            });
-            collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
-        }
-
-        // 4. Serial finish on the induced residue (gathered from the
-        // already-compacted live set).
-        collector.phase(Phase::RecurFwbw, || {
-            let alive: Vec<NodeId> = state.collect_alive();
-            let count = alive.len();
-            if !alive.is_empty() {
-                let sub = g.induced_subgraph(&alive);
-                let sub_scc = tarjan_scc(&sub);
-                let mut comp_map = vec![u32::MAX; sub_scc.num_components()];
-                for (i, &v) in alive.iter().enumerate() {
-                    let sc = sub_scc.component(i as u32) as usize;
-                    if comp_map[sc] == u32::MAX {
-                        comp_map[sc] = state.alloc_component();
-                    }
-                    state.resolve_into(v, comp_map[sc]);
-                }
-            }
-            (count, ())
-        });
+        driver::check_interrupt(&state)?;
 
         let mut report = collector.into_report(Default::default(), 0);
         report.fwbw_trials += rounds; // surface the round count too
-        (state.into_result(), report)
+        Ok((state.into_result(), report))
     })
+}
+
+/// The Multistep pipeline proper; returns the Coloring round count.
+fn multistep_body(
+    g: &CsrGraph,
+    cfg: &SccConfig,
+    state: &AlgoState<'_>,
+    collector: &Collector,
+) -> usize {
+    let n = g.num_nodes();
+
+    // 1. Trim (then a live-set hand-off compaction — power-law graphs
+    // can lose a large node fraction to the first trim alone).
+    collector.phase(Phase::ParTrim, || (par_trim(state), ()));
+    state.compact_live(cfg.live_set_compaction);
+
+    // 2. One FW-BW peel aimed straight at the giant SCC.
+    let peel_cfg = SccConfig {
+        pivot: PivotStrategy::MaxDegreeProduct,
+        max_trials: 1,
+        ..*cfg
+    };
+    let outcome = collector.phase(Phase::ParFwbw, || {
+        let o = par_fwbw(state, &peel_cfg, INITIAL_COLOR);
+        (o.resolved, o)
+    });
+    // ordering: single-threaded driver statistic (phases run under
+    // the pool but this add happens between them).
+    collector
+        .fwbw_trials
+        .fetch_add(outcome.trials, Ordering::Relaxed);
+    collector.phase(Phase::ParTrim2, || (par_trim(state), ()));
+
+    // 3. Coloring rounds on the tail. Each hand-off compacts the live
+    // set, so the per-round alive gather costs O(|residue|).
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut rounds = 0usize;
+    loop {
+        swscc_sync::fault::point("coloring-round");
+        if state.should_stop() {
+            break;
+        }
+        state.compact_live(cfg.live_set_compaction);
+        let alive: Vec<NodeId> = state.collect_alive();
+        if alive.len() <= SERIAL_CUTOFF || rounds >= MAX_COLOR_ROUNDS {
+            break;
+        }
+        rounds += 1;
+        collector.phase(Phase::ParWcc, || {
+            (coloring_round(state, &labels, &alive), ())
+        });
+        collector.phase(Phase::ParTrim2, || (par_trim(state), ()));
+    }
+
+    // 4. Serial finish on the induced residue (gathered from the
+    // already-compacted live set). Skipped on abort: the residue is
+    // discarded by the driver anyway, and finishing it would only
+    // delay the cancellation.
+    if !state.should_stop() {
+        serial_finish(state, collector, g);
+    }
+
+    rounds
+}
+
+/// Sequential Tarjan on the induced residual subgraph; resolves every
+/// remaining alive node into a fresh component.
+fn serial_finish(state: &AlgoState<'_>, collector: &Collector, g: &CsrGraph) {
+    collector.phase(Phase::RecurFwbw, || {
+        let alive: Vec<NodeId> = state.collect_alive();
+        let count = alive.len();
+        if !alive.is_empty() {
+            let sub = g.induced_subgraph(&alive);
+            let sub_scc = tarjan_scc(&sub);
+            let mut comp_map = vec![u32::MAX; sub_scc.num_components()];
+            for (i, &v) in alive.iter().enumerate() {
+                let sc = sub_scc.component(i as u32) as usize;
+                if comp_map[sc] == u32::MAX {
+                    comp_map[sc] = state.alloc_component();
+                }
+                state.resolve_into(v, comp_map[sc]);
+            }
+        }
+        (count, ())
+    });
 }
 
 /// One Coloring round restricted to nodes whose colors partition the
@@ -113,7 +164,15 @@ fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId])
     alive
         .par_iter()
         .for_each(|&v| labels[v as usize].store(v, Ordering::Relaxed));
+    // Bound as in the Coloring method: the max label travels at most one
+    // hop per round, plus one no-change round to detect convergence.
+    let mut watchdog = state.watchdog("multistep-coloring", state.g.num_nodes() + 1);
     loop {
+        if watchdog.check().is_some() {
+            // Mid-fixpoint labels are unusable for collection; the caller
+            // polls the interrupt and surfaces the abort.
+            return 0;
+        }
         let changed = AtomicBool::new(false);
         alive.par_iter().for_each(|&v| {
             let cv = state.color(v);

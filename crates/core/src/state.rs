@@ -15,9 +15,15 @@
 //! can never double-assign a node.
 
 use crate::result::SccResult;
+use std::sync::Arc;
 use swscc_graph::{CsrGraph, NodeId};
 use swscc_parallel::{AtomicBitSet, CompactionPolicy, LiveSet};
 use swscc_sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use swscc_sync::interrupt::{AbortReason, Interrupt};
+
+/// Default watchdog headroom used by [`AlgoState::new`] (the legacy,
+/// never-cancelled construction path).
+const DEFAULT_WATCHDOG_FACTOR: usize = 4;
 
 /// Partition color. 32 bits keep the hot Color array at 4 bytes/node
 /// (§4.1's O(N) array is the most random-accessed structure in every
@@ -47,11 +53,28 @@ pub struct AlgoState<'g> {
     /// Nodes resolved so far — keeps [`AlgoState::count_alive`] O(1) for
     /// the compaction-policy checks at phase boundaries.
     resolved: AtomicUsize,
+    /// The run's abort channel: cancellation, deadline, and watchdog trips
+    /// all land here; every kernel loop polls it once per round/superstep.
+    interrupt: Arc<Interrupt>,
+    /// Watchdog headroom multiplier (see [`crate::SccConfig::watchdog_factor`]).
+    watchdog_factor: usize,
 }
 
 impl<'g> AlgoState<'g> {
-    /// Fresh state: all nodes alive with [`INITIAL_COLOR`].
+    /// Fresh state: all nodes alive with [`INITIAL_COLOR`]. The embedded
+    /// interrupt token has no deadline and no external handle, so this
+    /// state never aborts — the legacy construction path.
     pub fn new(g: &'g CsrGraph) -> Self {
+        Self::with_interrupt(g, Interrupt::new(), DEFAULT_WATCHDOG_FACTOR)
+    }
+
+    /// Fresh state polling the given abort token (the checked-driver
+    /// construction path).
+    pub fn with_interrupt(
+        g: &'g CsrGraph,
+        interrupt: Arc<Interrupt>,
+        watchdog_factor: usize,
+    ) -> Self {
         let n = g.num_nodes();
         let mut color = Vec::with_capacity(n);
         color.resize_with(n, || AtomicU32::new(INITIAL_COLOR));
@@ -66,6 +89,35 @@ impl<'g> AlgoState<'g> {
             next_comp: AtomicU32::new(0),
             live: LiveSet::new_dense(n),
             resolved: AtomicUsize::new(0),
+            interrupt,
+            watchdog_factor,
+        }
+    }
+
+    /// The run's abort token.
+    #[inline]
+    pub fn interrupt(&self) -> &Interrupt {
+        &self.interrupt
+    }
+
+    /// One poll of the abort token — the per-round check of every kernel
+    /// loop.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        self.interrupt.is_aborted()
+    }
+
+    /// A watchdog for a fixpoint loop whose correct implementations take
+    /// at most `theoretical_max` rounds. [`Watchdog::check`] combines the
+    /// per-round interrupt poll with the bound check; on exceeding
+    /// `watchdog_factor × theoretical_max` rounds it trips the shared
+    /// token with [`AbortReason::NonConvergence`].
+    pub fn watchdog(&self, loop_name: &'static str, theoretical_max: usize) -> Watchdog<'_> {
+        Watchdog {
+            interrupt: &self.interrupt,
+            loop_name,
+            bound: self.watchdog_factor.saturating_mul(theoretical_max),
+            rounds: 0,
         }
     }
 
@@ -295,6 +347,36 @@ impl<'g> AlgoState<'g> {
     }
 }
 
+/// Per-loop round counter bounding a fixpoint iteration (see
+/// [`AlgoState::watchdog`]). Call [`Watchdog::check`] once per round
+/// *before* the round's work; a `Some` return means the loop must bail
+/// out — either the shared token was already aborted, or this watchdog
+/// just tripped it with [`AbortReason::NonConvergence`].
+pub struct Watchdog<'a> {
+    interrupt: &'a Interrupt,
+    loop_name: &'static str,
+    bound: usize,
+    rounds: usize,
+}
+
+impl Watchdog<'_> {
+    /// Polls the abort token and counts one round against the bound.
+    pub fn check(&mut self) -> Option<AbortReason> {
+        if let Some(reason) = self.interrupt.poll() {
+            return Some(reason);
+        }
+        self.rounds += 1;
+        if self.rounds > self.bound {
+            self.interrupt
+                .trip_non_convergence(self.loop_name, self.bound);
+            // Re-read rather than assume: a concurrent abort may have won
+            // the trip race, and first reason wins.
+            return self.interrupt.reason();
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +525,36 @@ mod tests {
         let dense = s.alive_groups();
         s.compact_live(CompactionPolicy::Always);
         assert_eq!(s.alive_groups(), dense);
+    }
+
+    #[test]
+    fn watchdog_trips_after_bound() {
+        let g = tiny();
+        let s = AlgoState::with_interrupt(&g, Interrupt::new(), 2);
+        let mut wd = s.watchdog("test-loop", 3); // bound = 6
+        for round in 0..6 {
+            assert_eq!(wd.check(), None, "round {round} within bound");
+        }
+        assert_eq!(wd.check(), Some(AbortReason::NonConvergence));
+        assert!(s.interrupt().detail().unwrap().contains("test-loop"));
+        assert!(s.should_stop());
+    }
+
+    #[test]
+    fn watchdog_reports_prior_abort() {
+        let g = tiny();
+        let s = AlgoState::with_interrupt(&g, Interrupt::new(), 4);
+        s.interrupt().cancel();
+        let mut wd = s.watchdog("test-loop", 100);
+        assert_eq!(wd.check(), Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn zero_factor_trips_first_round() {
+        let g = tiny();
+        let s = AlgoState::with_interrupt(&g, Interrupt::new(), 0);
+        let mut wd = s.watchdog("test-loop", 1000);
+        assert_eq!(wd.check(), Some(AbortReason::NonConvergence));
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub fn par_trim(state: &AlgoState<'_>) -> usize {
         .par_collect(|v| state.alive(v) && trimmable(state, v));
     let mut resolved = 0usize;
     while !frontier.is_empty() {
+        // Cooperative bail-out: trims are monotone and individually
+        // complete, so stopping between rounds leaves a consistent state
+        // (the driver converts the abort to a typed error).
+        if state.should_stop() {
+            return resolved;
+        }
+        swscc_sync::fault::point("trim-round");
         // Claim this round's trims. `resolve_singleton` is an atomic claim,
         // so duplicates in the frontier (a node exposed by two different
         // trimmed neighbors) resolve exactly once.

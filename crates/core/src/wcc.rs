@@ -112,8 +112,20 @@ pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
     );
     em.extend(&alive);
 
+    // Watchdog: without pointer jumping the propagation needs at most
+    // diameter ≤ n rounds; jumps only shorten that. The factor-scaled
+    // bound turns a lost-update bug (which would spin forever) into a
+    // clean NonConvergence abort.
+    let mut watchdog = state.watchdog("par-wcc", n + 1);
     let mut iterations = 0usize;
     loop {
+        if watchdog.check().is_some() {
+            // Aborted (cancel / deadline / trip): labels are mid-flight,
+            // so the groups built below are meaningless — the driver must
+            // check the interrupt before using them.
+            break;
+        }
+        swscc_sync::fault::point("wcc-round");
         iterations += 1;
         // Dequeue the current frontier: clear its bits so a node whose
         // label drops again during this round re-enters the next one.

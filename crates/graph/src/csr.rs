@@ -17,6 +17,96 @@ use rayon::prelude::*;
 /// integers for indices).
 pub type NodeId = u32;
 
+/// A violated CSR structural invariant, reported by [`CsrGraph::validate`].
+///
+/// `direction` is `"out"` or `"in"` — which of the two adjacency
+/// structures is broken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// An offset array is not exactly `num_nodes + 1` entries long.
+    OffsetLength {
+        direction: &'static str,
+        got: usize,
+        want: usize,
+    },
+    /// An offset array does not start at 0.
+    OffsetStart { direction: &'static str, got: usize },
+    /// Offsets decrease at `index` (adjacency ranges must be ascending).
+    NonMonotoneOffsets {
+        direction: &'static str,
+        index: usize,
+    },
+    /// The final offset disagrees with the target-array length.
+    OffsetTargetMismatch {
+        direction: &'static str,
+        last: usize,
+        targets: usize,
+    },
+    /// A target id at flat position `index` is `>= num_nodes`.
+    TargetOutOfRange {
+        direction: &'static str,
+        index: usize,
+        target: NodeId,
+    },
+    /// Forward and reverse structures disagree on the total edge count.
+    EdgeCountMismatch { forward: usize, reverse: usize },
+    /// Node `node`'s in-degree per the reverse structure disagrees with
+    /// the number of forward edges pointing at it.
+    DegreeMismatch {
+        node: NodeId,
+        forward: usize,
+        reverse: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::OffsetLength {
+                direction,
+                got,
+                want,
+            } => write!(f, "{direction}-offset array has {got} entries, want {want}"),
+            CsrError::OffsetStart { direction, got } => {
+                write!(f, "{direction}-offset array starts at {got}, want 0")
+            }
+            CsrError::NonMonotoneOffsets { direction, index } => {
+                write!(f, "{direction}-offsets decrease at index {index}")
+            }
+            CsrError::OffsetTargetMismatch {
+                direction,
+                last,
+                targets,
+            } => write!(
+                f,
+                "final {direction}-offset {last} != {direction}-target count {targets}"
+            ),
+            CsrError::TargetOutOfRange {
+                direction,
+                index,
+                target,
+            } => write!(
+                f,
+                "{direction}-target {target} at flat index {index} is out of range"
+            ),
+            CsrError::EdgeCountMismatch { forward, reverse } => write!(
+                f,
+                "forward structure has {forward} edges but reverse has {reverse}"
+            ),
+            CsrError::DegreeMismatch {
+                node,
+                forward,
+                reverse,
+            } => write!(
+                f,
+                "node {node}: {forward} forward edges point at it but reverse in-degree is {reverse}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// An immutable directed graph in CSR form with both forward (out-edge) and
 /// reverse (in-edge) adjacency.
 ///
@@ -188,11 +278,120 @@ impl CsrGraph {
         CsrGraph::from_edges(nodes.len(), &edges)
     }
 
+    /// Assembles a graph directly from raw CSR arrays, validating every
+    /// structural invariant first (see [`CsrGraph::validate`]). This is
+    /// the untrusted-input counterpart of [`CsrGraph::from_edges`]: it
+    /// never panics, it returns the violated invariant instead.
+    pub fn from_raw_parts(
+        num_nodes: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<NodeId>,
+        in_offsets: Vec<usize>,
+        in_targets: Vec<NodeId>,
+    ) -> Result<CsrGraph, CsrError> {
+        let g = CsrGraph {
+            num_nodes,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Checks every CSR structural invariant in O(N + M):
+    ///
+    /// * both offset arrays have `num_nodes + 1` entries, start at 0, are
+    ///   monotone non-decreasing, and end at their target-array length;
+    /// * every target id is `< num_nodes`;
+    /// * forward and reverse structures agree — same total edge count and,
+    ///   per node, the reverse in-degree equals the number of forward
+    ///   edges pointing at the node.
+    ///
+    /// Graphs built by [`CsrGraph::from_edges`] satisfy this by
+    /// construction; loaders call it as a defense-in-depth check on
+    /// deserialized bytes.
+    pub fn validate(&self) -> Result<(), CsrError> {
+        validate_adjacency("out", self.num_nodes, &self.out_offsets, &self.out_targets)?;
+        validate_adjacency("in", self.num_nodes, &self.in_offsets, &self.in_targets)?;
+        if self.out_targets.len() != self.in_targets.len() {
+            return Err(CsrError::EdgeCountMismatch {
+                forward: self.out_targets.len(),
+                reverse: self.in_targets.len(),
+            });
+        }
+        // Per-node agreement: count the in-degree each node *should* have
+        // from the forward lists and compare with the reverse ranges.
+        let mut indeg = vec![0usize; self.num_nodes];
+        for &v in &self.out_targets {
+            indeg[v as usize] += 1;
+        }
+        for (n, &forward) in indeg.iter().enumerate() {
+            let reverse = self.in_offsets[n + 1] - self.in_offsets[n];
+            if forward != reverse {
+                return Err(CsrError::DegreeMismatch {
+                    node: n as NodeId,
+                    forward,
+                    reverse,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Approximate heap footprint in bytes (offset + target arrays).
     pub fn memory_bytes(&self) -> usize {
         self.out_offsets.len() * std::mem::size_of::<usize>() * 2
             + self.out_targets.len() * std::mem::size_of::<NodeId>() * 2
     }
+}
+
+/// One direction's structural checks for [`CsrGraph::validate`].
+fn validate_adjacency(
+    direction: &'static str,
+    num_nodes: usize,
+    offsets: &[usize],
+    targets: &[NodeId],
+) -> Result<(), CsrError> {
+    if offsets.len() != num_nodes + 1 {
+        return Err(CsrError::OffsetLength {
+            direction,
+            got: offsets.len(),
+            want: num_nodes + 1,
+        });
+    }
+    if offsets[0] != 0 {
+        return Err(CsrError::OffsetStart {
+            direction,
+            got: offsets[0],
+        });
+    }
+    if let Some(i) = (1..offsets.len()).find(|&i| offsets[i] < offsets[i - 1]) {
+        return Err(CsrError::NonMonotoneOffsets {
+            direction,
+            index: i,
+        });
+    }
+    if offsets[num_nodes] != targets.len() {
+        return Err(CsrError::OffsetTargetMismatch {
+            direction,
+            last: offsets[num_nodes],
+            targets: targets.len(),
+        });
+    }
+    if let Some((i, &t)) = targets
+        .iter()
+        .enumerate()
+        .find(|&(_, &t)| t as usize >= num_nodes)
+    {
+        return Err(CsrError::TargetOutOfRange {
+            direction,
+            index: i,
+            target: t,
+        });
+    }
+    Ok(())
 }
 
 /// Counting-sort construction of one adjacency direction: O(N + M), no
@@ -406,5 +605,111 @@ mod tests {
     fn memory_bytes_positive() {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
         assert!(g.memory_bytes() > 0);
+    }
+
+    /// `from_edges` output always validates (defense-in-depth contract).
+    #[test]
+    fn from_edges_always_validates() {
+        for edges in [
+            vec![],
+            vec![(0u32, 1u32), (1, 2), (2, 0)],
+            vec![(0, 0), (0, 1), (0, 1), (2, 2)],
+        ] {
+            let g = CsrGraph::from_edges(3, &edges);
+            g.validate().expect("constructed graph must validate");
+        }
+    }
+
+    /// Well-formed raw parts round-trip through `from_raw_parts`.
+    #[test]
+    fn from_raw_parts_accepts_valid() {
+        // 0 -> 1, 1 -> 0
+        let g = CsrGraph::from_raw_parts(2, vec![0, 1, 2], vec![1, 0], vec![0, 1, 2], vec![1, 0])
+            .expect("valid CSR");
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_offset_length() {
+        let err = CsrGraph::from_raw_parts(2, vec![0, 2], vec![1, 0], vec![0, 1, 2], vec![1, 0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CsrError::OffsetLength {
+                direction: "out",
+                got: 2,
+                want: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_nonzero_start() {
+        let err = CsrGraph::from_raw_parts(2, vec![1, 1, 2], vec![1, 0], vec![0, 1, 2], vec![1, 0])
+            .unwrap_err();
+        assert!(matches!(err, CsrError::OffsetStart { got: 1, .. }));
+    }
+
+    #[test]
+    fn validate_rejects_non_monotone_offsets() {
+        let err = CsrGraph::from_raw_parts(2, vec![0, 2, 1], vec![1, 0], vec![0, 1, 2], vec![1, 0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CsrError::NonMonotoneOffsets {
+                direction: "out",
+                index: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_offset_target_disagreement() {
+        let err = CsrGraph::from_raw_parts(2, vec![0, 1, 1], vec![1, 0], vec![0, 1, 2], vec![1, 0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CsrError::OffsetTargetMismatch {
+                last: 1,
+                targets: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_target() {
+        let err = CsrGraph::from_raw_parts(2, vec![0, 1, 2], vec![1, 9], vec![0, 1, 2], vec![1, 0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CsrError::TargetOutOfRange {
+                direction: "out",
+                index: 1,
+                target: 9
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_edge_count_mismatch() {
+        let err = CsrGraph::from_raw_parts(2, vec![0, 1, 2], vec![1, 0], vec![0, 0, 1], vec![1])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CsrError::EdgeCountMismatch {
+                forward: 2,
+                reverse: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_forward_reverse_degree_disagreement() {
+        // Forward says 0 -> 1 and 1 -> 0; reverse claims both in-edges
+        // land on node 1.
+        let err = CsrGraph::from_raw_parts(2, vec![0, 1, 2], vec![1, 0], vec![0, 0, 2], vec![0, 1])
+            .unwrap_err();
+        assert!(matches!(err, CsrError::DegreeMismatch { node: 0, .. }));
     }
 }

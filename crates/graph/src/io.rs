@@ -19,6 +19,11 @@ pub enum LoadError {
     Io(std::io::Error),
     /// A data line that is not two integers.
     Parse { line_number: usize, line: String },
+    /// A structurally corrupt binary file: bad magic, impossible declared
+    /// counts, payload shorter or longer than the header promises,
+    /// out-of-range edge endpoints, or a violated CSR invariant after
+    /// assembly.
+    Corrupt { detail: String },
 }
 
 impl std::fmt::Display for LoadError {
@@ -28,6 +33,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Parse { line_number, line } => {
                 write!(f, "cannot parse line {line_number}: {line:?}")
             }
+            LoadError::Corrupt { detail } => write!(f, "corrupt graph file: {detail}"),
         }
     }
 }
@@ -76,7 +82,13 @@ pub fn read_edge_list(reader: impl Read) -> Result<CsrGraph, LoadError> {
     }
     let mut b = GraphBuilder::with_capacity(remap.len(), edges.len());
     b.extend(edges);
-    Ok(b.build())
+    let g = b.build();
+    // Defense-in-depth: loaders hand untrusted bytes to the whole
+    // pipeline, so check the CSR invariants before anything traverses.
+    g.validate().map_err(|e| LoadError::Corrupt {
+        detail: e.to_string(),
+    })?;
+    Ok(g)
 }
 
 /// Loads a SNAP-format edge list from a file path.
@@ -123,37 +135,89 @@ pub fn write_binary(g: &CsrGraph, writer: impl Write) -> std::io::Result<()> {
     w.flush()
 }
 
+/// `read_exact` that reports truncation as [`LoadError::Corrupt`] with
+/// context instead of a bare `UnexpectedEof`.
+fn read_exact_or_corrupt(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    what: impl Fn() -> String,
+) -> Result<(), LoadError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            LoadError::Corrupt {
+                detail: format!("truncated file: {}", what()),
+            }
+        } else {
+            LoadError::Io(e)
+        }
+    })
+}
+
 /// Reads a graph written by [`write_binary`].
+///
+/// The header is untrusted: declared node/edge counts are validated
+/// against the `NodeId` range and the actual payload length (truncation
+/// and trailing garbage are both [`LoadError::Corrupt`]), edge endpoints
+/// are range-checked, memory is preallocated only up to a sane cap so an
+/// absurd declared count cannot OOM before the payload runs out, and the
+/// assembled graph passes [`CsrGraph::validate`] before it is returned.
 pub fn read_binary(reader: impl Read) -> Result<CsrGraph, LoadError> {
+    let corrupt = |detail: String| LoadError::Corrupt { detail };
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read_exact_or_corrupt(&mut r, &mut magic, || "header magic".into())?;
     if &magic != BINARY_MAGIC {
-        return Err(LoadError::Parse {
-            line_number: 0,
-            line: format!("bad magic {magic:?}"),
-        });
+        return Err(corrupt(format!("bad magic {magic:?}")));
     }
     let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
-    let n = u64::from_le_bytes(buf8) as usize;
-    r.read_exact(&mut buf8)?;
-    let m = u64::from_le_bytes(buf8) as usize;
-    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    read_exact_or_corrupt(&mut r, &mut buf8, || "node count".into())?;
+    let n64 = u64::from_le_bytes(buf8);
+    read_exact_or_corrupt(&mut r, &mut buf8, || "edge count".into())?;
+    let m64 = u64::from_le_bytes(buf8);
+    if n64 > NodeId::MAX as u64 {
+        return Err(corrupt(format!(
+            "declared node count {n64} exceeds the 32-bit id range"
+        )));
+    }
+    let n = n64 as usize;
+    let m = usize::try_from(m64).map_err(|_| {
+        corrupt(format!(
+            "declared edge count {m64} does not fit this platform"
+        ))
+    })?;
+    // Preallocation guard: trust the declared count only up to ~8 MiB of
+    // edges; a corrupt header claiming 2^60 edges then fails on the first
+    // missing byte instead of aborting on an impossible allocation.
+    const PREALLOC_CAP_EDGES: usize = 1 << 20;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(m.min(PREALLOC_CAP_EDGES));
     let mut pair = [0u8; 8];
-    for _ in 0..m {
-        r.read_exact(&mut pair)?;
+    for i in 0..m {
+        read_exact_or_corrupt(&mut r, &mut pair, || {
+            format!("header declares {m} edges but the payload ends at edge {i}")
+        })?;
         let u = u32::from_le_bytes(pair[0..4].try_into().expect("4 bytes"));
         let v = u32::from_le_bytes(pair[4..8].try_into().expect("4 bytes"));
         if u as usize >= n || v as usize >= n {
-            return Err(LoadError::Parse {
-                line_number: 0,
-                line: format!("edge ({u}, {v}) out of range for {n} nodes"),
-            });
+            return Err(corrupt(format!(
+                "edge ({u}, {v}) out of range for {n} nodes"
+            )));
         }
         edges.push((u, v));
     }
-    Ok(CsrGraph::from_edges(n, &edges))
+    // The payload must end exactly where the header says it does.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => {}
+        Ok(_) => {
+            return Err(corrupt(format!(
+                "trailing bytes after the declared {m} edges"
+            )))
+        }
+        Err(e) => return Err(LoadError::Io(e)),
+    }
+    let g = CsrGraph::from_edges(n, &edges);
+    g.validate().map_err(|e| corrupt(e.to_string()))?;
+    Ok(g)
 }
 
 /// Saves a graph to a file in the binary format.
@@ -287,6 +351,55 @@ mod tests {
         buf.extend_from_slice(&0u32.to_le_bytes());
         buf.extend_from_slice(&7u32.to_le_bytes()); // target out of range
         assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_trailing_bytes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.push(0xAB);
+        match read_binary(buf.as_slice()) {
+            Err(LoadError::Corrupt { detail }) => assert!(detail.contains("trailing")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_absurd_edge_count_without_oom() {
+        // Header claims 2^60 edges with an empty payload: must fail fast
+        // on the missing bytes, not preallocate.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SWSCC01\0");
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        match read_binary(buf.as_slice()) {
+            Err(LoadError::Corrupt { detail }) => {
+                assert!(detail.contains("payload ends at edge 0"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_node_count_beyond_id_range() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SWSCC01\0");
+        buf.extend_from_slice(&(u64::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        match read_binary(buf.as_slice()) {
+            Err(LoadError::Corrupt { detail }) => assert!(detail.contains("32-bit")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_truncated_header_reports_context() {
+        let buf = b"SWSCC01\0\x05\x00".to_vec(); // magic + 2 bytes of n
+        match read_binary(buf.as_slice()) {
+            Err(LoadError::Corrupt { detail }) => assert!(detail.contains("node count")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 
     #[test]

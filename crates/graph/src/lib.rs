@@ -35,5 +35,5 @@ pub mod stats;
 pub mod traverse;
 
 pub use builder::GraphBuilder;
-pub use csr::{CsrGraph, NodeId};
+pub use csr::{CsrError, CsrGraph, NodeId};
 pub use traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};

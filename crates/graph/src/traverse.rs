@@ -34,6 +34,7 @@ use crate::bfs::Direction;
 use crate::csr::{CsrGraph, NodeId};
 use rayon::prelude::*;
 use swscc_parallel::{ClaimSet, Frontier};
+use swscc_sync::interrupt::{AbortReason, Interrupt};
 
 /// Default frontier size below which a level is expanded sequentially.
 pub const DEFAULT_PAR_FRONTIER_THRESHOLD: usize = 256;
@@ -294,6 +295,26 @@ impl<'g> EdgeMap<'g> {
         while self.step(ops) > 0 {}
         self.claimed
     }
+
+    /// Interruptible [`EdgeMap::run`]: polls the shared [`Interrupt`]
+    /// between supersteps and stops early (returning the abort reason)
+    /// when it fires. A BFS level is the natural poll granularity — a
+    /// single level never loops, so cancellation latency is bounded by
+    /// one frontier expansion.
+    pub fn run_interruptible<O: EdgeMapOps>(
+        &mut self,
+        ops: &O,
+        interrupt: &Interrupt,
+    ) -> Result<usize, AbortReason> {
+        loop {
+            if let Some(reason) = interrupt.poll() {
+                return Err(reason);
+            }
+            if self.step(ops) == 0 {
+                return Ok(self.claimed);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -501,5 +522,46 @@ mod tests {
         );
         assert_eq!(em.run(&ops), 0);
         assert_eq!(em.depth(), 0);
+    }
+
+    #[test]
+    fn run_interruptible_matches_run_when_not_aborted() {
+        // 0 -> 1 -> 2 -> 3 chain
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ops = VisitOps {
+            visited: ClaimSet::new(4),
+        };
+        ops.visited.claim(0);
+        let mut em = EdgeMap::new(
+            &g,
+            Adjacency::Directed(Direction::Forward),
+            TraversalConfig::default(),
+        );
+        em.seed(0);
+        let interrupt = Interrupt::new();
+        assert_eq!(em.run_interruptible(&ops, &interrupt), Ok(3));
+        assert_eq!(em.depth(), 4, "three claiming levels plus the empty tail");
+    }
+
+    #[test]
+    fn run_interruptible_stops_on_pre_cancelled_token() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ops = VisitOps {
+            visited: ClaimSet::new(4),
+        };
+        ops.visited.claim(0);
+        let mut em = EdgeMap::new(
+            &g,
+            Adjacency::Directed(Direction::Forward),
+            TraversalConfig::default(),
+        );
+        em.seed(0);
+        let interrupt = Interrupt::new();
+        interrupt.cancel();
+        assert_eq!(
+            em.run_interruptible(&ops, &interrupt),
+            Err(AbortReason::Cancelled)
+        );
+        assert_eq!(em.depth(), 0, "no superstep may run after cancellation");
     }
 }

@@ -128,3 +128,72 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Binary-format robustness: corrupted bytes must never panic the loader.
+// ---------------------------------------------------------------------------
+
+/// A byte-level corruption applied to a serialized graph.
+#[derive(Clone, Debug)]
+enum Corruption {
+    FlipByte { pos: usize, xor: u8 },
+    Truncate { keep: usize },
+    Append { bytes: Vec<u8> },
+}
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    // No prop_oneof in the offline shim: pick the variant by discriminant.
+    (
+        0u8..3,
+        any::<usize>(),
+        1u8..=255,
+        proptest::collection::vec(any::<u8>(), 1..16),
+    )
+        .prop_map(|(kind, pos, xor, bytes)| match kind {
+            0 => Corruption::FlipByte { pos, xor },
+            1 => Corruption::Truncate { keep: pos },
+            _ => Corruption::Append { bytes },
+        })
+}
+
+proptest! {
+    /// Uncorrupted binary round-trip always succeeds and validates.
+    #[test]
+    fn binary_round_trip_validates((n, edges) in arb_edges(60)) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut buf = Vec::new();
+        swscc_graph::io::write_binary(&g, &mut buf).unwrap();
+        let g2 = swscc_graph::io::read_binary(buf.as_slice()).expect("clean bytes load");
+        g2.validate().expect("loaded graph validates");
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    /// Arbitrarily corrupted bytes either load to a *valid* graph (the
+    /// corruption may be semantically harmless, e.g. flipping one edge
+    /// endpoint to another in-range id) or fail with a typed error —
+    /// never a panic, never an invalid CsrGraph.
+    #[test]
+    fn corrupted_binary_never_panics(
+        (n, edges) in arb_edges(40),
+        corruption in arb_corruption(),
+    ) {
+        let g = CsrGraph::from_edges(n, &edges);
+        let mut buf = Vec::new();
+        swscc_graph::io::write_binary(&g, &mut buf).unwrap();
+        match corruption {
+            Corruption::FlipByte { pos, xor } => {
+                let pos = pos % buf.len();
+                buf[pos] ^= xor;
+            }
+            Corruption::Truncate { keep } => {
+                let keep = keep % (buf.len() + 1);
+                buf.truncate(keep);
+            }
+            Corruption::Append { bytes } => buf.extend_from_slice(&bytes),
+        }
+        if let Ok(loaded) = swscc_graph::io::read_binary(buf.as_slice()) {
+            loaded.validate().expect("accepted graph must satisfy CSR invariants");
+        }
+    }
+}

@@ -30,4 +30,4 @@ pub mod workqueue;
 pub use bitset::AtomicBitSet;
 pub use frontier::{ClaimSet, Frontier};
 pub use liveset::{CompactionPolicy, LiveSet};
-pub use workqueue::{QueueStats, TwoLevelQueue, Worker};
+pub use workqueue::{AbortCause, QueueStats, RunAbort, TwoLevelQueue, Worker};

@@ -19,7 +19,9 @@
 //! is only six" and "about 10,000 work items in the queue".
 
 use std::collections::VecDeque;
-use swscc_sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use swscc_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use swscc_sync::interrupt::{AbortReason, Interrupt};
 use swscc_sync::Mutex;
 
 /// Counters captured while a [`TwoLevelQueue`] drains.
@@ -31,6 +33,70 @@ pub struct QueueStats {
     pub max_outstanding: usize,
     /// Total tasks executed.
     pub tasks_executed: usize,
+}
+
+/// Why a checked run ([`TwoLevelQueue::run_checked`]) stopped before the
+/// queue drained.
+#[derive(Clone, Debug)]
+pub enum AbortCause {
+    /// A worker's task handler panicked (the panic was caught; peers were
+    /// drained cleanly). `at_boundary` is true when the panic fired at the
+    /// pre-handler fault point — i.e. *before* the handler could touch any
+    /// shared state, so the run's data structures are still consistent.
+    Panic { message: String, at_boundary: bool },
+    /// The shared [`Interrupt`] asked the run to stop (cancellation,
+    /// deadline, or a watchdog trip elsewhere).
+    Interrupted(AbortReason),
+}
+
+/// Error form of a checked run: the cause, the intact failed task when
+/// recoverable, and the stats gathered up to the abort.
+#[derive(Debug)]
+pub struct RunAbort<T> {
+    pub cause: AbortCause,
+    /// For a boundary panic only: the task whose fault point fired, never
+    /// handed to the handler — re-push it with
+    /// [`TwoLevelQueue::push_global`] to retry. Leftover tasks from the
+    /// aborted run stay queued (workers requeue their locals on drain), so
+    /// a retry resumes exactly where the run stopped.
+    pub failed_task: Option<T>,
+    pub stats: QueueStats,
+}
+
+/// Shared control block of one checked run: the first abort wins the
+/// slot, then the halt flag fans the drain out to every worker.
+struct RunCtl<'a, T> {
+    halt: AtomicBool,
+    abort: Mutex<Option<(AbortCause, Option<T>)>>,
+    interrupt: &'a Interrupt,
+}
+
+impl<'a, T> RunCtl<'a, T> {
+    fn new(interrupt: &'a Interrupt) -> Self {
+        RunCtl {
+            halt: AtomicBool::new(false),
+            abort: Mutex::new(None),
+            interrupt,
+        }
+    }
+
+    fn halted(&self) -> bool {
+        // ordering: Relaxed — the halt flag is a pure go/no-go signal; the
+        // abort payload travels under the `abort` Mutex and is read only
+        // after the scope join. A stale read delays a worker's drain by
+        // one loop iteration, which the protocol tolerates.
+        self.halt.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, cause: AbortCause, failed_task: Option<T>) {
+        let mut slot = self.abort.lock();
+        if slot.is_none() {
+            *slot = Some((cause, failed_task));
+        }
+        drop(slot);
+        // ordering: Relaxed — see `halted`.
+        self.halt.store(true, Ordering::Relaxed);
+    }
 }
 
 /// The shared two-level work queue. `T` is the task type.
@@ -132,6 +198,70 @@ impl<T: Send> TwoLevelQueue<T> {
         }
     }
 
+    /// Fault-tolerant variant of [`TwoLevelQueue::run`]: drains the queue
+    /// with `num_threads` workers while (a) polling `interrupt` at every
+    /// task boundary and idle-backoff iteration, and (b) isolating handler
+    /// panics — a panicking worker is caught, the abort fans out through a
+    /// halt flag, and every peer requeues its local tasks and exits within
+    /// its backoff bound instead of deadlocking on `outstanding`.
+    ///
+    /// On abort the queue is left in a consistent, resumable state: all
+    /// unprocessed tasks are back on the global queue and `outstanding`
+    /// equals the queued count, so the caller may retry with another
+    /// `run_checked` call (after re-pushing
+    /// [`RunAbort::failed_task`] if present).
+    pub fn run_checked<F>(
+        &self,
+        num_threads: usize,
+        interrupt: &Interrupt,
+        handler: F,
+    ) -> Result<QueueStats, RunAbort<T>>
+    where
+        F: Fn(T, &mut Worker<'_, T>) + Sync,
+    {
+        assert!(num_threads >= 1);
+        let ctl = RunCtl::new(interrupt);
+        swscc_sync::thread::scope(|s| {
+            for _ in 0..num_threads {
+                s.spawn(|| {
+                    let mut w = Worker {
+                        queue: self,
+                        local: VecDeque::new(),
+                    };
+                    w.work_loop_checked(&handler, &ctl);
+                });
+            }
+        });
+        // ordering: Relaxed loads are safe — the scope join above
+        // happens-after every worker's counter updates.
+        let stats = QueueStats {
+            max_global_depth: self.max_global_depth.load(Ordering::Relaxed),
+            max_outstanding: self.max_outstanding.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+        };
+        let aborted = ctl.abort.lock().take();
+        match aborted {
+            None => Ok(stats),
+            Some((cause, failed_task)) => Err(RunAbort {
+                cause,
+                failed_task,
+                stats,
+            }),
+        }
+    }
+
+    /// Returns a worker's remaining local tasks to the global queue
+    /// without touching `outstanding` (they are already counted). Used on
+    /// abort drains so a later run can resume them.
+    fn requeue(&self, from: &mut VecDeque<T>) {
+        if from.is_empty() {
+            return;
+        }
+        let mut g = self.global.lock();
+        g.extend(from.drain(..));
+        self.note_global_depth(g.len());
+    }
+
     /// Resets the recorded statistics (outstanding work must be zero).
     pub fn reset_stats(&self) {
         // ordering: Relaxed — callers only reset between runs, with the
@@ -204,6 +334,109 @@ impl<'q, T: Send> Worker<'q, T> {
     /// Number of tasks currently in this worker's local queue.
     pub fn local_len(&self) -> usize {
         self.local.len()
+    }
+
+    /// Panic-isolating, interrupt-polling work loop (see
+    /// [`TwoLevelQueue::run_checked`]).
+    fn work_loop_checked<F>(&mut self, handler: &F, ctl: &RunCtl<'_, T>)
+    where
+        F: Fn(T, &mut Worker<'_, T>) + Sync,
+    {
+        let mut spin = 0u32;
+        loop {
+            // Drain on a peer's abort: requeue local tasks (they are
+            // already counted in `outstanding`) and exit. This is the
+            // bail-out every worker reaches within one idle-backoff bound.
+            if ctl.halted() {
+                self.queue.requeue(&mut self.local);
+                return;
+            }
+            if let Some(reason) = ctl.interrupt.poll() {
+                ctl.record(AbortCause::Interrupted(reason), None);
+                self.queue.requeue(&mut self.local);
+                return;
+            }
+            let task = match self.local.pop_front() {
+                Some(t) => Some(t),
+                None => {
+                    if self.queue.fetch_batch(&mut self.local) > 0 {
+                        self.local.pop_front()
+                    } else {
+                        None
+                    }
+                }
+            };
+            match task {
+                Some(t) => {
+                    spin = 0;
+                    // Task-boundary fault point, deliberately *before* the
+                    // handler takes the task: a panic here leaves the task
+                    // intact and all shared state untouched, so the abort
+                    // is recoverable by a retry.
+                    // recovery: boundary panics are reported with the
+                    // intact task (`failed_task`); the caller re-pushes it
+                    // and reruns, or degrades to a sequential fallback.
+                    if let Err(payload) =
+                        std::panic::catch_unwind(|| swscc_sync::fault::point("workqueue-task"))
+                    {
+                        ctl.record(
+                            AbortCause::Panic {
+                                message: swscc_sync::fault::panic_text(payload.as_ref()),
+                                at_boundary: true,
+                            },
+                            Some(t),
+                        );
+                        // The task leaves the queue with its abort record;
+                        // Release-publish its removal like a completion so
+                        // a (non-aborted) peer can't observe a stale count.
+                        self.queue.outstanding.fetch_sub(1, Ordering::Release);
+                        self.queue.requeue(&mut self.local);
+                        return;
+                    }
+                    // recovery: a handler panic is caught and recorded
+                    // (`at_boundary: false` — shared state may be mid-
+                    // mutation), the halt flag drains all peers, and the
+                    // caller falls back to a sequential re-run; the panic
+                    // never crosses the scope join, so no worker deadlocks
+                    // on `outstanding`.
+                    let run = std::panic::catch_unwind(AssertUnwindSafe(|| handler(t, self)));
+                    // ordering: Relaxed — stats counter, read after join.
+                    self.queue.tasks_executed.fetch_add(1, Ordering::Relaxed);
+                    // Release pairs with the Acquire termination load: a
+                    // worker that observes outstanding == 0 must also
+                    // observe every finished handler's side effects.
+                    self.queue.outstanding.fetch_sub(1, Ordering::Release);
+                    if let Err(payload) = run {
+                        ctl.record(
+                            AbortCause::Panic {
+                                message: swscc_sync::fault::panic_text(payload.as_ref()),
+                                at_boundary: false,
+                            },
+                            None,
+                        );
+                        self.queue.requeue(&mut self.local);
+                        return;
+                    }
+                }
+                None => {
+                    // Same bounded exponential backoff as `work_loop`; the
+                    // halt/interrupt polls at the loop head bound how long
+                    // an idle worker can outlive an abort.
+                    if self.queue.outstanding.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    spin += 1;
+                    if spin <= 16 {
+                        swscc_sync::hint::spin_loop();
+                    } else if spin <= 32 {
+                        swscc_sync::thread::yield_now();
+                    } else {
+                        let exp = (spin - 32).min(7); // 1µs .. 128µs
+                        swscc_sync::thread::sleep(std::time::Duration::from_micros(1 << exp));
+                    }
+                }
+            }
+        }
     }
 
     fn work_loop<F>(&mut self, handler: &F)
@@ -368,6 +601,150 @@ mod tests {
         let stats = q.run(1, |_, _| {});
         assert_eq!(stats.max_outstanding, 100);
         assert_eq!(stats.max_global_depth, 100);
+    }
+
+    #[test]
+    fn checked_run_without_faults_matches_run() {
+        let interrupt = Interrupt::new();
+        let q = TwoLevelQueue::new(2);
+        q.push_global(12u64);
+        let sum = AtomicUsize::new(0);
+        let stats = q
+            .run_checked(4, &interrupt, |n, w| {
+                if n < 2 {
+                    sum.fetch_add(n as usize, Ordering::Relaxed);
+                } else {
+                    w.push(n - 1);
+                    w.push(n - 2);
+                }
+            })
+            .expect("clean run");
+        assert_eq!(sum.load(Ordering::Relaxed), 144);
+        assert!(stats.tasks_executed > 100);
+    }
+
+    #[test]
+    fn boundary_panic_reports_intact_task_and_resumes() {
+        use swscc_sync::fault::{arm, FaultKind, FaultPlan};
+        let interrupt = Interrupt::new();
+        let q = TwoLevelQueue::new(2);
+        let n = 64usize;
+        let flags: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for i in 0..n {
+            q.push_global(i);
+        }
+        let handler = |i: usize, _: &mut Worker<'_, usize>| {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        };
+        let abort = {
+            let _g = arm(FaultPlan {
+                site: Some("workqueue-task"),
+                nth: 10,
+                kind: FaultKind::Panic,
+                repeat: false,
+            });
+            q.run_checked(4, &interrupt, handler)
+                .expect_err("injected boundary panic must abort")
+        };
+        let failed = abort.failed_task.expect("boundary panic keeps the task");
+        assert!(matches!(
+            abort.cause,
+            AbortCause::Panic {
+                at_boundary: true,
+                ..
+            }
+        ));
+        assert_eq!(flags[failed].load(Ordering::Relaxed), 0, "never ran");
+        // The queue is resumable: re-push the failed task and finish.
+        q.push_global(failed);
+        q.run_checked(4, &interrupt, handler).expect("clean retry");
+        assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn handler_panic_drains_peers_without_deadlock() {
+        for threads in [1, 2, 4] {
+            let interrupt = Interrupt::new();
+            let q = TwoLevelQueue::new(1);
+            for i in 0..128u32 {
+                q.push_global(i);
+            }
+            let abort = q
+                .run_checked(threads, &interrupt, |i, _| {
+                    if i == 40 {
+                        panic!("synthetic handler bug");
+                    }
+                })
+                .expect_err("handler panic must abort");
+            match abort.cause {
+                AbortCause::Panic {
+                    at_boundary,
+                    message,
+                } => {
+                    assert!(!at_boundary);
+                    assert!(message.contains("synthetic handler bug"));
+                }
+                other => panic!("unexpected cause: {other:?}"),
+            }
+            assert!(abort.failed_task.is_none(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_unblocks_workers_within_backoff_bound() {
+        for threads in [1, 2, 4] {
+            let interrupt = Interrupt::new();
+            let q = TwoLevelQueue::new(1);
+            q.push_global(0u32);
+            let started = std::time::Instant::now();
+            swscc_sync::thread::scope(|s| {
+                let run = {
+                    let interrupt = &interrupt;
+                    let q = &q;
+                    s.spawn(move || {
+                        q.run_checked(threads, interrupt, |_, _| {
+                            // One straggler task: cooperatively wait for the
+                            // cancellation the main thread is about to issue,
+                            // pinning peers in their idle loops meanwhile.
+                            while !interrupt.is_aborted() {
+                                swscc_sync::thread::yield_now();
+                            }
+                        })
+                    })
+                };
+                swscc_sync::thread::sleep(std::time::Duration::from_millis(10));
+                interrupt.cancel();
+                let result = run.join().unwrap();
+                let abort = result.expect_err("cancelled run must abort");
+                assert!(matches!(
+                    abort.cause,
+                    AbortCause::Interrupted(AbortReason::Cancelled)
+                ));
+            });
+            // Generous bound: idle backoff caps at 128µs parks, so even on
+            // a loaded CI box the drain is far under a second.
+            assert!(
+                started.elapsed() < std::time::Duration::from_secs(10),
+                "threads={threads} took {:?}",
+                started.elapsed()
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_aborts_idle_run() {
+        let interrupt = Interrupt::with_deadline(std::time::Duration::from_millis(20));
+        let q = TwoLevelQueue::new(1);
+        q.push_global(0u32);
+        let abort = q
+            .run_checked(2, &interrupt, |_, _| {
+                swscc_sync::thread::sleep(std::time::Duration::from_millis(200));
+            })
+            .expect_err("deadline must abort");
+        assert!(matches!(
+            abort.cause,
+            AbortCause::Interrupted(AbortReason::DeadlineExceeded)
+        ));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Deterministic fault injection for the chaos battery.
+//!
+//! Production code is sprinkled with named *fault points* —
+//! [`point("site-name")`](point) calls at the places a worker can
+//! plausibly die or stall: the work-queue task boundary, traversal
+//! supersteps, trim/WCC/coloring round boundaries. In a normal run the
+//! whole layer is a single relaxed atomic load per call and nothing else.
+//!
+//! A test *arms* a [`FaultPlan`] — "at the `nth` hit of `site`, panic (or
+//! delay)" — via [`arm`], which returns a guard that disarms on drop and
+//! serializes concurrent arming across test threads (the plan registry is
+//! process-global). Because a plan is three integers, any schedule is
+//! derivable from a seed and replayable exactly: the chaos battery in
+//! `tests/chaos.rs` maps seed → (driver, graph, threads, plan) with a
+//! splitmix64 chain and reports the seed on failure.
+//!
+//! Under `--cfg model` the same mechanism extends to yield-point indices:
+//! the model runtime calls [`point("model-yield")`](point) at every
+//! scheduling point, so a plan targeting that site injects a panic or a
+//! delay at the *k*-th yield point of an explored schedule.
+//!
+//! This module deliberately uses raw `std` primitives instead of the
+//! facade (allowed: `crates/sync/` is facade-exempt): injection
+//! bookkeeping must not become extra scheduling points or tracked memory
+//! in model builds, or arming a plan would perturb the very schedules it
+//! is meant to replay.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// What an armed plan does when its trigger point is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with a payload starting with [`INJECTED_PANIC_PREFIX`].
+    Panic,
+    /// Stall the calling thread for the given duration (perturbs timing
+    /// without failing anything — exercises straggler paths).
+    Delay(Duration),
+}
+
+/// A deterministic injection schedule: fire `kind` at the `nth` matching
+/// hit (0-based) of `site` (`None` = any site).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Restrict matching to one site name; `None` matches every site.
+    pub site: Option<&'static str>,
+    /// 0-based index of the matching hit that triggers the fault.
+    pub nth: u64,
+    /// What to do at the trigger.
+    pub kind: FaultKind,
+    /// `false`: fire exactly once, at hit `nth`. `true`: fire at every
+    /// matching hit from `nth` on — models a persistently failing site
+    /// (exhausts retry-based recovery, forcing the degrade path).
+    pub repeat: bool,
+}
+
+/// Panic payloads produced by injected faults start with this prefix, so
+/// recovery layers and tests can tell an injected fault from a real bug.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault";
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static FIRED: AtomicBool = AtomicBool::new(false);
+/// Serializes armed sessions: tests in one process cannot interleave
+/// plans (the registry is global). Held by the `FaultGuard`.
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A test that panics while holding the session lock poisons it; the
+    // registry state is two scalars, always valid, so recovering is safe.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Disarms the plan and releases the session on drop.
+pub struct FaultGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *unpoison(PLAN.lock()) = None;
+    }
+}
+
+/// Arms `plan` for the lifetime of the returned guard. Blocks while
+/// another plan is armed (sessions are serialized process-wide); resets
+/// the hit counter.
+pub fn arm(plan: FaultPlan) -> FaultGuard {
+    let session = unpoison(SESSION.lock());
+    *unpoison(PLAN.lock()) = Some(plan);
+    HITS.store(0, Ordering::SeqCst);
+    FIRED.store(false, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    FaultGuard(session)
+}
+
+/// Matching hits observed by the currently / most recently armed plan.
+pub fn hits() -> u64 {
+    HITS.load(Ordering::SeqCst)
+}
+
+/// Whether the armed plan's trigger actually fired (the run may have
+/// finished before reaching hit `nth`).
+pub fn fired() -> bool {
+    FIRED.load(Ordering::SeqCst)
+}
+
+/// A named fault point. Free when nothing is armed; when a plan matches,
+/// counts the hit and fires the planned fault at index `nth`.
+#[inline]
+pub fn point(site: &'static str) {
+    if ARMED.load(Ordering::Relaxed) {
+        point_slow(site);
+    }
+}
+
+#[cold]
+fn point_slow(site: &'static str) {
+    let plan = *unpoison(PLAN.lock());
+    let Some(plan) = plan else { return };
+    if plan.site.is_some_and(|s| s != site) {
+        return;
+    }
+    let idx = HITS.fetch_add(1, Ordering::SeqCst);
+    if idx == plan.nth || (plan.repeat && idx > plan.nth) {
+        FIRED.store(true, Ordering::SeqCst);
+        match plan.kind {
+            FaultKind::Panic => panic!("{INJECTED_PANIC_PREFIX}: site `{site}` hit {idx}"),
+            FaultKind::Delay(d) => std::thread::sleep(d),
+        }
+    }
+}
+
+/// Best-effort text of a panic payload (injected or otherwise); used by
+/// recovery layers to record what killed a worker.
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| {
+            payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+        })
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// True if a caught panic payload came from an injected fault.
+pub fn is_injected_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())
+        .is_some_and(|s| s.starts_with(INJECTED_PANIC_PREFIX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_when_disarmed() {
+        point("anywhere"); // must be a no-op
+    }
+
+    #[test]
+    fn panic_fires_at_exact_index() {
+        let _g = arm(FaultPlan {
+            site: Some("t1"),
+            nth: 2,
+            kind: FaultKind::Panic,
+            repeat: false,
+        });
+        point("t1");
+        point("other-site"); // non-matching: not counted
+        point("t1");
+        // recovery: test-local — asserting the injected panic surfaces at
+        // exactly the planned hit index and is recognizable.
+        let r = std::panic::catch_unwind(|| point("t1"));
+        let payload = r.expect_err("third matching hit must panic");
+        assert!(is_injected_payload(payload.as_ref()));
+        assert!(fired());
+        assert_eq!(hits(), 3);
+    }
+
+    #[test]
+    fn delay_does_not_panic() {
+        let _g = arm(FaultPlan {
+            site: None,
+            nth: 0,
+            kind: FaultKind::Delay(Duration::from_micros(50)),
+            repeat: false,
+        });
+        point("any");
+        assert!(fired());
+    }
+
+    #[test]
+    fn repeat_plan_fires_on_every_later_hit() {
+        let _g = arm(FaultPlan {
+            site: Some("rp"),
+            nth: 1,
+            kind: FaultKind::Panic,
+            repeat: true,
+        });
+        point("rp"); // hit 0: below nth, no fire
+        for expected_hit in 1..4u64 {
+            // recovery: test-local — asserting a repeat plan keeps firing
+            // on every hit at or beyond `nth`.
+            let r = std::panic::catch_unwind(|| point("rp"));
+            let payload = r.expect_err("repeat plan must fire");
+            assert!(is_injected_payload(payload.as_ref()));
+            assert_eq!(hits(), expected_hit + 1);
+        }
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _g = arm(FaultPlan {
+                site: None,
+                nth: 0,
+                kind: FaultKind::Panic,
+                repeat: false,
+            });
+        }
+        point("after-drop"); // disarmed: no panic
+    }
+}

@@ -1,0 +1,212 @@
+//! Cooperative interruption: the one abort channel every kernel loop polls.
+//!
+//! An [`Interrupt`] is shared (via `Arc`) between a driver, its worker
+//! threads, and every fixpoint kernel. It carries three ways a run can be
+//! asked to stop:
+//!
+//! * **Cancellation** — `cancel()` called by the owner (or a `RunGuard`
+//!   drop in `swscc-core`);
+//! * **Deadline** — a wall-clock instant fixed at construction; `poll()`
+//!   checks it, so deadline detection has the same superstep granularity
+//!   as cancellation;
+//! * **Non-convergence** — a fixpoint watchdog tripping after exceeding
+//!   its round bound ([`Interrupt::trip_non_convergence`]).
+//!
+//! The protocol is strictly cooperative and monotone: once aborted, an
+//! `Interrupt` stays aborted (first reason wins), and loops are expected
+//! to check [`Interrupt::poll`] (or the cached [`Interrupt::is_aborted`])
+//! once per round/superstep and bail out early. Nothing here unwinds or
+//! signals — the *driver* translates the recorded reason into a typed
+//! error after the kernels return.
+//!
+//! Under `--cfg model` the state flag is a model-instrumented atomic, so
+//! every poll is a scheduling point: `model::explore` can interleave a
+//! cancellation with every poll site a kernel has.
+
+use crate::atomic::{AtomicU32, Ordering};
+use crate::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run was asked to stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Explicit cooperative cancellation.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// A fixpoint loop exceeded its watchdog bound.
+    NonConvergence,
+}
+
+const RUNNING: u32 = 0;
+const CANCELLED: u32 = 1;
+const DEADLINE: u32 = 2;
+const NON_CONVERGENCE: u32 = 3;
+
+fn decode(state: u32) -> Option<AbortReason> {
+    match state {
+        RUNNING => None,
+        CANCELLED => Some(AbortReason::Cancelled),
+        DEADLINE => Some(AbortReason::DeadlineExceeded),
+        _ => Some(AbortReason::NonConvergence),
+    }
+}
+
+/// Shared cooperative cancellation token + deadline + watchdog trip-wire.
+pub struct Interrupt {
+    /// RUNNING / CANCELLED / DEADLINE / NON_CONVERGENCE; monotone
+    /// (RUNNING -> aborted once, first writer wins via CAS).
+    state: AtomicU32,
+    /// Absolute deadline; `None` = unbounded.
+    deadline: Option<Instant>,
+    /// Human-readable context for NonConvergence (loop name, round count).
+    detail: Mutex<Option<String>>,
+}
+
+impl Interrupt {
+    /// A token with no deadline that never aborts unless asked to.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Interrupt {
+            state: AtomicU32::new(RUNNING),
+            deadline: None,
+            detail: Mutex::new(None),
+        })
+    }
+
+    /// A token whose `poll()` starts reporting [`AbortReason::DeadlineExceeded`]
+    /// once `budget` wall-clock time has elapsed from now.
+    pub fn with_deadline(budget: Duration) -> Arc<Self> {
+        Arc::new(Interrupt {
+            state: AtomicU32::new(RUNNING),
+            deadline: Instant::now().checked_add(budget),
+            detail: Mutex::new(None),
+        })
+    }
+
+    /// Requests cooperative cancellation. Idempotent; loses against an
+    /// earlier abort (first reason wins).
+    pub fn cancel(&self) {
+        self.trip(CANCELLED);
+    }
+
+    /// Records a watchdog trip: `loop_name` exceeded `bound` rounds.
+    /// First abort reason wins; the detail string is only stored by the
+    /// winning trip.
+    pub fn trip_non_convergence(&self, loop_name: &str, bound: usize) {
+        if self.trip(NON_CONVERGENCE) {
+            *self.detail.lock() = Some(format!(
+                "fixpoint `{loop_name}` exceeded its watchdog bound of {bound} rounds"
+            ));
+        }
+    }
+
+    fn trip(&self, to: u32) -> bool {
+        // ordering: Relaxed suffices — the flag is a pure go/no-go signal
+        // with no data published through it (the NonConvergence detail
+        // string travels under the `detail` Mutex, and every consumer
+        // reads results only after a scope join). CAS keeps the
+        // transition monotone: first abort reason wins.
+        self.state
+            .compare_exchange(RUNNING, to, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// The poll every kernel loop calls once per round/superstep: checks
+    /// the abort flag, then the deadline. Returns the abort reason if the
+    /// run should stop.
+    pub fn poll(&self) -> Option<AbortReason> {
+        // ordering: Relaxed — see `trip`; a stale RUNNING read merely
+        // delays the bail-out by one round, which the cooperative
+        // protocol tolerates by design.
+        if let Some(r) = decode(self.state.load(Ordering::Relaxed)) {
+            return Some(r);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.trip(DEADLINE);
+                return Some(AbortReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// `poll().is_some()`, for loops that only need a boolean.
+    pub fn is_aborted(&self) -> bool {
+        self.poll().is_some()
+    }
+
+    /// The recorded abort reason without the deadline side effect (what a
+    /// driver reads at a phase boundary after kernels returned).
+    pub fn reason(&self) -> Option<AbortReason> {
+        // ordering: Relaxed — see `trip`.
+        decode(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Context for a NonConvergence abort (loop name and bound).
+    pub fn detail(&self) -> Option<String> {
+        self.detail.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_running() {
+        let i = Interrupt::new();
+        assert_eq!(i.poll(), None);
+        assert!(!i.is_aborted());
+        assert_eq!(i.reason(), None);
+    }
+
+    #[test]
+    fn cancel_is_sticky() {
+        let i = Interrupt::new();
+        i.cancel();
+        assert_eq!(i.poll(), Some(AbortReason::Cancelled));
+        i.cancel();
+        assert_eq!(i.reason(), Some(AbortReason::Cancelled));
+    }
+
+    #[test]
+    fn first_reason_wins() {
+        let i = Interrupt::new();
+        i.trip_non_convergence("wcc", 42);
+        i.cancel();
+        assert_eq!(i.reason(), Some(AbortReason::NonConvergence));
+        assert!(i.detail().unwrap().contains("wcc"));
+    }
+
+    #[test]
+    fn zero_deadline_fires_immediately() {
+        let i = Interrupt::with_deadline(Duration::ZERO);
+        assert_eq!(i.poll(), Some(AbortReason::DeadlineExceeded));
+        assert_eq!(i.reason(), Some(AbortReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        let i = Interrupt::with_deadline(Duration::from_secs(3600));
+        assert_eq!(i.poll(), None);
+    }
+
+    #[test]
+    fn cancel_observed_across_threads() {
+        let i = Interrupt::new();
+        crate::thread::scope(|s| {
+            let t = {
+                let i = Arc::clone(&i);
+                s.spawn(move || {
+                    while !i.is_aborted() {
+                        crate::hint::spin_loop();
+                    }
+                    i.reason()
+                })
+            };
+            i.cancel();
+            assert_eq!(t.join().unwrap(), Some(AbortReason::Cancelled));
+        });
+    }
+}

@@ -36,6 +36,9 @@
 #[cfg(model)]
 pub mod model;
 
+pub mod fault;
+pub mod interrupt;
+
 /// Atomic integer/bool types plus [`atomic::Ordering`].
 ///
 /// Normal builds: `std::sync::atomic` re-exports. Model builds:

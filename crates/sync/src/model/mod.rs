@@ -414,6 +414,20 @@ impl Runtime {
         tid: usize,
     ) -> MutexGuard<'rt, State> {
         self.check_abort(&g);
+        // Fault-injection extension: a `fault::FaultPlan` targeting the
+        // `model-yield` site fires at the k-th scheduling point of this
+        // run (k is deterministic per seed, hence replayable).
+        // recovery: an injected panic is converted into a recorded
+        // schedule failure and the run aborts through the normal
+        // ModelAbort path — same as the step-bound trip below.
+        if let Err(p) = std::panic::catch_unwind(|| crate::fault::point("model-yield")) {
+            if g.failure.is_none() {
+                g.failure = Some(crate::fault::panic_text(p.as_ref()));
+            }
+            g.abort = true;
+            self.cv.notify_all();
+            std::panic::panic_any(ModelAbort);
+        }
         g.steps += 1;
         if g.steps > g.max_steps {
             if g.failure.is_none() {
@@ -618,6 +632,11 @@ fn run_once<F: Fn() + Send + Sync>(
         tid
     };
     set_current(Some((rt.clone(), tid)));
+    // recovery: an assertion failure in the explored body becomes the
+    // iteration's recorded failure (with its replay seed); a ModelAbort
+    // unwind is the scheduler's own teardown signal. Either way the
+    // runtime state is finalized below and the next iteration starts
+    // from a fresh Runtime.
     let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
     set_current(None);
     if let Err(payload) = res {

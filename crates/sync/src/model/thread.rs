@@ -83,6 +83,10 @@ where
         env: PhantomData,
     };
     let guard = JoinOnDrop(&sc);
+    // recovery: the catch keeps an unwinding scope body from leaking
+    // children — the JoinOnDrop guard below OS-joins every spawned thread
+    // first, then the payload is re-thrown unchanged (std scope
+    // semantics).
     let res = catch_unwind(AssertUnwindSafe(|| f(&sc)));
     // Virtual wait first (the parent must keep scheduling children it
     // hasn't joined — OS-joining a token-starved child would hang the
@@ -162,6 +166,11 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                 if let (Some((rt, _)), Some(vtid)) = (&session, vtid) {
                     set_current(Some((Arc::clone(rt), vtid)));
                     let rt2 = Arc::clone(rt);
+                    // recovery: a panicking virtual thread is recorded as
+                    // the iteration's failure (ModelAbort unwinds are the
+                    // scheduler's own teardown and stay silent); the
+                    // thread still marks itself Finished and hands the
+                    // token on below, so the session never wedges.
                     let r = catch_unwind(AssertUnwindSafe(|| {
                         // Park until the scheduler picks us for the first
                         // time (this wait can unwind on abort, hence it
@@ -193,6 +202,9 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                     drop(g);
                     set_current(None);
                 } else {
+                    // recovery: outside a session this mirrors std scoped
+                    // threads — the payload is stashed and re-thrown at
+                    // join (or scope exit), never swallowed.
                     match catch_unwind(AssertUnwindSafe(f)) {
                         Ok(v) => {
                             *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);

@@ -16,6 +16,11 @@
 //!    the same paragraph) explaining why relaxed is sufficient.
 //! 3. **Unsafe justification** — every `unsafe` block/fn must carry a
 //!    `// SAFETY:` comment.
+//! 4. **Recovery justification** — every `catch_unwind` must carry a
+//!    `// recovery:` comment stating what state the caught panic leaves
+//!    behind and how the caller recovers (retry, degrade, restart, or
+//!    test-local assertion). Swallowing a panic without that argument is
+//!    how a split SCC masquerades as a clean run.
 //!
 //! The audit is line-based on purpose: it has zero dependencies, runs in
 //! milliseconds, and its false-positive escape hatch is an explicit,
@@ -202,6 +207,21 @@ fn check_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                 rule: "relaxed",
                 message: "`Ordering::Relaxed` without a `// ordering:` justification comment \
                           (same line or earlier in the same paragraph)"
+                    .to_string(),
+            });
+        }
+
+        // Rule 4: recovery justification (applies everywhere, tests too —
+        // a test that absorbs a panic is asserting something about
+        // recovery and must say what).
+        // Match call sites only — `catch_unwind(` — so imports stay clean.
+        if line.contains("catch_unwind(") && !has_justification(&lines, i, "// recovery:") {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: lineno,
+                rule: "recovery",
+                message: "`catch_unwind` without a `// recovery:` comment explaining what \
+                          state the caught panic leaves and how the caller recovers"
                     .to_string(),
             });
         }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! swscc scc <input> [--algo NAME] [--threads N] [--scale S] [--histogram] [--dobfs]
-//!           [--live-compaction auto|always|never]
+//!           [--live-compaction auto|always|never] [--timeout SECS]
+//!           [--on-panic fallback|fail] [--inject-fault SITE[:NTH]]
 //! swscc stats <input> [--scale S]
 //! swscc gen <dataset> --out FILE [--scale S] [--seed N]
 //! swscc condense <input> --out FILE [--scale S]
@@ -12,12 +13,67 @@
 //! `<input>` is either a path to a SNAP-format edge list (`src dst` lines,
 //! `#`/`%` comments) or `dataset:<name>` for one of the nine built-in
 //! Table 1 analogs (`dataset:livej`, `dataset:ca-road`, …).
+//!
+//! Exit codes: `0` success, `1` runtime failure (unreadable input, I/O),
+//! `2` configuration error (bad flag, unknown algorithm/dataset),
+//! `70` internal failure (worker panic not absorbed, non-convergence),
+//! `124` deadline exceeded (`--timeout`).
 
 use std::process::ExitCode;
+use std::time::Duration;
 use swscc::graph::datasets::Dataset;
 use swscc::graph::stats::{average_degree, estimate_diameter};
 use swscc::graph::{io, CsrGraph};
-use swscc::{detect_scc, Algorithm, CompactionPolicy, SccConfig};
+use swscc::sync::fault::{self, FaultKind, FaultPlan};
+use swscc::{
+    detect_scc, run_checked, Algorithm, CompactionPolicy, PanicPolicy, RecoveryEvent, RunGuard,
+    SccConfig, SccError,
+};
+
+/// Exit code for configuration/usage errors (bad flag, unknown name).
+const EXIT_CONFIG: u8 = 2;
+/// Exit code for internal failures (unabsorbed panic, non-convergence) —
+/// EX_SOFTWARE from sysexits.
+const EXIT_INTERNAL: u8 = 70;
+/// Exit code when `--timeout` expires, matching timeout(1).
+const EXIT_TIMEOUT: u8 = 124;
+
+/// A CLI failure: message plus process exit code.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn config(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_CONFIG,
+            message: message.into(),
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<SccError> for CliError {
+    fn from(e: SccError) -> CliError {
+        let code = match e {
+            SccError::DeadlineExceeded => EXIT_TIMEOUT,
+            SccError::Cancelled
+            | SccError::NonConvergence { .. }
+            | SccError::WorkerPanic { .. } => EXIT_INTERNAL,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
 
 struct Args {
     positional: Vec<String>,
@@ -31,9 +87,10 @@ impl Args {
         let mut raw = raw.peekable();
         while let Some(a) = raw.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = match raw.peek() {
-                    Some(v) if !v.starts_with("--") => Some(raw.next().expect("peeked")),
-                    _ => None,
+                let value = if raw.peek().is_some_and(|v| !v.starts_with("--")) {
+                    raw.next()
+                } else {
+                    None
                 };
                 flags.push((name.to_string(), value));
             } else {
@@ -54,42 +111,72 @@ impl Args {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
-    fn parsed_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn parsed_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.flag_value(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+                .map_err(|_| CliError::config(format!("invalid value for --{name}: {v:?}"))),
         }
     }
 }
 
-fn load_input(spec: &str, scale: f64, seed: u64) -> Result<CsrGraph, String> {
+fn load_input(spec: &str, scale: f64, seed: u64) -> Result<CsrGraph, CliError> {
     if let Some(name) = spec.strip_prefix("dataset:") {
         let d = Dataset::from_name(name).ok_or_else(|| {
-            format!(
+            CliError::config(format!(
                 "unknown dataset {name:?}; available: {}",
                 Dataset::all().map(|d| d.name()).join(", ")
-            )
+            ))
         })?;
         Ok(d.generate(scale, seed))
     } else if spec.ends_with(".bin") {
-        io::load_binary(spec).map_err(|e| format!("cannot load {spec}: {e}"))
+        io::load_binary(spec).map_err(|e| CliError::runtime(format!("cannot load {spec}: {e}")))
     } else {
-        io::load_edge_list(spec).map_err(|e| format!("cannot load {spec}: {e}"))
+        io::load_edge_list(spec).map_err(|e| CliError::runtime(format!("cannot load {spec}: {e}")))
     }
 }
 
-fn cmd_scc(args: &Args) -> Result<(), String> {
-    let input = args.positional.get(1).ok_or("usage: swscc scc <input>")?;
+/// Parses `--inject-fault SITE[:NTH]` into an armed plan (a test aid for
+/// exercising the recovery paths end-to-end; the armed fault panics at the
+/// NTH hit of SITE, default 0).
+fn parse_fault(spec: &str) -> Result<FaultPlan, CliError> {
+    let (site, nth) = match spec.rsplit_once(':') {
+        Some((site, nth)) => {
+            let nth: u64 = nth
+                .parse()
+                .map_err(|_| CliError::config(format!("invalid --inject-fault index: {spec:?}")))?;
+            (site, nth)
+        }
+        None => (spec, 0),
+    };
+    if site.is_empty() {
+        return Err(CliError::config("empty --inject-fault site"));
+    }
+    // Fault sites are &'static str; a one-shot CLI arming leaks one small
+    // allocation for the process lifetime.
+    let site: &'static str = Box::leak(site.to_string().into_boxed_str());
+    Ok(FaultPlan {
+        site: Some(site),
+        nth,
+        kind: FaultKind::Panic,
+        repeat: false,
+    })
+}
+
+fn cmd_scc(args: &Args) -> Result<(), CliError> {
+    let input = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::config("usage: swscc scc <input>"))?;
     let scale: f64 = args.parsed_flag("scale", 0.25)?;
     let seed: u64 = args.parsed_flag("seed", 42)?;
     let algo_name = args.flag_value("algo").unwrap_or("method2");
     let algo = Algorithm::from_name(algo_name).ok_or_else(|| {
-        format!(
+        CliError::config(format!(
             "unknown algorithm {algo_name:?}; available: {}",
             Algorithm::all().map(|a| a.name()).join(", ")
-        )
+        ))
     })?;
     let mut cfg = SccConfig::with_threads(
         args.parsed_flag(
@@ -105,15 +192,47 @@ fn cmd_scc(args: &Args) -> Result<(), String> {
         "always" => CompactionPolicy::Always,
         "never" => CompactionPolicy::Never,
         v => {
-            return Err(format!(
+            return Err(CliError::config(format!(
                 "invalid --live-compaction {v:?} (auto|always|never)"
-            ))
+            )))
+        }
+    };
+    cfg.on_panic = match args.flag_value("on-panic").unwrap_or("fallback") {
+        "fallback" => PanicPolicy::Fallback,
+        "fail" => PanicPolicy::Fail,
+        v => {
+            return Err(CliError::config(format!(
+                "invalid --on-panic {v:?} (fallback|fail)"
+            )))
+        }
+    };
+    let guard = match args.flag_value("timeout") {
+        None => {
+            if args.flag_present("timeout") {
+                return Err(CliError::config("--timeout requires a value in seconds"));
+            }
+            RunGuard::new()
+        }
+        Some(v) => {
+            let secs: u64 = v
+                .parse()
+                .map_err(|_| CliError::config(format!("invalid --timeout {v:?} (seconds)")))?;
+            RunGuard::with_deadline(Duration::from_secs(secs))
+        }
+    };
+    let _fault_guard = match args.flag_value("inject-fault") {
+        Some(spec) => Some(fault::arm(parse_fault(spec)?)),
+        None => {
+            if args.flag_present("inject-fault") {
+                return Err(CliError::config("--inject-fault requires SITE[:NTH]"));
+            }
+            None
         }
     };
 
     let g = load_input(input, scale, seed)?;
     eprintln!("loaded: {} nodes, {} edges", g.num_nodes(), g.num_edges());
-    let (r, report) = detect_scc(&g, algo, &cfg);
+    let (r, report) = run_checked(&g, algo, &cfg, &guard)?;
     println!("algorithm:   {}", algo.name());
     println!("components:  {}", r.num_components());
     println!("largest scc: {}", r.largest_component_size());
@@ -121,6 +240,20 @@ fn cmd_scc(args: &Args) -> Result<(), String> {
     println!("time:        {:?}", report.total_time);
     for (phase, t) in &report.phase_times {
         println!("  {:<12} {:?}", phase.name(), t);
+    }
+    for recovery in &report.recoveries {
+        let line = match recovery {
+            RecoveryEvent::TaskRetried { message } => {
+                format!("task retried after boundary panic ({message})")
+            }
+            RecoveryEvent::DegradedToSequential { message, residue } => {
+                format!("degraded to sequential finish on {residue} residue nodes ({message})")
+            }
+            RecoveryEvent::RestartedSequential { message } => {
+                format!("restarted sequentially from scratch ({message})")
+            }
+        };
+        eprintln!("recovery:    {line}");
     }
     if args.flag_present("histogram") {
         println!("scc-size histogram (log-binned):");
@@ -131,8 +264,11 @@ fn cmd_scc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
-    let input = args.positional.get(1).ok_or("usage: swscc stats <input>")?;
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
+    let input = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CliError::config("usage: swscc stats <input>"))?;
     let scale: f64 = args.parsed_flag("scale", 0.25)?;
     let g = load_input(input, scale, 42)?;
     println!("nodes:       {}", g.num_nodes());
@@ -146,20 +282,25 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let name = args
         .positional
         .get(1)
-        .ok_or("usage: swscc gen <dataset> --out FILE")?;
-    let out = args.flag_value("out").ok_or("missing --out FILE")?;
+        .ok_or_else(|| CliError::config("usage: swscc gen <dataset> --out FILE"))?;
+    let out = args
+        .flag_value("out")
+        .ok_or_else(|| CliError::config("missing --out FILE"))?;
     let scale: f64 = args.parsed_flag("scale", 0.25)?;
     let seed: u64 = args.parsed_flag("seed", 42)?;
-    let d = Dataset::from_name(name).ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let d = Dataset::from_name(name)
+        .ok_or_else(|| CliError::config(format!("unknown dataset {name:?}")))?;
     let g = d.generate(scale, seed);
     if out.ends_with(".bin") {
-        io::save_binary(&g, out).map_err(|e| format!("cannot write {out}: {e}"))?;
+        io::save_binary(&g, out)
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
     } else {
-        io::save_edge_list(&g, out).map_err(|e| format!("cannot write {out}: {e}"))?;
+        io::save_edge_list(&g, out)
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
     }
     println!(
         "wrote {} ({} nodes, {} edges)",
@@ -170,17 +311,20 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_condense(args: &Args) -> Result<(), String> {
+fn cmd_condense(args: &Args) -> Result<(), CliError> {
     let input = args
         .positional
         .get(1)
-        .ok_or("usage: swscc condense <input> --out FILE")?;
-    let out = args.flag_value("out").ok_or("missing --out FILE")?;
+        .ok_or_else(|| CliError::config("usage: swscc condense <input> --out FILE"))?;
+    let out = args
+        .flag_value("out")
+        .ok_or_else(|| CliError::config("missing --out FILE"))?;
     let scale: f64 = args.parsed_flag("scale", 0.25)?;
     let g = load_input(input, scale, 42)?;
     let (r, _) = detect_scc(&g, Algorithm::Method2, &SccConfig::default());
     let dag = r.condensation(&g);
-    io::save_edge_list(&dag, out).map_err(|e| format!("cannot write {out}: {e}"))?;
+    io::save_edge_list(&dag, out)
+        .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
     println!(
         "condensation: {} SCCs, {} edges -> {}",
         dag.num_nodes(),
@@ -195,7 +339,8 @@ swscc — parallel SCC detection for small-world graphs (SC'13 reproduction)
 
 USAGE:
   swscc scc <input> [--algo NAME] [--threads N] [--scale S] [--histogram] [--dobfs]
-            [--live-compaction auto|always|never]
+            [--live-compaction auto|always|never] [--timeout SECS]
+            [--on-panic fallback|fail] [--inject-fault SITE[:NTH]]
   swscc stats <input> [--scale S]
   swscc gen <dataset> --out FILE [--scale S] [--seed N]
   swscc condense <input> --out FILE [--scale S]
@@ -205,6 +350,14 @@ USAGE:
          (livej flickr baidu wiki friend twitter orkut patents ca-road)
 --algo:  tarjan kosaraju pearce fwbw coloring baseline method1 method2
          multistep
+--timeout:  abort cleanly with exit code 124 after SECS wall-clock seconds
+--on-panic: fallback (default) absorbs worker panics by retrying or
+            degrading to a sequential finish; fail exits 70 on first panic
+--inject-fault: arm a deterministic panic at the NTH hit of a named fault
+            site (recovery-path test aid)
+
+EXIT CODES: 0 ok, 1 runtime failure, 2 bad configuration,
+            70 internal failure, 124 timeout
 ";
 
 fn main() -> ExitCode {
@@ -223,13 +376,15 @@ fn main() -> ExitCode {
             println!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n\n{HELP}")),
+        other => Err(CliError::config(format!(
+            "unknown command {other:?}\n\n{HELP}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

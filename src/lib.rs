@@ -27,8 +27,10 @@ pub use swscc_core as core;
 pub use swscc_distributed as distributed;
 pub use swscc_graph as graph;
 pub use swscc_parallel as parallel;
+pub use swscc_sync as sync;
 
 pub use swscc_core::{
-    detect_scc, Algorithm, CompactionPolicy, PivotStrategy, RunReport, SccConfig, SccResult,
+    detect_scc, run_checked, Algorithm, Canceller, CompactionPolicy, PanicPolicy, PivotStrategy,
+    RecoveryEvent, RunGuard, RunReport, SccConfig, SccError, SccResult,
 };
 pub use swscc_graph::{CsrGraph, GraphBuilder, NodeId};

@@ -1,0 +1,262 @@
+//! Chaos battery: seed-replayable fault-injection schedules across every
+//! parallel driver.
+//!
+//! Each schedule is derived from a single `u64` seed by a splitmix64
+//! chain: seed → (driver, graph, thread count, panic policy, fault plan).
+//! The run must either finish with Tarjan-identical components or return
+//! a clean typed [`SccError`] — never hang, never a wrong answer, never
+//! an unabsorbed panic.
+//!
+//! All schedules run inside ONE `#[test]`: armed fault sessions serialize
+//! on a process-global mutex (`swscc::sync::fault`), so splitting them
+//! across tests would only interleave lock waits, and a single test keeps
+//! the seed chain deterministic.
+//!
+//! Replaying a failure: the battery prints the offending schedule seed;
+//! rerun just that schedule with
+//!
+//! ```text
+//! CHAOS_SEED=<seed> cargo test --test chaos -- --nocapture
+//! ```
+//!
+//! `CHAOS_ROUNDS=<n>` overrides the schedule count (default 320).
+
+use std::time::Duration;
+use swscc::graph::gen::erdos_renyi::erdos_renyi;
+use swscc::graph::gen::watts_strogatz::watts_strogatz;
+use swscc::sync::fault::{self, FaultKind, FaultPlan};
+use swscc::{
+    detect_scc, run_checked, Algorithm, CsrGraph, PanicPolicy, RunGuard, SccConfig, SccError,
+};
+
+/// Each driver paired with the fault sites its pipeline actually passes
+/// through (a plan on a site the driver never hits is a vacuous no-op
+/// run — see the fired-fraction guard below). `model-yield` is excluded:
+/// it only exists under `--cfg model`.
+const DRIVERS: &[(Algorithm, &[&str])] = &[
+    (
+        Algorithm::Baseline,
+        &["trim-round", "workqueue-task", "recur-task"],
+    ),
+    (
+        Algorithm::Method1,
+        &[
+            "trim-round",
+            "fwbw-superstep",
+            "workqueue-task",
+            "recur-task",
+        ],
+    ),
+    (
+        Algorithm::Method2,
+        &[
+            "trim-round",
+            "fwbw-superstep",
+            "wcc-round",
+            "workqueue-task",
+            "recur-task",
+        ],
+    ),
+    (Algorithm::Coloring, &["trim-round", "coloring-round"]),
+    (
+        Algorithm::Multistep,
+        &["trim-round", "fwbw-superstep", "coloring-round"],
+    ),
+];
+
+const DEFAULT_ROUNDS: u64 = 320;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Small-world-ish test graphs plus their Tarjan oracle labels. Kept
+/// small (≤ ~400 nodes) so hundreds of schedules finish quickly; every
+/// shape still exercises trim, peel, WCC, coloring and the task queue.
+fn graph_pool() -> Vec<(&'static str, CsrGraph, Vec<u32>)> {
+    let mut pool: Vec<(&'static str, CsrGraph)> = Vec::new();
+
+    // Bowtie: giant cycle + IN/OUT tendrils + satellite cycles.
+    let mut edges: Vec<(u32, u32)> = (0..60u32).map(|i| (i, (i + 1) % 60)).collect();
+    for s in 0..10u32 {
+        let b = 60 + 3 * s;
+        edges.extend([(0, b), (b, b + 1), (b + 1, b + 2), (b + 2, b)]);
+    }
+    for t in 90..110u32 {
+        edges.push((t, 1)); // IN tendrils
+        edges.push((2, t + 20)); // OUT tendrils
+    }
+    pool.push(("bowtie", CsrGraph::from_edges(130, &edges)));
+
+    pool.push(("er-sparse", erdos_renyi(150, 250, 7)));
+    pool.push(("er-dense", erdos_renyi(120, 700, 11)));
+    pool.push(("ws-ring", watts_strogatz(100, 4, 0.2, 13)));
+    pool.push(("singletons", CsrGraph::from_edges(40, &[(0, 1), (2, 3)])));
+    pool.push(("empty", CsrGraph::from_edges(0, &[])));
+
+    pool.into_iter()
+        .map(|(name, g)| {
+            let labels = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default())
+                .0
+                .canonical_labels();
+            (name, g, labels)
+        })
+        .collect()
+}
+
+struct Schedule {
+    driver: Algorithm,
+    graph: usize,
+    threads: usize,
+    policy: PanicPolicy,
+    plan: FaultPlan,
+}
+
+fn derive(seed: u64, num_graphs: usize) -> Schedule {
+    let mut s = seed;
+    let (driver, sites) = DRIVERS[(splitmix64(&mut s) % DRIVERS.len() as u64) as usize];
+    let graph = (splitmix64(&mut s) % num_graphs as u64) as usize;
+    let threads = [1, 2, 4][(splitmix64(&mut s) % 3) as usize];
+    // Bias toward Fallback: it exercises the recovery machinery; Fail
+    // only needs enough coverage to prove the error is typed.
+    let policy = if splitmix64(&mut s).is_multiple_of(4) {
+        PanicPolicy::Fail
+    } else {
+        PanicPolicy::Fallback
+    };
+    let site = sites[(splitmix64(&mut s) % sites.len() as u64) as usize];
+    // Early hits are the common case (small graphs converge in a handful
+    // of rounds); a tail of later indices probes deeper into the run and
+    // sometimes lands past the end — a legitimate no-fire schedule.
+    let nth = splitmix64(&mut s) % 4;
+    // Mostly panics; some delays (straggler timing, must stay correct)
+    // and some persistent (repeat) panics that exhaust the retry and
+    // force the degraded-to-sequential path.
+    let roll = splitmix64(&mut s) % 8;
+    let kind = if roll == 0 {
+        FaultKind::Delay(Duration::from_millis(1 + splitmix64(&mut s) % 4))
+    } else {
+        FaultKind::Panic
+    };
+    let repeat = roll == 1 || roll == 2;
+    Schedule {
+        driver,
+        graph,
+        threads,
+        policy,
+        plan: FaultPlan {
+            site: Some(site),
+            nth,
+            kind,
+            repeat,
+        },
+    }
+}
+
+/// Runs one schedule; returns whether the planned fault actually fired,
+/// or an error description on any violation.
+fn run_schedule(seed: u64, pool: &[(&'static str, CsrGraph, Vec<u32>)]) -> Result<bool, String> {
+    let sched = derive(seed, pool.len());
+    let (gname, g, oracle) = &pool[sched.graph];
+    let mut cfg = SccConfig::with_threads(sched.threads);
+    cfg.on_panic = sched.policy;
+    let describe = || {
+        format!(
+            "seed {seed}: {:?} on {gname} ({} threads, {:?}, plan {:?})",
+            sched.driver, sched.threads, sched.policy, sched.plan
+        )
+    };
+
+    let guard = RunGuard::new();
+    let fault_guard = fault::arm(sched.plan);
+    let outcome = run_checked(g, sched.driver, &cfg, &guard);
+    let fired = fault::fired();
+    drop(fault_guard);
+
+    match outcome {
+        Ok((result, _report)) => {
+            if result.canonical_labels() != *oracle {
+                return Err(format!("{}: WRONG SCCs", describe()));
+            }
+            Ok(fired)
+        }
+        Err(SccError::WorkerPanic { message }) => {
+            // The only acceptable error here: a panic surfaced under the
+            // Fail policy, and it must be ours.
+            if sched.policy != PanicPolicy::Fail {
+                return Err(format!(
+                    "{}: Fallback policy surfaced a panic: {message}",
+                    describe()
+                ));
+            }
+            if !fired || !message.contains("injected fault") {
+                return Err(format!("{}: non-injected panic: {message}", describe()));
+            }
+            Ok(true)
+        }
+        Err(e) => Err(format!("{}: unexpected error {e}", describe())),
+    }
+}
+
+#[test]
+fn chaos_battery() {
+    // Injected panics are expected by the hundreds; keep the default
+    // hook's backtrace spam out of the test output. Real (non-injected)
+    // panics still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let pool = graph_pool();
+
+    if let Ok(seed) = std::env::var("CHAOS_SEED") {
+        let seed: u64 = seed.parse().expect("CHAOS_SEED must be a u64");
+        match run_schedule(seed, &pool) {
+            Ok(fired) => println!("seed {seed}: ok (fault fired: {fired})"),
+            Err(msg) => panic!("chaos replay failed: {msg}"),
+        }
+        return;
+    }
+
+    let rounds: u64 = std::env::var("CHAOS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROUNDS);
+    let mut chain = 0x5cc_c4a05u64;
+    let mut failures = Vec::new();
+    let mut fired_count = 0u64;
+    for _ in 0..rounds {
+        let seed = splitmix64(&mut chain);
+        match run_schedule(seed, &pool) {
+            Ok(fired) => fired_count += u64::from(fired),
+            Err(msg) => failures.push(msg),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {rounds} chaos schedules failed (replay with CHAOS_SEED=<seed>):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    // Vacuity guard: if fault sites are renamed or removed, every plan
+    // silently misses and the battery proves nothing. A healthy mix has
+    // well over a third of plans actually triggering.
+    assert!(
+        fired_count * 3 >= rounds,
+        "only {fired_count}/{rounds} schedules actually fired their fault \
+         — site list out of date?"
+    );
+}
