@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use swscc_core::{detect_scc, Algorithm, SccConfig};
+use swscc_core::{detect_scc, run_pipeline, Algorithm, Pipeline, RunGuard, SccConfig};
 use swscc_graph::datasets::Dataset;
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -49,5 +49,38 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_thread_scaling);
+fn bench_pipeline_ablation(c: &mut Criterion) {
+    // Custom compositions through the pipeline engine: stock Method 2
+    // against stage-dropping ablations, isolating what each stage buys.
+    let mut group = c.benchmark_group("pipeline-ablation");
+    group.sample_size(10);
+    let specs = [
+        ("method2-stock", "trim,fwbw,trim,trim2,trim,wcc,tasks"),
+        ("drop-trim2", "trim,fwbw,trim,wcc,tasks"),
+        ("drop-wcc", "trim,fwbw,trim,trim2,trim,tasks"),
+        ("queue-only", "tasks"),
+    ];
+    for d in [Dataset::Livej, Dataset::Baidu] {
+        let g = d.generate(0.02, 42);
+        for (label, spec) in specs {
+            let pipeline = Pipeline::parse(spec).expect("ablation composition is legal");
+            let cfg = SccConfig::with_threads(2);
+            group.bench_with_input(BenchmarkId::new(label, d.name()), &g, |b, g| {
+                b.iter(|| {
+                    let (r, _) =
+                        run_pipeline(black_box(g), &pipeline, &cfg, &RunGuard::new()).unwrap();
+                    black_box(r.num_components())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_thread_scaling,
+    bench_pipeline_ablation
+);
 criterion_main!(benches);

@@ -8,16 +8,11 @@
 //! up processing the giant SCC while the others idle.
 
 use crate::config::SccConfig;
-use crate::driver;
 use crate::error::{RunGuard, SccError};
-use crate::fwbw::recursive::{seed_tasks, RecurContext, Task};
-use crate::instrument::{Collector, Phase, RunReport};
+use crate::instrument::RunReport;
+use crate::pipeline::{run_pipeline, Pipeline};
 use crate::result::SccResult;
-use crate::state::AlgoState;
-use crate::trim::par_trim;
-use std::sync::Arc;
 use swscc_graph::CsrGraph;
-use swscc_parallel::{pool::with_pool, TwoLevelQueue};
 
 /// Paper default work-queue batch size for the Baseline (§4.3).
 pub const BASELINE_K: usize = 1;
@@ -30,63 +25,25 @@ pub fn baseline_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
 }
 
 /// Runs Algorithm 3 under `guard`: cancellable, deadline-aware, and
-/// panic-isolating (policy [`crate::SccConfig::on_panic`]).
+/// panic-isolating (policy [`crate::SccConfig::on_panic`]). The stage
+/// list is `trim,tasks` — see [`Pipeline::stock`].
 pub fn baseline_scc_checked(
     g: &CsrGraph,
     cfg: &SccConfig,
     guard: &RunGuard,
 ) -> Result<(SccResult, RunReport), SccError> {
-    with_pool(cfg.threads, || {
-        let state =
-            AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
-        let collector = Collector::new(cfg.task_log_limit);
-
-        // Phase A: parallel trim, then a live-set compaction so the
-        // seed-task scan costs O(|residue|). A panic anywhere in here is
-        // dirty (partial resolutions) — only a full restart is sound.
-        let phase_a = driver::catch_phase(|| {
-            collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
-            state.compact_live(cfg.live_set_compaction);
-        });
-        if let Err(message) = phase_a {
-            return driver::recover_full_restart(g, collector, cfg, message);
-        }
-        driver::check_interrupt(&state)?;
-
-        // Phase B: recursive FW-BW over the work queue (panic isolation,
-        // retry and degrade live in the queue recovery loop).
-        let tasks = seed_tasks(&state, cfg);
-        let initial_tasks = tasks.len();
-        let queue: TwoLevelQueue<Task> = TwoLevelQueue::new(cfg.resolve_k(BASELINE_K));
-        for t in tasks {
-            queue.push_global(t);
-        }
-        let outcome = {
-            let ctx = RecurContext::new(&state, &collector, cfg);
-            collector.phase(Phase::RecurFwbw, || {
-                match driver::run_queue_with_recovery(&queue, &ctx, cfg) {
-                    Ok(res) => (res.resolved, Ok(res.stats)),
-                    Err(e) => (0, Err(e)),
-                }
-            })
-        };
-        let stats = match outcome {
-            Ok(stats) => stats,
-            Err(driver::DriverError::Fatal(e)) => return Err(e),
-            Err(driver::DriverError::DirtyRestart(message)) => {
-                return driver::recover_full_restart(g, collector, cfg, message)
-            }
-        };
-        driver::check_interrupt(&state)?;
-
-        let report = collector.into_report(stats, initial_tasks);
-        Ok((state.into_result(), report))
-    })
+    run_pipeline(
+        g,
+        &Pipeline::stock(crate::Algorithm::Baseline).unwrap(),
+        cfg,
+        guard,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instrument::Phase;
     use crate::tarjan::tarjan_scc;
 
     fn check(g: &CsrGraph, threads: usize) {

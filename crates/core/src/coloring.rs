@@ -24,17 +24,11 @@
 //! hidden "behind" the giant one only appear in later rounds.
 
 use crate::config::SccConfig;
-use crate::driver;
 use crate::error::{RunGuard, SccError};
-use crate::instrument::{Collector, Phase, RunReport};
+use crate::instrument::RunReport;
+use crate::pipeline::{run_pipeline, Pipeline};
 use crate::result::SccResult;
-use crate::state::AlgoState;
-use crate::trim::par_trim;
-use rayon::prelude::*;
-use std::sync::Arc;
-use swscc_graph::{CsrGraph, NodeId};
-use swscc_parallel::pool::with_pool;
-use swscc_sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use swscc_graph::CsrGraph;
 
 /// Runs the Coloring algorithm (legacy entry point; see
 /// [`coloring_scc_checked`] for the cancellable form).
@@ -45,166 +39,23 @@ pub fn coloring_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
 
 /// Runs the Coloring algorithm (with an initial Par-Trim round, as every
 /// practical implementation does) under `guard`: cancellable,
-/// deadline-aware, and panic-isolating. Statistics land in the usual
-/// [`RunReport`]: label-propagation work is attributed to `ParFwbw` (it
-/// plays the same "find SCC seeds by reachability" role) and the
-/// backward-collection to `RecurFwbw`.
+/// deadline-aware, and panic-isolating. The stage list is
+/// `trim,coloring`; in the [`RunReport`], label-propagation work is
+/// attributed to `ParFwbw` (it plays the same "find SCC seeds by
+/// reachability" role), the backward-collection to `RecurFwbw`, and the
+/// round count lands in both `fwbw_trials` and `initial_tasks`.
 pub fn coloring_scc_checked(
     g: &CsrGraph,
     cfg: &SccConfig,
     guard: &RunGuard,
 ) -> Result<(SccResult, RunReport), SccError> {
-    with_pool(cfg.threads, || {
-        let state =
-            AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
-        let collector = Collector::new(cfg.task_log_limit);
-
-        // The whole parallel body runs under panic capture: Coloring has
-        // no task queue, so any panic is dirty (a partial backward
-        // collection can split an SCC) and recovery is a full restart.
-        let body = driver::catch_phase(|| coloring_body(g, cfg, &state, &collector));
-        let rounds = match body {
-            Ok(rounds) => rounds,
-            Err(message) => return driver::recover_full_restart(g, collector, cfg, message),
-        };
-        driver::check_interrupt(&state)?;
-
-        let mut report = collector.into_report(Default::default(), rounds);
-        // Reuse `fwbw_trials` to surface the round count.
-        report.fwbw_trials = rounds;
-        Ok((state.into_result(), report))
-    })
+    run_pipeline(
+        g,
+        &Pipeline::stock(crate::Algorithm::Coloring).unwrap(),
+        cfg,
+        guard,
+    )
 }
-
-/// The Coloring rounds proper; returns the round count.
-fn coloring_body(
-    g: &CsrGraph,
-    cfg: &SccConfig,
-    state: &AlgoState<'_>,
-    collector: &Collector,
-) -> usize {
-    let n = g.num_nodes();
-    collector.phase(Phase::ParTrim, || (par_trim(state), ()));
-
-    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let mut rounds = 0usize;
-    loop {
-        swscc_sync::fault::point("coloring-round");
-        if state.should_stop() {
-            break;
-        }
-        // Round setup: compact the live set (each round resolves whole
-        // label classes, so the residue shrinks fast), then gather the
-        // alive nodes from it — O(|residue|) instead of O(N) per round.
-        state.compact_live(cfg.live_set_compaction);
-        let alive: Vec<NodeId> = state.collect_alive();
-        if alive.is_empty() {
-            break;
-        }
-        rounds += 1;
-        // ordering: per-round label reset — each worker writes only
-        // its own chunk's entries and the par_iter join publishes
-        // them before the propagation loop reads any.
-        alive
-            .par_iter()
-            .for_each(|&v| labels[v as usize].store(v, Ordering::Relaxed));
-
-        // Forward max-propagation to fixpoint. The max label needs at
-        // most one round per node on the longest alive path plus one
-        // no-change round to detect convergence, hence the n + 1 bound.
-        collector.phase(Phase::ParFwbw, || {
-            let mut watchdog = state.watchdog("coloring-propagation", n + 1);
-            loop {
-                if watchdog.check().is_some() {
-                    break;
-                }
-                let changed = AtomicBool::new(false);
-                alive.par_iter().for_each(|&v| {
-                    // ordering: monotone fetch_max convergence — labels
-                    // only increase, stale reads merely defer an update
-                    // to a later sweep, and the atomic fetch_max never
-                    // loses the larger value. `changed` is a sticky
-                    // flag read after the sweep's join (which is what
-                    // publishes it), so Relaxed suffices there too.
-                    let mut max = labels[v as usize].load(Ordering::Relaxed);
-                    for &u in state.g.in_neighbors(v) {
-                        if u != v && state.alive(u) {
-                            max = max.max(labels[u as usize].load(Ordering::Relaxed));
-                        }
-                    }
-                    if max > labels[v as usize].load(Ordering::Relaxed) {
-                        labels[v as usize].fetch_max(max, Ordering::Relaxed);
-                        changed.store(true, Ordering::Relaxed);
-                    }
-                });
-                // ordering: read after the par_iter join above.
-                if !changed.load(Ordering::Relaxed) {
-                    break;
-                }
-            }
-            (0, ())
-        });
-        if state.should_stop() {
-            // Labels may be mid-fixpoint; collecting classes now would
-            // resolve sets that are not SCCs. The driver surfaces the
-            // abort, so partial state is discarded anyway.
-            break;
-        }
-
-        // Collect one SCC per root: backward BFS within the label class.
-        let resolved_this_round = collector.phase(Phase::RecurFwbw, || {
-            let resolved = AtomicUsize::new(0);
-            // ordering: the propagation fixpoint completed and its
-            // joins published the final labels; these reads race with
-            // nothing.
-            let roots: Vec<NodeId> = alive
-                .par_iter()
-                .copied()
-                .filter(|&v| labels[v as usize].load(Ordering::Relaxed) == v)
-                .collect();
-            // Roots own disjoint label classes, so their backward
-            // searches touch disjoint node sets and can run in parallel.
-            roots.par_iter().for_each(|&r| {
-                let comp = state.alloc_component();
-                // claim via color: alive + same label + not yet claimed
-                debug_assert!(state.alive(r));
-                state.resolve_into(r, comp);
-                // ordering: statistic counter — atomicity keeps the
-                // total exact, the join below publishes it.
-                resolved.fetch_add(1, Ordering::Relaxed);
-                let mut stack = vec![r];
-                while let Some(v) = stack.pop() {
-                    for &u in state.g.in_neighbors(v) {
-                        // ordering: label classes are frozen (fixpoint
-                        // reached, published by the joins above) and
-                        // disjoint per root, so these reads see final
-                        // values; the counter argument is as above.
-                        if u != v
-                            && state.alive(u)
-                            && labels[u as usize].load(Ordering::Relaxed) == r
-                        {
-                            state.resolve_into(u, comp);
-                            resolved.fetch_add(1, Ordering::Relaxed);
-                            stack.push(u);
-                        }
-                    }
-                }
-            });
-            // ordering: read after the par_iter join.
-            let r = resolved.load(Ordering::Relaxed);
-            (r, r)
-        });
-        debug_assert!(resolved_this_round > 0, "a round must make progress");
-    }
-    rounds
-}
-
-// A note on the `resolve_into` calls above: within one round the label
-// classes partition the alive nodes and each class is processed by exactly
-// one root's backward search, so no two searches can claim the same node.
-const _: () = {
-    // (compile-time anchor for the invariant comment; nothing to check)
-};
 
 #[cfg(test)]
 mod tests {

@@ -31,7 +31,7 @@ use crate::instrument::{Collector, RecoveryEvent, RunReport};
 use crate::result::SccResult;
 use crate::state::AlgoState;
 use crate::tarjan::tarjan_scc;
-use swscc_graph::{CsrGraph, NodeId};
+use swscc_graph::CsrGraph;
 use swscc_parallel::{AbortCause, QueueStats, TwoLevelQueue};
 
 /// How a checked driver's internal step failed.
@@ -116,22 +116,9 @@ pub(crate) fn finish_residue_sequential(
     collector: &Collector,
     message: String,
 ) -> usize {
-    let alive: Vec<NodeId> = state.collect_alive();
-    let residue = alive.len();
+    let residue = state.count_alive();
     collector.record_recovery(RecoveryEvent::DegradedToSequential { message, residue });
-    if !alive.is_empty() {
-        let sub = state.g.induced_subgraph(&alive);
-        let sub_scc = tarjan_scc(&sub);
-        let mut comp_map = vec![u32::MAX; sub_scc.num_components()];
-        for (i, &v) in alive.iter().enumerate() {
-            let sc = sub_scc.component(i as u32) as usize;
-            if comp_map[sc] == u32::MAX {
-                comp_map[sc] = state.alloc_component();
-            }
-            state.resolve_into(v, comp_map[sc]);
-        }
-    }
-    residue
+    state.resolve_residue_sequential()
 }
 
 /// Drains `queue` with the full recovery policy:

@@ -22,6 +22,11 @@
 //! timings/counters behind the paper's Figures 7 and 8 and the §3.3 task
 //! log.
 //!
+//! The five parallel algorithms are declarative stage lists executed by
+//! the [`pipeline`] engine; [`run_pipeline`] also runs any legal custom
+//! composition (the CLI's `--pipeline` flag) with the same per-phase
+//! breakdown.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -51,6 +56,7 @@ pub mod method1;
 pub mod method2;
 pub mod multistep;
 pub mod pearce;
+pub mod pipeline;
 pub mod result;
 pub mod state;
 pub mod tarjan;
@@ -61,6 +67,7 @@ pub mod wcc;
 pub use config::{CompactionPolicy, PanicPolicy, PivotStrategy, SccConfig, WccImpl};
 pub use error::{Canceller, RunGuard, SccError};
 pub use instrument::{RecoveryEvent, RunReport};
+pub use pipeline::{run_pipeline, Pipeline, PipelineError, Stage};
 pub use result::SccResult;
 
 use swscc_graph::CsrGraph;
@@ -155,10 +162,11 @@ pub fn detect_scc(g: &CsrGraph, algo: Algorithm, cfg: &SccConfig) -> (SccResult,
 /// (cooperative cancellation + optional deadline) with panic recovery per
 /// [`SccConfig::on_panic`] and watchdog-bounded fixpoint loops.
 ///
-/// The five parallel drivers (`baseline`, `method1`, `method2`,
-/// `coloring`, `multistep`) poll the guard at superstep / round
-/// granularity and return a typed [`SccError`] on abort. The sequential
-/// oracles and the demo FW-BW cannot be interrupted mid-run; for those the
+/// The five parallel algorithms dispatch through the [`pipeline`]
+/// engine's stock stage-list table ([`Pipeline::stock`]); the engine
+/// polls the guard at stage/round granularity and returns a typed
+/// [`SccError`] on abort. The sequential oracles and the demo FW-BW run
+/// outside the engine and cannot be interrupted mid-run; for those the
 /// guard is honoured once at entry.
 pub fn run_checked(
     g: &CsrGraph,
@@ -166,15 +174,15 @@ pub fn run_checked(
     cfg: &SccConfig,
     guard: &RunGuard,
 ) -> Result<(SccResult, RunReport), SccError> {
-    match algo {
-        Algorithm::Tarjan | Algorithm::Kosaraju | Algorithm::Pearce | Algorithm::FwBw => {
+    match Pipeline::stock(algo) {
+        Some(pipeline) => run_pipeline(g, &pipeline, cfg, guard),
+        None => {
+            // engine: the sequential oracles and the demo FW-BW have no
+            // stage structure to pipeline — the guard is polled exactly
+            // once at entry, the documented best effort for algorithms
+            // that cannot be interrupted mid-run.
             driver::check_guard(guard)?;
             Ok(detect_scc(g, algo, cfg))
         }
-        Algorithm::Coloring => coloring::coloring_scc_checked(g, cfg, guard),
-        Algorithm::Baseline => baseline::baseline_scc_checked(g, cfg, guard),
-        Algorithm::Method1 => method1::method1_scc_checked(g, cfg, guard),
-        Algorithm::Method2 => method2::method2_scc_checked(g, cfg, guard),
-        Algorithm::Multistep => multistep::multistep_scc_checked(g, cfg, guard),
     }
 }

@@ -11,18 +11,11 @@
 //!    queue (K = 1).
 
 use crate::config::SccConfig;
-use crate::driver;
 use crate::error::{RunGuard, SccError};
-use crate::fwbw::parallel::par_fwbw;
-use crate::fwbw::recursive::{seed_tasks, RecurContext, Task};
-use crate::instrument::{Collector, Phase, RunReport};
+use crate::instrument::RunReport;
+use crate::pipeline::{run_pipeline, Pipeline};
 use crate::result::SccResult;
-use crate::state::{AlgoState, INITIAL_COLOR};
-use crate::trim::par_trim;
-use std::sync::Arc;
 use swscc_graph::CsrGraph;
-use swscc_parallel::{pool::with_pool, TwoLevelQueue};
-use swscc_sync::atomic::Ordering;
 
 /// Paper default work-queue batch size for Method 1 (§4.3).
 pub const METHOD1_K: usize = 1;
@@ -35,80 +28,27 @@ pub fn method1_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
 }
 
 /// Runs Algorithm 6 under `guard`: cancellable, deadline-aware, and
-/// panic-isolating (policy [`crate::SccConfig::on_panic`]).
+/// panic-isolating (policy [`crate::SccConfig::on_panic`]). The stage
+/// list is `trim,fwbw,trim,tasks` — the post-peel trim ("the algorithm
+/// applies parallel Trim once more after the Par-FWBW step", §3.2) is
+/// attributed to the Par-Trim′ segment per the Fig. 7 caption.
 pub fn method1_scc_checked(
     g: &CsrGraph,
     cfg: &SccConfig,
     guard: &RunGuard,
 ) -> Result<(SccResult, RunReport), SccError> {
-    with_pool(cfg.threads, || {
-        let state =
-            AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
-        let collector = Collector::new(cfg.task_log_limit);
-
-        // Phase 1: parallelism in trims and traversals. Each phase boundary
-        // is a live-set compaction point: once the giant SCC is peeled, the
-        // remaining sweeps cost O(|residue|) instead of O(N). A panic
-        // anywhere in here is dirty (a partial FW∩BW sweep can split an
-        // SCC) — only a full restart is sound.
-        let phase1 = driver::catch_phase(|| {
-            collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
-            state.compact_live(cfg.live_set_compaction);
-            let outcome = collector.phase(Phase::ParFwbw, || {
-                let o = par_fwbw(&state, cfg, INITIAL_COLOR);
-                (o.resolved, o)
-            });
-            // ordering: driver-thread statistic updated between phases; the
-            // into_report load happens after all joins.
-            collector
-                .fwbw_trials
-                .fetch_add(outcome.trials, Ordering::Relaxed);
-            state.compact_live(cfg.live_set_compaction);
-            // "the algorithm applies parallel Trim once more after the
-            // Par-FWBW step because detection of the giant SCC may present an
-            // opportunity for further trimming" (§3.2). Attributed to the
-            // Par-Trim′ segment per the Fig. 7 caption.
-            collector.phase(Phase::ParTrim2, || (par_trim(&state), ()));
-            state.compact_live(cfg.live_set_compaction);
-        });
-        if let Err(message) = phase1 {
-            return driver::recover_full_restart(g, collector, cfg, message);
-        }
-        driver::check_interrupt(&state)?;
-
-        // Phase 2: parallelism in recursion.
-        let tasks = seed_tasks(&state, cfg);
-        let initial_tasks = tasks.len();
-        let queue: TwoLevelQueue<Task> = TwoLevelQueue::new(cfg.resolve_k(METHOD1_K));
-        for t in tasks {
-            queue.push_global(t);
-        }
-        let outcome = {
-            let ctx = RecurContext::new(&state, &collector, cfg);
-            collector.phase(Phase::RecurFwbw, || {
-                match driver::run_queue_with_recovery(&queue, &ctx, cfg) {
-                    Ok(res) => (res.resolved, Ok(res.stats)),
-                    Err(e) => (0, Err(e)),
-                }
-            })
-        };
-        let stats = match outcome {
-            Ok(stats) => stats,
-            Err(driver::DriverError::Fatal(e)) => return Err(e),
-            Err(driver::DriverError::DirtyRestart(message)) => {
-                return driver::recover_full_restart(g, collector, cfg, message)
-            }
-        };
-        driver::check_interrupt(&state)?;
-
-        let report = collector.into_report(stats, initial_tasks);
-        Ok((state.into_result(), report))
-    })
+    run_pipeline(
+        g,
+        &Pipeline::stock(crate::Algorithm::Method1).unwrap(),
+        cfg,
+        guard,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instrument::Phase;
     use crate::tarjan::tarjan_scc;
 
     fn check(g: &CsrGraph, threads: usize) {

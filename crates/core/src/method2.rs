@@ -13,20 +13,11 @@
 //! batching to pay off.
 
 use crate::config::SccConfig;
-use crate::driver;
 use crate::error::{RunGuard, SccError};
-use crate::fwbw::parallel::par_fwbw;
-use crate::fwbw::recursive::{RecurContext, Task};
-use crate::instrument::{Collector, Phase, RunReport};
+use crate::instrument::RunReport;
+use crate::pipeline::{run_pipeline, Pipeline};
 use crate::result::SccResult;
-use crate::state::{AlgoState, INITIAL_COLOR};
-use crate::trim::par_trim;
-use crate::trim2::par_trim2;
-use crate::wcc::{par_wcc, par_wcc_unionfind};
-use std::sync::Arc;
 use swscc_graph::CsrGraph;
-use swscc_parallel::{pool::with_pool, TwoLevelQueue};
-use swscc_sync::atomic::Ordering;
 
 /// Paper default work-queue batch size for Method 2 (§4.3).
 pub const METHOD2_K: usize = 8;
@@ -39,98 +30,27 @@ pub fn method2_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
 }
 
 /// Runs Algorithm 9 under `guard`: cancellable, deadline-aware, and
-/// panic-isolating (policy [`crate::SccConfig::on_panic`]).
+/// panic-isolating (policy [`crate::SccConfig::on_panic`]). The stage
+/// list is `trim,fwbw,trim,trim2,trim,wcc,tasks` — the Par-Trim′ block
+/// (Trim; Trim2 once; Trim — §3.5) followed by Par-WCC re-partitioning
+/// whose groups seed the work queue directly.
 pub fn method2_scc_checked(
     g: &CsrGraph,
     cfg: &SccConfig,
     guard: &RunGuard,
 ) -> Result<(SccResult, RunReport), SccError> {
-    with_pool(cfg.threads, || {
-        let state =
-            AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
-        let collector = Collector::new(cfg.task_log_limit);
-
-        // Phase 1: parallelism in trims, traversals and WCC. Each phase
-        // boundary is a live-set compaction point — Method 2 strings the
-        // most full sweeps together (trim; trim2; trim; wcc; pivot;
-        // partition), so it gains the most from O(|residue|) iteration
-        // after the giant-SCC peel. A panic anywhere in here is dirty
-        // (a partial FW∩BW sweep can split an SCC) — only a full restart
-        // is sound.
-        let phase1 = driver::catch_phase(|| {
-            collector.phase(Phase::ParTrim, || (par_trim(&state), ()));
-            state.compact_live(cfg.live_set_compaction);
-            let outcome = collector.phase(Phase::ParFwbw, || {
-                let o = par_fwbw(&state, cfg, INITIAL_COLOR);
-                (o.resolved, o)
-            });
-            // ordering: driver-thread statistic updated between phases; the
-            // into_report load happens after all joins.
-            collector
-                .fwbw_trials
-                .fetch_add(outcome.trials, Ordering::Relaxed);
-            state.compact_live(cfg.live_set_compaction);
-            // Par-Trim′ = Trim; Trim2 (once); Trim (§3.5).
-            collector.phase(Phase::ParTrim2, || {
-                let mut resolved = par_trim(&state);
-                state.compact_live(cfg.live_set_compaction);
-                resolved += par_trim2(&state);
-                resolved += par_trim(&state);
-                (resolved, ())
-            });
-            state.compact_live(cfg.live_set_compaction);
-            // Par-WCC: one fresh color (and one work item) per weak
-            // component.
-            collector.phase(Phase::ParWcc, || {
-                let out = match cfg.wcc_impl {
-                    crate::config::WccImpl::LabelPropagation => par_wcc(&state),
-                    crate::config::WccImpl::UnionFind => par_wcc_unionfind(&state),
-                };
-                (0, out.groups)
-            })
-        });
-        let groups = match phase1 {
-            Ok(groups) => groups,
-            Err(message) => return driver::recover_full_restart(g, collector, cfg, message),
-        };
-        driver::check_interrupt(&state)?;
-
-        // Phase 2: parallelism in recursion, seeded by the WCC groups.
-        let initial_tasks = groups.len();
-        let queue: TwoLevelQueue<Task> = TwoLevelQueue::new(cfg.resolve_k(METHOD2_K));
-        for (color, members) in groups {
-            if cfg.hybrid_sets {
-                queue.push_global(Task::WithMembers { color, members });
-            } else {
-                queue.push_global(Task::ColorOnly { color });
-            }
-        }
-        let outcome = {
-            let ctx = RecurContext::new(&state, &collector, cfg);
-            collector.phase(Phase::RecurFwbw, || {
-                match driver::run_queue_with_recovery(&queue, &ctx, cfg) {
-                    Ok(res) => (res.resolved, Ok(res.stats)),
-                    Err(e) => (0, Err(e)),
-                }
-            })
-        };
-        let stats = match outcome {
-            Ok(stats) => stats,
-            Err(driver::DriverError::Fatal(e)) => return Err(e),
-            Err(driver::DriverError::DirtyRestart(message)) => {
-                return driver::recover_full_restart(g, collector, cfg, message)
-            }
-        };
-        driver::check_interrupt(&state)?;
-
-        let report = collector.into_report(stats, initial_tasks);
-        Ok((state.into_result(), report))
-    })
+    run_pipeline(
+        g,
+        &Pipeline::stock(crate::Algorithm::Method2).unwrap(),
+        cfg,
+        guard,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instrument::Phase;
     use crate::tarjan::tarjan_scc;
 
     fn check(g: &CsrGraph, threads: usize) {

@@ -10,27 +10,12 @@
 //! finish. Implemented here as an extension/future-work feature; every
 //! building block is a kernel from this crate.
 
-use crate::config::{PivotStrategy, SccConfig};
-use crate::driver;
+use crate::config::SccConfig;
 use crate::error::{RunGuard, SccError};
-use crate::fwbw::parallel::par_fwbw;
-use crate::instrument::{Collector, Phase, RunReport};
+use crate::instrument::RunReport;
+use crate::pipeline::{run_pipeline, Pipeline};
 use crate::result::SccResult;
-use crate::state::{AlgoState, INITIAL_COLOR};
-use crate::tarjan::tarjan_scc;
-use crate::trim::par_trim;
-use rayon::prelude::*;
-use std::sync::Arc;
-use swscc_graph::{CsrGraph, NodeId};
-use swscc_parallel::pool::with_pool;
-use swscc_sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-
-/// Below this many alive nodes, stop parallel rounds and finish with
-/// sequential Tarjan on the induced residual subgraph.
-const SERIAL_CUTOFF: usize = 512;
-/// Cap on Coloring rounds before falling through to the serial finish
-/// regardless of residue size.
-const MAX_COLOR_ROUNDS: usize = 8;
+use swscc_graph::CsrGraph;
 
 /// Runs Multistep (legacy entry point; see [`multistep_scc_checked`] for
 /// the cancellable form).
@@ -40,198 +25,29 @@ pub fn multistep_scc(g: &CsrGraph, cfg: &SccConfig) -> (SccResult, RunReport) {
 }
 
 /// Runs Multistep under `guard`: cancellable, deadline-aware, and
-/// panic-isolating. Phase attribution in the report: the FW-BW peel under
-/// `ParFwbw`, Coloring rounds under `ParWcc` (the label-propagation slot),
-/// and the serial finish under `RecurFwbw`.
+/// panic-isolating. The stage list is `trim,peel,trim,colortail,serial`.
+/// Phase attribution in the report: the FW-BW peel under `ParFwbw`,
+/// Coloring rounds under `ParWcc` (the label-propagation slot), and the
+/// serial finish under `RecurFwbw`; the round count is added to
+/// `fwbw_trials`.
 pub fn multistep_scc_checked(
     g: &CsrGraph,
     cfg: &SccConfig,
     guard: &RunGuard,
 ) -> Result<(SccResult, RunReport), SccError> {
-    with_pool(cfg.threads, || {
-        let state =
-            AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
-        let collector = Collector::new(cfg.task_log_limit);
-
-        // The whole pipeline runs under panic capture: Multistep has no
-        // task queue, so any panic is dirty (a partial peel or collection
-        // can split an SCC) and recovery is a full restart.
-        let body = driver::catch_phase(|| multistep_body(g, cfg, &state, &collector));
-        let rounds = match body {
-            Ok(rounds) => rounds,
-            Err(message) => return driver::recover_full_restart(g, collector, cfg, message),
-        };
-        driver::check_interrupt(&state)?;
-
-        let mut report = collector.into_report(Default::default(), 0);
-        report.fwbw_trials += rounds; // surface the round count too
-        Ok((state.into_result(), report))
-    })
-}
-
-/// The Multistep pipeline proper; returns the Coloring round count.
-fn multistep_body(
-    g: &CsrGraph,
-    cfg: &SccConfig,
-    state: &AlgoState<'_>,
-    collector: &Collector,
-) -> usize {
-    let n = g.num_nodes();
-
-    // 1. Trim (then a live-set hand-off compaction — power-law graphs
-    // can lose a large node fraction to the first trim alone).
-    collector.phase(Phase::ParTrim, || (par_trim(state), ()));
-    state.compact_live(cfg.live_set_compaction);
-
-    // 2. One FW-BW peel aimed straight at the giant SCC.
-    let peel_cfg = SccConfig {
-        pivot: PivotStrategy::MaxDegreeProduct,
-        max_trials: 1,
-        ..*cfg
-    };
-    let outcome = collector.phase(Phase::ParFwbw, || {
-        let o = par_fwbw(state, &peel_cfg, INITIAL_COLOR);
-        (o.resolved, o)
-    });
-    // ordering: single-threaded driver statistic (phases run under
-    // the pool but this add happens between them).
-    collector
-        .fwbw_trials
-        .fetch_add(outcome.trials, Ordering::Relaxed);
-    collector.phase(Phase::ParTrim2, || (par_trim(state), ()));
-
-    // 3. Coloring rounds on the tail. Each hand-off compacts the live
-    // set, so the per-round alive gather costs O(|residue|).
-    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
-    let mut rounds = 0usize;
-    loop {
-        swscc_sync::fault::point("coloring-round");
-        if state.should_stop() {
-            break;
-        }
-        state.compact_live(cfg.live_set_compaction);
-        let alive: Vec<NodeId> = state.collect_alive();
-        if alive.len() <= SERIAL_CUTOFF || rounds >= MAX_COLOR_ROUNDS {
-            break;
-        }
-        rounds += 1;
-        collector.phase(Phase::ParWcc, || {
-            (coloring_round(state, &labels, &alive), ())
-        });
-        collector.phase(Phase::ParTrim2, || (par_trim(state), ()));
-    }
-
-    // 4. Serial finish on the induced residue (gathered from the
-    // already-compacted live set). Skipped on abort: the residue is
-    // discarded by the driver anyway, and finishing it would only
-    // delay the cancellation.
-    if !state.should_stop() {
-        serial_finish(state, collector, g);
-    }
-
-    rounds
-}
-
-/// Sequential Tarjan on the induced residual subgraph; resolves every
-/// remaining alive node into a fresh component.
-fn serial_finish(state: &AlgoState<'_>, collector: &Collector, g: &CsrGraph) {
-    collector.phase(Phase::RecurFwbw, || {
-        let alive: Vec<NodeId> = state.collect_alive();
-        let count = alive.len();
-        if !alive.is_empty() {
-            let sub = g.induced_subgraph(&alive);
-            let sub_scc = tarjan_scc(&sub);
-            let mut comp_map = vec![u32::MAX; sub_scc.num_components()];
-            for (i, &v) in alive.iter().enumerate() {
-                let sc = sub_scc.component(i as u32) as usize;
-                if comp_map[sc] == u32::MAX {
-                    comp_map[sc] = state.alloc_component();
-                }
-                state.resolve_into(v, comp_map[sc]);
-            }
-        }
-        (count, ())
-    });
-}
-
-/// One Coloring round restricted to nodes whose colors partition the
-/// residue: labels respect the color classes (max-label flows only between
-/// same-color alive nodes), so every detected SCC stays within one class.
-/// Returns the number of nodes resolved.
-fn coloring_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId]) -> usize {
-    // ordering: disjoint per-round reset published by the par_iter join
-    // (same argument as the Coloring method's round setup).
-    alive
-        .par_iter()
-        .for_each(|&v| labels[v as usize].store(v, Ordering::Relaxed));
-    // Bound as in the Coloring method: the max label travels at most one
-    // hop per round, plus one no-change round to detect convergence.
-    let mut watchdog = state.watchdog("multistep-coloring", state.g.num_nodes() + 1);
-    loop {
-        if watchdog.check().is_some() {
-            // Mid-fixpoint labels are unusable for collection; the caller
-            // polls the interrupt and surfaces the abort.
-            return 0;
-        }
-        let changed = AtomicBool::new(false);
-        alive.par_iter().for_each(|&v| {
-            let cv = state.color(v);
-            // ordering: monotone fetch_max convergence — labels only
-            // increase, a stale read defers the update to a later sweep,
-            // fetch_max never loses the larger value, and the sticky
-            // `changed` flag is read only after the sweep's join.
-            let mut max = labels[v as usize].load(Ordering::Relaxed);
-            for &u in state.g.in_neighbors(v) {
-                if u != v && state.color(u) == cv {
-                    max = max.max(labels[u as usize].load(Ordering::Relaxed));
-                }
-            }
-            if max > labels[v as usize].load(Ordering::Relaxed) {
-                labels[v as usize].fetch_max(max, Ordering::Relaxed);
-                changed.store(true, Ordering::Relaxed);
-            }
-        });
-        // ordering: read after the par_iter join above.
-        if !changed.load(Ordering::Relaxed) {
-            break;
-        }
-    }
-    let resolved = AtomicUsize::new(0);
-    // ordering: fixpoint reached; final labels were published by the
-    // sweep joins, so root selection races with nothing.
-    let roots: Vec<NodeId> = alive
-        .par_iter()
-        .copied()
-        .filter(|&v| labels[v as usize].load(Ordering::Relaxed) == v)
-        .collect();
-    roots.par_iter().for_each(|&r| {
-        let comp = state.alloc_component();
-        let cr = state.color(r);
-        state.resolve_into(r, comp);
-        // ordering: statistic counter — exactness from RMW atomicity,
-        // published by the join before the load below.
-        resolved.fetch_add(1, Ordering::Relaxed);
-        let mut stack = vec![r];
-        while let Some(v) = stack.pop() {
-            for &u in state.g.in_neighbors(v) {
-                // ordering: frozen label classes (see roots above); the
-                // counter argument is as above.
-                if u != v && state.color(u) == cr && labels[u as usize].load(Ordering::Relaxed) == r
-                {
-                    state.resolve_into(u, comp);
-                    resolved.fetch_add(1, Ordering::Relaxed);
-                    stack.push(u);
-                }
-            }
-        }
-    });
-    // ordering: read after the par_iter join.
-    resolved.load(Ordering::Relaxed)
+    run_pipeline(
+        g,
+        &Pipeline::stock(crate::Algorithm::Multistep).unwrap(),
+        cfg,
+        guard,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instrument::Phase;
+    use crate::tarjan::tarjan_scc;
 
     fn check(g: &CsrGraph, threads: usize) {
         let (r, _) = multistep_scc(g, &SccConfig::with_threads(threads));

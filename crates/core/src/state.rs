@@ -334,6 +334,30 @@ impl<'g> AlgoState<'g> {
         groups
     }
 
+    /// Resolves every still-alive node with sequential Tarjan on the
+    /// induced residual subgraph, assigning one fresh component per
+    /// sub-SCC. Sound whenever the resolved/unresolved split respects SCC
+    /// boundaries (every resolved component is a whole SCC of the input).
+    /// Returns the residue size. Shared by the pipeline engine's Serial
+    /// kernel and the drivers' degrade-to-sequential recovery.
+    pub fn resolve_residue_sequential(&self) -> usize {
+        let alive: Vec<NodeId> = self.collect_alive();
+        let residue = alive.len();
+        if !alive.is_empty() {
+            let sub = self.g.induced_subgraph(&alive);
+            let sub_scc = crate::tarjan::tarjan_scc(&sub);
+            let mut comp_map = vec![u32::MAX; sub_scc.num_components()];
+            for (i, &v) in alive.iter().enumerate() {
+                let sc = sub_scc.component(i as u32) as usize;
+                if comp_map[sc] == u32::MAX {
+                    comp_map[sc] = self.alloc_component();
+                }
+                self.resolve_into(v, comp_map[sc]);
+            }
+        }
+        residue
+    }
+
     /// Finishes the run: every node must be resolved.
     ///
     /// # Panics

@@ -86,6 +86,18 @@ impl EdgeMapOps for MinLabelOps<'_, '_> {
     }
 }
 
+/// Runs the Par-WCC implementation selected by
+/// [`SccConfig::wcc_impl`](crate::SccConfig::wcc_impl) — the single
+/// dispatch point consumed by the pipeline engine's Wcc kernel (and any
+/// other caller that should honour the config knob rather than hard-code
+/// an implementation).
+pub fn run_wcc(state: &AlgoState<'_>, cfg: &crate::config::SccConfig) -> WccOutcome {
+    match cfg.wcc_impl {
+        crate::config::WccImpl::LabelPropagation => par_wcc(state),
+        crate::config::WccImpl::UnionFind => par_wcc_unionfind(state),
+    }
+}
+
 /// Runs Par-WCC over all alive nodes, respecting the current coloring
 /// (labels never cross between different colors). Re-colors every alive
 /// node with its WCC's fresh color and returns the groups.

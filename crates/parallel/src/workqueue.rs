@@ -148,6 +148,17 @@ impl<T: Send> TwoLevelQueue<T> {
         }
     }
 
+    /// Creates a queue with batch parameter `K >= 1`, pre-seeded with
+    /// `tasks` on the global queue — the one-call spin-up used by pipeline
+    /// drivers that turn a seed scan straight into a run.
+    pub fn from_tasks(k: usize, tasks: impl IntoIterator<Item = T>) -> Self {
+        let queue = Self::new(k);
+        for t in tasks {
+            queue.push_global(t);
+        }
+        queue
+    }
+
     /// The configured batch parameter K.
     pub fn k(&self) -> usize {
         self.k

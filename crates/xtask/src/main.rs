@@ -21,6 +21,15 @@
 //!    behind and how the caller recovers (retry, degrade, restart, or
 //!    test-local assertion). Swallowing a panic without that argument is
 //!    how a split SCC masquerades as a clean run.
+//! 5. **Engine-only recovery surface** — only the pipeline engine
+//!    (`crates/core/src/pipeline.rs`) and the driver module itself may
+//!    call the driver's interrupt/recovery machinery (`check_guard`,
+//!    `check_interrupt`, `catch_phase`, `run_queue_with_recovery`,
+//!    `recover_full_restart`). An algorithm that polls or recovers on its
+//!    own re-creates the per-driver boilerplate the engine exists to
+//!    collapse, and its recovery path escapes the engine's single
+//!    retry/degrade/restart policy. Escape hatch: an `// engine:` comment
+//!    arguing why the call must live outside the engine.
 //!
 //! The audit is line-based on purpose: it has zero dependencies, runs in
 //! milliseconds, and its false-positive escape hatch is an explicit,
@@ -151,9 +160,27 @@ const FACADE_BANNED: &[(&str, &str)] = &[
     ("parking_lot::", "swscc_sync::{Mutex, RwLock}"),
 ];
 
+/// Files allowed to call the driver's interrupt/recovery machinery
+/// directly: the engine that owns the policy, and the driver defining it.
+const ENGINE_EXEMPT: &[&str] = &[
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/driver.rs",
+    "crates/xtask/",
+];
+
+/// Call-site patterns rule 5 restricts to the pipeline engine.
+const ENGINE_ONLY: &[&str] = &[
+    "check_guard(",
+    "check_interrupt(",
+    "catch_phase(",
+    "run_queue_with_recovery(",
+    "recover_full_restart(",
+];
+
 fn check_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let rel_str = rel.to_string_lossy().replace('\\', "/");
     let facade_exempt = FACADE_EXEMPT.iter().any(|p| rel_str.starts_with(p));
+    let engine_exempt = ENGINE_EXEMPT.iter().any(|p| rel_str.starts_with(p));
     // Test-only code is exempt from the Relaxed-justification rule (its
     // atomics are assertion plumbing, not protocols) but NOT from the
     // facade rule — tests must exercise the same primitives the model
@@ -224,6 +251,24 @@ fn check_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                           state the caught panic leaves and how the caller recovers"
                     .to_string(),
             });
+        }
+
+        // Rule 5: engine-only recovery surface.
+        if !engine_exempt {
+            for pat in ENGINE_ONLY {
+                if line.contains(pat) && !has_justification(&lines, i, "// engine:") {
+                    findings.push(Finding {
+                        file: rel.to_path_buf(),
+                        line: lineno,
+                        rule: "engine",
+                        message: format!(
+                            "`{}` outside the pipeline engine — route the phase through a \
+                             PhaseKernel, or add an `// engine:` justification",
+                            pat.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
         }
 
         // Rule 3: unsafe justification (applies everywhere, tests too).

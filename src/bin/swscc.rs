@@ -1,7 +1,8 @@
 //! `swscc` — command-line SCC toolkit.
 //!
 //! ```text
-//! swscc scc <input> [--algo NAME] [--threads N] [--scale S] [--histogram] [--dobfs]
+//! swscc scc <input> [--algo NAME | --pipeline STAGES] [--threads N] [--scale S]
+//!           [--histogram] [--dobfs]
 //!           [--live-compaction auto|always|never] [--timeout SECS]
 //!           [--on-panic fallback|fail] [--inject-fault SITE[:NTH]]
 //! swscc stats <input> [--scale S]
@@ -26,8 +27,8 @@ use swscc::graph::stats::{average_degree, estimate_diameter};
 use swscc::graph::{io, CsrGraph};
 use swscc::sync::fault::{self, FaultKind, FaultPlan};
 use swscc::{
-    detect_scc, run_checked, Algorithm, CompactionPolicy, PanicPolicy, RecoveryEvent, RunGuard,
-    SccConfig, SccError,
+    detect_scc, run_checked, run_pipeline, Algorithm, CompactionPolicy, PanicPolicy, Pipeline,
+    RecoveryEvent, RunGuard, SccConfig, SccError,
 };
 
 /// Exit code for configuration/usage errors (bad flag, unknown name).
@@ -171,13 +172,37 @@ fn cmd_scc(args: &Args) -> Result<(), CliError> {
         .ok_or_else(|| CliError::config("usage: swscc scc <input>"))?;
     let scale: f64 = args.parsed_flag("scale", 0.25)?;
     let seed: u64 = args.parsed_flag("seed", 42)?;
-    let algo_name = args.flag_value("algo").unwrap_or("method2");
-    let algo = Algorithm::from_name(algo_name).ok_or_else(|| {
-        CliError::config(format!(
-            "unknown algorithm {algo_name:?}; available: {}",
-            Algorithm::all().map(|a| a.name()).join(", ")
-        ))
-    })?;
+    let pipeline = match args.flag_value("pipeline") {
+        Some(spec) => Some(
+            Pipeline::parse(spec)
+                .map_err(|e| CliError::config(format!("invalid --pipeline: {e}")))?,
+        ),
+        None => {
+            if args.flag_present("pipeline") {
+                return Err(CliError::config(
+                    "--pipeline requires a stage list, e.g. trim,fwbw,trim2,wcc,tasks",
+                ));
+            }
+            None
+        }
+    };
+    if pipeline.is_some() && args.flag_present("algo") {
+        return Err(CliError::config(
+            "--pipeline and --algo are mutually exclusive; a pipeline IS the algorithm",
+        ));
+    }
+    let algo = match &pipeline {
+        Some(_) => None,
+        None => {
+            let algo_name = args.flag_value("algo").unwrap_or("method2");
+            Some(Algorithm::from_name(algo_name).ok_or_else(|| {
+                CliError::config(format!(
+                    "unknown algorithm {algo_name:?}; available: {}",
+                    Algorithm::all().map(|a| a.name()).join(", ")
+                ))
+            })?)
+        }
+    };
     let mut cfg = SccConfig::with_threads(
         args.parsed_flag(
             "threads",
@@ -232,14 +257,30 @@ fn cmd_scc(args: &Args) -> Result<(), CliError> {
 
     let g = load_input(input, scale, seed)?;
     eprintln!("loaded: {} nodes, {} edges", g.num_nodes(), g.num_edges());
-    let (r, report) = run_checked(&g, algo, &cfg, &guard)?;
-    println!("algorithm:   {}", algo.name());
+    let (r, report) = match (&pipeline, algo) {
+        (Some(p), _) => {
+            let out = run_pipeline(&g, p, &cfg, &guard)?;
+            println!("pipeline:    {p}");
+            out
+        }
+        (None, Some(algo)) => {
+            let out = run_checked(&g, algo, &cfg, &guard)?;
+            println!("algorithm:   {}", algo.name());
+            out
+        }
+        (None, None) => unreachable!("algo resolved whenever --pipeline is absent"),
+    };
     println!("components:  {}", r.num_components());
     println!("largest scc: {}", r.largest_component_size());
     println!("trivial:     {}", r.num_trivial());
-    println!("time:        {:?}", report.total_time);
-    for (phase, t) in &report.phase_times {
-        println!("  {:<12} {:?}", phase.name(), t);
+    if pipeline.is_some() {
+        // Fig. 7/8-style per-phase breakdown: time + resolved counts.
+        print!("{report}");
+    } else {
+        println!("time:        {:?}", report.total_time);
+        for (phase, t) in &report.phase_times {
+            println!("  {:<12} {:?}", phase.name(), t);
+        }
     }
     for recovery in &report.recoveries {
         let line = match recovery {
@@ -338,7 +379,8 @@ const HELP: &str = "\
 swscc — parallel SCC detection for small-world graphs (SC'13 reproduction)
 
 USAGE:
-  swscc scc <input> [--algo NAME] [--threads N] [--scale S] [--histogram] [--dobfs]
+  swscc scc <input> [--algo NAME | --pipeline STAGES] [--threads N] [--scale S]
+            [--histogram] [--dobfs]
             [--live-compaction auto|always|never] [--timeout SECS]
             [--on-panic fallback|fail] [--inject-fault SITE[:NTH]]
   swscc stats <input> [--scale S]
@@ -350,6 +392,16 @@ USAGE:
          (livej flickr baidu wiki friend twitter orkut patents ca-road)
 --algo:  tarjan kosaraju pearce fwbw coloring baseline method1 method2
          multistep
+--pipeline: run a custom stage composition through the phase-pipeline
+         engine instead of a named algorithm (mutually exclusive with
+         --algo). STAGES is comma-separated from: trim fwbw peel trim2
+         wcc coloring colortail serial tasks; the list must end in a
+         terminal stage (tasks, coloring, or serial) and fwbw/peel may
+         not follow a re-partitioning stage (wcc, colortail). Prints a
+         per-phase time/resolved breakdown (paper Figs. 7-8).
+         Examples:
+           --pipeline trim,fwbw,trim,trim2,trim,wcc,tasks   (= method2)
+           --pipeline trim,fwbw,wcc,tasks                   (Trim2 ablation)
 --timeout:  abort cleanly with exit code 124 after SECS wall-clock seconds
 --on-panic: fallback (default) absorbs worker panics by retrying or
             degrading to a sequential finish; fail exits 70 on first panic

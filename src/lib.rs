@@ -30,7 +30,8 @@ pub use swscc_parallel as parallel;
 pub use swscc_sync as sync;
 
 pub use swscc_core::{
-    detect_scc, run_checked, Algorithm, Canceller, CompactionPolicy, PanicPolicy, PivotStrategy,
-    RecoveryEvent, RunGuard, RunReport, SccConfig, SccError, SccResult,
+    detect_scc, run_checked, run_pipeline, Algorithm, Canceller, CompactionPolicy, PanicPolicy,
+    Pipeline, PipelineError, PivotStrategy, RecoveryEvent, RunGuard, RunReport, SccConfig,
+    SccError, SccResult, Stage, WccImpl,
 };
 pub use swscc_graph::{CsrGraph, GraphBuilder, NodeId};

@@ -165,3 +165,90 @@ fn missing_file_fails() {
     let o = swscc(&["stats", "/nonexistent/graph.txt"]);
     assert!(!o.status.success());
 }
+
+#[test]
+fn pipeline_flag_runs_with_breakdown() {
+    let o = swscc(&[
+        "scc",
+        "dataset:baidu",
+        "--scale",
+        "0.02",
+        "--pipeline",
+        "trim,fwbw,trim2,wcc,tasks",
+    ]);
+    assert!(
+        o.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&o.stderr)
+    );
+    let out = stdout(&o);
+    assert!(out.contains("pipeline:    trim,fwbw,trim2,wcc,tasks"));
+    assert!(out.contains("components:"));
+    // per-phase Fig. 7/8-style breakdown: resolved counts, not just times
+    assert!(out.contains("resolved"), "breakdown missing:\n{out}");
+}
+
+#[test]
+fn pipeline_matches_algo_via_cli() {
+    let components = |o: &Output| {
+        stdout(o)
+            .lines()
+            .find(|l| l.starts_with("components:"))
+            .expect("components line")
+            .to_string()
+    };
+    let by_algo = swscc(&[
+        "scc",
+        "dataset:flickr",
+        "--scale",
+        "0.02",
+        "--algo",
+        "method2",
+    ]);
+    let by_pipeline = swscc(&[
+        "scc",
+        "dataset:flickr",
+        "--scale",
+        "0.02",
+        "--pipeline",
+        "trim,fwbw,trim,trim2,trim,wcc,tasks",
+    ]);
+    assert!(by_algo.status.success() && by_pipeline.status.success());
+    assert_eq!(components(&by_algo), components(&by_pipeline));
+}
+
+#[test]
+fn invalid_pipeline_exits_config_code() {
+    // 'wcc' is not a terminal stage: composition is rejected up front.
+    let o = swscc(&["scc", "dataset:baidu", "--pipeline", "trim,wcc"]);
+    assert_eq!(o.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&o.stderr).into_owned();
+    assert!(err.contains("invalid --pipeline"), "stderr: {err}");
+
+    // unknown stage name
+    let o = swscc(&[
+        "scc",
+        "dataset:baidu",
+        "--pipeline",
+        "trim,frobnicate,tasks",
+    ]);
+    assert_eq!(o.status.code(), Some(2));
+
+    // empty spec
+    let o = swscc(&["scc", "dataset:baidu", "--pipeline", ","]);
+    assert_eq!(o.status.code(), Some(2));
+}
+
+#[test]
+fn pipeline_and_algo_flags_conflict() {
+    let o = swscc(&[
+        "scc",
+        "dataset:baidu",
+        "--algo",
+        "method2",
+        "--pipeline",
+        "trim,tasks",
+    ]);
+    assert_eq!(o.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&o.stderr).contains("mutually exclusive"));
+}

@@ -1,8 +1,15 @@
-//! End-to-end pipeline tests: condensation, membership queries, reports.
+//! End-to-end pipeline tests: condensation, membership queries, reports,
+//! and the engine composition battery (`composition_*`) — every stock
+//! stage list plus a set of legal custom compositions must produce the
+//! Tarjan partition on every corpus graph at 1/2/4 threads, and illegal
+//! compositions must be rejected up front.
 
 use swscc::core::instrument::Phase;
 use swscc::graph::datasets::Dataset;
-use swscc::{detect_scc, Algorithm, CsrGraph, SccConfig};
+use swscc::graph::gen::{bowtie, erdos_renyi, watts_strogatz, BowtieConfig};
+use swscc::{
+    detect_scc, run_pipeline, Algorithm, CsrGraph, Pipeline, PipelineError, RunGuard, SccConfig,
+};
 
 fn kahn_is_acyclic(dag: &CsrGraph) -> bool {
     let mut indeg: Vec<usize> = dag.nodes().map(|v| dag.in_degree(v)).collect();
@@ -148,4 +155,178 @@ fn algorithm_names_round_trip() {
         assert_eq!(Algorithm::from_name(a.name()), Some(a));
     }
     assert_eq!(Algorithm::from_name("bogus"), None);
+}
+
+// ---------------------------------------------------------------------------
+// Engine composition battery (`composition_*`, the CI pipeline-matrix step)
+// ---------------------------------------------------------------------------
+
+/// Small but structurally diverse corpus: planted bowtie (giant SCC +
+/// in/out/tendrils), both Erdős–Rényi regimes, a small-world ring, and
+/// two dataset analogs (power-law and pure-DAG extremes).
+fn corpus() -> Vec<(&'static str, CsrGraph)> {
+    let bt = bowtie(&BowtieConfig {
+        num_nodes: 1500,
+        ..Default::default()
+    });
+    vec![
+        ("bowtie", bt.graph),
+        ("sparse-er", erdos_renyi(1200, 600, 7)),
+        ("dense-er", erdos_renyi(1200, 5000, 7)),
+        ("watts-strogatz", watts_strogatz(1000, 6, 0.1, 9)),
+        ("baidu", Dataset::Baidu.generate(0.03, 42)),
+        ("patents", Dataset::Patents.generate(0.03, 42)),
+    ]
+}
+
+fn assert_composition_matches_tarjan(spec: &str) {
+    let pipeline = Pipeline::parse(spec).unwrap_or_else(|e| panic!("{spec:?} rejected: {e}"));
+    for (label, g) in corpus() {
+        let want = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default())
+            .0
+            .canonical_labels();
+        for threads in [1usize, 2, 4] {
+            let cfg = SccConfig::with_threads(threads);
+            let (r, report) = run_pipeline(&g, &pipeline, &cfg, &RunGuard::new())
+                .unwrap_or_else(|e| panic!("{spec:?} on {label}: {e}"));
+            assert_eq!(
+                r.canonical_labels(),
+                want,
+                "pipeline {spec:?} with {threads} threads disagrees with tarjan on {label}"
+            );
+            let resolved: usize = report.phase_resolved.iter().map(|(_, n)| n).sum();
+            assert_eq!(
+                resolved,
+                g.num_nodes(),
+                "pipeline {spec:?} loses nodes in the report on {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn composition_stock_pipelines_match_tarjan() {
+    for algo in [
+        Algorithm::Baseline,
+        Algorithm::Method1,
+        Algorithm::Method2,
+        Algorithm::Coloring,
+        Algorithm::Multistep,
+    ] {
+        let pipeline = Pipeline::stock(algo).expect("parallel algorithms have stock pipelines");
+        assert_composition_matches_tarjan(&pipeline.to_string());
+    }
+}
+
+#[test]
+fn composition_queue_only() {
+    assert_composition_matches_tarjan("tasks");
+}
+
+#[test]
+fn composition_serial_only() {
+    assert_composition_matches_tarjan("serial");
+}
+
+#[test]
+fn composition_peel_without_trim() {
+    assert_composition_matches_tarjan("fwbw,tasks");
+}
+
+#[test]
+fn composition_trim2_first() {
+    assert_composition_matches_tarjan("trim2,tasks");
+}
+
+#[test]
+fn composition_wcc_partition_only() {
+    assert_composition_matches_tarjan("wcc,tasks");
+}
+
+#[test]
+fn composition_trim_trim2_wcc() {
+    assert_composition_matches_tarjan("trim,trim2,wcc,tasks");
+}
+
+#[test]
+fn composition_single_peel_serial_finish() {
+    assert_composition_matches_tarjan("peel,serial");
+}
+
+#[test]
+fn composition_method2_without_trim2_ablation() {
+    assert_composition_matches_tarjan("trim,fwbw,wcc,tasks");
+}
+
+#[test]
+fn composition_bare_coloring() {
+    assert_composition_matches_tarjan("coloring");
+}
+
+#[test]
+fn composition_color_tail_without_peel() {
+    assert_composition_matches_tarjan("trim,colortail,serial");
+}
+
+#[test]
+fn composition_everything_but_the_kitchen_sink() {
+    assert_composition_matches_tarjan("trim,fwbw,trim2,trim,peel,trim,wcc,tasks");
+}
+
+type RejectionPredicate = fn(&PipelineError) -> bool;
+
+#[test]
+fn composition_illegal_pipelines_rejected() {
+    use PipelineError as E;
+    let cases: &[(&str, RejectionPredicate)] = &[
+        ("", |e| matches!(e, E::Empty)),
+        (" , ,", |e| matches!(e, E::Empty)),
+        ("trim", |e| matches!(e, E::NotTerminal(_))),
+        ("trim,fwbw,wcc", |e| matches!(e, E::NotTerminal(_))),
+        // final-stage check fires first: the trailing `trim` is the error
+        ("tasks,trim", |e| matches!(e, E::NotTerminal(_))),
+        ("coloring,tasks", |e| matches!(e, E::TerminalNotLast(_))),
+        ("serial,serial", |e| matches!(e, E::TerminalNotLast(_))),
+        ("trim,bogus,tasks", |e| matches!(e, E::UnknownStage(_))),
+        ("wcc,fwbw,tasks", |e| {
+            matches!(e, E::PeelAfterRepartition { .. })
+        }),
+        ("trim,colortail,peel,serial", |e| {
+            matches!(e, E::PeelAfterRepartition { .. })
+        }),
+    ];
+    for (spec, matches_expected) in cases {
+        match Pipeline::parse(spec) {
+            Ok(p) => panic!("{spec:?} should be rejected, parsed as {p}"),
+            Err(e) => assert!(
+                matches_expected(&e),
+                "{spec:?} rejected with unexpected error: {e}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn composition_wcc_dispatcher_agrees_across_impls() {
+    // Satellite knob: the Wcc kernel consumes `cfg.wcc_impl`; label
+    // propagation and union-find must induce identical partitions.
+    use swscc::WccImpl;
+    let pipeline = Pipeline::parse("trim,fwbw,trim2,wcc,tasks").unwrap();
+    for (label, g) in corpus() {
+        let want = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default())
+            .0
+            .canonical_labels();
+        for impl_ in [WccImpl::LabelPropagation, WccImpl::UnionFind] {
+            let cfg = SccConfig {
+                wcc_impl: impl_,
+                ..SccConfig::with_threads(2)
+            };
+            let (r, _) = run_pipeline(&g, &pipeline, &cfg, &RunGuard::new()).unwrap();
+            assert_eq!(
+                r.canonical_labels(),
+                want,
+                "wcc impl {impl_:?} breaks the pipeline on {label}"
+            );
+        }
+    }
 }
