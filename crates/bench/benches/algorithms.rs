@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use swscc_core::{detect_scc, run_pipeline, Algorithm, Pipeline, RunGuard, SccConfig};
 use swscc_graph::datasets::Dataset;
+use swscc_graph::gen::rmat::{rmat_edges, RmatConfig};
 
 fn bench_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("scc");
@@ -49,9 +50,33 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The "RMAT tail" workload: `blocks` disjoint small R-MAT fabrics. The
+/// trim+fwbw prefix resolves one block's core SCC and the acyclic
+/// fringe; the residue is thousands of small-to-medium SCCs in a single
+/// color partition — the power-law SCC tail of §2.2/Fig. 2, and the
+/// shape that separates the two terminal stages: the task queue walks it
+/// as a serial chain of remainder tasks (re-partitioning the shrinking
+/// residue each time), while multi-search resolves a doubling batch of
+/// pivots per round.
+fn rmat_tail(blocks: usize, scale: u32, seed: u64) -> swscc_graph::CsrGraph {
+    let n_block = 1usize << scale;
+    let mut edges = Vec::new();
+    for b in 0..blocks {
+        let off = (b * n_block) as u32;
+        for (u, v) in rmat_edges(&RmatConfig::graph500(scale, 8, seed + b as u64)) {
+            edges.push((u + off, v + off));
+        }
+    }
+    swscc_graph::CsrGraph::from_edges(blocks * n_block, &edges)
+}
+
 fn bench_pipeline_ablation(c: &mut Criterion) {
     // Custom compositions through the pipeline engine: stock Method 2
-    // against stage-dropping ablations, isolating what each stage buys.
+    // against stage-dropping ablations, isolating what each stage buys,
+    // plus the tail shoot-out — after the same trim,fwbw,trim prefix,
+    // does the residue go faster through the two-level task queue or the
+    // multi-pivot reachability kernel? The rmat-tail workload is the
+    // interesting row: see [`rmat_tail`].
     let mut group = c.benchmark_group("pipeline-ablation");
     group.sample_size(10);
     let specs = [
@@ -59,13 +84,19 @@ fn bench_pipeline_ablation(c: &mut Criterion) {
         ("drop-trim2", "trim,fwbw,trim,wcc,tasks"),
         ("drop-wcc", "trim,fwbw,trim,trim2,trim,tasks"),
         ("queue-only", "tasks"),
+        ("tasks-tail", "trim,fwbw,trim,tasks"),
+        ("multisearch-tail", "trim,fwbw,trim,multisearch"),
     ];
-    for d in [Dataset::Livej, Dataset::Baidu] {
-        let g = d.generate(0.02, 42);
+    let workloads: Vec<(&str, swscc_graph::CsrGraph)> = vec![
+        ("livej", Dataset::Livej.generate(0.02, 42)),
+        ("baidu", Dataset::Baidu.generate(0.02, 42)),
+        ("rmat-tail", rmat_tail(2048, 4, 42)),
+    ];
+    for (name, g) in &workloads {
         for (label, spec) in specs {
             let pipeline = Pipeline::parse(spec).expect("ablation composition is legal");
             let cfg = SccConfig::with_threads(2);
-            group.bench_with_input(BenchmarkId::new(label, d.name()), &g, |b, g| {
+            group.bench_with_input(BenchmarkId::new(label, name), g, |b, g| {
                 b.iter(|| {
                     let (r, _) =
                         run_pipeline(black_box(g), &pipeline, &cfg, &RunGuard::new()).unwrap();

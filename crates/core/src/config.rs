@@ -104,6 +104,11 @@ pub struct SccConfig {
     /// on correct kernels; 0 trips every watchdog on its first round
     /// (test hook for the non-convergence path).
     pub watchdog_factor: usize,
+    /// First-round pivot batch size for the `multisearch` stage; the
+    /// batch doubles every round. Small first batches keep early rounds
+    /// cheap while a giant SCC may still dominate the residue; the
+    /// doubling blankets a residue of many small SCCs in O(log) rounds.
+    pub multisearch_batch: usize,
 }
 
 impl Default for SccConfig {
@@ -124,6 +129,7 @@ impl Default for SccConfig {
             live_set_compaction: CompactionPolicy::Auto,
             on_panic: PanicPolicy::Fallback,
             watchdog_factor: 4,
+            multisearch_batch: 8,
         }
     }
 }
@@ -171,6 +177,7 @@ mod tests {
         assert_eq!(c.live_set_compaction, CompactionPolicy::Auto);
         assert_eq!(c.on_panic, PanicPolicy::Fallback);
         assert_eq!(c.watchdog_factor, 4);
+        assert_eq!(c.multisearch_batch, 8);
     }
 
     #[test]

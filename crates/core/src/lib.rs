@@ -54,6 +54,7 @@ pub mod instrument;
 pub mod kosaraju;
 pub mod method1;
 pub mod method2;
+pub mod multireach;
 pub mod multistep;
 pub mod pearce;
 pub mod pipeline;

@@ -1,0 +1,478 @@
+//! Multi-pivot reachability ("MultiReach"): the batched forward+backward
+//! search that resolves many SCCs per round over the live residue.
+//!
+//! After the giant-SCC peel the residue holds thousands of small SCCs.
+//! The work-queue tail resolves them one task at a time with nested
+//! sequential DFS; multi-search (Wang et al., *Parallel Strong
+//! Connectivity Based on Faster Reachability*, arXiv 2303.04934) instead
+//! batches `B` pivots into ONE level-synchronous BFS whose frontier
+//! carries `(vertex, pivot-label)` pairs:
+//!
+//! * the reach sets live in a concurrent hash table ([`ReachTable`])
+//!   keyed by the packed pair,
+//! * the frontier is a blocked hash bag ([`HashBag`]) published in
+//!   per-worker blocks and claimed whole-block by the expanding
+//!   workers,
+//! * each level runs **sparse** (claim frontier blocks, push neighbor
+//!   pairs — top-down) or **dense** (sweep the whole alive × label
+//!   domain bottom-up) depending on the pair-frontier size — the
+//!   vertical-granularity switch of the paper, which pays off when a
+//!   hub vertex appears in the frontier under many labels at once.
+//!
+//! One round runs the search twice (forward over out-edges, backward
+//! over in-edges) and intersects: `v ∈ SCC(pivot_j)` iff `(v, j)` is in
+//! both tables. Labels of one SCC's members agree — `L(v) = F(v) ∩ B(v)`
+//! is exactly the set of pivots inside `SCC(v)` — so taking the minimum
+//! label per vertex assigns every member of a multi-pivot SCC to the
+//! same component, and [`resolve_round`] claims each of them exactly
+//! once.
+//!
+//! Searches only *read* [`AlgoState`] (colors gate expansion to the
+//! pivot's partition); all writes go to round-local tables and bags.
+//! That asymmetry is what lets the `multisearch` pipeline kernel degrade
+//! cleanly to the two-level work queue when a search panics: shared
+//! state is untouched. Only [`resolve_round`] writes claims.
+
+use crate::state::{AlgoState, Color};
+use rayon::prelude::*;
+use swscc_graph::NodeId;
+use swscc_parallel::hashbag::{HashBag, BLOCK_SIZE};
+use swscc_parallel::pool::propagate_worker_panic;
+use swscc_parallel::reachtable::ReachTable;
+use swscc_sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Degree estimate in the dense/sparse cost model of [`go_dense`]: a
+/// sparse level probes ~`frontier × degree` slots, a dense one probes
+/// ~`domain + missing × degree` (one present-check per cell, an
+/// early-exit neighbor scan per missing cell).
+const DENSE_DEGREE_ESTIMATE: u64 = 8;
+
+/// The vertical-granularity switch: go bottom-up when the pair frontier
+/// is so fat that sweeping the remaining `alive × label` cells is
+/// cheaper than expanding every frontier pair — i.e. when
+/// `frontier × d̄ > domain + missing × d̄` under the
+/// [`DENSE_DEGREE_ESTIMATE`] cost model. Fires on hub levels where one
+/// vertex enters the frontier under many labels at once.
+fn go_dense(frontier_pairs: usize, table_pairs: usize, domain: u64) -> bool {
+    let missing = domain.saturating_sub(table_pairs as u64);
+    frontier_pairs as u64 > domain / DENSE_DEGREE_ESTIMATE + missing
+}
+
+#[inline]
+fn pack(vertex: u32, label: u32) -> u64 {
+    (u64::from(vertex) << 32) | u64::from(label)
+}
+
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Picks `batch` pivots by striding the alive list: index `i * len / batch`
+/// for `i in 0..batch`. Distinct for `batch <= len`, spread across the
+/// residue (the alive list is in ascending vertex order, so consecutive
+/// strides land in different regions of the graph).
+pub fn pick_pivots(alive: &[NodeId], batch: usize) -> Vec<NodeId> {
+    let batch = batch.clamp(1, alive.len());
+    (0..batch).map(|i| alive[i * alive.len() / batch]).collect()
+}
+
+/// Runs one multi-source reachability search from `pivots` (forward over
+/// out-edges if `forward`, else backward over in-edges), confined to each
+/// pivot's color partition. Returns the reach table: `(v, j)` present
+/// iff `v` is reachable from `pivots[j]` within color `pivot_colors[j]`.
+///
+/// Polls the interrupt once per level via the state watchdog; on an
+/// abort the table is partial and the caller must check
+/// [`AlgoState::should_stop`] before using it.
+pub fn multi_search(
+    state: &AlgoState<'_>,
+    alive: &[NodeId],
+    pivots: &[NodeId],
+    pivot_colors: &[Color],
+    forward: bool,
+    threads: usize,
+) -> ReachTable {
+    let table = ReachTable::with_capacity(alive.len().max(pivots.len() * 4));
+    let mut frontier = HashBag::new();
+
+    // Seed: every pivot reaches itself under its own label.
+    let mut block = Vec::with_capacity(pivots.len().min(BLOCK_SIZE));
+    for (j, &p) in pivots.iter().enumerate() {
+        table.insert(p, j as u32);
+        block.push(pack(p, j as u32));
+        if block.len() >= BLOCK_SIZE {
+            frontier.publish(&mut block);
+        }
+    }
+    frontier.publish(&mut block);
+
+    // Each level extends every reach set by at least one BFS hop, so the
+    // level count is bounded by the longest alive shortest path plus one
+    // empty-frontier detection level.
+    let name = if forward {
+        "multisearch-forward"
+    } else {
+        "multisearch-backward"
+    };
+    let mut watchdog = state.watchdog(name, alive.len() + 1);
+    let domain = alive.len() as u64 * pivots.len().max(1) as u64;
+    loop {
+        if watchdog.check().is_some() {
+            break;
+        }
+        if frontier.is_empty() {
+            break;
+        }
+        frontier = if go_dense(frontier.len(), table.len(), domain) {
+            dense_level(state, &table, alive, pivot_colors, forward, threads)
+        } else {
+            sparse_level(state, &table, &frontier, pivot_colors, forward, threads)
+        };
+    }
+    table
+}
+
+/// Top-down level: workers claim frontier blocks and push each pair's
+/// unvisited same-color neighbors into the next frontier.
+fn sparse_level(
+    state: &AlgoState<'_>,
+    table: &ReachTable,
+    frontier: &HashBag,
+    pivot_colors: &[Color],
+    forward: bool,
+    threads: usize,
+) -> HashBag {
+    let next = HashBag::new();
+    let expand = |local: &mut Vec<u64>| {
+        let mut found: Vec<u64> = Vec::new();
+        while let Some(pairs) = frontier.claim() {
+            // Pre-filter the block's neighbors under ONE read guard —
+            // most probes hit pairs that are already present, and the
+            // per-call lock acquisition would otherwise dominate. The
+            // view must drop before the inserts below (see
+            // ReachTable::view).
+            let view = table.view();
+            for &key in pairs.iter() {
+                let (v, j) = unpack(key);
+                let color = pivot_colors[j as usize];
+                let neighbors = if forward {
+                    state.g.out_neighbors(v)
+                } else {
+                    state.g.in_neighbors(v)
+                };
+                for &u in neighbors {
+                    // Color match implies alive: resolution repaints to
+                    // DONE_COLOR, and no vertex resolves mid-search.
+                    if state.color(u) == color && !view.contains(u, j) {
+                        found.push(pack(u, j));
+                    }
+                }
+            }
+            drop(view);
+            // The view filter races with other workers' inserts:
+            // `insert` returning false drops the duplicates.
+            for key in found.drain(..) {
+                let (u, j) = unpack(key);
+                if table.insert(u, j) {
+                    local.push(key);
+                    if local.len() >= BLOCK_SIZE {
+                        next.publish(local);
+                    }
+                }
+            }
+        }
+        next.publish(local);
+    };
+    run_workers(threads, &expand);
+    next
+}
+
+/// Bottom-up level: sweep the alive × label domain; a missing pair joins
+/// the reach set when any same-color predecessor (successor, for the
+/// backward search) is already in it. Newly inserted pairs form the next
+/// frontier so the driver can switch back to sparse when it thins out.
+fn dense_level(
+    state: &AlgoState<'_>,
+    table: &ReachTable,
+    alive: &[NodeId],
+    pivot_colors: &[Color],
+    forward: bool,
+    threads: usize,
+) -> HashBag {
+    let next = HashBag::new();
+    let cursor = AtomicUsize::new(0);
+    // Self-scheduled chunks: sweep cost varies wildly with degree, so a
+    // static split would straggle on hub-heavy chunks.
+    const CHUNK: usize = 256;
+    let sweep = |local: &mut Vec<u64>| {
+        let mut found: Vec<u64> = Vec::new();
+        loop {
+            // ordering: chunk claim — RMW atomicity alone makes the
+            // ranges disjoint; workers share nothing else through it.
+            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+            if start >= alive.len() {
+                break;
+            }
+            let end = (start + CHUNK).min(alive.len());
+            // Probe the whole chunk under ONE read guard (the per-call
+            // lock would dominate the sweep), then drop it before
+            // inserting: a view held across an insert deadlocks behind a
+            // queued grower (see ReachTable::view).
+            let view = table.view();
+            for &v in &alive[start..end] {
+                let my_color = state.color(v);
+                for (j, &color) in pivot_colors.iter().enumerate() {
+                    let j = j as u32;
+                    if color != my_color || view.contains(v, j) {
+                        continue;
+                    }
+                    // Incoming edges feed the *forward* reach set.
+                    let neighbors = if forward {
+                        state.g.in_neighbors(v)
+                    } else {
+                        state.g.out_neighbors(v)
+                    };
+                    let reached = neighbors
+                        .iter()
+                        .any(|&u| u != v && state.color(u) == color && view.contains(u, j));
+                    if reached {
+                        found.push(pack(v, j));
+                    }
+                }
+            }
+            drop(view);
+            // A pair found via the (possibly stale) view may have been
+            // inserted by another chunk meanwhile; `insert` returning
+            // false filters it out of the next frontier.
+            for key in found.drain(..) {
+                let (v, j) = unpack(key);
+                if table.insert(v, j) {
+                    local.push(key);
+                    if local.len() >= BLOCK_SIZE {
+                        next.publish(local);
+                    }
+                }
+            }
+        }
+        next.publish(local);
+    };
+    run_workers(threads, &sweep);
+    next
+}
+
+/// Runs `work` on up to `threads` scoped workers (one inline), each with
+/// its own block buffer. Panics propagate to the caller after all
+/// workers are joined.
+fn run_workers<F>(threads: usize, work: &F)
+where
+    F: Fn(&mut Vec<u64>) + Sync,
+{
+    let w = threads.max(1);
+    if w == 1 {
+        work(&mut Vec::with_capacity(BLOCK_SIZE));
+        return;
+    }
+    swscc_sync::thread::scope(|s| {
+        let handles: Vec<_> = (1..w)
+            .map(|_| s.spawn(move || work(&mut Vec::with_capacity(BLOCK_SIZE))))
+            .collect();
+        work(&mut Vec::with_capacity(BLOCK_SIZE));
+        for (i, h) in handles.into_iter().enumerate() {
+            if let Err(payload) = h.join() {
+                propagate_worker_panic("multisearch", i + 1, payload);
+            }
+        }
+    });
+}
+
+/// Intersects the two reach tables and resolves every vertex that landed
+/// in some pivot's SCC. Returns the number of nodes resolved.
+///
+/// `winner` is an N-sized scratch array owned by the kernel (reused
+/// across rounds; only the alive entries are reset here). Must only be
+/// called with *complete* tables — i.e. after both searches finished
+/// without an interrupt — because it writes component claims.
+pub fn resolve_round(
+    state: &AlgoState<'_>,
+    alive: &[NodeId],
+    pivots: &[NodeId],
+    fwd: &ReachTable,
+    bwd: &ReachTable,
+    winner: &[AtomicU32],
+) -> usize {
+    // ordering: per-round scratch reset — each entry is written by one
+    // worker and the par_iter join publishes the stores before any
+    // fetch_min below.
+    alive
+        .par_iter()
+        .for_each(|&v| winner[v as usize].store(u32::MAX, Ordering::Relaxed));
+
+    // winner[v] := min { j | (v,j) in fwd ∩ bwd } — the canonical label
+    // of SCC(pivots[j]) for every member v.
+    let pairs = fwd.pairs();
+    pairs.par_iter().for_each(|&(v, j)| {
+        if bwd.contains(v, j) {
+            // ordering: monotone min-reduction; fetch_min never loses
+            // the smaller label and the join publishes the result.
+            winner[v as usize].fetch_min(j, Ordering::Relaxed);
+        }
+    });
+
+    // One component id per *canonical* pivot (a pivot whose own winner is
+    // its own label — the least-labeled pivot of its SCC). Non-canonical
+    // pivots share the id of their canonical representative, which was
+    // assigned at an earlier index because labels increase with index.
+    let mut comp_of = vec![u32::MAX; pivots.len()];
+    for (j, &p) in pivots.iter().enumerate() {
+        // ordering: read after the par_iter joins above.
+        let canon = winner[p as usize].load(Ordering::Relaxed) as usize;
+        debug_assert!(canon <= j, "a pivot is always in its own reach sets");
+        comp_of[j] = if canon == j {
+            state.alloc_component()
+        } else {
+            comp_of[canon]
+        };
+    }
+
+    // Claim pass: every alive vertex appears exactly once in `alive`, so
+    // each winner is resolved exactly once.
+    let resolved = AtomicUsize::new(0);
+    alive.par_iter().for_each(|&v| {
+        // ordering: read after the fetch_min sweep's join.
+        let label = winner[v as usize].load(Ordering::Relaxed);
+        if label != u32::MAX {
+            let comp = comp_of[label as usize];
+            debug_assert!(comp != u32::MAX, "winner labels are canonical");
+            state.resolve_into(v, comp);
+            // ordering: statistic counter; the join publishes the total.
+            resolved.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    // ordering: read after the par_iter join.
+    resolved.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::INITIAL_COLOR;
+    use swscc_graph::CsrGraph;
+
+    fn search_both<'g>(
+        g: &'g CsrGraph,
+        pivots: &[NodeId],
+        threads: usize,
+    ) -> (AlgoState<'g>, ReachTable, ReachTable) {
+        let state = AlgoState::new(g);
+        let alive = state.collect_alive();
+        let colors = vec![INITIAL_COLOR; pivots.len()];
+        let fwd = multi_search(&state, &alive, pivots, &colors, true, threads);
+        let bwd = multi_search(&state, &alive, pivots, &colors, false, threads);
+        (state, fwd, bwd)
+    }
+
+    #[test]
+    fn pick_pivots_distinct_and_bounded() {
+        let alive: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        for batch in [1, 7, 100, 500] {
+            let pivots = pick_pivots(&alive, batch);
+            assert_eq!(pivots.len(), batch.min(100));
+            let mut sorted = pivots.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), pivots.len(), "pivots must be distinct");
+            assert!(pivots.iter().all(|p| alive.contains(p)));
+        }
+    }
+
+    #[test]
+    fn go_dense_follows_the_cost_model() {
+        // Thin frontier over a mostly-missing domain: stay sparse.
+        assert!(!go_dense(100, 200, 10_000));
+        // Fat frontier, domain nearly full: one bottom-up sweep wins.
+        assert!(go_dense(5_000, 9_900, 10_000));
+        // Exactly at the boundary (frontier == domain/d̄ + missing):
+        // strictly-greater keeps the tie sparse.
+        assert!(!go_dense(1_250, 10_000, 10_000));
+        // Empty domain never goes dense off an empty frontier.
+        assert!(!go_dense(0, 0, 0));
+    }
+
+    /// A complete digraph with a pendant tail: level one explodes the
+    /// pair frontier to nearly the whole domain, which trips the dense
+    /// switch, and the tail pairs are then discovered bottom-up — so
+    /// this exercises the dense path end to end and checks it produces
+    /// the same reach sets as the sparse math says it must.
+    #[test]
+    fn dense_path_resolves_hub_plus_tail() {
+        const M: u32 = 32;
+        const TAIL: u32 = 4;
+        let mut edges = Vec::new();
+        for u in 0..M {
+            for v in 0..M {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        for t in 0..TAIL {
+            let src = if t == 0 { M - 1 } else { M + t - 1 };
+            edges.push((src, M + t));
+        }
+        let g = CsrGraph::from_edges((M + TAIL) as usize, &edges);
+        let pivots: Vec<NodeId> = (0..M).collect();
+        let (_state, fwd, bwd) = search_both(&g, &pivots, 2);
+        // Forward from any pivot reaches every clique member and the tail.
+        for j in 0..M {
+            for v in 0..(M + TAIL) {
+                assert!(fwd.contains(v, j), "fwd missing ({v}, {j})");
+            }
+            // Backward reaches the clique only.
+            for v in 0..M {
+                assert!(bwd.contains(v, j), "bwd missing ({v}, {j})");
+            }
+            for t in 0..TAIL {
+                assert!(!bwd.contains(M + t, j), "tail is not upstream");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_sets_on_a_cycle_and_tail() {
+        // 0→1→2→0 cycle with tail 2→3.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let (_state, fwd, bwd) = search_both(&g, &[0, 3], 2);
+        // Forward from 0 reaches everything; forward from 3 only itself.
+        for v in 0..4 {
+            assert!(fwd.contains(v, 0));
+        }
+        assert!(fwd.contains(3, 1) && !fwd.contains(0, 1));
+        // Backward from 3 reaches everything; intersection for label 0 is
+        // the cycle.
+        for v in 0..4 {
+            assert!(bwd.contains(v, 1));
+        }
+        for v in 0..3 {
+            assert!(bwd.contains(v, 0));
+        }
+        assert!(!bwd.contains(3, 0));
+    }
+
+    #[test]
+    fn resolve_round_claims_cycle_members_once() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 0)]);
+        let state = AlgoState::new(&g);
+        let alive = state.collect_alive();
+        // Two pivots inside the same SCC must share one component.
+        let pivots = vec![0u32, 2];
+        let colors = vec![INITIAL_COLOR; 2];
+        let fwd = multi_search(&state, &alive, &pivots, &colors, true, 2);
+        let bwd = multi_search(&state, &alive, &pivots, &colors, false, 2);
+        let winner: Vec<AtomicU32> = (0..5).map(|_| AtomicU32::new(0)).collect();
+        let resolved = resolve_round(&state, &alive, &pivots, &fwd, &bwd, &winner);
+        assert_eq!(resolved, 3, "exactly the cycle {{0,1,2}} resolves");
+        assert!(!state.alive(0) && !state.alive(1) && !state.alive(2));
+        assert!(state.alive(3) && state.alive(4));
+    }
+}

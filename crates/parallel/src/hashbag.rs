@@ -1,0 +1,163 @@
+//! Hash-bag frontier: an unordered multiset of packed `(vertex, label)`
+//! pairs, published in per-worker blocks and consumed by a claim cursor.
+//!
+//! Multi-search BFS levels (Wang et al., arXiv 2303.04934) produce far
+//! more frontier entries than a plain vertex frontier — one per (vertex,
+//! pivot) pair — so the frontier is kept as a bag of fixed-size blocks:
+//! each worker fills a thread-local block and **publishes** it when full;
+//! consumers **claim** whole blocks for expansion. Order is irrelevant
+//! (BFS over reach *sets*), which is what makes the bag sufficient.
+//!
+//! The publish/claim handshake (model-checked in the swscc-parallel
+//! model battery):
+//!
+//! * `publish` appends an immutable block under the write lock and then
+//!   bumps the item counter.
+//! * `claim` reserves index `i` by a compare-exchange on the cursor
+//!   *only after* observing `i < len` under the read lock, so a claim
+//!   never burns an index that has no published block yet — crucial when
+//!   producers and consumers overlap.
+//! * Exactly-once delivery: the cursor CAS admits one winner per index,
+//!   and blocks are immutable after publication.
+
+use std::sync::Arc;
+use swscc_sync::atomic::{AtomicUsize, Ordering};
+use swscc_sync::RwLock;
+
+/// Suggested per-worker block size: big enough to amortize the publish
+/// lock, small enough that tail blocks don't starve load balancing.
+pub const BLOCK_SIZE: usize = 512;
+
+/// An unordered bag of immutable `u64` blocks with exactly-once claiming.
+pub struct HashBag {
+    blocks: RwLock<Vec<Arc<[u64]>>>,
+    /// Next block index to hand out.
+    cursor: AtomicUsize,
+    /// Total items across published blocks.
+    items: AtomicUsize,
+}
+
+impl Default for HashBag {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashBag {
+    pub fn new() -> Self {
+        HashBag {
+            blocks: RwLock::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+            items: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes the contents of `block` as one immutable block and
+    /// clears it for reuse. Empty blocks are ignored.
+    pub fn publish(&self, block: &mut Vec<u64>) {
+        if block.is_empty() {
+            return;
+        }
+        // ordering: statistic — callers that need an exact total read it
+        // after joining every publisher.
+        self.items.fetch_add(block.len(), Ordering::Relaxed);
+        let published: Arc<[u64]> = Arc::from(block.as_slice());
+        block.clear();
+        self.blocks.write().push(published);
+    }
+
+    /// Claims the next unclaimed block, or `None` when every *currently
+    /// published* block is claimed. With concurrent publishers a `None`
+    /// is only transient; the level-synchronous driver claims from a bag
+    /// whose producers have been joined, where `None` is final.
+    pub fn claim(&self) -> Option<Arc<[u64]>> {
+        loop {
+            let blocks = self.blocks.read();
+            // ordering: the reservation below is only attempted for
+            // indices proven published under this read guard, so the CAS
+            // never consumes an index ahead of publication; RMW
+            // atomicity makes each index claimable exactly once.
+            let idx = self.cursor.load(Ordering::Relaxed);
+            if idx >= blocks.len() {
+                return None;
+            }
+            if self
+                .cursor
+                .compare_exchange(idx, idx + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(Arc::clone(&blocks[idx]));
+            }
+            // Lost the race for `idx`; retry against the new cursor.
+        }
+    }
+
+    /// Total items across published blocks. Exact once all publishers
+    /// are joined.
+    pub fn len(&self) -> usize {
+        // ordering: statistic (see publish).
+        self.items.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of published blocks so far.
+    pub fn blocks_published(&self) -> usize {
+        self.blocks.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_claim_round_trip() {
+        let bag = HashBag::new();
+        assert!(bag.is_empty());
+        assert!(bag.claim().is_none());
+
+        let mut block = vec![1, 2, 3];
+        bag.publish(&mut block);
+        assert!(block.is_empty(), "publish must clear the worker block");
+        block.extend([4, 5]);
+        bag.publish(&mut block);
+        bag.publish(&mut block); // empty: ignored
+
+        assert_eq!(bag.len(), 5);
+        assert_eq!(bag.blocks_published(), 2);
+        let a = bag.claim().expect("first block");
+        let b = bag.claim().expect("second block");
+        assert!(bag.claim().is_none());
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn concurrent_claimants_get_disjoint_blocks() {
+        let bag = HashBag::new();
+        for i in 0..64u64 {
+            bag.publish(&mut vec![i]);
+        }
+        let claimed: Vec<Vec<u64>> = swscc_sync::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine = Vec::new();
+                        while let Some(block) = bag.claim() {
+                            mine.extend(block.iter().copied());
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = claimed.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>(), "every block exactly once");
+    }
+}

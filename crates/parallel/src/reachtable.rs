@@ -1,0 +1,338 @@
+//! Concurrent reachability table: a resizable open-addressing hash set of
+//! `(vertex, pivot-label)` pairs.
+//!
+//! This is the reach-set substrate of multi-search SCC (Wang et al.,
+//! arXiv 2303.04934): one forward and one backward table per round, each
+//! answering "has vertex `v` been reached from pivot `label`?". The table
+//! is insert-only for the lifetime of a round — there is no deletion —
+//! which keeps the concurrent protocol small:
+//!
+//! * **Slots** are `AtomicU64`s holding a packed `(vertex, label)` key or
+//!   the `EMPTY` sentinel. A slot is claimed exactly once by a
+//!   compare-exchange from `EMPTY`; the key never changes afterwards, so
+//!   a reader that sees a non-empty slot sees its final value.
+//! * **Resizing** hides behind an `RwLock<Vec<AtomicU64>>`: inserts and
+//!   lookups probe under the read lock; growth takes the write lock,
+//!   re-checks, and rehashes into a doubled array. Lock acquisition
+//!   orders the rehash after every completed insert, so no claimed key
+//!   is lost.
+//! * The **occupancy counter** is a plain statistic used for the
+//!   load-factor heuristic; the probe loop has its own full-table bound,
+//!   so a momentarily stale counter can only delay growth, never corrupt
+//!   the table.
+//!
+//! Load factor is kept at or below 1/2 (plus a transient per-thread
+//! overshoot absorbed by the probe bound), so linear probes stay short.
+
+use swscc_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use swscc_sync::{RwLock, RwLockReadGuard};
+
+/// Sentinel for an unclaimed slot. `pack` never produces this value
+/// because labels are bounded below `u32::MAX` (they index a pivot batch).
+const EMPTY: u64 = u64::MAX;
+
+/// Smallest slot array. Leaves at least half the table free even when a
+/// full complement of workers overshoots the load-factor check at once.
+const MIN_CAPACITY: usize = 64;
+
+#[inline]
+fn pack(vertex: u32, label: u32) -> u64 {
+    debug_assert!(label != u32::MAX, "label u32::MAX collides with EMPTY");
+    (u64::from(vertex) << 32) | u64::from(label)
+}
+
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Finalizer of splitmix64 — enough avalanche that sequential vertex ids
+/// with small labels spread across the whole slot array.
+#[inline]
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A concurrent, resizable hash set of `(vertex, label)` reachability
+/// pairs. See the module docs for the protocol.
+pub struct ReachTable {
+    slots: RwLock<Vec<AtomicU64>>,
+    /// Occupancy statistic driving the load-factor heuristic.
+    items: AtomicUsize,
+}
+
+/// A read-locked probe handle over a [`ReachTable`]; see
+/// [`ReachTable::view`] for the locking contract.
+pub struct ReachView<'t> {
+    slots: RwLockReadGuard<'t, Vec<AtomicU64>>,
+}
+
+impl ReachView<'_> {
+    /// Same visibility contract as [`ReachTable::contains`], without the
+    /// per-call lock acquisition.
+    pub fn contains(&self, vertex: u32, label: u32) -> bool {
+        probe(&self.slots, pack(vertex, label))
+    }
+}
+
+/// Linear-probe membership test over a pinned slot array.
+fn probe(slots: &[AtomicU64], key: u64) -> bool {
+    let mask = slots.len() - 1;
+    let mut idx = (mix(key) as usize) & mask;
+    for _ in 0..slots.len() {
+        // ordering: a slot transitions EMPTY→key exactly once (see
+        // insert); completeness comes from the caller's join, not this
+        // load.
+        match slots[idx].load(Ordering::Relaxed) {
+            k if k == key => return true,
+            EMPTY => return false,
+            _ => idx = (idx + 1) & mask,
+        }
+    }
+    false
+}
+
+impl ReachTable {
+    /// An empty table pre-sized for about `expected` pairs (capacity is
+    /// rounded up so the expected fill stays at or below half).
+    pub fn with_capacity(expected: usize) -> Self {
+        let cap = expected
+            .saturating_mul(2)
+            .next_power_of_two()
+            .max(MIN_CAPACITY);
+        ReachTable {
+            slots: RwLock::new(Self::alloc(cap)),
+            items: AtomicUsize::new(0),
+        }
+    }
+
+    fn alloc(cap: usize) -> Vec<AtomicU64> {
+        (0..cap).map(|_| AtomicU64::new(EMPTY)).collect()
+    }
+
+    /// Number of distinct pairs inserted so far. Exact once every
+    /// inserting thread has been joined.
+    pub fn len(&self) -> usize {
+        // ordering: statistic — exactness across threads comes from the
+        // caller joining its workers, not from this load.
+        self.items.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current slot-array size (a power of two). Exposed for tests that
+    /// assert growth actually happened.
+    pub fn capacity(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Inserts the pair, returning `true` iff it was newly added. Among
+    /// all threads racing to insert the same `(vertex, label)` pair,
+    /// exactly one receives `true`.
+    pub fn insert(&self, vertex: u32, label: u32) -> bool {
+        let key = pack(vertex, label);
+        loop {
+            {
+                let slots = self.slots.read();
+                let cap = slots.len();
+                // Heuristic growth trigger: keep fill ≤ 1/2. Races here
+                // only overshoot by the number of concurrent inserters,
+                // which MIN_CAPACITY leaves slack for; the probe bound
+                // below is the hard backstop.
+                // ordering: statistic read for the heuristic only —
+                // correctness is carried by the CAS on the slot itself.
+                if (self.items.load(Ordering::Relaxed) + 1) * 2 > cap {
+                    drop(slots);
+                    self.grow();
+                    continue;
+                }
+                let mask = cap - 1;
+                let mut idx = (mix(key) as usize) & mask;
+                let mut probes = 0usize;
+                loop {
+                    let slot = &slots[idx];
+                    // ordering: a slot transitions EMPTY→key exactly once
+                    // and the packed key is the entire message; a stale
+                    // EMPTY read is corrected by the CAS below, and the
+                    // consumers that need cross-thread completeness
+                    // (resolve, dense sweeps) run after a thread join.
+                    let cur = slot.load(Ordering::Relaxed);
+                    if cur == key {
+                        return false;
+                    }
+                    if cur == EMPTY {
+                        match slot.compare_exchange(
+                            EMPTY,
+                            key,
+                            // ordering: the claim is the RMW itself;
+                            // publication to other threads rides the
+                            // RwLock / join edges described above.
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => {
+                                // ordering: occupancy statistic (see len).
+                                self.items.fetch_add(1, Ordering::Relaxed);
+                                return true;
+                            }
+                            Err(found) if found == key => return false,
+                            Err(_) => {} // lost the slot to another key: keep probing
+                        }
+                    }
+                    idx = (idx + 1) & mask;
+                    probes += 1;
+                    if probes >= cap {
+                        // Table effectively full despite the heuristic
+                        // (pathological overshoot): force growth.
+                        break;
+                    }
+                }
+            }
+            self.grow();
+        }
+    }
+
+    /// Whether the pair is present. Complete with respect to all inserts
+    /// that happened-before this call (e.g. after joining the inserting
+    /// workers); concurrent inserts may or may not be visible.
+    pub fn contains(&self, vertex: u32, label: u32) -> bool {
+        probe(&self.slots.read(), pack(vertex, label))
+    }
+
+    /// A read-locked view for probe-heavy loops: one lock acquisition
+    /// amortized over any number of [`ReachView::contains`] calls (the
+    /// per-call read lock in [`contains`](Self::contains) dominates a
+    /// dense bottom-up sweep otherwise).
+    ///
+    /// The view pins the current slot array, so growth (and therefore any
+    /// `insert` that triggers it) blocks until the view drops — callers
+    /// MUST NOT insert into the same table while holding its view, or
+    /// they deadlock behind a queued writer. Probe, drop the view, then
+    /// insert.
+    pub fn view(&self) -> ReachView<'_> {
+        ReachView {
+            slots: self.slots.read(),
+        }
+    }
+
+    /// Doubles the slot array (write lock; re-checks under the lock so
+    /// concurrent growers don't double twice for one trigger).
+    fn grow(&self) {
+        let mut slots = self.slots.write();
+        // ordering: the write lock is exclusive and synchronizes with
+        // every released read guard, so this load sees all completed
+        // inserts.
+        let needed = (self.items.load(Ordering::Relaxed) + 1)
+            .saturating_mul(2)
+            .next_power_of_two()
+            .max(MIN_CAPACITY);
+        if slots.len() >= needed && {
+            // A probe-bound trigger can fire below the heuristic
+            // threshold only when the array is truly full; re-verify so
+            // spurious callers become no-ops once another thread grew.
+            let occupied = slots
+                .iter()
+                // ordering: exclusive access under the write lock.
+                .filter(|s| s.load(Ordering::Relaxed) != EMPTY)
+                .count();
+            (occupied + 1) * 2 <= slots.len()
+        } {
+            return;
+        }
+        let new_cap = slots.len().max(needed).saturating_mul(2);
+        let new = Self::alloc(new_cap);
+        let mask = new_cap - 1;
+        for slot in slots.iter() {
+            // ordering: exclusive access under the write lock.
+            let key = slot.load(Ordering::Relaxed);
+            if key == EMPTY {
+                continue;
+            }
+            let mut idx = (mix(key) as usize) & mask;
+            // ordering: `new` is thread-local until the write guard drops.
+            while new[idx].load(Ordering::Relaxed) != EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            new[idx].store(key, Ordering::Relaxed);
+        }
+        *slots = new;
+    }
+
+    /// Snapshot of every stored pair, in slot order. Complete with
+    /// respect to inserts that happened-before the call.
+    pub fn pairs(&self) -> Vec<(u32, u32)> {
+        let slots = self.slots.read();
+        let mut out = Vec::with_capacity(self.len());
+        for slot in slots.iter() {
+            // ordering: single-transition slot; completeness from the
+            // caller's join as in contains.
+            let key = slot.load(Ordering::Relaxed);
+            if key != EMPTY {
+                out.push(unpack(key));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trips() {
+        for &(v, l) in &[(0u32, 0u32), (7, 3), (u32::MAX, 0), (12345, 678)] {
+            assert_eq!(unpack(pack(v, l)), (v, l));
+        }
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let t = ReachTable::with_capacity(4);
+        assert!(t.is_empty());
+        assert!(t.insert(5, 1));
+        assert!(!t.insert(5, 1), "duplicate must report not-new");
+        assert!(t.insert(5, 2), "same vertex, different label is distinct");
+        assert!(t.insert(6, 1));
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(5, 1));
+        assert!(t.contains(5, 2));
+        assert!(!t.contains(6, 2));
+        let mut pairs = t.pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(5, 1), (5, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn view_matches_contains() {
+        let t = ReachTable::with_capacity(8);
+        for v in 0..100u32 {
+            t.insert(v, v % 5);
+        }
+        let view = t.view();
+        for v in 0..100u32 {
+            assert!(view.contains(v, v % 5));
+            assert!(!view.contains(v, (v % 5) + 1));
+        }
+    }
+
+    #[test]
+    fn sequential_growth_preserves_contents() {
+        let t = ReachTable::with_capacity(1);
+        let start_cap = t.capacity();
+        for v in 0..10_000u32 {
+            assert!(t.insert(v, v % 7));
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.capacity() > start_cap, "growth must have happened");
+        for v in 0..10_000u32 {
+            assert!(t.contains(v, v % 7));
+            assert!(!t.contains(v, (v % 7) + 1));
+        }
+    }
+}

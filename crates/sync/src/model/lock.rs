@@ -92,6 +92,9 @@ impl Held {
             // Readers also publish: a later writer happens-after them.
             ls.clock.join(&tclock);
         }
+        // A release can turn blocked acquirers' predicates true — stale
+        // Blocked statuses must not be trusted until they re-check.
+        g.wake_gen += 1;
         drop(g);
         self.rt.wake_all();
     }

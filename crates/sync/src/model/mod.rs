@@ -141,6 +141,10 @@ pub(crate) struct ThreadState {
     pub(crate) seq: u64,
     /// PCT priority (lower = preferred). Random strategy ignores it.
     priority: u64,
+    /// `State::wake_gen` value at this thread's last failed block_on
+    /// predicate check — deadlock detection only trusts a Blocked status
+    /// once the thread has re-checked against the latest state.
+    checked_gen: u64,
 }
 
 /// One recorded scheduling decision. Only *real* decisions (≥ 2 options)
@@ -213,6 +217,9 @@ pub(crate) struct State {
     replay_pos: usize,
     pub(crate) locations: HashMap<usize, Location>,
     pub(crate) locks: HashMap<usize, LockState>,
+    /// Bumped by every mutation that can turn a block_on predicate true
+    /// (lock releases, thread completions). See `ThreadState::checked_gen`.
+    pub(crate) wake_gen: u64,
     /// First failure observed (virtual-thread panic message, deadlock, or
     /// step-bound violation).
     pub(crate) failure: Option<String>,
@@ -328,6 +335,7 @@ impl Runtime {
             replay_pos: 0,
             locations: HashMap::new(),
             locks: HashMap::new(),
+            wake_gen: 0,
             failure: None,
             abort: false,
             strategy,
@@ -365,6 +373,7 @@ impl Runtime {
             clock: VClock::default(),
             seq: 0,
             priority,
+            checked_gen: 0,
         });
         tid
     }
@@ -388,6 +397,19 @@ impl Runtime {
             && st.threads.iter().any(|t| t.status == Status::Blocked)
     }
 
+    /// True deadlock: everyone is stuck *and* every blocked thread has
+    /// re-evaluated its predicate against the latest wake generation and
+    /// found it still false. Without the generation check a waiter whose
+    /// predicate just turned true but who has not polled yet would be
+    /// mistaken for deadlocked by a faster-waking peer.
+    fn deadlocked(st: &State) -> bool {
+        Self::all_stuck(st)
+            && st
+                .threads
+                .iter()
+                .all(|t| t.status != Status::Blocked || t.checked_gen == st.wake_gen)
+    }
+
     fn declare_deadlock(&self, st: &mut State) -> ! {
         if st.failure.is_none() {
             let blocked: Vec<usize> = st
@@ -397,7 +419,26 @@ impl Runtime {
                 .filter(|(_, t)| t.status == Status::Blocked)
                 .map(|(i, _)| i)
                 .collect();
-            st.failure = Some(format!("deadlock: threads {blocked:?} all blocked"));
+            // Held locks are the usual suspects — name them in the report.
+            let held: Vec<String> = st
+                .locks
+                .iter()
+                .filter(|(_, l)| l.writer || l.readers > 0)
+                .map(|(a, l)| {
+                    format!(
+                        "{a:#x}:{}",
+                        if l.writer {
+                            "writer".to_string()
+                        } else {
+                            format!("{} readers", l.readers)
+                        }
+                    )
+                })
+                .collect();
+            st.failure = Some(format!(
+                "deadlock: threads {blocked:?} all blocked (held locks: [{}])",
+                held.join(", ")
+            ));
         }
         st.abort = true;
         self.cv.notify_all();
@@ -471,7 +512,7 @@ impl Runtime {
     ) -> MutexGuard<'rt, State> {
         while g.active != tid || g.threads[tid].status != Status::Runnable {
             self.check_abort(&g);
-            if g.threads[tid].status == Status::Blocked && Self::all_stuck(&g) {
+            if g.threads[tid].status == Status::Blocked && Self::deadlocked(&g) {
                 self.declare_deadlock(&mut g);
             }
             g = self.wait_ms(g, 50);
@@ -480,36 +521,51 @@ impl Runtime {
         g
     }
 
-    /// Block the current thread (`status = Blocked`) until `pred` holds,
-    /// then become Runnable again and wait for the token. Used by model
-    /// locks and join.
+    /// Block the current thread (`status = Blocked`) until `pred` holds
+    /// *while this thread holds the run token*. Used by model locks and
+    /// join.
+    ///
+    /// The outer loop is essential: between observing `pred` and regaining
+    /// the token, the still-running token holder can invalidate it again
+    /// (e.g. re-acquire the lock this thread was admitted to). Returning
+    /// without the re-check would let the caller stamp its claim over
+    /// occupied lock state and then block on the *real* lock — invisible
+    /// to the scheduler, with status still Runnable, wedging the whole
+    /// session beyond the reach of deadlock detection.
     pub(crate) fn block_on<'rt, F: Fn(&State) -> bool>(
         self: &'rt Arc<Self>,
         mut g: MutexGuard<'rt, State>,
         tid: usize,
         pred: F,
     ) -> MutexGuard<'rt, State> {
-        if pred(&g) {
-            return g;
-        }
-        g.threads[tid].status = Status::Blocked;
-        self.hand_off(&mut g, tid);
         loop {
-            self.check_abort(&g);
+            // Token held here (entry: caller is active; re-entry:
+            // wait_for_token returned) — a true pred cannot be stolen.
             if pred(&g) {
-                g.threads[tid].status = Status::Runnable;
-                // If nobody holds the token (all others blocked/finished),
-                // claim it; otherwise wait to be scheduled.
-                if g.threads[g.active].status != Status::Runnable {
-                    g.active = tid;
+                return g;
+            }
+            g.threads[tid].status = Status::Blocked;
+            g.threads[tid].checked_gen = g.wake_gen;
+            self.hand_off(&mut g, tid);
+            loop {
+                self.check_abort(&g);
+                if pred(&g) {
+                    g.threads[tid].status = Status::Runnable;
+                    // If nobody holds the token (all others blocked or
+                    // finished), claim it; otherwise wait to be scheduled.
+                    if g.threads[g.active].status != Status::Runnable {
+                        g.active = tid;
+                    }
+                    self.cv.notify_all();
+                    g = self.wait_for_token(g, tid);
+                    break; // re-check pred with the token held
                 }
-                self.cv.notify_all();
-                return self.wait_for_token(g, tid);
+                g.threads[tid].checked_gen = g.wake_gen;
+                if Self::deadlocked(&g) {
+                    self.declare_deadlock(&mut g);
+                }
+                g = self.wait_ms(g, 50);
             }
-            if Self::all_stuck(&g) {
-                self.declare_deadlock(&mut g);
-            }
-            g = self.wait_ms(g, 50);
         }
     }
 
@@ -648,6 +704,8 @@ fn run_once<F: Fn() + Send + Sync>(
     {
         let mut st = rt.st();
         st.threads[tid].status = Status::Finished;
+        // Completion can satisfy join predicates (see wake_gen).
+        st.wake_gen += 1;
         // If the body returned while child virtual threads were unjoined
         // (scope() prevents this on normal paths), abort so they unwind.
         if st.threads.iter().any(|t| t.status != Status::Finished) {

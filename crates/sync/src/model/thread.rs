@@ -198,6 +198,8 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                     // Mark finished and pass the token on (never panics).
                     let mut g = rt.st();
                     g.threads[vtid].status = Status::Finished;
+                    // Completion can satisfy join predicates (see wake_gen).
+                    g.wake_gen += 1;
                     rt.hand_off(&mut g, vtid);
                     drop(g);
                     set_current(None);

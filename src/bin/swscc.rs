@@ -293,6 +293,9 @@ fn cmd_scc(args: &Args) -> Result<(), CliError> {
             RecoveryEvent::RestartedSequential { message } => {
                 format!("restarted sequentially from scratch ({message})")
             }
+            RecoveryEvent::DegradedToQueue { message, residue } => {
+                format!("degraded to work-queue tail on {residue} residue nodes ({message})")
+            }
         };
         eprintln!("recovery:    {line}");
     }
@@ -395,13 +398,15 @@ USAGE:
 --pipeline: run a custom stage composition through the phase-pipeline
          engine instead of a named algorithm (mutually exclusive with
          --algo). STAGES is comma-separated from: trim fwbw peel trim2
-         wcc coloring colortail serial tasks; the list must end in a
-         terminal stage (tasks, coloring, or serial) and fwbw/peel may
-         not follow a re-partitioning stage (wcc, colortail). Prints a
-         per-phase time/resolved breakdown (paper Figs. 7-8).
+         wcc coloring colortail serial tasks multisearch; the list must
+         end in a terminal stage (tasks, coloring, serial, or
+         multisearch) and fwbw/peel may not follow a re-partitioning
+         stage (wcc, colortail). Prints a per-phase time/resolved
+         breakdown (paper Figs. 7-8).
          Examples:
            --pipeline trim,fwbw,trim,trim2,trim,wcc,tasks   (= method2)
            --pipeline trim,fwbw,wcc,tasks                   (Trim2 ablation)
+           --pipeline trim,fwbw,trim,multisearch   (multi-pivot tail)
 --timeout:  abort cleanly with exit code 124 after SECS wall-clock seconds
 --on-panic: fallback (default) absorbs worker panics by retrying or
             degrading to a sequential finish; fail exits 70 on first panic

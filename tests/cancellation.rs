@@ -15,7 +15,10 @@
 use std::time::{Duration, Instant};
 use swscc::graph::gen::watts_strogatz::watts_strogatz;
 use swscc::sync::fault::{self, FaultKind, FaultPlan};
-use swscc::{run_checked, Algorithm, CsrGraph, PanicPolicy, RunGuard, SccConfig, SccError};
+use swscc::{
+    run_checked, run_pipeline, Algorithm, CsrGraph, PanicPolicy, Pipeline, RunGuard, SccConfig,
+    SccError,
+};
 
 /// Generous wall-clock bound on "cancellation unblocks the run": covers
 /// one stalled round (the delay below) plus scheduling noise, while still
@@ -69,6 +72,46 @@ fn cancel_mid_run(algo: Algorithm, site: &'static str, threads: usize) {
     );
 }
 
+/// Like [`cancel_mid_run`], but for a custom `--pipeline` composition:
+/// every hit of `site` is stalled so the cancel provably lands mid-run,
+/// and the run must surface `SccError::Cancelled` within the bound.
+fn cancel_mid_pipeline(spec: &str, site: &'static str, threads: usize) {
+    let g = test_graph();
+    let pipeline = Pipeline::parse(spec).expect("legal pipeline spec");
+    let mut cfg = SccConfig::with_threads(threads);
+    cfg.on_panic = PanicPolicy::Fallback;
+    let guard = RunGuard::new();
+    let canceller = guard.canceller();
+
+    let _fault = fault::arm(FaultPlan {
+        site: Some(site),
+        nth: 0,
+        kind: FaultKind::Delay(DELAY_PER_ROUND),
+        repeat: true,
+    });
+
+    let (outcome, elapsed) = swscc::sync::thread::scope(|s| {
+        s.spawn(move || {
+            swscc::sync::thread::sleep(DELAY_PER_ROUND / 2);
+            canceller.cancel();
+        });
+        let start = Instant::now();
+        let outcome = run_pipeline(&g, &pipeline, &cfg, &guard);
+        (outcome, start.elapsed())
+    });
+
+    assert_eq!(
+        outcome.expect_err(&format!(
+            "{spec:?} ({threads} threads) should observe the cancel"
+        )),
+        SccError::Cancelled
+    );
+    assert!(
+        elapsed < UNBLOCK_BOUND,
+        "{spec:?} ({threads} threads) took {elapsed:?} to unblock"
+    );
+}
+
 #[test]
 fn cancel_unblocks_every_driver() {
     for threads in [1, 2, 4] {
@@ -77,6 +120,20 @@ fn cancel_unblocks_every_driver() {
         cancel_mid_run(Algorithm::Method2, "wcc-round", threads);
         cancel_mid_run(Algorithm::Coloring, "coloring-round", threads);
         cancel_mid_run(Algorithm::Multistep, "fwbw-superstep", threads);
+    }
+}
+
+#[test]
+fn cancel_unblocks_multisearch_at_round_boundary() {
+    // The multisearch fault site sits at the top of each round, before
+    // the searches launch: the stalled round proves the cancel lands at
+    // a round boundary and the kernel bails without resolving from
+    // partial reach tables. (`trim,multisearch` — not a full fwbw
+    // prefix, which would resolve the whole test graph and leave
+    // multisearch no round to stall.)
+    for threads in [1, 2, 4] {
+        cancel_mid_pipeline("multisearch", "multisearch-round", threads);
+        cancel_mid_pipeline("trim,multisearch", "multisearch-round", threads);
     }
 }
 

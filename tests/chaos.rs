@@ -21,25 +21,38 @@
 //!
 //! `CHAOS_ROUNDS=<n>` overrides the schedule count (default 320).
 
+use std::collections::BTreeMap;
 use std::time::Duration;
 use swscc::graph::gen::erdos_renyi::erdos_renyi;
 use swscc::graph::gen::watts_strogatz::watts_strogatz;
 use swscc::sync::fault::{self, FaultKind, FaultPlan};
 use swscc::{
-    detect_scc, run_checked, Algorithm, CsrGraph, PanicPolicy, RunGuard, SccConfig, SccError,
+    detect_scc, run_checked, run_pipeline, Algorithm, CsrGraph, PanicPolicy, Pipeline, RunGuard,
+    SccConfig, SccError,
 };
 
+/// What a chaos schedule drives: a stock algorithm through `run_checked`,
+/// or a custom `--pipeline` composition through `run_pipeline` (same
+/// engine, same typed-error contract).
+#[derive(Clone, Copy, Debug)]
+enum Driver {
+    Algo(Algorithm),
+    Custom(&'static str),
+}
+
 /// Each driver paired with the fault sites its pipeline actually passes
-/// through (a plan on a site the driver never hits is a vacuous no-op
-/// run — see the fired-fraction guard below). `model-yield` is excluded:
-/// it only exists under `--cfg model`.
-const DRIVERS: &[(Algorithm, &[&str])] = &[
+/// through. A plan can still land past the end of the run (late `nth`,
+/// small graph) — those no-fire schedules are counted and reported as
+/// skipped, and the per-site guards below make sure none of them turns
+/// the whole battery vacuous. `model-yield` is excluded: it only exists
+/// under `--cfg model`.
+const DRIVERS: &[(Driver, &[&str])] = &[
     (
-        Algorithm::Baseline,
+        Driver::Algo(Algorithm::Baseline),
         &["trim-round", "workqueue-task", "recur-task"],
     ),
     (
-        Algorithm::Method1,
+        Driver::Algo(Algorithm::Method1),
         &[
             "trim-round",
             "fwbw-superstep",
@@ -48,7 +61,7 @@ const DRIVERS: &[(Algorithm, &[&str])] = &[
         ],
     ),
     (
-        Algorithm::Method2,
+        Driver::Algo(Algorithm::Method2),
         &[
             "trim-round",
             "fwbw-superstep",
@@ -57,11 +70,19 @@ const DRIVERS: &[(Algorithm, &[&str])] = &[
             "recur-task",
         ],
     ),
-    (Algorithm::Coloring, &["trim-round", "coloring-round"]),
     (
-        Algorithm::Multistep,
+        Driver::Algo(Algorithm::Coloring),
+        &["trim-round", "coloring-round"],
+    ),
+    (
+        Driver::Algo(Algorithm::Multistep),
         &["trim-round", "fwbw-superstep", "coloring-round"],
     ),
+    (
+        Driver::Custom("trim,fwbw,trim,multisearch"),
+        &["trim-round", "fwbw-superstep", "multisearch-round"],
+    ),
+    (Driver::Custom("multisearch"), &["multisearch-round"]),
 ];
 
 const DEFAULT_ROUNDS: u64 = 320;
@@ -109,7 +130,7 @@ fn graph_pool() -> Vec<(&'static str, CsrGraph, Vec<u32>)> {
 }
 
 struct Schedule {
-    driver: Algorithm,
+    driver: Driver,
     graph: usize,
     threads: usize,
     policy: PanicPolicy,
@@ -157,13 +178,24 @@ fn derive(seed: u64, num_graphs: usize) -> Schedule {
     }
 }
 
-/// Runs one schedule; returns whether the planned fault actually fired,
-/// or an error description on any violation.
-fn run_schedule(seed: u64, pool: &[(&'static str, CsrGraph, Vec<u32>)]) -> Result<bool, String> {
+/// One schedule's bookkeeping: which site was armed, and whether the
+/// fault actually fired (a late `nth` can land past the end of the run).
+struct ScheduleOutcome {
+    site: &'static str,
+    fired: bool,
+}
+
+/// Runs one schedule; returns the armed site and whether it fired, or an
+/// error description on any violation.
+fn run_schedule(
+    seed: u64,
+    pool: &[(&'static str, CsrGraph, Vec<u32>)],
+) -> Result<ScheduleOutcome, String> {
     let sched = derive(seed, pool.len());
     let (gname, g, oracle) = &pool[sched.graph];
     let mut cfg = SccConfig::with_threads(sched.threads);
     cfg.on_panic = sched.policy;
+    let site = sched.plan.site.expect("every chaos plan names a site");
     let describe = || {
         format!(
             "seed {seed}: {:?} on {gname} ({} threads, {:?}, plan {:?})",
@@ -173,7 +205,13 @@ fn run_schedule(seed: u64, pool: &[(&'static str, CsrGraph, Vec<u32>)]) -> Resul
 
     let guard = RunGuard::new();
     let fault_guard = fault::arm(sched.plan);
-    let outcome = run_checked(g, sched.driver, &cfg, &guard);
+    let outcome = match sched.driver {
+        Driver::Algo(algo) => run_checked(g, algo, &cfg, &guard),
+        Driver::Custom(spec) => {
+            let pipeline = Pipeline::parse(spec).expect("chaos pipeline specs are legal");
+            run_pipeline(g, &pipeline, &cfg, &guard)
+        }
+    };
     let fired = fault::fired();
     drop(fault_guard);
 
@@ -182,7 +220,7 @@ fn run_schedule(seed: u64, pool: &[(&'static str, CsrGraph, Vec<u32>)]) -> Resul
             if result.canonical_labels() != *oracle {
                 return Err(format!("{}: WRONG SCCs", describe()));
             }
-            Ok(fired)
+            Ok(ScheduleOutcome { site, fired })
         }
         Err(SccError::WorkerPanic { message }) => {
             // The only acceptable error here: a panic surfaced under the
@@ -196,7 +234,7 @@ fn run_schedule(seed: u64, pool: &[(&'static str, CsrGraph, Vec<u32>)]) -> Resul
             if !fired || !message.contains("injected fault") {
                 return Err(format!("{}: non-injected panic: {message}", describe()));
             }
-            Ok(true)
+            Ok(ScheduleOutcome { site, fired: true })
         }
         Err(e) => Err(format!("{}: unexpected error {e}", describe())),
     }
@@ -225,7 +263,10 @@ fn chaos_battery() {
     if let Ok(seed) = std::env::var("CHAOS_SEED") {
         let seed: u64 = seed.parse().expect("CHAOS_SEED must be a u64");
         match run_schedule(seed, &pool) {
-            Ok(fired) => println!("seed {seed}: ok (fault fired: {fired})"),
+            Ok(out) => println!(
+                "seed {seed}: ok (site {}, fault fired: {})",
+                out.site, out.fired
+            ),
             Err(msg) => panic!("chaos replay failed: {msg}"),
         }
         return;
@@ -237,11 +278,18 @@ fn chaos_battery() {
         .unwrap_or(DEFAULT_ROUNDS);
     let mut chain = 0x5cc_c4a05u64;
     let mut failures = Vec::new();
-    let mut fired_count = 0u64;
+    // Per-site (scheduled, fired) accounting: a plan whose `nth` lands
+    // past the end of the run is a legitimate no-fire schedule, but it
+    // must be *counted as skipped*, not silently treated as coverage.
+    let mut by_site: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
     for _ in 0..rounds {
         let seed = splitmix64(&mut chain);
         match run_schedule(seed, &pool) {
-            Ok(fired) => fired_count += u64::from(fired),
+            Ok(out) => {
+                let entry = by_site.entry(out.site).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += u64::from(out.fired);
+            }
             Err(msg) => failures.push(msg),
         }
     }
@@ -251,12 +299,36 @@ fn chaos_battery() {
         failures.len(),
         failures.join("\n")
     );
-    // Vacuity guard: if fault sites are renamed or removed, every plan
-    // silently misses and the battery proves nothing. A healthy mix has
-    // well over a third of plans actually triggering.
+    let fired_count: u64 = by_site.values().map(|&(_, f)| f).sum();
+    println!("chaos coverage over {rounds} schedules (site: fired/scheduled, skipped):");
+    for (site, &(scheduled, fired)) in &by_site {
+        println!(
+            "  {site:<18} {fired:>4}/{scheduled:<4} ({} skipped)",
+            scheduled - fired
+        );
+    }
+    // Vacuity guards. Global: if fault sites are renamed or removed,
+    // every plan silently misses and the battery proves nothing — a
+    // healthy mix has well over a third of plans actually triggering.
+    // Per-site (full batteries only, so short CHAOS_ROUNDS debug runs
+    // stay usable): every site the derivation armed must have produced
+    // at least one real trigger.
+    assert!(
+        fired_count >= 1,
+        "no chaos schedule fired its fault — site list out of date?"
+    );
     assert!(
         fired_count * 3 >= rounds,
         "only {fired_count}/{rounds} schedules actually fired their fault \
          — site list out of date?"
     );
+    if rounds >= DEFAULT_ROUNDS {
+        for (site, &(scheduled, fired)) in &by_site {
+            assert!(
+                fired >= 1,
+                "site {site} was armed {scheduled} times but never fired \
+                 — driver never reaches it?"
+            );
+        }
+    }
 }

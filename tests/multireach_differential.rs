@@ -1,0 +1,226 @@
+//! Differential/property battery for the MultiReach subsystem.
+//!
+//! Three layers:
+//!
+//! 1. **Pipeline ≡ Tarjan** — proptest over random digraphs plus fixed
+//!    RMAT and bowtie shapes: every multisearch-terminated composition
+//!    produces the Tarjan partition across 1/2/4 threads and all three
+//!    live-set compaction policies.
+//! 2. **ReachTable under contention** — resize-under-insert (concurrent
+//!    inserters force repeated growth; nothing is lost, the count is
+//!    exact) and the duplicate `(vertex, label)` race (all threads
+//!    insert the same pairs; exactly one `true` per pair).
+//! 3. **HashBag under contention** — racing claimants partition the
+//!    published blocks (exactly-once delivery).
+
+use proptest::prelude::*;
+use swscc::core::tarjan::tarjan_scc;
+use swscc::graph::gen::bowtie::{bowtie, BowtieConfig};
+use swscc::graph::gen::rmat::{rmat, RmatConfig};
+use swscc::parallel::{HashBag, ReachTable};
+use swscc::{run_pipeline, CompactionPolicy, CsrGraph, Pipeline, RunGuard, SccConfig};
+
+const POLICIES: [CompactionPolicy; 3] = [
+    CompactionPolicy::Auto,
+    CompactionPolicy::Always,
+    CompactionPolicy::Never,
+];
+
+/// The multisearch compositions under differential test: bare, the
+/// headline peel+multisearch tail, and after a WCC re-partition.
+const SPECS: [&str; 3] = [
+    "multisearch",
+    "trim,fwbw,peel,multisearch",
+    "trim,fwbw,trim2,trim,wcc,multisearch",
+];
+
+/// Strategy: a random directed graph with 1..=max_n nodes (self-loops and
+/// parallel edges allowed).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..4 * n)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+fn assert_specs_match_tarjan(g: &CsrGraph, label: &str) {
+    let want = tarjan_scc(g).canonical_labels();
+    for spec in SPECS {
+        let pipeline = Pipeline::parse(spec).unwrap();
+        for threads in [1usize, 2, 4] {
+            for policy in POLICIES {
+                let cfg = SccConfig {
+                    live_set_compaction: policy,
+                    ..SccConfig::with_threads(threads)
+                };
+                let (r, report) = run_pipeline(g, &pipeline, &cfg, &RunGuard::new())
+                    .unwrap_or_else(|e| panic!("{spec:?} on {label}: {e}"));
+                assert_eq!(
+                    r.canonical_labels(),
+                    want,
+                    "{spec:?} with {threads} threads under {policy:?} \
+                     disagrees with tarjan on {label}"
+                );
+                let resolved: usize = report.phase_resolved.iter().map(|(_, n)| n).sum();
+                assert_eq!(resolved, g.num_nodes(), "{spec:?} loses nodes on {label}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Multisearch pipelines ≡ Tarjan on random digraphs, × threads ×
+    /// compaction policies.
+    #[test]
+    fn multisearch_pipelines_match_tarjan(g in arb_graph(120)) {
+        assert_specs_match_tarjan(&g, "arb_graph");
+    }
+
+    /// Tiny graphs hammer the edge cases: empty residues, batch >
+    /// residue, single-node SCCs.
+    #[test]
+    fn multisearch_pipelines_match_tarjan_tiny(g in arb_graph(8)) {
+        assert_specs_match_tarjan(&g, "arb_graph_tiny");
+    }
+}
+
+/// Fixed small-world shapes: the RMAT skew the paper targets and the
+/// bowtie generator's giant-core + satellite structure.
+#[test]
+fn multisearch_matches_tarjan_on_rmat_and_bowtie() {
+    let shapes: Vec<(&str, CsrGraph)> = vec![
+        ("rmat-s9", rmat(&RmatConfig::graph500(9, 8, 0x5cc))),
+        ("rmat-s10-sparse", rmat(&RmatConfig::graph500(10, 4, 7))),
+        (
+            "bowtie-1200",
+            bowtie(&BowtieConfig {
+                num_nodes: 1200,
+                ..Default::default()
+            })
+            .graph,
+        ),
+    ];
+    for (label, g) in shapes {
+        assert_specs_match_tarjan(&g, label);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReachTable contention
+// ---------------------------------------------------------------------------
+
+/// Concurrent inserters with disjoint key ranges force the table through
+/// many growths; afterwards every key is present exactly once.
+#[test]
+fn reachtable_resize_under_concurrent_insert() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 20_000;
+    let table = ReachTable::with_capacity(1);
+    let small_cap = table.capacity();
+    swscc::sync::thread::scope(|s| {
+        for t in 0..THREADS {
+            let table = &table;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = (t * PER_THREAD + i) as u32;
+                    assert!(table.insert(v, v % 13), "disjoint keys are all new");
+                }
+            });
+        }
+    });
+    assert_eq!(table.len(), THREADS * PER_THREAD);
+    assert!(
+        table.capacity() > small_cap,
+        "the table must have grown under concurrent insertion"
+    );
+    for v in 0..(THREADS * PER_THREAD) as u32 {
+        assert!(
+            table.contains(v, v % 13),
+            "lost ({v}, {}) in a resize",
+            v % 13
+        );
+    }
+    assert_eq!(table.pairs().len(), THREADS * PER_THREAD);
+}
+
+/// All threads insert the *same* pairs: for every pair exactly one
+/// inserter wins, even across concurrent growth.
+#[test]
+fn reachtable_duplicate_pair_race_single_winner() {
+    use swscc::sync::atomic::{AtomicUsize, Ordering};
+    const THREADS: usize = 4;
+    const PAIRS: usize = 5_000;
+    let table = ReachTable::with_capacity(1);
+    let wins: Vec<AtomicUsize> = (0..PAIRS).map(|_| AtomicUsize::new(0)).collect();
+    swscc::sync::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let (table, wins) = (&table, &wins);
+            s.spawn(move || {
+                for (i, w) in wins.iter().enumerate() {
+                    if table.insert(i as u32, (i % 3) as u32) {
+                        w.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(table.len(), PAIRS);
+    for (i, w) in wins.iter().enumerate() {
+        assert_eq!(
+            w.load(Ordering::Relaxed),
+            1,
+            "pair {i} must have exactly one winning inserter"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HashBag contention
+// ---------------------------------------------------------------------------
+
+/// Racing producers and (joined-after) racing claimants: every published
+/// item is delivered to exactly one claimant and the counter is exact.
+#[test]
+fn hashbag_exactly_once_under_contention() {
+    const PRODUCERS: usize = 4;
+    const ITEMS: u64 = 10_000;
+    let bag = HashBag::new();
+    swscc::sync::thread::scope(|s| {
+        for p in 0..PRODUCERS as u64 {
+            let bag = &bag;
+            s.spawn(move || {
+                let mut block = Vec::new();
+                for i in 0..ITEMS {
+                    block.push(p * ITEMS + i);
+                    if block.len() >= 64 {
+                        bag.publish(&mut block);
+                    }
+                }
+                bag.publish(&mut block);
+            });
+        }
+    });
+    assert_eq!(bag.len(), PRODUCERS as u64 as usize * ITEMS as usize);
+    let claimed: Vec<Vec<u64>> = swscc::sync::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let bag = &bag;
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(block) = bag.claim() {
+                        mine.extend(block.iter().copied());
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut all: Vec<u64> = claimed.into_iter().flatten().collect();
+    all.sort_unstable();
+    let want: Vec<u64> = (0..PRODUCERS as u64 * ITEMS).collect();
+    assert_eq!(all, want, "every item delivered exactly once");
+}

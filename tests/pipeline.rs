@@ -273,6 +273,25 @@ fn composition_everything_but_the_kitchen_sink() {
     assert_composition_matches_tarjan("trim,fwbw,trim2,trim,peel,trim,wcc,tasks");
 }
 
+#[test]
+fn composition_multisearch_only() {
+    assert_composition_matches_tarjan("multisearch");
+}
+
+#[test]
+fn composition_peel_then_multisearch() {
+    // The headline MultiReach composition: peel the giant SCC, then
+    // resolve the residue with multi-pivot reachability rounds.
+    assert_composition_matches_tarjan("trim,fwbw,peel,multisearch");
+}
+
+#[test]
+fn composition_wcc_then_multisearch() {
+    // multisearch is legal anywhere tasks is, including after a
+    // re-partitioning stage (it searches within color partitions).
+    assert_composition_matches_tarjan("trim,fwbw,trim2,trim,wcc,multisearch");
+}
+
 type RejectionPredicate = fn(&PipelineError) -> bool;
 
 #[test]
@@ -287,6 +306,7 @@ fn composition_illegal_pipelines_rejected() {
         ("tasks,trim", |e| matches!(e, E::NotTerminal(_))),
         ("coloring,tasks", |e| matches!(e, E::TerminalNotLast(_))),
         ("serial,serial", |e| matches!(e, E::TerminalNotLast(_))),
+        ("multisearch,tasks", |e| matches!(e, E::TerminalNotLast(_))),
         ("trim,bogus,tasks", |e| matches!(e, E::UnknownStage(_))),
         ("wcc,fwbw,tasks", |e| {
             matches!(e, E::PeelAfterRepartition { .. })
