@@ -31,7 +31,7 @@ use crate::instrument::{Collector, RecoveryEvent, RunReport};
 use crate::result::SccResult;
 use crate::state::AlgoState;
 use crate::tarjan::tarjan_scc;
-use swscc_graph::CsrGraph;
+use swscc_graph::GraphView;
 use swscc_parallel::{AbortCause, QueueStats, TwoLevelQueue};
 
 /// How a checked driver's internal step failed.
@@ -65,7 +65,7 @@ pub(crate) fn check_guard(guard: &RunGuard) -> Result<(), SccError> {
 
 /// Polls the run's token at a phase boundary; converts a pending abort
 /// (cancellation, deadline, watchdog trip) into the typed error.
-pub(crate) fn check_interrupt(state: &AlgoState<'_>) -> Result<(), SccError> {
+pub(crate) fn check_interrupt<G: GraphView>(state: &AlgoState<'_, G>) -> Result<(), SccError> {
     match state.interrupt().poll() {
         None => Ok(()),
         Some(reason) => Err(SccError::from_interrupt(reason, state.interrupt())),
@@ -92,8 +92,8 @@ pub(crate) fn catch_phase<R>(body: impl FnOnce() -> R) -> Result<R, String> {
 /// The report keeps whatever phase accounting accumulated before the
 /// restart (documented as pre-recovery progress; the
 /// [`RecoveryEvent::RestartedSequential`] entry marks it as superseded).
-pub(crate) fn recover_full_restart(
-    g: &CsrGraph,
+pub(crate) fn recover_full_restart<G: GraphView>(
+    g: &G,
     collector: Collector,
     cfg: &SccConfig,
     message: String,
@@ -102,7 +102,13 @@ pub(crate) fn recover_full_restart(
         return Err(SccError::WorkerPanic { message });
     }
     collector.record_recovery(RecoveryEvent::RestartedSequential { message });
-    let result = tarjan_scc(g);
+    // Tarjan needs random-access slices: borrow the raw CSR when the view
+    // already is one, decode the compressed stream otherwise (restart is
+    // a cold path — correctness over speed).
+    let result = match g.as_csr() {
+        Some(csr) => tarjan_scc(csr),
+        None => tarjan_scc(&g.materialize_csr()),
+    };
     let report = collector.into_report(QueueStats::default(), 0);
     Ok((result, report))
 }
@@ -111,8 +117,8 @@ pub(crate) fn recover_full_restart(
 /// sequential Tarjan on the induced residual subgraph (sound because only
 /// boundary panics occurred, so resolved components are whole SCCs).
 /// Returns the residue size.
-pub(crate) fn finish_residue_sequential(
-    state: &AlgoState<'_>,
+pub(crate) fn finish_residue_sequential<G: GraphView>(
+    state: &AlgoState<'_, G>,
     collector: &Collector,
     message: String,
 ) -> usize {
@@ -131,9 +137,9 @@ pub(crate) fn finish_residue_sequential(
 /// * second boundary panic → stop retrying, finish the residue
 ///   sequentially ([`finish_residue_sequential`]);
 /// * dirty (mid-task) panic → [`DriverError::DirtyRestart`].
-pub(crate) fn run_queue_with_recovery(
+pub(crate) fn run_queue_with_recovery<G: GraphView>(
     queue: &TwoLevelQueue<Task>,
-    ctx: &RecurContext<'_, '_>,
+    ctx: &RecurContext<'_, '_, G>,
     cfg: &SccConfig,
 ) -> Result<QueueResolution, DriverError> {
     let state = ctx.state;

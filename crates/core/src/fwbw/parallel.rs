@@ -30,7 +30,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use swscc_graph::bfs::Direction;
 use swscc_graph::traverse::{Adjacency, EdgeMap, EdgeMapOps};
-use swscc_graph::NodeId;
+use swscc_graph::{GraphView, NodeId};
 use swscc_sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of the phase-1 peel.
@@ -46,7 +46,11 @@ pub struct ParFwbwOutcome {
 
 /// Runs the phase-1 parallel FW-BW peel starting from the partition
 /// `start_color`. See the module docs for the stopping rule.
-pub fn par_fwbw(state: &AlgoState<'_>, cfg: &SccConfig, start_color: Color) -> ParFwbwOutcome {
+pub fn par_fwbw<G: GraphView>(
+    state: &AlgoState<'_, G>,
+    cfg: &SccConfig,
+    start_color: Color,
+) -> ParFwbwOutcome {
     let n = state.num_nodes();
     let giant_min = ((n as f64) * cfg.giant_threshold).ceil() as usize;
     let mut rng = match cfg.pivot {
@@ -143,8 +147,8 @@ pub fn par_fwbw(state: &AlgoState<'_>, cfg: &SccConfig, start_color: Color) -> P
 /// Returns the number of nodes claimed beyond the pivot. Both the forward
 /// and the backward pass of a trial go through here — the claim protocol
 /// is the *only* thing that differs between them.
-fn run_reach<O: EdgeMapOps>(
-    state: &AlgoState<'_>,
+fn run_reach<G: GraphView, O: EdgeMapOps>(
+    state: &AlgoState<'_, G>,
     cfg: &SccConfig,
     pivot: NodeId,
     dir: Direction,
@@ -171,13 +175,13 @@ fn run_reach<O: EdgeMapOps>(
 /// Single-color claim protocol: `from_color -> to_color`, a test-then-CAS
 /// on the Color array (the plain load filters already-claimed targets
 /// before paying for the atomic RMW).
-struct ColorClaimOps<'a, 'g> {
-    state: &'a AlgoState<'g>,
+struct ColorClaimOps<'a, 'g, G: GraphView> {
+    state: &'a AlgoState<'g, G>,
     from_color: Color,
     to_color: Color,
 }
 
-impl EdgeMapOps for ColorClaimOps<'_, '_> {
+impl<G: GraphView> EdgeMapOps for ColorClaimOps<'_, '_, G> {
     #[inline]
     fn claim(&self, _src: NodeId, v: NodeId, _depth: u32) -> bool {
         self.state.color(v) == self.from_color
@@ -193,8 +197,8 @@ impl EdgeMapOps for ColorClaimOps<'_, '_> {
 /// Dual-claim protocol of the backward pass: candidate-colored nodes join
 /// the backward-only set (`bw_color`), forward-colored nodes are the FW∩BW
 /// intersection and join the SCC (`scc_color`). Both transitions count.
-struct DualClaimOps<'a, 'g> {
-    state: &'a AlgoState<'g>,
+struct DualClaimOps<'a, 'g, G: GraphView> {
+    state: &'a AlgoState<'g, G>,
     candidate_color: Color,
     fw_color: Color,
     bw_color: Color,
@@ -203,7 +207,7 @@ struct DualClaimOps<'a, 'g> {
     scc_claimed: AtomicUsize,
 }
 
-impl EdgeMapOps for DualClaimOps<'_, '_> {
+impl<G: GraphView> EdgeMapOps for DualClaimOps<'_, '_, G> {
     #[inline]
     fn claim(&self, _src: NodeId, v: NodeId, _depth: u32) -> bool {
         let c = self.state.color(v);
@@ -231,8 +235,8 @@ impl EdgeMapOps for DualClaimOps<'_, '_> {
 
 /// Single-color reachability claiming `from_color -> to_color` along `dir`.
 /// Returns the number of nodes claimed (incl. pivot).
-fn reach(
-    state: &AlgoState<'_>,
+fn reach<G: GraphView>(
+    state: &AlgoState<'_, G>,
     cfg: &SccConfig,
     pivot: NodeId,
     from_color: Color,
@@ -255,8 +259,8 @@ fn reach(
 /// claim `candidate_color -> bw_color` (backward-only nodes) and
 /// `fw_color -> scc_color` (the SCC). Returns `(bw_count, scc_count)`.
 #[allow(clippy::too_many_arguments)]
-fn backward_reach(
-    state: &AlgoState<'_>,
+fn backward_reach<G: GraphView>(
+    state: &AlgoState<'_, G>,
     cfg: &SccConfig,
     pivot: NodeId,
     candidate_color: Color,
@@ -291,8 +295,8 @@ fn backward_reach(
 /// large fraction of the live set's candidates — probing samples the
 /// sparse candidate list once the set has been compacted), falling back
 /// to a parallel scan over the live set.
-fn pick_pivot(
-    state: &AlgoState<'_>,
+fn pick_pivot<G: GraphView>(
+    state: &AlgoState<'_, G>,
     cfg: &SccConfig,
     color: Color,
     rng: &mut SmallRng,

@@ -16,7 +16,8 @@
 use crate::config::SccConfig;
 use crate::instrument::{Collector, TaskLogEntry};
 use crate::state::{AlgoState, Color};
-use swscc_graph::NodeId;
+use swscc_graph::bfs::Direction;
+use swscc_graph::{GraphView, NodeId};
 use swscc_parallel::Worker;
 use swscc_sync::atomic::{AtomicUsize, Ordering};
 
@@ -48,9 +49,9 @@ impl Task {
 }
 
 /// Shared context of the phase-2 run (borrowed by every worker).
-pub struct RecurContext<'a, 'g> {
+pub struct RecurContext<'a, 'g, G: GraphView> {
     /// Algorithm state (colors, marks, component output).
-    pub state: &'a AlgoState<'g>,
+    pub state: &'a AlgoState<'g, G>,
     /// Instrumentation sink.
     pub collector: &'a Collector,
     /// Nodes resolved by phase 2 (for the Fig. 8 accounting).
@@ -58,9 +59,9 @@ pub struct RecurContext<'a, 'g> {
     hybrid: bool,
 }
 
-impl<'a, 'g> RecurContext<'a, 'g> {
+impl<'a, 'g, G: GraphView> RecurContext<'a, 'g, G> {
     /// New context; `cfg.hybrid_sets` selects the task representation.
-    pub fn new(state: &'a AlgoState<'g>, collector: &'a Collector, cfg: &SccConfig) -> Self {
+    pub fn new(state: &'a AlgoState<'g, G>, collector: &'a Collector, cfg: &SccConfig) -> Self {
         RecurContext {
             state,
             collector,
@@ -81,7 +82,7 @@ impl<'a, 'g> RecurContext<'a, 'g> {
 /// Builds the initial phase-2 task list by scanning the unresolved nodes
 /// and grouping them by color (§4.2's deferred set construction). In
 /// color-only mode the member lists are discarded after the scan.
-pub fn seed_tasks(state: &AlgoState<'_>, cfg: &SccConfig) -> Vec<Task> {
+pub fn seed_tasks<G: GraphView>(state: &AlgoState<'_, G>, cfg: &SccConfig) -> Vec<Task> {
     state
         .alive_groups()
         .into_iter()
@@ -96,7 +97,11 @@ pub fn seed_tasks(state: &AlgoState<'_>, cfg: &SccConfig) -> Vec<Task> {
 }
 
 /// Processes one task: Algorithm 5. Pushes sub-partitions via `worker`.
-pub fn process_task(ctx: &RecurContext<'_, '_>, task: Task, worker: &mut Worker<'_, Task>) {
+pub fn process_task<G: GraphView>(
+    ctx: &RecurContext<'_, '_, G>,
+    task: Task,
+    worker: &mut Worker<'_, Task>,
+) {
     let state = ctx.state;
     let color = task.color();
 
@@ -123,13 +128,13 @@ pub fn process_task(ctx: &RecurContext<'_, '_>, task: Task, worker: &mut Worker<
         fw_members.push(pivot);
         let mut stack = vec![pivot];
         while let Some(u) = stack.pop() {
-            for &v in state.g.out_neighbors(u) {
+            state.g.for_each_neighbor(Direction::Forward, u, |v| {
                 // (test-then-CAS, as in the backward pass below)
                 if state.color(v) == color && state.cas_color(v, color, fw_color) {
                     fw_members.push(v);
                     stack.push(v);
                 }
-            }
+            });
         }
     } else {
         return; // lost the pivot to a concurrent kernel (cannot happen in
@@ -153,7 +158,7 @@ pub fn process_task(ctx: &RecurContext<'_, '_>, task: Task, worker: &mut Worker<
         scc_size += 1;
         let mut stack = vec![pivot];
         while let Some(u) = stack.pop() {
-            for &v in state.g.in_neighbors(u) {
+            state.g.for_each_neighbor(Direction::Backward, u, |v| {
                 // Test-then-CAS: plain load filters already-claimed targets
                 // before the atomic RMW (phase-2 tasks own their colors, so
                 // the CAS cannot actually fail — kept for uniformity).
@@ -166,7 +171,7 @@ pub fn process_task(ctx: &RecurContext<'_, '_>, task: Task, worker: &mut Worker<
                     scc_size += 1;
                     stack.push(v);
                 }
-            }
+            });
         }
     }
     // ordering: statistic counter — exactness from RMW atomicity; the

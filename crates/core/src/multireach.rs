@@ -35,7 +35,8 @@
 
 use crate::state::{AlgoState, Color};
 use rayon::prelude::*;
-use swscc_graph::NodeId;
+use swscc_graph::bfs::Direction;
+use swscc_graph::{GraphView, NodeId};
 use swscc_parallel::hashbag::{HashBag, BLOCK_SIZE};
 use swscc_parallel::pool::propagate_worker_panic;
 use swscc_parallel::reachtable::ReachTable;
@@ -85,8 +86,8 @@ pub fn pick_pivots(alive: &[NodeId], batch: usize) -> Vec<NodeId> {
 /// Polls the interrupt once per level via the state watchdog; on an
 /// abort the table is partial and the caller must check
 /// [`AlgoState::should_stop`] before using it.
-pub fn multi_search(
-    state: &AlgoState<'_>,
+pub fn multi_search<G: GraphView>(
+    state: &AlgoState<'_, G>,
     alive: &[NodeId],
     pivots: &[NodeId],
     pivot_colors: &[Color],
@@ -135,8 +136,8 @@ pub fn multi_search(
 
 /// Top-down level: workers claim frontier blocks and push each pair's
 /// unvisited same-color neighbors into the next frontier.
-fn sparse_level(
-    state: &AlgoState<'_>,
+fn sparse_level<G: GraphView>(
+    state: &AlgoState<'_, G>,
     table: &ReachTable,
     frontier: &HashBag,
     pivot_colors: &[Color],
@@ -156,18 +157,18 @@ fn sparse_level(
             for &key in pairs.iter() {
                 let (v, j) = unpack(key);
                 let color = pivot_colors[j as usize];
-                let neighbors = if forward {
-                    state.g.out_neighbors(v)
+                let dir = if forward {
+                    Direction::Forward
                 } else {
-                    state.g.in_neighbors(v)
+                    Direction::Backward
                 };
-                for &u in neighbors {
+                state.g.for_each_neighbor(dir, v, |u| {
                     // Color match implies alive: resolution repaints to
                     // DONE_COLOR, and no vertex resolves mid-search.
                     if state.color(u) == color && !view.contains(u, j) {
                         found.push(pack(u, j));
                     }
-                }
+                });
             }
             drop(view);
             // The view filter races with other workers' inserts:
@@ -192,8 +193,8 @@ fn sparse_level(
 /// the reach set when any same-color predecessor (successor, for the
 /// backward search) is already in it. Newly inserted pairs form the next
 /// frontier so the driver can switch back to sparse when it thins out.
-fn dense_level(
-    state: &AlgoState<'_>,
+fn dense_level<G: GraphView>(
+    state: &AlgoState<'_, G>,
     table: &ReachTable,
     alive: &[NodeId],
     pivot_colors: &[Color],
@@ -228,14 +229,17 @@ fn dense_level(
                         continue;
                     }
                     // Incoming edges feed the *forward* reach set.
-                    let neighbors = if forward {
-                        state.g.in_neighbors(v)
+                    let dir = if forward {
+                        Direction::Backward
                     } else {
-                        state.g.out_neighbors(v)
+                        Direction::Forward
                     };
-                    let reached = neighbors
-                        .iter()
-                        .any(|&u| u != v && state.color(u) == color && view.contains(u, j));
+                    let reached = state
+                        .g
+                        .find_neighbor(dir, v, |u| {
+                            u != v && state.color(u) == color && view.contains(u, j)
+                        })
+                        .is_some();
                     if reached {
                         found.push(pack(v, j));
                     }
@@ -293,8 +297,8 @@ where
 /// across rounds; only the alive entries are reset here). Must only be
 /// called with *complete* tables — i.e. after both searches finished
 /// without an interrupt — because it writes component claims.
-pub fn resolve_round(
-    state: &AlgoState<'_>,
+pub fn resolve_round<G: GraphView>(
+    state: &AlgoState<'_, G>,
     alive: &[NodeId],
     pivots: &[NodeId],
     fwd: &ReachTable,

@@ -62,7 +62,8 @@ use crate::trim2::par_trim2;
 use crate::wcc::run_wcc;
 use rayon::prelude::*;
 use std::sync::Arc;
-use swscc_graph::{CsrGraph, NodeId};
+use swscc_graph::bfs::Direction;
+use swscc_graph::{CsrGraph, GraphView, NodeId};
 use swscc_parallel::{pool::with_pool, QueueStats, TwoLevelQueue};
 use swscc_sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
@@ -341,11 +342,11 @@ impl Pipeline {
     /// Compiles the stage list into kernel instances, assigning the
     /// Fig. 7 phase tags (first `trim` → `ParTrim`, later trims →
     /// `ParTrim2`).
-    fn compile(&self) -> Vec<Box<dyn PhaseKernel>> {
+    fn compile<G: GraphView>(&self) -> Vec<Box<dyn PhaseKernel<G>>> {
         let mut seen_trim = false;
         self.stages
             .iter()
-            .map(|&s| -> Box<dyn PhaseKernel> {
+            .map(|&s| -> Box<dyn PhaseKernel<G>> {
                 match s {
                     Stage::Trim => {
                         let phase = if seen_trim {
@@ -437,7 +438,7 @@ pub struct PhaseOutcome {
 /// `driver::catch_phase`, and never record recovery events themselves —
 /// the engine wraps every non-self-recovering kernel in a panic boundary
 /// and maps a caught panic to the dirty-restart policy.
-pub trait PhaseKernel {
+pub trait PhaseKernel<G: GraphView = CsrGraph> {
     /// Stage name, as spelled in `--pipeline` specs.
     fn name(&self) -> &'static str;
 
@@ -458,7 +459,7 @@ pub trait PhaseKernel {
     /// Runs the stage to completion (or typed failure).
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError>;
 }
@@ -476,14 +477,14 @@ pub trait PhaseKernel {
 /// restart under [`crate::PanicPolicy::Fallback`]), compacts the
 /// live-residue set between stages, and assembles the per-phase
 /// [`RunReport`].
-pub fn run_pipeline(
-    g: &CsrGraph,
+pub fn run_pipeline<G: GraphView>(
+    g: &G,
     pipeline: &Pipeline,
     cfg: &SccConfig,
     guard: &RunGuard,
 ) -> Result<(SccResult, RunReport), SccError> {
     with_pool(cfg.threads, || {
-        let kernels = pipeline.compile();
+        let kernels: Vec<Box<dyn PhaseKernel<G>>> = pipeline.compile();
         let state =
             AlgoState::with_interrupt(g, Arc::clone(guard.interrupt()), cfg.watchdog_factor);
         let collector = Collector::new(cfg.task_log_limit);
@@ -515,9 +516,9 @@ pub fn run_pipeline(
 
 /// The stage sequencer: interrupt poll, timed + guarded kernel run, then
 /// a live-set compaction hand-off, per stage.
-fn run_stages(
-    kernels: &[Box<dyn PhaseKernel>],
-    state: &AlgoState<'_>,
+fn run_stages<G: GraphView>(
+    kernels: &[Box<dyn PhaseKernel<G>>],
+    state: &AlgoState<'_, G>,
     ctx: &mut PipelineCtx<'_>,
 ) -> Result<(), StageError> {
     for kernel in kernels {
@@ -543,9 +544,9 @@ fn run_stages(
 /// Runs one kernel inside the engine's panic boundary (unless the kernel
 /// is self-recovering — the work-queue stage, whose recovery loop
 /// distinguishes boundary from dirty panics itself).
-fn run_guarded(
-    kernel: &dyn PhaseKernel,
-    state: &AlgoState<'_>,
+fn run_guarded<G: GraphView>(
+    kernel: &dyn PhaseKernel<G>,
+    state: &AlgoState<'_, G>,
     ctx: &mut PipelineCtx<'_>,
 ) -> Result<PhaseOutcome, StageError> {
     if kernel.self_recovering() {
@@ -569,7 +570,7 @@ struct TrimKernel {
     phase: Phase,
 }
 
-impl PhaseKernel for TrimKernel {
+impl<G: GraphView> PhaseKernel<G> for TrimKernel {
     fn name(&self) -> &'static str {
         "trim"
     }
@@ -578,7 +579,7 @@ impl PhaseKernel for TrimKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         _ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         Ok(PhaseOutcome {
@@ -594,7 +595,7 @@ struct FwbwKernel {
     single_peel: bool,
 }
 
-impl PhaseKernel for FwbwKernel {
+impl<G: GraphView> PhaseKernel<G> for FwbwKernel {
     fn name(&self) -> &'static str {
         if self.single_peel {
             "peel"
@@ -607,7 +608,7 @@ impl PhaseKernel for FwbwKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         let peel_cfg;
@@ -636,7 +637,7 @@ impl PhaseKernel for FwbwKernel {
 /// [`Stage::Trim2`]: one Par-Trim2 pass.
 struct Trim2Kernel;
 
-impl PhaseKernel for Trim2Kernel {
+impl<G: GraphView> PhaseKernel<G> for Trim2Kernel {
     fn name(&self) -> &'static str {
         "trim2"
     }
@@ -645,7 +646,7 @@ impl PhaseKernel for Trim2Kernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         _ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         Ok(PhaseOutcome {
@@ -658,7 +659,7 @@ impl PhaseKernel for Trim2Kernel {
 /// [`Stage::Tasks`].
 struct WccKernel;
 
-impl PhaseKernel for WccKernel {
+impl<G: GraphView> PhaseKernel<G> for WccKernel {
     fn name(&self) -> &'static str {
         "wcc"
     }
@@ -667,7 +668,7 @@ impl PhaseKernel for WccKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         let out = run_wcc(state, ctx.cfg);
@@ -680,7 +681,7 @@ impl PhaseKernel for WccKernel {
 /// by a preceding Par-WCC's groups or by the §4.2 color scan.
 struct TasksKernel;
 
-impl PhaseKernel for TasksKernel {
+impl<G: GraphView> PhaseKernel<G> for TasksKernel {
     fn name(&self) -> &'static str {
         "tasks"
     }
@@ -692,7 +693,7 @@ impl PhaseKernel for TasksKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         run_task_tail(state, ctx)
@@ -703,8 +704,8 @@ impl PhaseKernel for TasksKernel {
 /// [`MultiSearchKernel`] degrade path: seed tasks (from stashed Par-WCC
 /// groups or a fresh color scan), run the two-level queue under the
 /// boundary-recovery loop, surface the stats.
-fn run_task_tail(
-    state: &AlgoState<'_>,
+fn run_task_tail<G: GraphView>(
+    state: &AlgoState<'_, G>,
     ctx: &mut PipelineCtx<'_>,
 ) -> Result<PhaseOutcome, StageError> {
     let cfg = ctx.cfg;
@@ -757,7 +758,7 @@ fn run_task_tail(
 /// sequential restart), like any data-parallel kernel.
 struct MultiSearchKernel;
 
-impl PhaseKernel for MultiSearchKernel {
+impl<G: GraphView> PhaseKernel<G> for MultiSearchKernel {
     fn name(&self) -> &'static str {
         "multisearch"
     }
@@ -769,7 +770,7 @@ impl PhaseKernel for MultiSearchKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         let cfg = ctx.cfg;
@@ -873,7 +874,7 @@ impl PhaseKernel for MultiSearchKernel {
 /// [`Stage::Serial`]: sequential Tarjan on the induced residual subgraph.
 struct SerialKernel;
 
-impl PhaseKernel for SerialKernel {
+impl<G: GraphView> PhaseKernel<G> for SerialKernel {
     fn name(&self) -> &'static str {
         "serial"
     }
@@ -882,7 +883,7 @@ impl PhaseKernel for SerialKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         _ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         Ok(PhaseOutcome {
@@ -901,7 +902,7 @@ impl PhaseKernel for SerialKernel {
 /// [`RunReport::fwbw_trials`] and [`RunReport::initial_tasks`].
 struct ColoringKernel;
 
-impl PhaseKernel for ColoringKernel {
+impl<G: GraphView> PhaseKernel<G> for ColoringKernel {
     fn name(&self) -> &'static str {
         "coloring"
     }
@@ -910,7 +911,7 @@ impl PhaseKernel for ColoringKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         let rounds = coloring_rounds(state, ctx);
@@ -925,7 +926,7 @@ impl PhaseKernel for ColoringKernel {
 }
 
 /// The Coloring rounds proper; returns the round count.
-fn coloring_rounds(state: &AlgoState<'_>, ctx: &mut PipelineCtx<'_>) -> usize {
+fn coloring_rounds<G: GraphView>(state: &AlgoState<'_, G>, ctx: &mut PipelineCtx<'_>) -> usize {
     let n = state.num_nodes();
     let collector = ctx.collector;
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
@@ -969,11 +970,11 @@ fn coloring_rounds(state: &AlgoState<'_>, ctx: &mut PipelineCtx<'_>) -> usize {
                     // flag read after the sweep's join (which is what
                     // publishes it), so Relaxed suffices there too.
                     let mut max = labels[v as usize].load(Ordering::Relaxed);
-                    for &u in state.g.in_neighbors(v) {
+                    state.g.for_each_neighbor(Direction::Backward, v, |u| {
                         if u != v && state.alive(u) {
                             max = max.max(labels[u as usize].load(Ordering::Relaxed));
                         }
-                    }
+                    });
                     if max > labels[v as usize].load(Ordering::Relaxed) {
                         labels[v as usize].fetch_max(max, Ordering::Relaxed);
                         changed.store(true, Ordering::Relaxed);
@@ -1018,7 +1019,7 @@ fn coloring_rounds(state: &AlgoState<'_>, ctx: &mut PipelineCtx<'_>) -> usize {
                 resolved.fetch_add(1, Ordering::Relaxed);
                 let mut stack = vec![r];
                 while let Some(v) = stack.pop() {
-                    for &u in state.g.in_neighbors(v) {
+                    state.g.for_each_neighbor(Direction::Backward, v, |u| {
                         // ordering: label classes are frozen (fixpoint
                         // reached, published by the joins above) and
                         // disjoint per root, so these reads see final
@@ -1031,7 +1032,7 @@ fn coloring_rounds(state: &AlgoState<'_>, ctx: &mut PipelineCtx<'_>) -> usize {
                             resolved.fetch_add(1, Ordering::Relaxed);
                             stack.push(u);
                         }
-                    }
+                    });
                 }
             });
             // ordering: read after the par_iter join.
@@ -1052,7 +1053,7 @@ fn coloring_rounds(state: &AlgoState<'_>, ctx: &mut PipelineCtx<'_>) -> usize {
 /// count is added to [`RunReport::fwbw_trials`].
 struct ColorTailKernel;
 
-impl PhaseKernel for ColorTailKernel {
+impl<G: GraphView> PhaseKernel<G> for ColorTailKernel {
     fn name(&self) -> &'static str {
         "colortail"
     }
@@ -1061,7 +1062,7 @@ impl PhaseKernel for ColorTailKernel {
     }
     fn run(
         &self,
-        state: &AlgoState<'_>,
+        state: &AlgoState<'_, G>,
         ctx: &mut PipelineCtx<'_>,
     ) -> Result<PhaseOutcome, StageError> {
         let n = state.num_nodes();
@@ -1097,7 +1098,11 @@ impl PhaseKernel for ColorTailKernel {
 /// residue: labels respect the color classes (max-label flows only between
 /// same-color alive nodes), so every detected SCC stays within one class.
 /// Returns the number of nodes resolved.
-fn color_tail_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId]) -> usize {
+fn color_tail_round<G: GraphView>(
+    state: &AlgoState<'_, G>,
+    labels: &[AtomicU32],
+    alive: &[NodeId],
+) -> usize {
     // ordering: disjoint per-round reset published by the par_iter join
     // (same argument as the Coloring kernel's round setup).
     alive
@@ -1120,11 +1125,11 @@ fn color_tail_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId
             // fetch_max never loses the larger value, and the sticky
             // `changed` flag is read only after the sweep's join.
             let mut max = labels[v as usize].load(Ordering::Relaxed);
-            for &u in state.g.in_neighbors(v) {
+            state.g.for_each_neighbor(Direction::Backward, v, |u| {
                 if u != v && state.color(u) == cv {
                     max = max.max(labels[u as usize].load(Ordering::Relaxed));
                 }
-            }
+            });
             if max > labels[v as usize].load(Ordering::Relaxed) {
                 labels[v as usize].fetch_max(max, Ordering::Relaxed);
                 changed.store(true, Ordering::Relaxed);
@@ -1152,7 +1157,7 @@ fn color_tail_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId
         resolved.fetch_add(1, Ordering::Relaxed);
         let mut stack = vec![r];
         while let Some(v) = stack.pop() {
-            for &u in state.g.in_neighbors(v) {
+            state.g.for_each_neighbor(Direction::Backward, v, |u| {
                 // ordering: frozen label classes (see roots above); the
                 // counter argument is as above.
                 if u != v && state.color(u) == cr && labels[u as usize].load(Ordering::Relaxed) == r
@@ -1161,7 +1166,7 @@ fn color_tail_round(state: &AlgoState<'_>, labels: &[AtomicU32], alive: &[NodeId
                     resolved.fetch_add(1, Ordering::Relaxed);
                     stack.push(u);
                 }
-            }
+            });
         }
     });
     // ordering: read after the par_iter join.

@@ -16,7 +16,8 @@
 
 use crate::result::SccResult;
 use std::sync::Arc;
-use swscc_graph::{CsrGraph, NodeId};
+use swscc_graph::bfs::Direction;
+use swscc_graph::{CsrGraph, GraphView, NodeId};
 use swscc_parallel::{AtomicBitSet, CompactionPolicy, LiveSet};
 use swscc_sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use swscc_sync::interrupt::{AbortReason, Interrupt};
@@ -38,10 +39,12 @@ pub const DONE_COLOR: Color = Color::MAX;
 /// Colors at or above this value are reserved sentinels.
 const COLOR_LIMIT: Color = Color::MAX - 8;
 
-/// Shared state threaded through all parallel kernels.
-pub struct AlgoState<'g> {
+/// Shared state threaded through all parallel kernels, generic over the
+/// graph backend (raw or compressed CSR; defaults to raw so existing
+/// monomorphic call sites read unchanged).
+pub struct AlgoState<'g, G: GraphView = CsrGraph> {
     /// The input graph (never mutated).
-    pub g: &'g CsrGraph,
+    pub g: &'g G,
     color: Vec<AtomicU32>,
     mark: AtomicBitSet,
     comp: Vec<AtomicU32>,
@@ -60,21 +63,17 @@ pub struct AlgoState<'g> {
     watchdog_factor: usize,
 }
 
-impl<'g> AlgoState<'g> {
+impl<'g, G: GraphView> AlgoState<'g, G> {
     /// Fresh state: all nodes alive with [`INITIAL_COLOR`]. The embedded
     /// interrupt token has no deadline and no external handle, so this
     /// state never aborts — the legacy construction path.
-    pub fn new(g: &'g CsrGraph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         Self::with_interrupt(g, Interrupt::new(), DEFAULT_WATCHDOG_FACTOR)
     }
 
     /// Fresh state polling the given abort token (the checked-driver
     /// construction path).
-    pub fn with_interrupt(
-        g: &'g CsrGraph,
-        interrupt: Arc<Interrupt>,
-        watchdog_factor: usize,
-    ) -> Self {
+    pub fn with_interrupt(g: &'g G, interrupt: Arc<Interrupt>, watchdog_factor: usize) -> Self {
         let n = g.num_nodes();
         let mut color = Vec::with_capacity(n);
         color.resize_with(n, || AtomicU32::new(INITIAL_COLOR));
@@ -224,64 +223,57 @@ impl<'g> AlgoState<'g> {
     /// self-loops excluded, counting stops at `cap` (the trim kernels only
     /// ever need "is it 0" or "is it exactly 1").
     pub fn effective_in_degree(&self, n: NodeId, cap: usize) -> usize {
-        let cn = self.color(n);
-        let mut count = 0;
-        for &k in self.g.in_neighbors(n) {
-            if k != n && self.color(k) == cn {
-                count += 1;
-                if count >= cap {
-                    break;
-                }
-            }
-        }
-        count
+        self.effective_degree(Direction::Backward, n, cap)
     }
 
     /// Effective out-degree of `n` (see [`AlgoState::effective_in_degree`]).
     pub fn effective_out_degree(&self, n: NodeId, cap: usize) -> usize {
+        self.effective_degree(Direction::Forward, n, cap)
+    }
+
+    fn effective_degree(&self, dir: Direction, n: NodeId, cap: usize) -> usize {
         let cn = self.color(n);
         let mut count = 0;
-        for &k in self.g.out_neighbors(n) {
+        self.g.for_each_neighbor_while(dir, n, |k| {
             if k != n && self.color(k) == cn {
                 count += 1;
-                if count >= cap {
-                    break;
-                }
             }
-        }
+            count < cap
+        });
         count
     }
 
     /// The unique alive same-color in-neighbor of `n`, if the effective
     /// in-degree is exactly 1.
     pub fn unique_in_neighbor(&self, n: NodeId) -> Option<NodeId> {
-        let cn = self.color(n);
-        let mut found = None;
-        for &k in self.g.in_neighbors(n) {
-            if k != n && self.color(k) == cn {
-                if found.is_some() {
-                    return None;
-                }
-                found = Some(k);
-            }
-        }
-        found
+        self.unique_neighbor(Direction::Backward, n)
     }
 
     /// The unique alive same-color out-neighbor of `n`, if the effective
     /// out-degree is exactly 1.
     pub fn unique_out_neighbor(&self, n: NodeId) -> Option<NodeId> {
+        self.unique_neighbor(Direction::Forward, n)
+    }
+
+    fn unique_neighbor(&self, dir: Direction, n: NodeId) -> Option<NodeId> {
         let cn = self.color(n);
         let mut found = None;
-        for &k in self.g.out_neighbors(n) {
+        let mut ambiguous = false;
+        self.g.for_each_neighbor_while(dir, n, |k| {
             if k != n && self.color(k) == cn {
                 if found.is_some() {
-                    return None;
+                    ambiguous = true;
+                    return false;
                 }
                 found = Some(k);
             }
+            true
+        });
+        if ambiguous {
+            None
+        } else {
+            found
         }
-        found
     }
 
     /// Number of unresolved nodes (O(1) — maintained by the resolve

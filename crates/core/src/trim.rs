@@ -24,17 +24,18 @@
 
 use crate::state::AlgoState;
 use rayon::prelude::*;
-use swscc_graph::NodeId;
+use swscc_graph::bfs::Direction;
+use swscc_graph::{GraphView, NodeId};
 
 /// `true` if `n` (alive) is trimmable: zero effective in- or out-degree.
 #[inline]
-fn trimmable(state: &AlgoState<'_>, n: NodeId) -> bool {
+fn trimmable<G: GraphView>(state: &AlgoState<'_, G>, n: NodeId) -> bool {
     state.effective_in_degree(n, 1) == 0 || state.effective_out_degree(n, 1) == 0
 }
 
 /// Runs Par-Trim to fixpoint over the whole graph. Returns the number of
 /// nodes resolved (each becomes its own size-1 SCC).
-pub fn par_trim(state: &AlgoState<'_>) -> usize {
+pub fn par_trim<G: GraphView>(state: &AlgoState<'_, G>) -> usize {
     // Round 0: parallel sweep over the live set — O(N) on a fresh state,
     // O(|residue|) after a post-peel compaction.
     let mut frontier: Vec<NodeId> = state
@@ -62,12 +63,16 @@ pub fn par_trim(state: &AlgoState<'_>) -> usize {
         frontier = trimmed
             .par_iter()
             .flat_map_iter(|&v| {
+                // One small per-trimmed-node Vec (cold path: frontier
+                // expansion, not a decode loop) keeps this backend-generic.
+                let mut nbrs = Vec::with_capacity(state.g.out_degree(v) + state.g.in_degree(v));
                 state
                     .g
-                    .out_neighbors(v)
-                    .iter()
-                    .chain(state.g.in_neighbors(v))
-                    .copied()
+                    .for_each_neighbor(Direction::Forward, v, |w| nbrs.push(w));
+                state
+                    .g
+                    .for_each_neighbor(Direction::Backward, v, |w| nbrs.push(w));
+                nbrs
             })
             .filter(|&w| state.alive(w) && trimmable(state, w))
             .collect();
@@ -78,7 +83,7 @@ pub fn par_trim(state: &AlgoState<'_>) -> usize {
 /// The paper's Algorithm 4 verbatim: full parallel sweeps over all nodes,
 /// repeated until a sweep changes nothing. Same fixpoint as [`par_trim`]
 /// (tested), higher cost on deep chains — O(rounds × N) sweeps.
-pub fn par_trim_sweeping(state: &AlgoState<'_>) -> usize {
+pub fn par_trim_sweeping<G: GraphView>(state: &AlgoState<'_, G>) -> usize {
     let n = state.num_nodes();
     let mut resolved = 0usize;
     loop {

@@ -15,11 +15,11 @@
 //! assertion verifies no double-resolution.
 
 use crate::state::AlgoState;
-use swscc_graph::NodeId;
+use swscc_graph::{GraphView, NodeId};
 
 /// Runs one parallel Trim2 sweep. Returns the number of nodes resolved
 /// (always even: whole pairs).
-pub fn par_trim2(state: &AlgoState<'_>) -> usize {
+pub fn par_trim2<G: GraphView>(state: &AlgoState<'_, G>) -> usize {
     // Pair scan over the live set: O(|residue|) once compacted.
     let pairs: Vec<(NodeId, NodeId)> = state.live().par_filter_map(|v| {
         if !state.alive(v) {
@@ -44,7 +44,7 @@ pub fn par_trim2(state: &AlgoState<'_>) -> usize {
 ///
 /// * (a) `in(v) = {k}`, `v -> k` exists, `in(k) = {v}` — no other way in;
 /// * (b) `out(v) = {k}`, `k -> v` exists, `out(k) = {v}` — no other way out.
-fn find_partner(state: &AlgoState<'_>, v: NodeId) -> Option<NodeId> {
+fn find_partner<G: GraphView>(state: &AlgoState<'_, G>, v: NodeId) -> Option<NodeId> {
     let cv = state.color(v);
     // Pattern (a): unique in-neighbor with a mutual edge, itself in-unique.
     if let Some(k) = state.unique_in_neighbor(v) {

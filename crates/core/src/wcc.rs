@@ -29,8 +29,9 @@
 
 use crate::state::{AlgoState, Color};
 use rayon::prelude::*;
+use swscc_graph::bfs::Direction;
 use swscc_graph::traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};
-use swscc_graph::NodeId;
+use swscc_graph::{GraphView, NodeId};
 use swscc_parallel::ClaimSet;
 use swscc_sync::atomic::{AtomicU32, Ordering};
 
@@ -53,13 +54,13 @@ pub struct WccOutcome {
 /// `queued` claim set dedups concurrent enqueue attempts; the driver
 /// releases a node's bit when it leaves the frontier so later label
 /// improvements can re-activate it.
-struct MinLabelOps<'a, 'g> {
-    state: &'a AlgoState<'g>,
+struct MinLabelOps<'a, 'g, G: GraphView> {
+    state: &'a AlgoState<'g, G>,
     labels: &'a [AtomicU32],
     queued: ClaimSet,
 }
 
-impl EdgeMapOps for MinLabelOps<'_, '_> {
+impl<G: GraphView> EdgeMapOps for MinLabelOps<'_, '_, G> {
     #[inline]
     fn claim(&self, src: NodeId, dst: NodeId, _depth: u32) -> bool {
         if src == dst || self.state.color(dst) != self.state.color(src) {
@@ -91,7 +92,10 @@ impl EdgeMapOps for MinLabelOps<'_, '_> {
 /// dispatch point consumed by the pipeline engine's Wcc kernel (and any
 /// other caller that should honour the config knob rather than hard-code
 /// an implementation).
-pub fn run_wcc(state: &AlgoState<'_>, cfg: &crate::config::SccConfig) -> WccOutcome {
+pub fn run_wcc<G: GraphView>(
+    state: &AlgoState<'_, G>,
+    cfg: &crate::config::SccConfig,
+) -> WccOutcome {
     match cfg.wcc_impl {
         crate::config::WccImpl::LabelPropagation => par_wcc(state),
         crate::config::WccImpl::UnionFind => par_wcc_unionfind(state),
@@ -101,7 +105,7 @@ pub fn run_wcc(state: &AlgoState<'_>, cfg: &crate::config::SccConfig) -> WccOutc
 /// Runs Par-WCC over all alive nodes, respecting the current coloring
 /// (labels never cross between different colors). Re-colors every alive
 /// node with its WCC's fresh color and returns the groups.
-pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
+pub fn par_wcc<G: GraphView>(state: &AlgoState<'_, G>) -> WccOutcome {
     let n = state.num_nodes();
     let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     // Alive-list build over the live set: O(|residue|) once compacted.
@@ -209,7 +213,7 @@ pub fn par_wcc(state: &AlgoState<'_>) -> WccOutcome {
 /// edge costs amortized near-constant work regardless of component shape.
 /// Selectable via [`crate::config::WccImpl`]; the `ablation_wcc` harness
 /// compares the two on both graph classes.
-pub fn par_wcc_unionfind(state: &AlgoState<'_>) -> WccOutcome {
+pub fn par_wcc_unionfind<G: GraphView>(state: &AlgoState<'_, G>) -> WccOutcome {
     let n = state.num_nodes();
     let parents: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
     let alive: Vec<NodeId> = state.collect_alive();
@@ -218,11 +222,11 @@ pub fn par_wcc_unionfind(state: &AlgoState<'_>) -> WccOutcome {
     // from u's side, and weak connectivity is symmetric.
     alive.par_iter().for_each(|&u| {
         let cu = state.color(u);
-        for &v in state.g.out_neighbors(u) {
+        state.g.for_each_neighbor(Direction::Forward, u, |v| {
             if v != u && state.color(v) == cu {
                 union(&parents, u, v);
             }
-        }
+        });
     });
 
     // Group by root (flatten to full path compression first).

@@ -115,8 +115,8 @@ impl EdgeMapOps for LevelClaimOps<'_> {
 /// in a level-synchronous BFS is deterministic even though claim order is
 /// not, and the kernel's bottom-up sweeps join against frontier membership
 /// (not the visited set) so they assign identical depths.
-pub fn par_bfs_levels_with(
-    g: &CsrGraph,
+pub fn par_bfs_levels_with<G: crate::view::GraphView>(
+    g: &G,
     src: NodeId,
     adj: Adjacency,
     cfg: &TraversalConfig,

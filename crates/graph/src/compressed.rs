@@ -1,0 +1,861 @@
+//! Byte-delta compressed CSR: the VarInt difference-encoded adjacency
+//! backend (GBBS playbook — Dhulipala et al., arXiv 1805.05208).
+//!
+//! Each vertex's sorted neighbor list is one byte stream: first a VarInt
+//! **degree**, then the first neighbor as a **zigzag-coded signed delta
+//! from the vertex id** (neighbors cluster around their vertex in
+//! small-world orderings, so this delta is usually tiny), then every
+//! subsequent neighbor as the raw non-negative delta from its predecessor
+//! (lists are ascending; duplicate edges encode as delta 0). A `u32`
+//! byte-offset array per direction completes the structure — no separate
+//! degree array, so per-vertex overhead is 4 bytes + ~1 degree byte
+//! instead of the raw layout's 8-byte offset.
+//!
+//! Decoding is *chunk-granular and allocation-free*: the
+//! [`GraphView::for_each_neighbor_while`] impl decodes one VarInt at a
+//! time directly from the byte stream and feeds each id to the caller's
+//! closure, so the traversal kernels never materialize a neighbor slice.
+//! Callers that do need a slice use [`GraphView::copy_neighbors`] with a
+//! reusable per-worker buffer.
+//!
+//! Construction paths:
+//! * [`CompressedCsr::from_csr`] — exact re-encode of an existing raw
+//!   graph (duplicates and self-loops preserved).
+//! * [`CompressedCsr::from_edge_stream`] — *streaming* construction that
+//!   never materializes the uncompressed CSR: the caller replays its edge
+//!   stream once per shard, and each shard sorts, deduplicates, and
+//!   encodes only the vertices in its node range. Peak transient memory
+//!   is O(M / shards) edge pairs, which is what lets the generators build
+//!   corpora several times larger than the raw path in the same budget.
+
+use crate::bfs::Direction;
+use crate::csr::{CsrError, CsrGraph, NodeId};
+use crate::view::{GraphView, MemoryFootprint};
+
+/// Appends `x` to `buf` as a little-endian base-128 VarInt (LEB128).
+#[inline]
+pub(crate) fn encode_varint(buf: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        buf.push((x as u8) | 0x80);
+        x >>= 7;
+    }
+    buf.push(x as u8);
+}
+
+/// Decodes one VarInt at `*pos`, advancing `*pos` past it.
+///
+/// # Panics
+///
+/// Panics (via slice indexing) on a truncated stream; encoded data is
+/// validated up front ([`CompressedCsr::from_raw_parts`]) so the hot
+/// decode loop carries no per-edge error branch.
+#[inline]
+pub(crate) fn decode_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = data[*pos];
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// [`decode_varint`] without the per-byte bounds check: the traversal
+/// hot path, where the check (and its panic branch) costs a measurable
+/// fraction of the per-edge decode.
+///
+/// # Safety
+///
+/// A complete VarInt must start at `data[*pos]`. Every stream handed to
+/// the decode loops satisfies this: `push_list` emits well-formed
+/// VarInts by construction, and untrusted input is fully decoded by
+/// `CompressedAdjacency::validate` (exact byte consumption per list)
+/// before a `CompressedCsr` exists.
+///
+/// Small-world deltas are overwhelmingly single-byte, so that case is
+/// the inlined straight-line path; the multi-byte continuation is
+/// `#[cold]` and out of line to keep the traversal loop's branch and
+/// i-cache footprint minimal.
+// SAFETY: caller contract above — `*pos` must start a complete VarInt.
+#[inline(always)]
+unsafe fn decode_varint_unchecked(data: &[u8], pos: &mut usize) -> u64 {
+    // SAFETY: the caller guarantees a complete VarInt at `*pos`, so its
+    // first byte is in bounds.
+    let b = unsafe { *data.get_unchecked(*pos) };
+    *pos += 1;
+    if b < 0x80 {
+        return u64::from(b);
+    }
+    // SAFETY: same VarInt, continuation bytes.
+    unsafe { decode_varint_unchecked_slow(data, pos, u64::from(b & 0x7f)) }
+}
+
+/// Multi-byte continuation of [`decode_varint_unchecked`].
+///
+/// # Safety
+///
+/// Same contract: the VarInt continuing at `*pos` must be complete and
+/// in bounds.
+// SAFETY: caller contract above.
+#[cold]
+unsafe fn decode_varint_unchecked_slow(data: &[u8], pos: &mut usize, mut x: u64) -> u64 {
+    let mut shift = 7u32;
+    loop {
+        // SAFETY: the caller guarantees the VarInt's continuation bytes
+        // up to and including its terminator are in bounds.
+        let b = unsafe { *data.get_unchecked(*pos) };
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// Maps a signed delta to an unsigned VarInt payload (zigzag coding:
+/// 0, -1, 1, -2, ... → 0, 1, 2, 3, ...), so small negative first-neighbor
+/// deltas stay one byte.
+#[inline]
+pub(crate) fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub(crate) fn zigzag_decode(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// One direction's compressed adjacency: `u32` byte offsets plus the
+/// encoded stream (degree VarInt, then the delta-coded list).
+#[derive(Clone, Debug, Default)]
+struct CompressedAdjacency {
+    /// `num_nodes + 1` byte offsets into `data`. `u32` caps the encoded
+    /// payload at 4 GiB per direction (~2 G edges at typical 2 B/edge) —
+    /// asserted during construction, validated on load.
+    offsets: Vec<u32>,
+    /// The concatenated per-vertex VarInt streams.
+    data: Vec<u8>,
+}
+
+impl CompressedAdjacency {
+    /// An empty structure ready for appending (construction cold path).
+    fn with_nodes(expected_nodes: usize) -> Self {
+        // decode: construction cold path — builds the arrays the hot
+        // decode loops later stream from; never runs inside a traversal.
+        CompressedAdjacency {
+            offsets: {
+                let mut v = Vec::with_capacity(expected_nodes + 1);
+                v.push(0);
+                v
+            },
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends vertex `v`'s sorted neighbor list. Must be called for
+    /// vertices in ascending order with no gaps.
+    fn push_list(&mut self, v: NodeId, list: impl ExactSizeIterator<Item = NodeId>) {
+        encode_varint(&mut self.data, list.len() as u64);
+        let mut prev: Option<NodeId> = None;
+        for t in list {
+            match prev {
+                None => encode_varint(&mut self.data, zigzag_encode(t as i64 - v as i64)),
+                Some(p) => {
+                    debug_assert!(t >= p, "neighbor lists must be ascending");
+                    encode_varint(&mut self.data, u64::from(t - p));
+                }
+            }
+            prev = Some(t);
+        }
+        assert!(
+            self.data.len() <= u32::MAX as usize,
+            "compressed adjacency exceeds the 4 GiB u32-offset cap"
+        );
+        self.offsets.push(self.data.len() as u32);
+    }
+
+    /// Degree of `n`: one VarInt decode at the list head.
+    #[inline]
+    fn degree(&self, n: NodeId) -> usize {
+        let mut pos = self.offsets[n as usize] as usize;
+        decode_varint(&self.data, &mut pos) as usize
+    }
+
+    /// Streams `n`'s neighbors in ascending order, stopping when `f`
+    /// returns `false`. The hot decode loop: one unchecked VarInt per
+    /// edge, no allocation, no per-byte bounds check — the up-front
+    /// validation (`validate`, run on every untrusted load) proved each
+    /// list decodes exactly within its offset window, and `push_list`
+    /// streams are well-formed by construction.
+    #[inline]
+    fn for_each_while(&self, n: NodeId, mut f: impl FnMut(NodeId) -> bool) {
+        let mut pos = self.offsets[n as usize] as usize;
+        let data = self.data.as_slice();
+        // SAFETY: `offsets[n]` starts a validated list: a degree VarInt
+        // followed by exactly `deg` delta VarInts, all within `data`.
+        let deg = unsafe { decode_varint_unchecked(data, &mut pos) };
+        if deg == 0 {
+            return;
+        }
+        // SAFETY: as above — `deg >= 1` guarantees the first delta.
+        let first = unsafe { decode_varint_unchecked(data, &mut pos) };
+        let mut cur = (n as i64 + zigzag_decode(first)) as u32;
+        if !f(cur) {
+            return;
+        }
+        for _ in 1..deg {
+            // SAFETY: as above — deltas 2..=deg of the validated list.
+            cur += unsafe { decode_varint_unchecked(data, &mut pos) } as u32;
+            if !f(cur) {
+                return;
+            }
+        }
+    }
+
+    /// Heap bytes `(offsets, data)`.
+    fn bytes(&self) -> (usize, usize) {
+        (
+            self.offsets.len() * std::mem::size_of::<u32>(),
+            self.data.len(),
+        )
+    }
+
+    /// Structural + decode validation of untrusted arrays (the io path).
+    /// Checks offset-array shape, then fully decodes every list: exact
+    /// byte consumption, ascending ids, all ids `< num_nodes`. Returns
+    /// the total decoded edge count.
+    fn validate(&self, direction: &'static str, num_nodes: usize) -> Result<usize, CsrError> {
+        if self.offsets.len() != num_nodes + 1 {
+            return Err(CsrError::OffsetLength {
+                direction,
+                got: self.offsets.len(),
+                want: num_nodes + 1,
+            });
+        }
+        if self.offsets[0] != 0 {
+            return Err(CsrError::OffsetStart {
+                direction,
+                got: self.offsets[0] as usize,
+            });
+        }
+        if let Some(i) = (1..self.offsets.len()).find(|&i| self.offsets[i] < self.offsets[i - 1]) {
+            return Err(CsrError::NonMonotoneOffsets {
+                direction,
+                index: i,
+            });
+        }
+        if self.offsets[num_nodes] as usize != self.data.len() {
+            return Err(CsrError::OffsetTargetMismatch {
+                direction,
+                last: self.offsets[num_nodes] as usize,
+                targets: self.data.len(),
+            });
+        }
+        let mut edges = 0usize;
+        let mut flat = 0usize;
+        for v in 0..num_nodes as NodeId {
+            let (start, end) = (
+                self.offsets[v as usize] as usize,
+                self.offsets[v as usize + 1] as usize,
+            );
+            let mut pos = start;
+            let deg = checked_decode_varint(&self.data[..end], &mut pos)
+                .ok_or(CsrError::DecodeCorrupt { direction, node: v })?;
+            if deg > (end - pos) as u64 {
+                // Exact sanity bound: every encoded edge costs at least
+                // one byte, so a degree exceeding the list's remaining
+                // bytes is forged and must not drive the loop below.
+                return Err(CsrError::DecodeCorrupt { direction, node: v });
+            }
+            let mut prev: Option<i64> = None;
+            for _ in 0..deg {
+                let raw = checked_decode_varint(&self.data[..end], &mut pos)
+                    .ok_or(CsrError::DecodeCorrupt { direction, node: v })?;
+                let id = match prev {
+                    None => v as i64 + zigzag_decode(raw),
+                    Some(p) => p + raw as i64,
+                };
+                if id < 0 || id as usize >= num_nodes {
+                    return Err(CsrError::TargetOutOfRange {
+                        direction,
+                        index: flat,
+                        target: id.clamp(0, u32::MAX as i64) as NodeId,
+                    });
+                }
+                prev = Some(id);
+                flat += 1;
+            }
+            if pos != end {
+                // trailing bytes a decoder would never read
+                return Err(CsrError::DecodeCorrupt { direction, node: v });
+            }
+            edges += deg as usize;
+        }
+        Ok(edges)
+    }
+}
+
+/// Bounds-checked VarInt decode for the validation pass (`None` on a
+/// truncated or overlong — u64-overflowing — encoding).
+fn checked_decode_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos)?;
+        *pos += 1;
+        if shift >= 63 && b > 1 {
+            return None; // would overflow u64
+        }
+        x |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return Some(x);
+        }
+        shift += 7;
+    }
+}
+
+/// A directed graph in byte-delta compressed CSR form, forward and
+/// reverse adjacency both encoded. Drop-in [`GraphView`] backend: every
+/// traversal kernel in the workspace runs on it unmodified.
+///
+/// # Examples
+///
+/// ```
+/// use swscc_graph::{CompressedCsr, CsrGraph, GraphView};
+/// use swscc_graph::bfs::Direction;
+///
+/// let raw = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let z = CompressedCsr::from_csr(&raw);
+/// assert_eq!(z.num_edges(), 4);
+/// let mut nbrs = Vec::new();
+/// z.for_each_neighbor(Direction::Forward, 2, |v| nbrs.push(v));
+/// assert_eq!(nbrs, vec![0, 3]);
+/// assert!(z.has_edge(1, 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompressedCsr {
+    num_nodes: usize,
+    num_edges: usize,
+    out: CompressedAdjacency,
+    inc: CompressedAdjacency,
+}
+
+impl CompressedCsr {
+    /// Exact re-encode of a raw CSR graph (duplicates and self-loops
+    /// preserved), so `from_csr(g)` is neighbor-for-neighbor identical
+    /// to `g`.
+    pub fn from_csr(g: &CsrGraph) -> CompressedCsr {
+        let n = g.num_nodes();
+        // decode: construction cold path — one-time encode, not a
+        // traversal decode loop.
+        let mut out = CompressedAdjacency::with_nodes(n);
+        let mut inc = CompressedAdjacency::with_nodes(n);
+        for v in 0..n as NodeId {
+            out.push_list(v, g.out_neighbors(v).iter().copied());
+            inc.push_list(v, g.in_neighbors(v).iter().copied());
+        }
+        CompressedCsr {
+            num_nodes: n,
+            num_edges: g.num_edges(),
+            out,
+            inc,
+        }
+    }
+
+    /// Streaming construction: builds the compressed graph without ever
+    /// materializing the uncompressed CSR or the full edge list.
+    ///
+    /// `stream` must emit the same edge sequence every time it is called
+    /// (deterministic replay); it is invoked once per shard. Each shard
+    /// owns a contiguous node range and collects only the edges whose
+    /// relevant endpoint falls in that range, so peak transient memory is
+    /// `O(M / shards)` edge pairs instead of `O(M)`.
+    ///
+    /// Semantics match [`crate::builder::GraphBuilder`]'s defaults (the
+    /// generators' construction path): duplicate edges are deduplicated
+    /// and self-loops dropped. Per-shard sort+dedup is equivalent to a
+    /// global dedup because an exact duplicate pair lands in the same
+    /// shard as its twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream emits an endpoint `>= num_nodes`.
+    pub fn from_edge_stream(
+        num_nodes: usize,
+        shards: usize,
+        stream: impl Fn(&mut dyn FnMut(NodeId, NodeId)),
+    ) -> CompressedCsr {
+        let shards = shards.clamp(1, num_nodes.max(1));
+        // decode: construction cold path (shard-by-shard encode); the
+        // transient vectors below are the O(M / shards) working set.
+        let mut out = CompressedAdjacency::with_nodes(num_nodes);
+        let mut inc = CompressedAdjacency::with_nodes(num_nodes);
+        let mut num_edges = 0usize;
+        for k in 0..shards {
+            let lo = (num_nodes * k / shards) as NodeId;
+            let hi = (num_nodes * (k + 1) / shards) as NodeId;
+            let mut fwd: Vec<(NodeId, NodeId)> = Vec::new();
+            let mut bwd: Vec<(NodeId, NodeId)> = Vec::new();
+            stream(&mut |u, v| {
+                assert!(
+                    (u as usize) < num_nodes && (v as usize) < num_nodes,
+                    "edge ({u}, {v}) out of range for {num_nodes} nodes"
+                );
+                if u == v {
+                    return;
+                }
+                if (lo..hi).contains(&u) {
+                    fwd.push((u, v));
+                }
+                if (lo..hi).contains(&v) {
+                    bwd.push((v, u));
+                }
+            });
+            fwd.sort_unstable();
+            fwd.dedup();
+            bwd.sort_unstable();
+            bwd.dedup();
+            num_edges += fwd.len();
+            let (mut i, mut j) = (0usize, 0usize);
+            for v in lo..hi {
+                let fs = i;
+                while i < fwd.len() && fwd[i].0 == v {
+                    i += 1;
+                }
+                out.push_list(v, fwd[fs..i].iter().map(|&(_, t)| t));
+                let bs = j;
+                while j < bwd.len() && bwd[j].0 == v {
+                    j += 1;
+                }
+                inc.push_list(v, bwd[bs..j].iter().map(|&(_, t)| t));
+            }
+        }
+        CompressedCsr {
+            num_nodes,
+            num_edges,
+            out,
+            inc,
+        }
+    }
+
+    /// Assembles a graph from raw encoded arrays, fully validating them
+    /// first (decode every list: exact byte consumption, ascending ids,
+    /// ids in range, per-node degree agreement between directions). The
+    /// untrusted-input counterpart of [`CompressedCsr::from_csr`], used
+    /// by the binary io path.
+    pub fn from_raw_parts(
+        num_nodes: usize,
+        out_offsets: Vec<u32>,
+        out_data: Vec<u8>,
+        in_offsets: Vec<u32>,
+        in_data: Vec<u8>,
+    ) -> Result<CompressedCsr, CsrError> {
+        let out = CompressedAdjacency {
+            offsets: out_offsets,
+            data: out_data,
+        };
+        let inc = CompressedAdjacency {
+            offsets: in_offsets,
+            data: in_data,
+        };
+        let forward = out.validate("out", num_nodes)?;
+        let reverse = inc.validate("in", num_nodes)?;
+        if forward != reverse {
+            return Err(CsrError::EdgeCountMismatch { forward, reverse });
+        }
+        let g = CompressedCsr {
+            num_nodes,
+            num_edges: forward,
+            out,
+            inc,
+        };
+        // Per-node forward/reverse agreement, via the decode stream.
+        // decode: validation cold path (runs once per load, not inside a
+        // traversal).
+        let mut indeg = vec![0usize; num_nodes];
+        for v in 0..num_nodes as NodeId {
+            g.out.for_each_while(v, |t| {
+                indeg[t as usize] += 1;
+                true
+            });
+        }
+        for (n, &forward) in indeg.iter().enumerate() {
+            let reverse = g.inc.degree(n as NodeId);
+            if forward != reverse {
+                return Err(CsrError::DegreeMismatch {
+                    node: n as NodeId,
+                    forward,
+                    reverse,
+                });
+            }
+        }
+        Ok(g)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Raw encoded arrays `(offsets, data)` for one direction — the io
+    /// serialization surface.
+    pub fn raw_parts(&self, dir: Direction) -> (&[u32], &[u8]) {
+        let adj = match dir {
+            Direction::Forward => &self.out,
+            Direction::Backward => &self.inc,
+        };
+        (&adj.offsets, &adj.data)
+    }
+
+    /// Total encoded payload bytes (both directions' byte streams,
+    /// excluding offsets) — the bytes/edge numerator quoted by the
+    /// compression bench.
+    pub fn encoded_bytes(&self) -> usize {
+        self.out.data.len() + self.inc.data.len()
+    }
+}
+
+impl GraphView for CompressedCsr {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    fn degree(&self, dir: Direction, n: NodeId) -> usize {
+        match dir {
+            Direction::Forward => self.out.degree(n),
+            Direction::Backward => self.inc.degree(n),
+        }
+    }
+
+    #[inline]
+    fn for_each_neighbor_while(&self, dir: Direction, n: NodeId, f: impl FnMut(NodeId) -> bool) {
+        match dir {
+            Direction::Forward => self.out.for_each_while(n, f),
+            Direction::Backward => self.inc.for_each_while(n, f),
+        }
+    }
+
+    fn materialize_csr(&self) -> CsrGraph {
+        // decode: cold path — full materialization for oracles/recovery,
+        // not a kernel inner loop.
+        let mut out_offsets = Vec::with_capacity(self.num_nodes + 1);
+        let mut in_offsets = Vec::with_capacity(self.num_nodes + 1);
+        let mut out_targets = Vec::with_capacity(self.num_edges);
+        let mut in_targets = Vec::with_capacity(self.num_edges);
+        out_offsets.push(0);
+        in_offsets.push(0);
+        for v in 0..self.num_nodes as NodeId {
+            self.out.for_each_while(v, |t| {
+                out_targets.push(t);
+                true
+            });
+            out_offsets.push(out_targets.len());
+            self.inc.for_each_while(v, |t| {
+                in_targets.push(t);
+                true
+            });
+            in_offsets.push(in_targets.len());
+        }
+        CsrGraph::from_raw_parts(
+            self.num_nodes,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        )
+        .expect("a valid CompressedCsr decodes to a valid CsrGraph")
+    }
+
+    fn memory_footprint(&self) -> MemoryFootprint {
+        let (o_off, o_data) = self.out.bytes();
+        let (i_off, i_data) = self.inc.bytes();
+        MemoryFootprint {
+            backend: "compressed-csr",
+            offsets_bytes: o_off + i_off,
+            adjacency_bytes: o_data,
+            transpose_bytes: i_data,
+            side_bytes: 0,
+            num_nodes: self.num_nodes,
+            num_edges: self.num_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn assert_equivalent(raw: &CsrGraph, z: &CompressedCsr) {
+        assert_eq!(GraphView::num_nodes(raw), z.num_nodes());
+        assert_eq!(GraphView::num_edges(raw), z.num_edges());
+        for n in 0..raw.num_nodes() as NodeId {
+            for dir in [Direction::Forward, Direction::Backward] {
+                let mut got = Vec::new();
+                z.for_each_neighbor(dir, n, |v| got.push(v));
+                assert_eq!(got.as_slice(), dir.neighbors(raw, n), "node {n} {dir:?}");
+                assert_eq!(GraphView::degree(z, dir, n), got.len());
+            }
+        }
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &values {
+            encode_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(decode_varint(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+        ] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // small magnitudes stay one byte
+        let mut buf = Vec::new();
+        encode_varint(&mut buf, zigzag_encode(-3));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn from_csr_preserves_everything() {
+        // duplicates, self-loops, empty lists, a hub
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 1),
+                (0, 1),
+                (1, 1),
+                (1, 2),
+                (3, 0),
+                (3, 2),
+                (3, 4),
+                (3, 5),
+                (5, 0),
+            ],
+        );
+        assert_equivalent(&g, &CompressedCsr::from_csr(&g));
+    }
+
+    #[test]
+    fn empty_graph_and_isolated_nodes() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert_equivalent(&g, &CompressedCsr::from_csr(&g));
+        let g = CsrGraph::from_edges(4, &[]);
+        let z = CompressedCsr::from_csr(&g);
+        assert_equivalent(&g, &z);
+        assert_eq!(z.encoded_bytes(), 8, "one zero-degree byte per list");
+    }
+
+    #[test]
+    fn has_edge_probe_matches_raw() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 3), (2, 0), (2, 2), (4, 1)]);
+        let z = CompressedCsr::from_csr(&g);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                assert_eq!(z.has_edge(u, v), g.has_edge(u, v), "{u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_edge_stream_matches_builder() {
+        // The stream path must agree with GraphBuilder's dedup +
+        // self-loop-drop semantics, for every shard count.
+        let edges = [
+            (0u32, 1u32),
+            (1, 2),
+            (1, 2), // duplicate
+            (2, 2), // self-loop
+            (2, 0),
+            (5, 3),
+            (3, 5),
+            (0, 1), // duplicate
+            (4, 0),
+        ];
+        let mut b = GraphBuilder::new(6);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let raw = b.build();
+        for shards in [1usize, 2, 3, 6, 100] {
+            let z = CompressedCsr::from_edge_stream(6, shards, |emit| {
+                for &(u, v) in &edges {
+                    emit(u, v);
+                }
+            });
+            assert_equivalent(&raw, &z);
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let z = CompressedCsr::from_csr(&g);
+        let (oo, ob) = z.raw_parts(Direction::Forward);
+        let (io_, ib) = z.raw_parts(Direction::Backward);
+        let rebuilt =
+            CompressedCsr::from_raw_parts(4, oo.to_vec(), ob.to_vec(), io_.to_vec(), ib.to_vec())
+                .expect("encoded arrays validate");
+        assert_equivalent(&g, &rebuilt);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_truncated_stream() {
+        let g = CsrGraph::from_edges(3, &[(0, 2), (2, 1)]);
+        let z = CompressedCsr::from_csr(&g);
+        let (oo, ob) = z.raw_parts(Direction::Forward);
+        let (io_, ib) = z.raw_parts(Direction::Backward);
+        let mut bad = ob.to_vec();
+        bad.pop();
+        let mut offsets = oo.to_vec();
+        *offsets.last_mut().unwrap() = bad.len() as u32;
+        let err =
+            CompressedCsr::from_raw_parts(3, offsets, bad, io_.to_vec(), ib.to_vec()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CsrError::DecodeCorrupt { .. }
+                    | CsrError::OffsetTargetMismatch { .. }
+                    | CsrError::NonMonotoneOffsets { .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_out_of_range_target() {
+        // single list: degree 1, "neighbor" at id 5 in a 2-node graph
+        let mut data = Vec::new();
+        encode_varint(&mut data, 1);
+        encode_varint(&mut data, zigzag_encode(5));
+        let len = data.len() as u32;
+        let err = CompressedCsr::from_raw_parts(
+            2,
+            vec![0, len, len + 1],
+            {
+                let mut d = data.clone();
+                encode_varint(&mut d, 0);
+                d
+            },
+            vec![0, 1, 2],
+            vec![0, 0], // two empty lists
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CsrError::TargetOutOfRange { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_degree_disagreement() {
+        // out claims 0 -> 1, but the reverse side is empty
+        let mut data = Vec::new();
+        encode_varint(&mut data, 1);
+        encode_varint(&mut data, zigzag_encode(1));
+        let len = data.len() as u32;
+        let err = CompressedCsr::from_raw_parts(
+            2,
+            vec![0, len, len + 1],
+            {
+                let mut d = data.clone();
+                encode_varint(&mut d, 0);
+                d
+            },
+            vec![0, 1, 2],
+            vec![0, 0],
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CsrError::EdgeCountMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let g = CsrGraph::from_edges(5, &[(0, 4), (4, 0), (1, 3), (3, 1), (2, 2)]);
+        let z = CompressedCsr::from_csr(&g);
+        let m = z.materialize_csr();
+        let mut a: Vec<_> = g.edges().collect();
+        let mut b: Vec<_> = m.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn footprint_beats_raw_on_clustered_ids() {
+        // ring lattice: neighbors adjacent to their vertex, the friendly
+        // case — deltas are 1-2 bytes vs 4 raw.
+        let n = 4096u32;
+        let edges: Vec<_> = (0..n)
+            .flat_map(|v| [(v, (v + 1) % n), (v, (v + 2) % n)])
+            .collect();
+        let g = CsrGraph::from_edges(n as usize, &edges);
+        let z = CompressedCsr::from_csr(&g);
+        let fp = z.memory_footprint();
+        assert!(
+            fp.ratio_vs_raw() < 0.6,
+            "ratio {:.3} should be well under raw",
+            fp.ratio_vs_raw()
+        );
+        assert!(fp.to_string().contains("compressed-csr"));
+    }
+
+    #[test]
+    fn max_delta_encodes() {
+        // extreme spread: node 0 -> last node, exercising multi-byte
+        // deltas both signed (first) and raw (rest).
+        let n = (u16::MAX as usize) + 2;
+        let last = (n - 1) as NodeId;
+        let g = CsrGraph::from_edges(n, &[(0, last), (last, 0), (0, 1)]);
+        assert_equivalent(&g, &CompressedCsr::from_csr(&g));
+    }
+}

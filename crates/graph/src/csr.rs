@@ -57,6 +57,27 @@ pub enum CsrError {
         forward: usize,
         reverse: usize,
     },
+    /// Node `node`'s adjacency list is not sorted ascending — the
+    /// invariant the binary-search membership probe relies on.
+    UnsortedAdjacency {
+        direction: &'static str,
+        node: NodeId,
+    },
+    /// The reverse structure claims an edge `u -> v` the forward
+    /// structure does not contain (detected by the membership probe).
+    CrossEdgeMissing { u: NodeId, v: NodeId },
+    /// A compressed degree array is not exactly `num_nodes` entries long.
+    DegreeArrayLength {
+        direction: &'static str,
+        got: usize,
+        want: usize,
+    },
+    /// A compressed adjacency stream for `node` is truncated, overlong,
+    /// or does not decode to the declared degree.
+    DecodeCorrupt {
+        direction: &'static str,
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for CsrError {
@@ -100,6 +121,22 @@ impl std::fmt::Display for CsrError {
             } => write!(
                 f,
                 "node {node}: {forward} forward edges point at it but reverse in-degree is {reverse}"
+            ),
+            CsrError::UnsortedAdjacency { direction, node } => {
+                write!(f, "{direction}-adjacency of node {node} is not sorted")
+            }
+            CsrError::CrossEdgeMissing { u, v } => write!(
+                f,
+                "reverse structure claims edge {u} -> {v} but the forward structure lacks it"
+            ),
+            CsrError::DegreeArrayLength {
+                direction,
+                got,
+                want,
+            } => write!(f, "{direction}-degree array has {got} entries, want {want}"),
+            CsrError::DecodeCorrupt { direction, node } => write!(
+                f,
+                "{direction}-adjacency byte stream of node {node} is corrupt"
             ),
         }
     }
@@ -300,14 +337,18 @@ impl CsrGraph {
         Ok(g)
     }
 
-    /// Checks every CSR structural invariant in O(N + M):
+    /// Checks every CSR structural invariant in O(N + M log d):
     ///
     /// * both offset arrays have `num_nodes + 1` entries, start at 0, are
     ///   monotone non-decreasing, and end at their target-array length;
     /// * every target id is `< num_nodes`;
-    /// * forward and reverse structures agree — same total edge count and,
-    ///   per node, the reverse in-degree equals the number of forward
-    ///   edges pointing at the node.
+    /// * every adjacency list is sorted ascending — [`CsrGraph::has_edge`]
+    ///   binary-searches, so an unsorted list would make membership
+    ///   probes silently miss edges;
+    /// * forward and reverse structures agree — same total edge count,
+    ///   per node the reverse in-degree equals the number of forward
+    ///   edges pointing at the node, and (via the membership probe) every
+    ///   edge the reverse structure claims exists in the forward lists.
     ///
     /// Graphs built by [`CsrGraph::from_edges`] satisfy this by
     /// construction; loaders call it as a defense-in-depth check on
@@ -335,6 +376,17 @@ impl CsrGraph {
                     forward,
                     reverse,
                 });
+            }
+        }
+        // Content agreement: every reverse entry `u ∈ in(v)` must be
+        // matched by a forward edge u -> v. Sortedness was validated
+        // above, so the binary-search membership probe is sound here —
+        // and it never materializes or rescans a hub's full list.
+        for v in 0..self.num_nodes as NodeId {
+            for &u in self.in_neighbors(v) {
+                if !self.has_edge(u, v) {
+                    return Err(CsrError::CrossEdgeMissing { u, v });
+                }
             }
         }
         Ok(())
@@ -390,6 +442,19 @@ fn validate_adjacency(
             index: i,
             target: t,
         });
+    }
+    // Sortedness per list (non-decreasing: duplicates are legal). The
+    // binary-search membership probe and the delta encoder both rely on
+    // this, and `from_raw_parts` would otherwise accept lists on which
+    // `has_edge` silently misses edges.
+    for n in 0..num_nodes {
+        let list = &targets[offsets[n]..offsets[n + 1]];
+        if list.windows(2).any(|w| w[0] > w[1]) {
+            return Err(CsrError::UnsortedAdjacency {
+                direction,
+                node: n as NodeId,
+            });
+        }
     }
     Ok(())
 }
@@ -702,6 +767,43 @@ mod tests {
                 reverse: 1
             }
         ));
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_adjacency() {
+        // out-list of node 0 is [2, 1]: shape-valid but unsorted, which
+        // would silently break the binary-search membership probe.
+        let err = CsrGraph::from_raw_parts(
+            3,
+            vec![0, 2, 2, 2],
+            vec![2, 1],
+            vec![0, 0, 1, 2],
+            vec![0, 0],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CsrError::UnsortedAdjacency {
+                direction: "out",
+                node: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_cross_edge_mismatch() {
+        // Forward: 0 -> 1, 0 -> 2. Reverse claims in(1) = [2] — counts
+        // per node agree (one each), but 2 -> 1 does not exist forward.
+        // Only the membership probe catches this.
+        let err = CsrGraph::from_raw_parts(
+            3,
+            vec![0, 2, 2, 2],
+            vec![1, 2],
+            vec![0, 0, 1, 2],
+            vec![2, 0],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsrError::CrossEdgeMissing { u: 2, v: 1 }));
     }
 
     #[test]

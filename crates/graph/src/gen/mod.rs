@@ -34,8 +34,8 @@ pub use dag::{citation_dag, CitationConfig};
 pub use erdos_renyi::erdos_renyi;
 pub use grid::{road_grid, RoadGridConfig};
 pub use orient::orient_randomly;
-pub use rmat::{rmat, RmatConfig};
-pub use watts_strogatz::watts_strogatz;
+pub use rmat::{rmat, rmat_compressed, RmatConfig};
+pub use watts_strogatz::{watts_strogatz, watts_strogatz_compressed};
 
 use rand::RngExt;
 

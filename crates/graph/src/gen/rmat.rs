@@ -9,6 +9,7 @@
 //! given seed (each edge derives its own RNG stream from the seed).
 
 use crate::builder::GraphBuilder;
+use crate::compressed::CompressedCsr;
 use crate::csr::{CsrGraph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -78,6 +79,28 @@ pub fn rmat(cfg: &RmatConfig) -> CsrGraph {
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     b.extend(edges);
     b.build()
+}
+
+/// Generates an R-MAT graph directly into the compressed representation,
+/// never materializing the uncompressed CSR or the full edge list.
+///
+/// Because every edge derives its own RNG stream from `(seed, i)`, the
+/// edge stream is a pure function that
+/// [`CompressedCsr::from_edge_stream`] can replay once per shard; peak
+/// transient memory is O(M / `shards`) edge pairs instead of the O(M)
+/// pairs + O(M) CSR arrays of [`rmat`]. The result is identical to
+/// `CompressedCsr::from_csr(&rmat(cfg))` (tested): both paths drop
+/// self-loops and duplicates.
+pub fn rmat_compressed(cfg: &RmatConfig, shards: usize) -> CompressedCsr {
+    let n = 1usize << cfg.scale;
+    let m = (n * cfg.edge_factor) as u64;
+    CompressedCsr::from_edge_stream(n, shards, |emit| {
+        for i in 0..m {
+            let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i);
+            let (u, v) = sample_edge(cfg, &mut rng);
+            emit(u, v);
+        }
+    })
 }
 
 /// Generates the raw (deduplicated, loop-free) R-MAT edge list without
@@ -182,5 +205,23 @@ mod tests {
     fn node_count_is_power_of_two() {
         let g = rmat(&RmatConfig::graph500(5, 4, 5));
         assert_eq!(g.num_nodes(), 32);
+    }
+
+    #[test]
+    fn compressed_streaming_matches_materialized() {
+        use crate::view::GraphView;
+        let cfg = RmatConfig::graph500(9, 8, 11);
+        let raw = rmat(&cfg);
+        let via_csr = CompressedCsr::from_csr(&raw);
+        for shards in [1, 7, 64] {
+            let streamed = rmat_compressed(&cfg, shards);
+            assert_eq!(streamed.num_nodes(), via_csr.num_nodes());
+            assert_eq!(streamed.num_edges(), via_csr.num_edges());
+            let m = streamed.materialize_csr();
+            for v in raw.nodes() {
+                assert_eq!(m.out_neighbors(v), raw.out_neighbors(v), "node {v}");
+                assert_eq!(m.in_neighbors(v), raw.in_neighbors(v), "node {v}");
+            }
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! the Table 1 footnote convention.
 
 use crate::builder::GraphBuilder;
+use crate::compressed::CompressedCsr;
 use crate::csr::{CsrGraph, NodeId};
 use crate::gen::orient::orient_randomly;
 use rand::rngs::SmallRng;
@@ -56,6 +57,67 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
     let mut b = GraphBuilder::with_capacity(n, directed.len());
     b.extend(directed);
     b.build()
+}
+
+/// One lattice edge of the streaming Watts–Strogatz construction: edge
+/// index `idx` enumerates `(i, j)` pairs row-major (`i`-th node, `j`-th
+/// clockwise neighbor), and each edge derives its own RNG stream from
+/// `(seed, idx)` for the rewire roll and the orientation coin. A pure
+/// function of its arguments, so shard replays are deterministic.
+fn ws_stream_edge(n: usize, k: usize, beta: f64, seed: u64, idx: u64) -> (NodeId, NodeId) {
+    let half = (k / 2) as u64;
+    let i = (idx / half) as usize;
+    let j = (idx % half) as usize + 1;
+    let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ idx);
+    let u = i as NodeId;
+    let mut v = ((i + j) % n) as NodeId;
+    if rng.random_bool(beta) {
+        loop {
+            let cand = rng.random_range(0..n) as NodeId;
+            if cand != u {
+                v = cand;
+                break;
+            }
+        }
+    }
+    if rng.random_bool(0.5) {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Generates a Watts–Strogatz small-world graph directly into the
+/// compressed representation, never materializing the undirected edge
+/// list or the uncompressed CSR.
+///
+/// Unlike [`watts_strogatz`] (one sequential RNG threaded through
+/// generation and orientation), the streaming construction derives an
+/// independent RNG stream per lattice edge so the stream can be replayed
+/// once per shard by [`CompressedCsr::from_edge_stream`]; the two
+/// generators sample the same distribution but different point sets for
+/// a given seed. Peak transient memory is O(M / `shards`) edge pairs.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz_compressed(
+    n: usize,
+    k: usize,
+    beta: f64,
+    seed: u64,
+    shards: usize,
+) -> CompressedCsr {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k < n, "k must be < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let m = (n * k / 2) as u64;
+    CompressedCsr::from_edge_stream(n, shards, |emit| {
+        for idx in 0..m {
+            let (u, v) = ws_stream_edge(n, k, beta, seed, idx);
+            emit(u, v);
+        }
+    })
 }
 
 #[cfg(test)]
@@ -119,5 +181,39 @@ mod tests {
         let a: Vec<_> = watts_strogatz(50, 4, 0.2, 5).edges().collect();
         let b: Vec<_> = watts_strogatz(50, 4, 0.2, 5).edges().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compressed_streaming_shard_invariant() {
+        use crate::view::GraphView;
+        // The streamed graph must not depend on the shard count, and must
+        // equal the same edge stream pushed through the raw builder.
+        let (n, k, beta, seed) = (300usize, 6usize, 0.15f64, 9u64);
+        let mut b = GraphBuilder::with_capacity(n, n * k / 2);
+        for idx in 0..(n * k / 2) as u64 {
+            let (u, v) = ws_stream_edge(n, k, beta, seed, idx);
+            b.add_edge(u, v);
+        }
+        let raw = b.build();
+        for shards in [1, 5, 32] {
+            let z = watts_strogatz_compressed(n, k, beta, seed, shards);
+            assert_eq!(z.num_edges(), raw.num_edges(), "shards={shards}");
+            let m = z.materialize_csr();
+            for v in raw.nodes() {
+                assert_eq!(m.out_neighbors(v), raw.out_neighbors(v));
+                assert_eq!(m.in_neighbors(v), raw.in_neighbors(v));
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_streaming_is_small_world() {
+        let z = watts_strogatz_compressed(400, 6, 0.1, 7, 8);
+        let g = {
+            use crate::view::GraphView;
+            z.materialize_csr()
+        };
+        let lv = undirected_bfs_levels(&g, 0);
+        assert!(lv.iter().all(|&l| l != UNREACHED), "must stay connected");
     }
 }

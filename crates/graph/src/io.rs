@@ -6,7 +6,9 @@
 //! the benchmark harness when available (see `swscc-graph::datasets`); node
 //! ids are compacted to a dense `0..n` range.
 
+use crate::bfs::Direction;
 use crate::builder::GraphBuilder;
+use crate::compressed::CompressedCsr;
 use crate::csr::{CsrGraph, NodeId};
 use rustc_hash::FxHashMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -230,6 +232,139 @@ pub fn load_binary(path: impl AsRef<Path>) -> Result<CsrGraph, LoadError> {
     read_binary(std::fs::File::open(path)?)
 }
 
+// ---------------------------------------------------------------------------
+// Compressed binary format
+// ---------------------------------------------------------------------------
+
+/// Magic header of the compressed binary graph format.
+const COMPRESSED_MAGIC: &[u8; 8] = b"SWSCCZ1\0";
+
+/// Writes a [`CompressedCsr`] verbatim: the 8-byte magic, node and edge
+/// counts as little-endian `u64`, then for each direction (out, then in)
+/// the `u32` byte-offset array prefixed by its length and the encoded
+/// adjacency stream prefixed by its byte length. The payload is the
+/// in-memory representation, so a load costs one validation pass and no
+/// re-encoding — the natural cache format for corpora that only fit in
+/// RAM compressed.
+pub fn write_compressed(z: &CompressedCsr, writer: impl Write) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(COMPRESSED_MAGIC)?;
+    w.write_all(&(z.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(z.num_edges() as u64).to_le_bytes())?;
+    for dir in [Direction::Forward, Direction::Backward] {
+        let (offsets, data) = z.raw_parts(dir);
+        w.write_all(&(offsets.len() as u64).to_le_bytes())?;
+        for &o in offsets {
+            w.write_all(&o.to_le_bytes())?;
+        }
+        w.write_all(&(data.len() as u64).to_le_bytes())?;
+        w.write_all(data)?;
+    }
+    w.flush()
+}
+
+/// Reads a graph written by [`write_compressed`].
+///
+/// The header is untrusted, with the same posture as [`read_binary`]:
+/// declared lengths are checked against the `NodeId` range and each
+/// other, preallocation is capped so an absurd header fails on missing
+/// payload instead of an impossible allocation, the payload must end
+/// exactly where the header says, and the assembled parts pass the full
+/// [`CompressedCsr::from_raw_parts`] validation (offset shape, stream
+/// decode, target ranges, forward/backward degree agreement) before the
+/// graph is returned.
+pub fn read_compressed(reader: impl Read) -> Result<CompressedCsr, LoadError> {
+    let corrupt = |detail: String| LoadError::Corrupt { detail };
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    read_exact_or_corrupt(&mut r, &mut magic, || "header magic".into())?;
+    if &magic != COMPRESSED_MAGIC {
+        return Err(corrupt(format!("bad magic {magic:?}")));
+    }
+    let mut buf8 = [0u8; 8];
+    read_exact_or_corrupt(&mut r, &mut buf8, || "node count".into())?;
+    let n64 = u64::from_le_bytes(buf8);
+    read_exact_or_corrupt(&mut r, &mut buf8, || "edge count".into())?;
+    let m64 = u64::from_le_bytes(buf8);
+    if n64 > NodeId::MAX as u64 {
+        return Err(corrupt(format!(
+            "declared node count {n64} exceeds the 32-bit id range"
+        )));
+    }
+    let n = n64 as usize;
+    // Preallocation guard, as in `read_binary`: trust declared lengths
+    // only up to a few MiB; a lying header then dies on truncation.
+    const PREALLOC_CAP: usize = 1 << 20;
+    let mut read_direction = |what: &str| -> Result<(Vec<u32>, Vec<u8>), LoadError> {
+        let mut buf8 = [0u8; 8];
+        read_exact_or_corrupt(&mut r, &mut buf8, || format!("{what} offsets length"))?;
+        let olen64 = u64::from_le_bytes(buf8);
+        if olen64 != n as u64 + 1 {
+            return Err(corrupt(format!(
+                "{what} offsets length {olen64} disagrees with {n} nodes"
+            )));
+        }
+        let olen = olen64 as usize;
+        let mut offsets: Vec<u32> = Vec::with_capacity(olen.min(PREALLOC_CAP));
+        let mut b4 = [0u8; 4];
+        for i in 0..olen {
+            read_exact_or_corrupt(&mut r, &mut b4, || {
+                format!("{what} offsets end at entry {i} of {olen}")
+            })?;
+            offsets.push(u32::from_le_bytes(b4));
+        }
+        read_exact_or_corrupt(&mut r, &mut buf8, || format!("{what} data length"))?;
+        let dlen64 = u64::from_le_bytes(buf8);
+        if dlen64 > u32::MAX as u64 {
+            return Err(corrupt(format!(
+                "{what} data length {dlen64} exceeds the u32 offset range"
+            )));
+        }
+        let dlen = dlen64 as usize;
+        let mut data: Vec<u8> = vec![0u8; dlen.min(PREALLOC_CAP)];
+        let mut filled = 0usize;
+        while filled < dlen {
+            if filled == data.len() {
+                data.resize(dlen.min(data.len() * 2), 0);
+            }
+            let end = data.len();
+            read_exact_or_corrupt(&mut r, &mut data[filled..end], || {
+                format!("{what} data ends before byte {dlen}")
+            })?;
+            filled = end;
+        }
+        Ok((offsets, data))
+    };
+    let (out_offsets, out_data) = read_direction("forward")?;
+    let (in_offsets, in_data) = read_direction("backward")?;
+    // The payload must end exactly where the header says it does.
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe) {
+        Ok(0) => {}
+        Ok(_) => return Err(corrupt("trailing bytes after the declared payload".into())),
+        Err(e) => return Err(LoadError::Io(e)),
+    }
+    let z = CompressedCsr::from_raw_parts(n, out_offsets, out_data, in_offsets, in_data)
+        .map_err(|e| corrupt(e.to_string()))?;
+    if z.num_edges() as u64 != m64 {
+        return Err(corrupt(format!(
+            "header declares {m64} edges but the streams decode to {}",
+            z.num_edges()
+        )));
+    }
+    Ok(z)
+}
+
+/// Saves a compressed graph to a file.
+pub fn save_compressed(z: &CompressedCsr, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_compressed(z, std::fs::File::create(path)?)
+}
+
+/// Loads a compressed graph from a file.
+pub fn load_compressed(path: impl AsRef<Path>) -> Result<CompressedCsr, LoadError> {
+    read_compressed(std::fs::File::open(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +535,110 @@ mod tests {
             Err(LoadError::Corrupt { detail }) => assert!(detail.contains("node count")),
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        use crate::view::GraphView;
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (4, 4), (3, 1), (5, 0)]);
+        let z = CompressedCsr::from_csr(&g);
+        let mut buf = Vec::new();
+        write_compressed(&z, &mut buf).unwrap();
+        let z2 = read_compressed(buf.as_slice()).unwrap();
+        assert_eq!(z2.num_nodes(), 6);
+        assert_eq!(z2.num_edges(), g.num_edges());
+        let m = z2.materialize_csr();
+        for v in g.nodes() {
+            assert_eq!(m.out_neighbors(v), g.out_neighbors(v));
+            assert_eq!(m.in_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn compressed_rejects_bad_magic() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let mut buf = Vec::new();
+        write_compressed(&CompressedCsr::from_csr(&g), &mut buf).unwrap();
+        buf[6] = b'9';
+        assert!(read_compressed(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn compressed_rejects_truncated() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut buf = Vec::new();
+        write_compressed(&CompressedCsr::from_csr(&g), &mut buf).unwrap();
+        for cut in [buf.len() - 1, buf.len() / 2, 10] {
+            let mut t = buf.clone();
+            t.truncate(cut);
+            assert!(read_compressed(t.as_slice()).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn compressed_rejects_trailing_bytes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut buf = Vec::new();
+        write_compressed(&CompressedCsr::from_csr(&g), &mut buf).unwrap();
+        buf.push(0xCD);
+        match read_compressed(buf.as_slice()) {
+            Err(LoadError::Corrupt { detail }) => assert!(detail.contains("trailing")),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_rejects_corrupted_stream() {
+        // Flip a payload byte: either the decode validation or the
+        // cross-direction degree check must catch it.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 3)]);
+        let mut buf = Vec::new();
+        write_compressed(&CompressedCsr::from_csr(&g), &mut buf).unwrap();
+        let payload_start = buf.len() - 4;
+        buf[payload_start] ^= 0x3F;
+        assert!(read_compressed(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn compressed_rejects_absurd_lengths_without_oom() {
+        // Header claims n = 2^31 nodes with an empty payload: must fail on
+        // the missing offset bytes, not preallocate 8 GiB.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SWSCCZ1\0");
+        buf.extend_from_slice(&(1u64 << 31).to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&((1u64 << 31) + 1).to_le_bytes());
+        match read_compressed(buf.as_slice()) {
+            Err(LoadError::Corrupt { detail }) => {
+                assert!(detail.contains("offsets end at entry"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_rejects_edge_count_mismatch() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut buf = Vec::new();
+        write_compressed(&CompressedCsr::from_csr(&g), &mut buf).unwrap();
+        buf[16..24].copy_from_slice(&99u64.to_le_bytes());
+        match read_compressed(buf.as_slice()) {
+            Err(LoadError::Corrupt { detail }) => assert!(detail.contains("decode to"), "{detail}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_file_round_trip() {
+        let dir = std::env::temp_dir().join("swscc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.zcsr");
+        let g = crate::gen::rmat(&crate::gen::RmatConfig::graph500(8, 8, 17));
+        let z = CompressedCsr::from_csr(&g);
+        save_compressed(&z, &path).unwrap();
+        let z2 = load_compressed(&path).unwrap();
+        assert_eq!(z2.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

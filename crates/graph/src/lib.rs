@@ -7,6 +7,11 @@
 //!
 //! * [`csr::CsrGraph`] — immutable CSR with forward **and** reverse adjacency
 //!   (§4.1 of the paper), the representation all SCC algorithms traverse.
+//! * [`view::GraphView`] — the neighbor-access trait every traversal kernel
+//!   is generic over, with [`view::MemoryFootprint`] accounting.
+//! * [`compressed::CompressedCsr`] — the byte-delta (VarInt) compressed
+//!   backend with allocation-free streaming decode and shard-by-shard
+//!   streaming construction (GBBS playbook, arXiv 1805.05208).
 //! * [`builder::GraphBuilder`] — edge-list accumulation with optional
 //!   deduplication and self-loop filtering, O(N+M) counting-sort finalize.
 //! * [`gen`] — synthetic generators reproducing the structural classes of the
@@ -27,13 +32,17 @@
 
 pub mod bfs;
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod io;
 pub mod stats;
 pub mod traverse;
+pub mod view;
 
 pub use builder::GraphBuilder;
+pub use compressed::CompressedCsr;
 pub use csr::{CsrError, CsrGraph, NodeId};
 pub use traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};
+pub use view::{GraphView, MemoryFootprint};

@@ -32,6 +32,7 @@
 
 use crate::bfs::Direction;
 use crate::csr::{CsrGraph, NodeId};
+use crate::view::GraphView;
 use rayon::prelude::*;
 use swscc_parallel::{ClaimSet, Frontier};
 use swscc_sync::interrupt::{AbortReason, Interrupt};
@@ -87,43 +88,35 @@ pub enum Adjacency {
 }
 
 impl Adjacency {
-    /// Visits every traversal-direction neighbor of `u`.
+    /// Visits every traversal-direction neighbor of `u`, streamed through
+    /// the backend's decode loop ([`GraphView::for_each_neighbor`]) — no
+    /// slice is ever materialized.
     #[inline]
-    fn for_each_out(self, g: &CsrGraph, u: NodeId, f: &mut impl FnMut(NodeId)) {
+    fn for_each_out<G: GraphView>(self, g: &G, u: NodeId, f: &mut impl FnMut(NodeId)) {
         match self {
-            Adjacency::Directed(d) => {
-                for &v in d.neighbors(g, u) {
-                    f(v);
-                }
-            }
+            Adjacency::Directed(d) => g.for_each_neighbor(d, u, f),
             Adjacency::Undirected => {
-                for &v in g.out_neighbors(u) {
-                    f(v);
-                }
-                for &v in g.in_neighbors(u) {
-                    f(v);
-                }
+                g.for_each_neighbor(Direction::Forward, u, &mut *f);
+                g.for_each_neighbor(Direction::Backward, u, f);
             }
         }
     }
 
     /// First reverse-direction neighbor of `v` satisfying `pred` (the
-    /// bottom-up "do I have a parent in the frontier" probe; early-exits).
+    /// bottom-up "do I have a parent in the frontier" probe; early-exits
+    /// mid-decode on compressed backends).
     #[inline]
-    fn find_in(self, g: &CsrGraph, v: NodeId, pred: impl Fn(NodeId) -> bool) -> Option<NodeId> {
+    fn find_in<G: GraphView>(
+        self,
+        g: &G,
+        v: NodeId,
+        pred: impl Fn(NodeId) -> bool,
+    ) -> Option<NodeId> {
         match self {
-            Adjacency::Directed(d) => d
-                .reverse()
-                .neighbors(g, v)
-                .iter()
-                .copied()
-                .find(|&u| pred(u)),
+            Adjacency::Directed(d) => g.find_neighbor(d.reverse(), v, pred),
             Adjacency::Undirected => g
-                .out_neighbors(v)
-                .iter()
-                .chain(g.in_neighbors(v))
-                .copied()
-                .find(|&u| pred(u)),
+                .find_neighbor(Direction::Forward, v, &pred)
+                .or_else(|| g.find_neighbor(Direction::Backward, v, &pred)),
         }
     }
 }
@@ -148,8 +141,8 @@ pub trait EdgeMapOps: Sync {
 /// Drive it with [`run`](EdgeMap::run) (to the fixpoint) or level by level
 /// with [`step`](EdgeMap::step) (algorithms like frontier-driven WCC that
 /// interleave other work between levels).
-pub struct EdgeMap<'g> {
-    g: &'g CsrGraph,
+pub struct EdgeMap<'g, G: GraphView = CsrGraph> {
+    g: &'g G,
     adj: Adjacency,
     cfg: TraversalConfig,
     frontier: Frontier,
@@ -164,9 +157,9 @@ pub struct EdgeMap<'g> {
     claimed: usize,
 }
 
-impl<'g> EdgeMap<'g> {
+impl<'g, G: GraphView> EdgeMap<'g, G> {
     /// A kernel over `g` following `adj`, with an empty frontier at depth 0.
-    pub fn new(g: &'g CsrGraph, adj: Adjacency, cfg: TraversalConfig) -> Self {
+    pub fn new(g: &'g G, adj: Adjacency, cfg: TraversalConfig) -> Self {
         EdgeMap {
             g,
             adj,

@@ -30,6 +30,13 @@
 //!    collapse, and its recovery path escapes the engine's single
 //!    retry/degrade/restart policy. Escape hatch: an `// engine:` comment
 //!    arguing why the call must live outside the engine.
+//! 6. **Allocation-free decode loops** — the compressed-CSR decode path
+//!    (`DECODE_HOT_FILES`) sits inside every kernel's innermost edge
+//!    loop, so any heap allocation there (`Vec::new`, `collect`,
+//!    `to_vec`, ...) turns an O(1)-space neighbor stream into a per-edge
+//!    allocator visit. Non-test allocation in those files must carry a
+//!    `// decode:` comment arguing it is on a cold path (construction,
+//!    validation, materialization) and never runs inside a traversal.
 //!
 //! The audit is line-based on purpose: it has zero dependencies, runs in
 //! milliseconds, and its false-positive escape hatch is an explicit,
@@ -79,7 +86,8 @@ fn audit() -> ExitCode {
 
     if findings.is_empty() {
         println!(
-            "audit: OK — {} files clean (facade discipline, Relaxed and unsafe all justified)",
+            "audit: OK — {} files clean (facade discipline; Relaxed, unsafe, and \
+             decode-path allocation all justified)",
             files.len()
         );
         ExitCode::SUCCESS
@@ -177,10 +185,29 @@ const ENGINE_ONLY: &[&str] = &[
     "recover_full_restart(",
 ];
 
+/// Files whose non-test code is the neighbor-decode hot path: every
+/// kernel's inner edge loop streams through them, so allocation is a
+/// per-edge cost there, not a one-time one.
+const DECODE_HOT_FILES: &[&str] = &["crates/graph/src/compressed.rs"];
+
+/// Heap-allocation patterns rule 6 flags inside `DECODE_HOT_FILES`.
+const DECODE_ALLOC: &[&str] = &[
+    "Vec::new",
+    "Vec::with_capacity",
+    "vec!",
+    ".to_vec()",
+    ".collect()",
+    "Box::new(",
+    "String::new",
+    ".to_string()",
+    "format!(",
+];
+
 fn check_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let rel_str = rel.to_string_lossy().replace('\\', "/");
     let facade_exempt = FACADE_EXEMPT.iter().any(|p| rel_str.starts_with(p));
     let engine_exempt = ENGINE_EXEMPT.iter().any(|p| rel_str.starts_with(p));
+    let decode_hot = DECODE_HOT_FILES.contains(&rel_str.as_str());
     // Test-only code is exempt from the Relaxed-justification rule (its
     // atomics are assertion plumbing, not protocols) but NOT from the
     // facade rule — tests must exercise the same primitives the model
@@ -265,6 +292,25 @@ fn check_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                             "`{}` outside the pipeline engine — route the phase through a \
                              PhaseKernel, or add an `// engine:` justification",
                             pat.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 6: allocation-free decode loops. Test code is exempt
+        // (tests collect neighbor streams to compare against oracles).
+        if decode_hot && !in_tests {
+            for pat in DECODE_ALLOC {
+                if line.contains(pat) && !has_justification(&lines, i, "// decode:") {
+                    findings.push(Finding {
+                        file: rel.to_path_buf(),
+                        line: lineno,
+                        rule: "decode",
+                        message: format!(
+                            "`{pat}` in the neighbor-decode hot path — move it off the \
+                             per-edge loop, or add a `// decode:` comment arguing this \
+                             is a cold (construction/validation) path"
                         ),
                     });
                 }

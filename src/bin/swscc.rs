@@ -24,7 +24,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use swscc::graph::datasets::Dataset;
 use swscc::graph::stats::{average_degree, estimate_diameter};
-use swscc::graph::{io, CsrGraph};
+use swscc::graph::{io, CompressedCsr, CsrGraph, GraphView};
 use swscc::sync::fault::{self, FaultKind, FaultPlan};
 use swscc::{
     detect_scc, run_checked, run_pipeline, Algorithm, CompactionPolicy, PanicPolicy, Pipeline,
@@ -257,18 +257,45 @@ fn cmd_scc(args: &Args) -> Result<(), CliError> {
 
     let g = load_input(input, scale, seed)?;
     eprintln!("loaded: {} nodes, {} edges", g.num_nodes(), g.num_edges());
-    let (r, report) = match (&pipeline, algo) {
-        (Some(p), _) => {
-            let out = run_pipeline(&g, p, &cfg, &guard)?;
-            println!("pipeline:    {p}");
-            out
+    let (r, report) = if args.flag_present("compressed") {
+        // Compressed backend: every engine stage runs on the byte-delta
+        // representation through the GraphView seam; only the pipeline
+        // path supports it (the sequential oracles index raw CSR slices).
+        let p = match (&pipeline, algo) {
+            (Some(p), _) => {
+                println!("pipeline:    {p} (compressed)");
+                p.clone()
+            }
+            (None, Some(algo)) => {
+                let p = Pipeline::stock(algo).ok_or_else(|| {
+                    CliError::config(format!(
+                        "--compressed requires a pipeline algorithm (got {:?}); \
+                         the sequential oracles run on raw CSR only",
+                        algo.name()
+                    ))
+                })?;
+                println!("algorithm:   {} (compressed)", algo.name());
+                p
+            }
+            (None, None) => unreachable!("algo resolved whenever --pipeline is absent"),
+        };
+        let z = CompressedCsr::from_csr(&g);
+        eprintln!("{}", z.memory_footprint());
+        run_pipeline(&z, &p, &cfg, &guard)?
+    } else {
+        match (&pipeline, algo) {
+            (Some(p), _) => {
+                let out = run_pipeline(&g, p, &cfg, &guard)?;
+                println!("pipeline:    {p}");
+                out
+            }
+            (None, Some(algo)) => {
+                let out = run_checked(&g, algo, &cfg, &guard)?;
+                println!("algorithm:   {}", algo.name());
+                out
+            }
+            (None, None) => unreachable!("algo resolved whenever --pipeline is absent"),
         }
-        (None, Some(algo)) => {
-            let out = run_checked(&g, algo, &cfg, &guard)?;
-            println!("algorithm:   {}", algo.name());
-            out
-        }
-        (None, None) => unreachable!("algo resolved whenever --pipeline is absent"),
     };
     println!("components:  {}", r.num_components());
     println!("largest scc: {}", r.largest_component_size());
@@ -323,6 +350,18 @@ fn cmd_stats(args: &Args) -> Result<(), CliError> {
     let max_out = g.nodes().map(|v| g.out_degree(v)).max().unwrap_or(0);
     let max_in = g.nodes().map(|v| g.in_degree(v)).max().unwrap_or(0);
     println!("max degree:  out={max_out} in={max_in}");
+    // Per-backend memory footprint: raw CSR vs the byte-delta compressed
+    // form, with the compression ratio the §4.x experiments track.
+    println!("{}", g.memory_footprint());
+    let z = CompressedCsr::from_csr(&g);
+    println!("{}", z.memory_footprint());
+    let raw = g.memory_footprint().total_bytes() as f64;
+    let zt = z.memory_footprint().total_bytes() as f64;
+    println!(
+        "compression: {:.2}x ({:.1}% of raw)",
+        raw / zt,
+        100.0 * zt / raw
+    );
     Ok(())
 }
 
@@ -383,7 +422,7 @@ swscc — parallel SCC detection for small-world graphs (SC'13 reproduction)
 
 USAGE:
   swscc scc <input> [--algo NAME | --pipeline STAGES] [--threads N] [--scale S]
-            [--histogram] [--dobfs]
+            [--compressed] [--histogram] [--dobfs]
             [--live-compaction auto|always|never] [--timeout SECS]
             [--on-panic fallback|fail] [--inject-fault SITE[:NTH]]
   swscc stats <input> [--scale S]
@@ -407,6 +446,11 @@ USAGE:
            --pipeline trim,fwbw,trim,trim2,trim,wcc,tasks   (= method2)
            --pipeline trim,fwbw,wcc,tasks                   (Trim2 ablation)
            --pipeline trim,fwbw,trim,multisearch   (multi-pivot tail)
+--compressed: run the phase-pipeline engine on the byte-delta compressed
+            CSR backend (~2x smaller); works with --pipeline or any
+            pipeline --algo (baseline method1 method2 coloring multistep),
+            not the sequential oracles. Prints the memory footprint of
+            the compressed form before the run.
 --timeout:  abort cleanly with exit code 124 after SECS wall-clock seconds
 --on-panic: fallback (default) absorbs worker panics by retrying or
             degrading to a sequential finish; fail exits 70 on first panic

@@ -1,0 +1,199 @@
+//! Round-trip battery for the compressed CSR backend (the VarInt
+//! byte-delta encoding behind `--compressed`).
+//!
+//! Three layers:
+//!
+//! 1. **Encoding round-trip** — proptest over adversarial adjacency
+//!    shapes (empty lists, self-loops, duplicate edges, max-id deltas):
+//!    `CompressedCsr::from_csr` must reproduce every neighbor list
+//!    byte-for-byte through the `GraphView` decode path, and the
+//!    streaming `has_edge` probe must agree with the raw binary search.
+//! 2. **Streaming construction** — `from_edge_stream` must be invariant
+//!    in the shard count and equal the `GraphBuilder` (dedup +
+//!    drop-self-loops) semantics on random edge streams.
+//! 3. **Binary I/O** — `write_compressed`/`read_compressed` identity on
+//!    random graphs, plus the rmat/bowtie/grid corpus the pipelines run
+//!    on (compression ratio asserted on the small-world shapes).
+
+use proptest::prelude::*;
+use swscc::graph::gen::bowtie::{bowtie, BowtieConfig};
+use swscc::graph::gen::grid::{road_grid, RoadGridConfig};
+use swscc::graph::gen::rmat::{rmat, RmatConfig};
+use swscc::graph::io::{read_compressed, write_compressed};
+use swscc::graph::{bfs::Direction, CompressedCsr, CsrGraph, GraphView};
+
+/// Neighbor-for-neighbor equivalence across both directions, plus the
+/// degree and membership surfaces.
+fn assert_backends_equivalent(g: &CsrGraph, z: &CompressedCsr, label: &str) {
+    assert_eq!(g.num_nodes(), z.num_nodes(), "{label}: node count");
+    assert_eq!(g.num_edges(), z.num_edges(), "{label}: edge count");
+    for v in g.nodes() {
+        for dir in [Direction::Forward, Direction::Backward] {
+            let want: &[u32] = match dir {
+                Direction::Forward => g.out_neighbors(v),
+                Direction::Backward => g.in_neighbors(v),
+            };
+            assert_eq!(
+                z.degree(dir, v),
+                want.len(),
+                "{label}: degree({dir:?}, {v})"
+            );
+            let mut got = Vec::with_capacity(want.len());
+            z.for_each_neighbor(dir, v, |u| got.push(u));
+            assert_eq!(got, want, "{label}: neighbors({dir:?}, {v})");
+        }
+    }
+}
+
+/// Random graph that deliberately keeps self-loops and duplicate edges
+/// (`CsrGraph::from_edges` preserves both; `from_csr` must too).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (1..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 0..6 * n)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// from_csr ≡ raw, neighbor for neighbor, on arbitrary multigraphs.
+    #[test]
+    fn encode_decode_round_trips(g in arb_graph(80)) {
+        let z = CompressedCsr::from_csr(&g);
+        assert_backends_equivalent(&g, &z, "arb");
+    }
+
+    /// The trait-default streaming membership probe must agree with the
+    /// raw CSR's binary search on every possible pair.
+    #[test]
+    fn has_edge_probe_agrees(g in arb_graph(24)) {
+        let z = CompressedCsr::from_csr(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(z.has_edge(u, v), g.has_edge(u, v), "({}, {})", u, v);
+            }
+        }
+    }
+
+    /// Streaming construction is shard-invariant and implements the
+    /// builder's dedup + drop-self-loop semantics.
+    #[test]
+    fn edge_stream_matches_builder(
+        n in 1usize..60,
+        edges in proptest::collection::vec((0u32..60, 0u32..60), 0..200),
+        shards in 1usize..12,
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let mut b = swscc::GraphBuilder::new(n);
+        b.extend(edges.iter().copied());
+        let want = b.build();
+        let z = CompressedCsr::from_edge_stream(n, shards, |emit| {
+            for &(u, v) in &edges {
+                emit(u, v);
+            }
+        });
+        assert_backends_equivalent(&want, &z, "stream");
+    }
+
+    /// write_compressed → read_compressed is the identity.
+    #[test]
+    fn io_round_trips(g in arb_graph(60)) {
+        let z = CompressedCsr::from_csr(&g);
+        let mut buf = Vec::new();
+        write_compressed(&z, &mut buf).unwrap();
+        let z2 = read_compressed(buf.as_slice()).unwrap();
+        assert_backends_equivalent(&g, &z2, "io");
+    }
+}
+
+#[test]
+fn adversarial_shapes_round_trip() {
+    let cases: Vec<(&str, CsrGraph)> = vec![
+        ("empty", CsrGraph::from_edges(0, &[])),
+        ("isolated", CsrGraph::from_edges(5, &[])),
+        (
+            "self-loops",
+            CsrGraph::from_edges(3, &[(0, 0), (1, 1), (2, 2)]),
+        ),
+        (
+            "duplicates",
+            CsrGraph::from_edges(4, &[(0, 1), (0, 1), (0, 1), (3, 2), (3, 2)]),
+        ),
+        (
+            // First-neighbor deltas at both sign extremes: the max node
+            // points at 0 (large negative zigzag), node 0 points at the
+            // max id (large positive delta).
+            "max-id-deltas",
+            CsrGraph::from_edges(
+                1 << 20,
+                &[
+                    (0, (1 << 20) - 1),
+                    ((1 << 20) - 1, 0),
+                    (0, 1),
+                    (1, (1 << 20) - 1),
+                ],
+            ),
+        ),
+        (
+            "hub",
+            CsrGraph::from_edges(1000, &(1..1000u32).map(|v| (0, v)).collect::<Vec<_>>()),
+        ),
+    ];
+    for (label, g) in cases {
+        let z = CompressedCsr::from_csr(&g);
+        assert_backends_equivalent(&g, &z, label);
+        let mut buf = Vec::new();
+        write_compressed(&z, &mut buf).unwrap();
+        assert_backends_equivalent(&g, &read_compressed(buf.as_slice()).unwrap(), label);
+    }
+}
+
+/// The corpus the pipelines actually run on: RMAT skew, bowtie SCC
+/// structure, planar road grid. Equivalence plus the compression-ratio
+/// contract on the small-world shapes (clustered ids, small deltas).
+#[test]
+fn corpus_round_trips_and_compresses() {
+    let corpus: Vec<(&str, CsrGraph, bool)> = vec![
+        ("rmat-s10", rmat(&RmatConfig::graph500(10, 8, 0x5cc)), true),
+        (
+            "bowtie-2000",
+            bowtie(&BowtieConfig {
+                num_nodes: 2000,
+                ..Default::default()
+            })
+            .graph,
+            true,
+        ),
+        (
+            "grid-40x40",
+            road_grid(&RoadGridConfig {
+                width: 40,
+                height: 40,
+                one_way_frac: 0.2,
+                missing_frac: 0.05,
+                seed: 7,
+            }),
+            true,
+        ),
+    ];
+    for (label, g, expect_small) in corpus {
+        let z = CompressedCsr::from_csr(&g);
+        assert_backends_equivalent(&g, &z, label);
+        let mut buf = Vec::new();
+        write_compressed(&z, &mut buf).unwrap();
+        assert_backends_equivalent(&g, &read_compressed(buf.as_slice()).unwrap(), label);
+        if expect_small {
+            let ratio = z.memory_footprint().ratio_vs_raw();
+            assert!(
+                ratio < 0.6,
+                "{label}: compressed backend is {:.1}% of raw, want < 60%",
+                ratio * 100.0
+            );
+        }
+    }
+}

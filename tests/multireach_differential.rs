@@ -87,6 +87,63 @@ proptest! {
     }
 }
 
+/// The same battery on the byte-delta compressed backend: the GraphView
+/// seam must not perturb multisearch's sparse expansions or dense probes.
+fn assert_compressed_specs_match_tarjan(g: &CsrGraph, label: &str) {
+    use swscc::graph::CompressedCsr;
+    let want = tarjan_scc(g).canonical_labels();
+    let z = CompressedCsr::from_csr(g);
+    for spec in SPECS {
+        let pipeline = Pipeline::parse(spec).unwrap();
+        for threads in [1usize, 2, 4] {
+            for policy in POLICIES {
+                let cfg = SccConfig {
+                    live_set_compaction: policy,
+                    ..SccConfig::with_threads(threads)
+                };
+                let (r, _) = run_pipeline(&z, &pipeline, &cfg, &RunGuard::new())
+                    .unwrap_or_else(|e| panic!("{spec:?} on compressed {label}: {e}"));
+                assert_eq!(
+                    r.canonical_labels(),
+                    want,
+                    "{spec:?} with {threads} threads under {policy:?} \
+                     disagrees with tarjan on compressed {label}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Compressed-backend axis over random digraphs: multisearch
+    /// compositions ≡ Tarjan × threads × compaction policies.
+    #[test]
+    fn compressed_multisearch_pipelines_match_tarjan(g in arb_graph(80)) {
+        assert_compressed_specs_match_tarjan(&g, "arb_graph");
+    }
+}
+
+/// Compressed-backend axis on the fixed small-world shapes.
+#[test]
+fn compressed_multisearch_matches_tarjan_on_rmat_and_bowtie() {
+    let shapes: Vec<(&str, CsrGraph)> = vec![
+        ("rmat-s9", rmat(&RmatConfig::graph500(9, 8, 0x5cc))),
+        (
+            "bowtie-1200",
+            bowtie(&BowtieConfig {
+                num_nodes: 1200,
+                ..Default::default()
+            })
+            .graph,
+        ),
+    ];
+    for (label, g) in shapes {
+        assert_compressed_specs_match_tarjan(&g, label);
+    }
+}
+
 /// Fixed small-world shapes: the RMAT skew the paper targets and the
 /// bowtie generator's giant-core + satellite structure.
 #[test]

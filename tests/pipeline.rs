@@ -350,3 +350,103 @@ fn composition_wcc_dispatcher_agrees_across_impls() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Compressed-backend battery (`compressed_*`, the CI compressed lane)
+// ---------------------------------------------------------------------------
+
+/// Runs `spec` on the byte-delta compressed backend over the whole corpus
+/// at 1/2/4 threads under every live-set compaction policy, asserting the
+/// Tarjan partition each time. The GraphView seam must be behaviorally
+/// invisible: same SCCs, same full phase accounting.
+fn assert_compressed_composition_matches_tarjan(spec: &str) {
+    use swscc::graph::CompressedCsr;
+    use swscc::CompactionPolicy;
+    let pipeline = Pipeline::parse(spec).unwrap_or_else(|e| panic!("{spec:?} rejected: {e}"));
+    for (label, g) in corpus() {
+        let want = detect_scc(&g, Algorithm::Tarjan, &SccConfig::default())
+            .0
+            .canonical_labels();
+        let z = CompressedCsr::from_csr(&g);
+        for threads in [1usize, 2, 4] {
+            for policy in [
+                CompactionPolicy::Auto,
+                CompactionPolicy::Always,
+                CompactionPolicy::Never,
+            ] {
+                let cfg = SccConfig {
+                    live_set_compaction: policy,
+                    ..SccConfig::with_threads(threads)
+                };
+                let (r, report) = run_pipeline(&z, &pipeline, &cfg, &RunGuard::new())
+                    .unwrap_or_else(|e| panic!("{spec:?} on compressed {label}: {e}"));
+                assert_eq!(
+                    r.canonical_labels(),
+                    want,
+                    "pipeline {spec:?} ({threads} threads, {policy:?}) disagrees \
+                     with tarjan on compressed {label}"
+                );
+                let resolved: usize = report.phase_resolved.iter().map(|(_, n)| n).sum();
+                assert_eq!(
+                    resolved,
+                    g.num_nodes(),
+                    "pipeline {spec:?} loses nodes on compressed {label}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compressed_stock_baseline_matches_tarjan() {
+    let p = Pipeline::stock(Algorithm::Baseline).unwrap();
+    assert_compressed_composition_matches_tarjan(&p.to_string());
+}
+
+#[test]
+fn compressed_stock_method1_matches_tarjan() {
+    let p = Pipeline::stock(Algorithm::Method1).unwrap();
+    assert_compressed_composition_matches_tarjan(&p.to_string());
+}
+
+#[test]
+fn compressed_stock_method2_matches_tarjan() {
+    let p = Pipeline::stock(Algorithm::Method2).unwrap();
+    assert_compressed_composition_matches_tarjan(&p.to_string());
+}
+
+#[test]
+fn compressed_stock_coloring_matches_tarjan() {
+    let p = Pipeline::stock(Algorithm::Coloring).unwrap();
+    assert_compressed_composition_matches_tarjan(&p.to_string());
+}
+
+#[test]
+fn compressed_stock_multistep_matches_tarjan() {
+    let p = Pipeline::stock(Algorithm::Multistep).unwrap();
+    assert_compressed_composition_matches_tarjan(&p.to_string());
+}
+
+#[test]
+fn compressed_multisearch_matches_tarjan() {
+    assert_compressed_composition_matches_tarjan("trim,fwbw,peel,multisearch");
+}
+
+#[test]
+fn compressed_and_raw_backends_identical_partitions() {
+    // Beyond ≡ Tarjan: both backends, same pipeline, same config — the
+    // canonical labelings must agree exactly on every corpus graph.
+    use swscc::graph::CompressedCsr;
+    let pipeline = Pipeline::parse("trim,fwbw,trim,trim2,trim,wcc,tasks").unwrap();
+    for (label, g) in corpus() {
+        let z = CompressedCsr::from_csr(&g);
+        let cfg = SccConfig::with_threads(2);
+        let (raw, _) = run_pipeline(&g, &pipeline, &cfg, &RunGuard::new()).unwrap();
+        let (zip, _) = run_pipeline(&z, &pipeline, &cfg, &RunGuard::new()).unwrap();
+        assert_eq!(
+            raw.canonical_labels(),
+            zip.canonical_labels(),
+            "backends disagree on {label}"
+        );
+    }
+}
