@@ -102,9 +102,9 @@ pub(crate) fn recover_full_restart<G: GraphView>(
         return Err(SccError::WorkerPanic { message });
     }
     collector.record_recovery(RecoveryEvent::RestartedSequential { message });
-    // Tarjan needs random-access slices: borrow the raw CSR when the view
-    // already is one, decode the compressed stream otherwise (restart is
-    // a cold path — correctness over speed).
+    // graphview: Tarjan needs random-access slices — borrow the raw CSR
+    // when the view already is one, decode the compressed stream
+    // otherwise (restart is a cold path — correctness over speed).
     let result = match g.as_csr() {
         Some(csr) => tarjan_scc(csr),
         None => tarjan_scc(&g.materialize_csr()),

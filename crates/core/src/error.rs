@@ -20,6 +20,7 @@ use swscc_sync::interrupt::{AbortReason, Interrupt};
 /// have drained, no thread is left running, and the input graph was never
 /// mutated.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[must_use = "an SccError says why the run produced no result — propagate or handle it"]
 pub enum SccError {
     /// The run was cooperatively cancelled (via [`Canceller::cancel`] or a
     /// [`RunGuard`] drop).

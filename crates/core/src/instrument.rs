@@ -101,6 +101,7 @@ pub enum RecoveryEvent {
 
 /// Everything measured during one SCC run.
 #[derive(Clone, Debug, Default)]
+#[must_use = "a RunReport carries recovery events and phase timings the caller should inspect or log"]
 pub struct RunReport {
     /// Wall-clock time per phase (zero for phases the method skips).
     pub phase_times: Vec<(Phase, Duration)>,

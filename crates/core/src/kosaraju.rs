@@ -7,6 +7,10 @@
 //! sequential implementation cannot silently validate the parallel methods.
 //! (The transpose is free: [`swscc_graph::CsrGraph`] stores in-edges.)
 
+// graphview(file): oracle is backend-bound by design — it takes &CsrGraph
+// in its signature and leans on the stored in-edge slices for the
+// transpose pass.
+
 use crate::result::SccResult;
 use swscc_graph::{CsrGraph, NodeId};
 

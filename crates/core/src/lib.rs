@@ -169,6 +169,7 @@ pub fn detect_scc(g: &CsrGraph, algo: Algorithm, cfg: &SccConfig) -> (SccResult,
 /// [`SccError`] on abort. The sequential oracles and the demo FW-BW run
 /// outside the engine and cannot be interrupted mid-run; for those the
 /// guard is honoured once at entry.
+#[must_use = "dropping the result discards both the SCC partition and the run's error/recovery record"]
 pub fn run_checked(
     g: &CsrGraph,
     algo: Algorithm,

@@ -11,6 +11,10 @@
 //! implementation to cross-check Tarjan, Kosaraju, and the parallel
 //! methods.
 
+// graphview(file): oracle is backend-bound by design — it takes &CsrGraph
+// in its signature; resumable DFS needs positional access into
+// random-access neighbor slices.
+
 use crate::result::SccResult;
 use swscc_graph::{CsrGraph, NodeId};
 

@@ -477,6 +477,7 @@ pub trait PhaseKernel<G: GraphView = CsrGraph> {
 /// restart under [`crate::PanicPolicy::Fallback`]), compacts the
 /// live-residue set between stages, and assembles the per-phase
 /// [`RunReport`].
+#[must_use = "dropping the result discards both the SCC partition and the run's error/recovery record"]
 pub fn run_pipeline<G: GraphView>(
     g: &G,
     pipeline: &Pipeline,

@@ -8,6 +8,10 @@
 //! also notes the membership test on the node stack must be O(1): here the
 //! `on_stack` flag array plays the paper's "vector + boolean array" role.
 
+// graphview(file): the sequential oracle takes `&CsrGraph` by signature —
+// DFS needs random-access neighbor slices, and pinning the baseline to the
+// raw backend keeps the speedup denominator honest.
+
 use crate::result::SccResult;
 use swscc_graph::{CsrGraph, NodeId};
 

@@ -16,6 +16,10 @@
 //! global decisions the paper's shared-memory code makes implicitly:
 //! pivot reduction, trial accounting, and the final residual gather.
 
+// graphview(file): the BSP simulation partitions raw CSR rows across
+// owners — each worker walks exactly its partition's neighbor slices to
+// emit messages, so this module is bound to the raw backend by design.
+
 use crate::bsp::{run_supersteps, BspStats, Outbox};
 use crate::partition::Partition;
 use swscc_core::tarjan::tarjan_scc;

@@ -80,17 +80,18 @@ pub(crate) fn decode_varint(data: &[u8], pos: &mut usize) -> u64 {
 /// the inlined straight-line path; the multi-byte continuation is
 /// `#[cold]` and out of line to keep the traversal loop's branch and
 /// i-cache footprint minimal.
-// SAFETY: caller contract above — `*pos` must start a complete VarInt.
+// SAFETY: [inv:varint-validated] caller contract above — `*pos` must
+// start a complete VarInt.
 #[inline(always)]
 unsafe fn decode_varint_unchecked(data: &[u8], pos: &mut usize) -> u64 {
-    // SAFETY: the caller guarantees a complete VarInt at `*pos`, so its
-    // first byte is in bounds.
+    // SAFETY: [inv:varint-validated] the caller guarantees a complete
+    // VarInt at `*pos`, so its first byte is in bounds.
     let b = unsafe { *data.get_unchecked(*pos) };
     *pos += 1;
     if b < 0x80 {
         return u64::from(b);
     }
-    // SAFETY: same VarInt, continuation bytes.
+    // SAFETY: [inv:varint-validated] same VarInt, continuation bytes.
     unsafe { decode_varint_unchecked_slow(data, pos, u64::from(b & 0x7f)) }
 }
 
@@ -100,13 +101,14 @@ unsafe fn decode_varint_unchecked(data: &[u8], pos: &mut usize) -> u64 {
 ///
 /// Same contract: the VarInt continuing at `*pos` must be complete and
 /// in bounds.
-// SAFETY: caller contract above.
+// SAFETY: [inv:varint-validated] caller contract above.
 #[cold]
 unsafe fn decode_varint_unchecked_slow(data: &[u8], pos: &mut usize, mut x: u64) -> u64 {
     let mut shift = 7u32;
     loop {
-        // SAFETY: the caller guarantees the VarInt's continuation bytes
-        // up to and including its terminator are in bounds.
+        // SAFETY: [inv:varint-validated] the caller guarantees the
+        // VarInt's continuation bytes up to and including its terminator
+        // are in bounds.
         let b = unsafe { *data.get_unchecked(*pos) };
         *pos += 1;
         x |= u64::from(b & 0x7f) << shift;
@@ -197,20 +199,23 @@ impl CompressedAdjacency {
     fn for_each_while(&self, n: NodeId, mut f: impl FnMut(NodeId) -> bool) {
         let mut pos = self.offsets[n as usize] as usize;
         let data = self.data.as_slice();
-        // SAFETY: `offsets[n]` starts a validated list: a degree VarInt
-        // followed by exactly `deg` delta VarInts, all within `data`.
+        // SAFETY: [inv:varint-validated] `offsets[n]` starts a validated
+        // list: a degree VarInt followed by exactly `deg` delta VarInts,
+        // all within `data`.
         let deg = unsafe { decode_varint_unchecked(data, &mut pos) };
         if deg == 0 {
             return;
         }
-        // SAFETY: as above — `deg >= 1` guarantees the first delta.
+        // SAFETY: [inv:varint-validated] as above — `deg >= 1` guarantees
+        // the first delta.
         let first = unsafe { decode_varint_unchecked(data, &mut pos) };
         let mut cur = (n as i64 + zigzag_decode(first)) as u32;
         if !f(cur) {
             return;
         }
         for _ in 1..deg {
-            // SAFETY: as above — deltas 2..=deg of the validated list.
+            // SAFETY: [inv:varint-validated] as above — deltas 2..=deg of
+            // the validated list.
             cur += unsafe { decode_varint_unchecked(data, &mut pos) } as u32;
             if !f(cur) {
                 return;

@@ -1,0 +1,32 @@
+//@ path: crates/graph/src/compressed.rs
+//! Known-bad stand-in for the neighbor-decode hot path (the virtual
+//! path aims the decode rule here).
+
+pub fn per_edge_alloc(bytes: &[u8]) -> Vec<u32> {
+    let mut out = Vec::new(); //~ decode
+    for b in bytes {
+        out.push(*b as u32);
+    }
+    out
+}
+
+pub fn macro_alloc(n: usize) -> Vec<u8> {
+    vec![0u8; n] //~ decode
+}
+
+pub fn collect_alloc(bytes: &[u8]) -> Vec<u32> {
+    bytes.iter().map(|b| *b as u32).collect() //~ decode
+}
+
+pub fn cold_path_is_fine(n: usize) -> Vec<u8> {
+    // decode: construction-time buffer, never on the per-edge loop.
+    vec![0u8; n]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        let _v: Vec<u32> = Vec::new();
+    }
+}

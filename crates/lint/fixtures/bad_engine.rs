@@ -1,0 +1,17 @@
+//@ path: crates/core/src/bad_engine.rs
+//! Known-bad: recovery machinery called outside the pipeline engine.
+
+pub fn polls_on_its_own(guard: &RunGuard) -> Result<(), SccError> {
+    check_guard(guard)?; //~ engine
+    Ok(())
+}
+
+pub fn recovers_on_its_own(g: &CsrGraph) {
+    let _ = recover_full_restart(g, collector(), &cfg(), String::new()); //~ engine
+}
+
+pub fn justified(guard: &RunGuard) -> Result<(), SccError> {
+    // engine: demo harness polls between stages by design (fixture negative).
+    check_guard(guard)?;
+    Ok(())
+}

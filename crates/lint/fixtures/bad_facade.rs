@@ -1,0 +1,22 @@
+//@ path: crates/core/src/bad_facade.rs
+//! Known-bad: raw concurrency primitives outside the swscc-sync facade.
+// Mentions in comments are fine: std::sync::atomic, parking_lot::Mutex.
+
+use std::sync::atomic::AtomicUsize; //~ facade
+
+pub fn spawn_direct() {
+    std::thread::spawn(|| {}); //~ facade
+}
+
+pub fn split_path_evasion() {
+    let _v = std:: //~ facade
+        sync::atomic::AtomicUsize::new(0);
+}
+
+pub fn absolute_path_evasion() {
+    let _m = ::parking_lot::Mutex::new(()); //~ facade
+}
+
+pub fn string_mention_is_fine() {
+    let _s = "std::sync::atomic::AtomicUsize";
+}

@@ -1,0 +1,30 @@
+//@ path: crates/core/src/bad_graphview.rs
+//! Known-bad: raw adjacency access outside swscc-graph.
+
+pub fn raw_out(g: &CsrGraph, v: u32) -> usize {
+    g.out_neighbors(v).len() //~ graphview
+}
+
+pub fn raw_in(g: &CsrGraph, v: u32) -> usize {
+    g.in_neighbors(v).len() //~ graphview
+}
+
+pub fn escapes_the_view<G: GraphView>(g: &G) -> bool {
+    g.as_csr().is_some() //~ graphview
+}
+
+pub fn justified<G: GraphView>(g: &G) -> bool {
+    // graphview: oracle comparison needs the raw slice when available.
+    g.as_csr().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_touch_raw_slices() {
+        let g = CsrGraph::from_edges(1, &[]);
+        assert_eq!(g.out_neighbors(0).len(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//@ path: crates/core/src/bad_must_use.rs
+//! Known-bad: dropped `run_checked` / `run_pipeline` results.
+
+pub fn statement_drop(g: &CsrGraph, cfg: &SccConfig, guard: &RunGuard) {
+    run_checked(g, Algorithm::Method2, cfg, guard); //~ must-use
+}
+
+pub fn let_underscore_drop(g: &CsrGraph, p: &Pipeline, cfg: &SccConfig, guard: &RunGuard) {
+    let _ = run_pipeline(g, p, cfg, guard); //~ must-use
+}
+
+pub fn receiver_chain_drop(queue: &TwoLevelQueue<u32>, intr: &Interrupt) {
+    queue.run_checked(4, intr, |_t, _w| {}); //~ must-use
+}
+
+pub fn bound_is_used(g: &CsrGraph, cfg: &SccConfig, guard: &RunGuard) -> bool {
+    let r = run_checked(g, Algorithm::Method2, cfg, guard);
+    r.is_ok()
+}
+
+pub fn chained_is_used(g: &CsrGraph, cfg: &SccConfig, guard: &RunGuard) {
+    run_checked(g, Algorithm::Method2, cfg, guard).unwrap();
+}
+
+pub fn propagated_is_used(
+    g: &CsrGraph,
+    cfg: &SccConfig,
+    guard: &RunGuard,
+) -> Result<(), SccError> {
+    run_checked(g, Algorithm::Method2, cfg, guard)?;
+    Ok(())
+}
+
+pub fn justified_drop(g: &CsrGraph, cfg: &SccConfig, guard: &RunGuard) {
+    // report: warm-up run — only the pool-spinup side effects matter here.
+    run_checked(g, Algorithm::Method2, cfg, guard);
+}

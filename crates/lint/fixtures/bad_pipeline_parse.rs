@@ -1,0 +1,16 @@
+//@ path: crates/core/src/bad_pipeline_parse.rs
+//! Known-bad literal pipeline specs in non-test code.
+
+pub fn illegal_specs() {
+    let _bad = Pipeline::parse("trim,tasks,wcc"); //~ pipeline //~ pipeline
+    let _unknown = Pipeline::parse("trim,frobnicate,tasks"); //~ pipeline
+    let _fine = Pipeline::parse("trim,fwbw,trim,tasks");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_probe_illegal_specs_on_purpose() {
+        let _ = Pipeline::parse("tasks,tasks");
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/core/src/pipeline.rs
+//! Known-bad STOCK table (virtual stand-in for the real pipeline file).
+
+pub(crate) static STOCK: &[(Algorithm, &[Stage])] = &[
+    (Algorithm::Baseline, &[Stage::Trim, Stage::Tasks]),
+    (Algorithm::BadTail, &[Stage::Trim, Stage::Wcc]), //~ pipeline
+    (Algorithm::BadPeel, &[Stage::Wcc, Stage::Peel, Stage::Tasks]), //~ pipeline
+    (Algorithm::BadNewStage, &[Stage::Frobnicate, Stage::Tasks]), //~ pipeline
+];

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/bad_recovery.rs
+//! Known-bad: `catch_unwind` without a recovery contract.
+
+pub fn swallows_panics(f: impl FnOnce()) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)); //~ recovery
+}
+
+pub fn documented(f: impl FnOnce()) {
+    // recovery: the closure owns no shared state; a caught panic leaves
+    // nothing torn and the caller simply retries.
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+}

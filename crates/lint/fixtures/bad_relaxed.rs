@@ -1,0 +1,45 @@
+//@ path: crates/core/src/bad_relaxed.rs
+//! Known-bad: `Ordering::Relaxed` without an `// ordering:` argument.
+
+use swscc_sync::atomic::{AtomicUsize, Ordering};
+
+pub fn unjustified(x: &AtomicUsize) -> usize {
+    x.load(Ordering::Relaxed) //~ relaxed
+}
+
+pub fn string_evasion(x: &AtomicUsize) -> usize {
+    let _claim = "// ordering: A1 inside a string does not count";
+    x.load(Ordering::Relaxed) //~ relaxed
+}
+
+/// // ordering: A1 — prose in a doc comment does not count either.
+pub fn doc_comment_evasion(x: &AtomicUsize) -> usize {
+    x.load(Ordering::Relaxed) //~ relaxed
+}
+
+pub fn blank_line_breaks_the_paragraph(x: &AtomicUsize) -> usize {
+    // ordering: A1 — too far away: the blank line below ends the paragraph.
+
+    x.load(Ordering::Relaxed) //~ relaxed
+}
+
+pub fn split_path_evasion(x: &AtomicUsize) -> usize {
+    x.load(Ordering:: //~ relaxed
+        Relaxed)
+}
+
+pub fn justified(x: &AtomicUsize) -> usize {
+    // ordering: A1 — statistic; RMW atomicity suffices (fixture negative).
+    x.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_in_tests_is_fine() {
+        let x = AtomicUsize::new(0);
+        assert_eq!(x.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,17 @@
+//@ path: crates/core/src/bad_safety_tag.rs
+//! Known-bad: SAFETY comments with missing or dangling invariant tags.
+
+pub fn missing_tag(p: *const u32) -> u32 {
+    // SAFETY: valid pointer by caller contract, but no invariant tag. //~ safety-tag
+    unsafe { *p }
+}
+
+pub fn dangling_tag(p: *const u32) -> u32 {
+    // SAFETY: [inv:never-referenced-by-any-test] is a dangling tag. //~ safety-tag
+    unsafe { *p }
+}
+
+pub fn good_tag(p: *const u32) -> u32 {
+    // SAFETY: [inv:good-tag] referenced by tests/fixture_refs.rs.
+    unsafe { *p }
+}

@@ -1,0 +1,26 @@
+//@ path: crates/core/src/bad_unsafe.rs
+//! Known-bad: `unsafe` without a `// SAFETY:` argument.
+
+pub fn naked_deref(p: *const u32) -> u32 {
+    unsafe { *p } //~ unsafe
+}
+
+/// // SAFETY: prose in a doc comment does not satisfy the rule.
+pub fn doc_comment_evasion(p: *const u32) -> u32 {
+    unsafe { *p } //~ unsafe
+}
+
+pub fn string_evasion(p: *const u32) -> u32 {
+    let _s = "// SAFETY: in a string";
+    unsafe { *p } //~ unsafe
+}
+
+pub fn ident_is_not_the_keyword() {
+    let unsafe_looking = 1;
+    let _ = unsafe_looking;
+}
+
+pub fn justified(p: *const u32) -> u32 {
+    // SAFETY: [inv:good-tag] fixture negative — caller passes a valid pointer.
+    unsafe { *p }
+}

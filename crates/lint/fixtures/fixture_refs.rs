@@ -1,0 +1,9 @@
+//@ path: tests/fixture_refs.rs
+//! Companion fixture: the test side of the safety-tag cross-reference.
+
+// [inv:good-tag] — this test exercises the invariant the SAFETY comments
+// in the bad_unsafe / bad_safety_tag fixtures name.
+#[test]
+fn good_tag_invariant_holds() {
+    assert!(true);
+}

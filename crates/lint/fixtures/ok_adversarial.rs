@@ -1,0 +1,43 @@
+//@ path: crates/core/src/ok_adversarial.rs
+//! Adversarial negative fixture: everything below LOOKS like a violation
+//! to a line-based scanner but is trivia or data to the token stream.
+
+pub fn raw_strings_hide_keywords() -> &'static str {
+    r#"unsafe { std::sync::atomic::AtomicUsize }"#
+}
+
+pub fn raw_hash_depth() -> &'static str {
+    r##"Ordering::Relaxed and "# inside" and catch_unwind("##
+}
+
+/* A plain block comment may mention Ordering::Relaxed freely.
+   /* nested: std::thread::spawn(|| {}) stays commented out */
+   still inside the outer comment: catch_unwind(
+*/
+pub fn after_nested_comment() -> u32 {
+    0
+}
+
+pub fn lifetimes_are_not_chars<'a>(x: &'a u32) -> &'a u32 {
+    let _c: char = 'u';
+    let _q: char = '\'';
+    let _b: u8 = b'\'';
+    x
+}
+
+pub fn labels_too() {
+    'outer: loop {
+        break 'outer;
+    }
+}
+
+pub fn numbers_and_ranges() -> f64 {
+    let _r = 1..10;
+    let _e = 1e-9;
+    let _h = 0xFF_u32;
+    2.5
+}
+
+pub fn byte_strings() -> &'static [u8] {
+    b"std::sync::atomic"
+}

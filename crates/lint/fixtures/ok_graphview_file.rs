@@ -1,0 +1,9 @@
+//@ path: crates/core/src/ok_graphview_file.rs
+//! Negative fixture: a module that is backend-bound by design.
+
+// graphview(file): this stand-in partitions raw CSR rows by design, like
+// the BSP simulation — the whole file is excused once, with an argument.
+
+pub fn partitioned(g: &CsrGraph, v: u32) -> usize {
+    g.out_neighbors(v).len() + g.in_neighbors(v).len()
+}

@@ -1,0 +1,497 @@
+//! A dependency-free Rust lexer, built for static analysis rather than
+//! compilation: every byte of the input is covered by exactly one token
+//! (trivia included), so findings can be reported at exact line numbers
+//! and the token stream re-concatenates to the original source.
+//!
+//! The lexer understands the constructs the old line-based audit could
+//! not: raw strings (`r#"…"#` with any hash depth, byte and C variants),
+//! nested block comments, lifetimes vs. char literals (`'a` vs `'a'` vs
+//! `b'\''`), and doc comments — which are classified as *doc* trivia so
+//! rules can refuse to accept a justification that only appears in
+//! rendered documentation.
+
+/// What a lexed region of the source is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` (to end of line). `doc` is true for `///` and `//!`
+    /// (but not `////`, which rustdoc treats as plain).
+    LineComment { doc: bool },
+    /// `/* … */`, nesting tracked. `doc` is true for `/**` and `/*!`
+    /// (but not `/***` or the empty `/**/`).
+    BlockComment { doc: bool },
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'lifetime` (no closing quote).
+    Lifetime,
+    /// Char or byte-char literal: `'x'`, `'\''`, `b'\xff'`.
+    Char,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"` and
+    /// their raw variants.
+    Str,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A single punctuation byte (`::` is two `Punct(':')` tokens).
+    Punct,
+}
+
+impl TokenKind {
+    /// Trivia tokens carry no program semantics: whitespace + comments.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// A comment that is *not* documentation — the only kind that can
+    /// carry a justification (`// ordering:`, `// SAFETY:`, …).
+    pub fn is_plain_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { doc: false } | TokenKind::BlockComment { doc: false }
+        )
+    }
+}
+
+/// One lexed region: kind + byte span + 1-based line of its first byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a contiguous, non-overlapping token stream covering
+/// every byte. Never fails: unterminated literals/comments extend to end
+/// of input, and bytes that fit no rule become single `Punct` tokens —
+/// for a linter, graceful degradation beats rejection.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must make progress");
+            self.out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte (or one UTF-8 char for non-ASCII), tracking lines.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        // Skip UTF-8 continuation bytes so we never split a char.
+        while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+            self.pos += 1;
+        }
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.bytes[self.pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'r' if self.raw_string_ahead(1) => self.raw_string(1),
+            b'b' if self.peek(1) == Some(b'\'') => self.char_lit(2),
+            b'b' if self.peek(1) == Some(b'"') => self.string_lit(2),
+            b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => self.raw_string(2),
+            b'c' if self.peek(1) == Some(b'"') => self.string_lit(2),
+            b'c' if self.peek(1) == Some(b'r') && self.raw_string_ahead(2) => self.raw_string(2),
+            b'"' => self.string_lit(1),
+            b'\'' => self.quote(),
+            b'0'..=b'9' => self.number(),
+            _ if is_ident_start(b) || b >= 0x80 => {
+                while self
+                    .peek(0)
+                    .is_some_and(|c| is_ident_continue(c) || c >= 0x80)
+                {
+                    self.bump();
+                }
+                TokenKind::Ident
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` is doc unless `////…`; `//!` is inner doc.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) | (Some(b'!'), _) => true,
+            _ => false,
+        };
+        while self.peek(0).is_some_and(|c| c != b'\n') {
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` is doc unless `/***` or the degenerate `/**/`.
+        let doc = match self.peek(2) {
+            Some(b'*') => self.peek(3) != Some(b'*') && self.peek(3) != Some(b'/'),
+            Some(b'!') => true,
+            _ => false,
+        };
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.pos < self.bytes.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// Is `r#…"` / `r"` at `self.pos + offset_to_r`? (`offset_to_r` points
+    /// at the `r` itself; hashes then a quote must follow.)
+    fn raw_string_ahead(&self, after_r: usize) -> bool {
+        let mut i = after_r + 1;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+            // `r#ident` (raw identifier), not a raw string: exactly one
+            // hash then an ident char means we must look for the quote
+            // right after the hashes only — handled above — but also
+            // guard that `r` isn't part of a larger identifier.
+            && (self.pos == 0 || !is_ident_continue(self.bytes[self.pos - 1]))
+    }
+
+    fn raw_string(&mut self, after_prefix: usize) -> TokenKind {
+        for _ in 0..after_prefix {
+            self.bump(); // 'r' / 'b','r' / 'c','r'
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening '"'
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    self.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        seen += 1;
+                        self.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    fn string_lit(&mut self, prefix: usize) -> TokenKind {
+        for _ in 0..prefix {
+            self.bump();
+        }
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A `'`: char literal or lifetime. `'x'` / `'\n'` → char;
+    /// `'ident` with no closing quote → lifetime.
+    fn quote(&mut self) -> TokenKind {
+        // Escape right after the quote is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            return self.char_lit(1);
+        }
+        // `'c'` (one char, possibly multi-byte, then a quote).
+        let mut i = 2;
+        if let Some(b) = self.peek(1) {
+            if b >= 0x80 {
+                // skip continuation bytes of a multi-byte char
+                while self.peek(i).is_some_and(|c| c & 0xC0 == 0x80) {
+                    i += 1;
+                }
+            }
+            if self.peek(i) == Some(b'\'') && b != b'\'' {
+                return self.char_lit(1);
+            }
+        }
+        // Lifetime: `'` then ident chars (or `'_`, or a bare `'`).
+        self.bump(); // '
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Lifetime
+    }
+
+    /// Char/byte-char literal with `open_at` bytes of prefix before the
+    /// opening quote's content (1 for `'`, 2 for `b'`).
+    fn char_lit(&mut self, open_at: usize) -> TokenKind {
+        for _ in 0..open_at {
+            self.bump();
+        }
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\n') => break, // unterminated; don't eat the file
+                Some(_) => self.bump(),
+            }
+        }
+        TokenKind::Char
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer part (any base: the `0x`/`0b`/`0o` prefix and suffixes
+        // like `u32`/`f64` are all alphanumeric-or-underscore).
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        // Fractional part: `.` followed by a digit (`1..2` stays two
+        // tokens; `1.f()` is a method call on an integer — digit check
+        // excludes both).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump(); // '.'
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        // Exponent sign: `1e-9` lexes `1e` then needs `-9` folded in.
+        if matches!(self.peek(0), Some(b'+' | b'-'))
+            && self
+                .bytes
+                .get(self.pos - 1)
+                .is_some_and(|&c| c == b'e' || c == b'E')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    /// Coverage invariant: tokens tile the input exactly.
+    fn assert_tiles(src: &str) {
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap/overlap at byte {pos} in {src:?}");
+            assert!(t.end > t.start, "empty token in {src:?}");
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "uncovered tail in {src:?}");
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let b = b'\\''; }";
+        assert_tiles(src);
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(ks.contains(&(TokenKind::Char, "'x'".into())));
+        assert!(ks.contains(&(TokenKind::Char, "'\\''".into())));
+        assert!(ks.contains(&(TokenKind::Char, "b'\\''".into())));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src =
+            r####"let s = r#"quote " and hash # inside"#; let t = r##"deeper "# still"##;"####;
+        assert_tiles(src);
+        let strs: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].1.contains("hash # inside"));
+        assert!(strs[1].1.contains("\"# still"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_tiles(src);
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0].1, "a");
+        assert!(matches!(ks[1].0, TokenKind::BlockComment { doc: false }));
+        assert_eq!(ks[2].1, "b");
+    }
+
+    #[test]
+    fn doc_comment_classification() {
+        for (src, doc) in [
+            ("/// doc", true),
+            ("//! inner doc", true),
+            ("//// not doc", false),
+            ("// plain", false),
+            ("/** doc */", true),
+            ("/*! inner */", true),
+            ("/*** not doc */", false),
+            ("/**/", false),
+        ] {
+            let toks = lex(src);
+            match toks[0].kind {
+                TokenKind::LineComment { doc: d } | TokenKind::BlockComment { doc: d } => {
+                    assert_eq!(d, doc, "classification of {src:?}")
+                }
+                other => panic!("{src:?} lexed as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn string_contents_are_not_code() {
+        let src = r#"let s = "std::sync::atomic // SAFETY: nope"; x();"#;
+        assert_tiles(src);
+        let idents: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(idents, ["let", "s", "x"]);
+    }
+
+    #[test]
+    fn line_numbers_track_all_literal_kinds() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\nr#\"raw\nraw\"#\nf";
+        assert_tiles(src);
+        let at = |name: &str| {
+            lex(src)
+                .into_iter()
+                .find(|t| t.text(src) == name)
+                .unwrap()
+                .line
+        };
+        assert_eq!(at("a"), 1);
+        assert_eq!(at("b"), 4);
+        assert_eq!(at("e"), 5);
+        assert_eq!(at("f"), 8);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let src = "let r#type = 1; let r = 2;";
+        assert_tiles(src);
+        // `r#type` lexes as Punct('#') sandwich or ident — what matters
+        // is it isn't swallowed as an unterminated raw string.
+        assert!(lex(src).iter().all(|t| t.kind != TokenKind::Str));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        for src in ["for i in 1..10 {}", "1.0e-9_f64", "0xFF_u8", "x.0.1"] {
+            assert_tiles(src);
+        }
+        let toks = kinds("1..10");
+        assert_eq!(toks[0], (TokenKind::Number, "1".into()));
+        assert_eq!(toks[3], (TokenKind::Number, "10".into()));
+    }
+}

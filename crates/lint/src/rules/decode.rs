@@ -1,0 +1,74 @@
+//! Rule 6 — allocation-free decode loops: the compressed-CSR decode path
+//! sits inside every kernel's innermost edge loop, so any heap
+//! allocation there turns an O(1)-space neighbor stream into a per-edge
+//! allocator visit. Non-test allocation in the configured hot files must
+//! carry a `// decode:` comment arguing it is on a cold path
+//! (construction, validation, materialization).
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+/// `Type::method` allocation constructors.
+const ALLOC_PATHS: &[&[&str]] = &[
+    &["Vec", "new"],
+    &["Vec", "with_capacity"],
+    &["Box", "new"],
+    &["String", "new"],
+    &["String", "with_capacity"],
+    &["String", "from"],
+];
+
+/// `.method()` / `macro!` allocation forms (matched as a call ident).
+const ALLOC_CALLS: &[&str] = &["to_vec", "collect", "to_string", "to_owned"];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+pub struct DecodeAlloc;
+
+impl Rule for DecodeAlloc {
+    fn name(&self) -> &'static str {
+        "decode"
+    }
+
+    fn description(&self) -> &'static str {
+        "no heap allocation in neighbor-decode hot files without a `// decode:` cold-path argument"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        if !ws.config.is_decode_hot(&file.rel_path) {
+            return;
+        }
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            let what: Option<String> =
+                if let Some(p) = ALLOC_PATHS.iter().find(|p| code.path_at(i, p)) {
+                    Some(p.join("::"))
+                } else if ALLOC_CALLS.iter().any(|c| code.is_call(i, c)) {
+                    Some(format!(".{}()", code.text(i)))
+                } else if ALLOC_MACROS.contains(&code.text(i))
+                    && i + 1 < code.len()
+                    && code.text(i + 1) == "!"
+                {
+                    Some(format!("{}!", code.text(i)))
+                } else {
+                    None
+                };
+            let Some(what) = what else { continue };
+            if file.in_test_code(code.offset(i)) {
+                continue; // tests collect neighbor streams to compare against oracles
+            }
+            if !file.has_justification(code.line(i), "// decode:") {
+                out.push(finding_at(
+                    &code,
+                    i,
+                    self.name(),
+                    format!(
+                        "`{what}` in the neighbor-decode hot path — move it off the per-edge \
+                         loop, or add a `// decode:` comment arguing this is a cold \
+                         (construction/validation) path"
+                    ),
+                ));
+            }
+        }
+    }
+}

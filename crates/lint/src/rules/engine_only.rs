@@ -1,0 +1,55 @@
+//! Rule 5 — engine-only recovery surface: only the pipeline engine
+//! (`crates/core/src/pipeline.rs`) and the driver module itself may call
+//! the driver's interrupt/recovery machinery. An algorithm that polls or
+//! recovers on its own re-creates the per-driver boilerplate the engine
+//! exists to collapse. Escape hatch: an `// engine:` comment arguing why
+//! the call must live outside the engine.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+const ENGINE_ONLY: &[&str] = &[
+    "check_guard",
+    "check_interrupt",
+    "catch_phase",
+    "run_queue_with_recovery",
+    "recover_full_restart",
+];
+
+pub struct EngineOnly;
+
+impl Rule for EngineOnly {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn description(&self) -> &'static str {
+        "interrupt/recovery machinery callable only from the pipeline engine and driver"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        if ws.config.is_engine_exempt(&file.rel_path) {
+            return;
+        }
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            for name in ENGINE_ONLY {
+                if !code.is_call(i, name) {
+                    continue;
+                }
+                if !file.has_justification(code.line(i), "// engine:") {
+                    out.push(finding_at(
+                        &code,
+                        i,
+                        self.name(),
+                        format!(
+                            "`{name}` outside the pipeline engine — route the phase through \
+                             a PhaseKernel, or add an `// engine:` justification"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

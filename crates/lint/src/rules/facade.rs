@@ -1,0 +1,79 @@
+//! Rule 1 — facade discipline: no direct `std::sync::atomic`,
+//! `std::thread` thread-control, or `parking_lot` use outside the
+//! `swscc-sync` facade and the allowlisted infrastructure crates. All
+//! concurrency primitives must flow through the facade so the
+//! `--cfg model` checker sees them.
+//!
+//! Token-aware: matches real code paths only, so doc prose, strings, and
+//! this rule's own pattern table can mention the banned paths freely —
+//! and a path split across lines (`std::\n    sync::atomic`) no longer
+//! evades it.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+/// Banned path → what to use instead.
+const BANNED: &[(&[&str], &str)] = &[
+    (&["std", "sync", "atomic"], "swscc_sync::atomic"),
+    (&["std", "thread", "scope"], "swscc_sync::thread::scope"),
+    (&["std", "thread", "spawn"], "swscc_sync::thread::scope"),
+    (
+        &["std", "thread", "yield_now"],
+        "swscc_sync::thread::yield_now",
+    ),
+    (&["std", "thread", "sleep"], "swscc_sync::thread::sleep"),
+    (&["std", "hint", "spin_loop"], "swscc_sync::hint::spin_loop"),
+];
+
+pub struct Facade;
+
+impl Rule for Facade {
+    fn name(&self) -> &'static str {
+        "facade"
+    }
+
+    fn description(&self) -> &'static str {
+        "no raw std::sync::atomic / std::thread control / parking_lot outside the swscc-sync facade"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        if ws.config.is_facade_exempt(&file.rel_path) {
+            return;
+        }
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            for (path, instead) in BANNED {
+                if code.path_at(i, path) {
+                    out.push(finding_at(
+                        &code,
+                        i,
+                        self.name(),
+                        format!(
+                            "direct `{}` — use `{instead}` so the model checker can instrument it",
+                            path.join("::")
+                        ),
+                    ));
+                }
+            }
+            // Any path through the parking_lot crate (`parking_lot::…`).
+            if code.path_at(i, &["parking_lot"]) && code.followed_by_path_sep(i) {
+                out.push(finding_at(
+                    &code,
+                    i,
+                    self.name(),
+                    "direct `parking_lot::` — use `swscc_sync::{Mutex, RwLock}` so the model \
+                     checker can instrument it"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+impl Code<'_> {
+    /// Token `i` is followed by `::` — it heads a longer path.
+    pub(crate) fn followed_by_path_sep(&self, i: usize) -> bool {
+        i + 2 < self.len() && self.text(i + 1) == ":" && self.text(i + 2) == ":"
+    }
+}

@@ -1,0 +1,66 @@
+//! Rule (c) — GraphView discipline: outside `swscc-graph`, kernels must
+//! stay generic over the `GraphView` streaming trait so they run
+//! unmodified on both the raw and the compressed backend. Calling the
+//! raw-CSR slice accessors (`out_neighbors`/`in_neighbors`) or escaping
+//! through `as_csr` pins a kernel to one backend. Escape hatches: a
+//! `// graphview:` comment in the same paragraph for one site, or a
+//! `// graphview(file):` comment anywhere in the file for a module that
+//! is backend-bound by design (the sequential oracles take `&CsrGraph`
+//! in their signatures; the BSP simulation partitions raw rows).
+//! `examples/` is out of scope — demos may showcase the raw API.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+const RAW_ACCESS: &[&str] = &["out_neighbors", "in_neighbors", "as_csr"];
+
+pub struct GraphViewDiscipline;
+
+impl Rule for GraphViewDiscipline {
+    fn name(&self) -> &'static str {
+        "graphview"
+    }
+
+    fn description(&self) -> &'static str {
+        "no raw adjacency access (out_neighbors/in_neighbors/as_csr) outside swscc-graph"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        if file.rel_path.starts_with(&ws.config.graph_crate)
+            || file.rel_path.starts_with("crates/lint/")
+            || file.rel_path.starts_with("examples/")
+        {
+            return;
+        }
+        // File-level hatch: one argument that the whole module is
+        // backend-bound by design.
+        let file_justified =
+            (1..=file.line_count()).any(|l| file.comment_text(l).contains("// graphview(file):"));
+        if file_justified {
+            return;
+        }
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            if !RAW_ACCESS.iter().any(|m| code.is_call(i, m)) {
+                continue;
+            }
+            if file.in_test_code(code.offset(i)) {
+                continue; // tests compare kernels against raw-slice oracles
+            }
+            if !file.has_justification(code.line(i), "// graphview:") {
+                out.push(finding_at(
+                    &code,
+                    i,
+                    self.name(),
+                    format!(
+                        "`{}` outside swscc-graph pins this code to the raw CSR backend — \
+                         use the GraphView streaming API (for_each_neighbor_while / \
+                         copy_neighbors), or add a `// graphview:` justification",
+                        code.text(i)
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Rule (e) — dropped run reports: a `run_checked` / `run_pipeline`
+//! result carries both the `SccResult` *and* the typed error /
+//! recovery trail (`RunReport`, `SccError`); dropping it on the floor
+//! (`let _ = …` or a bare expression statement) silently discards
+//! cancellation, watchdog, and recovery evidence. The `#[must_use]`
+//! attributes make the compiler warn; this rule makes it a lint failure
+//! with a justification hatch (`// report:`) for the rare site that
+//! really only wants the side effects.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+const CHECKED_CALLS: &[&str] = &["run_checked", "run_pipeline"];
+
+pub struct DroppedReport;
+
+impl Rule for DroppedReport {
+    fn name(&self) -> &'static str {
+        "must-use"
+    }
+
+    fn description(&self) -> &'static str {
+        "run_checked/run_pipeline results must not be dropped (RunReport/SccError discarded)"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Finding>) {
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            if !CHECKED_CALLS.iter().any(|c| code.is_call(i, c)) {
+                continue;
+            }
+            if file.in_test_code(code.offset(i)) {
+                continue;
+            }
+            if !is_dropped(&code, i) {
+                continue;
+            }
+            if file.has_justification(code.line(i), "// report:") {
+                continue;
+            }
+            out.push(finding_at(
+                &code,
+                i,
+                self.name(),
+                format!(
+                    "result of `{}` is dropped — the RunReport/SccError it carries records \
+                     recovery events, watchdog trips, and phase attribution; bind and \
+                     propagate it, or add a `// report:` justification",
+                    code.text(i)
+                ),
+            ));
+        }
+    }
+}
+
+/// Is the call whose name ident sits at code index `i` a dropped-result
+/// site? Two shapes: an explicit `let _ = <call-expr>;` discard, or a
+/// bare expression statement `<call-expr>;` (statement position, value
+/// unused). A chained use (`….unwrap()`, `…?`) or any binding/return
+/// position counts as used.
+fn is_dropped(code: &Code<'_>, i: usize) -> bool {
+    // After the argument list: `.` (chain) or `?` (propagation) = used.
+    let Some(close) = code.matching_paren(i + 1) else {
+        return false;
+    };
+    if close + 1 < code.len() {
+        let next = code.text(close + 1);
+        if next != ";" {
+            return false; // chained, matched, returned, or an argument
+        }
+    } else {
+        return false; // end of file mid-expression; not a statement
+    }
+
+    // Walk back over the receiver chain (`a.b.run_checked`, with
+    // balanced `(…)`/`[…]` atoms) to the start of the call expression.
+    let mut s = i;
+    while s >= 2 && code.text(s - 1) == "." {
+        let mut a = s - 2; // last token of the previous atom
+        let t = code.text(a);
+        if t == ")" || t == "]" {
+            let closer = t;
+            let opener = if closer == ")" { "(" } else { "[" };
+            let mut depth = 0usize;
+            loop {
+                let t = code.text(a);
+                if t == closer {
+                    depth += 1;
+                } else if t == opener {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if a == 0 {
+                    break;
+                }
+                a -= 1;
+            }
+            // An ident before `(` is part of the same atom (a call).
+            if a >= 1 && opener == "(" && is_wordlike(code.text(a - 1)) {
+                a -= 1;
+            }
+        }
+        // Fold a leading path (`foo::bar` atoms) into the same atom.
+        while a >= 3 && code.text(a - 1) == ":" && code.text(a - 2) == ":" {
+            a -= 3;
+        }
+        s = a;
+    }
+
+    // Explicit `let _ = …` discard.
+    if s >= 3 && code.text(s - 3) == "let" && code.text(s - 2) == "_" && code.text(s - 1) == "=" {
+        return true;
+    }
+    // Statement position: preceded by `;`, `{`, `}`, or nothing.
+    s == 0 || matches!(code.text(s - 1), ";" | "{" | "}")
+}
+
+fn is_wordlike(t: &str) -> bool {
+    t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !t.is_empty()
+}

@@ -1,0 +1,228 @@
+//! Rule (d) — static pipeline legality: the `Pipeline::stock` stage
+//! table and any literal `Pipeline::parse("…")` specs in non-test code
+//! are parsed out of the source and checked against the same composition
+//! rules `Pipeline::new` enforces at runtime (terminal last, terminals
+//! only last, no peel after a re-partitioning stage) — so an illegal
+//! stock pipeline is a lint failure at commit time, not a config error
+//! at run time.
+//!
+//! The stage metadata is deliberately duplicated here (name, terminal,
+//! repartitions): the lint must not depend on the crate it checks. A
+//! stage added to `swscc-core` without updating this table surfaces as
+//! an `unknown stage` finding, which is the prompt to extend both.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::Code;
+use crate::source::SourceFile;
+
+/// `(variant, cli-name, terminal, repartitions)` — mirrors
+/// `swscc_core::pipeline::Stage`.
+const STAGES: &[(&str, &str, bool, bool)] = &[
+    ("Trim", "trim", false, false),
+    ("Fwbw", "fwbw", false, false),
+    ("Peel", "peel", false, false),
+    ("Trim2", "trim2", false, false),
+    ("Wcc", "wcc", false, true),
+    ("Coloring", "coloring", true, false),
+    ("ColorTail", "colortail", false, true),
+    ("Serial", "serial", true, false),
+    ("Tasks", "tasks", true, false),
+    ("Multisearch", "multisearch", true, false),
+];
+
+fn stage_by_variant(v: &str) -> Option<&'static (&'static str, &'static str, bool, bool)> {
+    STAGES.iter().find(|s| s.0 == v)
+}
+
+fn stage_by_cli(n: &str) -> Option<&'static (&'static str, &'static str, bool, bool)> {
+    STAGES.iter().find(|s| s.1 == n)
+}
+
+/// Applies the composition rules to a resolved stage list; returns one
+/// message per violation.
+fn check_stages(stages: &[&'static (&'static str, &'static str, bool, bool)]) -> Vec<String> {
+    let mut errs = Vec::new();
+    let Some((last, init)) = stages.split_last() else {
+        return vec!["empty stage list".to_string()];
+    };
+    if !last.2 {
+        errs.push(format!(
+            "final stage `{}` is not terminal — a pipeline must end with a stage that \
+             resolves every remaining node",
+            last.1
+        ));
+    }
+    for s in init {
+        if s.2 {
+            errs.push(format!(
+                "terminal stage `{}` before the final position — everything after it \
+                 would see an empty residue",
+                s.1
+            ));
+        }
+    }
+    let mut repartitioned_by: Option<&str> = None;
+    for s in stages {
+        if let Some(prior) = repartitioned_by {
+            if s.1 == "fwbw" || s.1 == "peel" {
+                errs.push(format!(
+                    "`{}` after re-partitioning `{prior}` — the whole-graph partition \
+                     the peel targets no longer exists",
+                    s.1,
+                ));
+            }
+        }
+        if s.3 {
+            repartitioned_by = Some(s.1);
+        }
+    }
+    errs
+}
+
+pub struct PipelineLegality;
+
+impl Rule for PipelineLegality {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn description(&self) -> &'static str {
+        "Pipeline::stock table and literal Pipeline::parse specs satisfy the composition rules"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        let code = Code::new(file);
+        if file.rel_path == ws.config.pipeline_file {
+            check_stock_table(self.name(), file, &code, out);
+        }
+        // Literal `Pipeline::parse("…")` specs anywhere in non-test code
+        // (tests exercise illegal specs on purpose).
+        for i in 0..code.len() {
+            if !code.path_at(i, &["Pipeline", "parse"]) {
+                continue;
+            }
+            let open = i + 4; // Pipeline(i) :(i+1) :(i+2) parse(i+3) → "(" at i+4
+            if code.len() <= open + 1 || code.text(open) != "(" {
+                continue;
+            }
+            if file.in_test_code(code.offset(i)) {
+                continue;
+            }
+            let arg = code.text(open + 1);
+            if !arg.starts_with('"') {
+                continue; // non-literal spec; runtime validation owns it
+            }
+            let spec = arg.trim_matches('"');
+            let mut resolved = Vec::new();
+            let mut errs = Vec::new();
+            for part in spec.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                match stage_by_cli(part) {
+                    Some(s) => resolved.push(s),
+                    None => errs.push(format!("unknown stage `{part}`")),
+                }
+            }
+            if errs.is_empty() {
+                errs = check_stages(&resolved);
+            }
+            for e in errs {
+                out.push(crate::rules::finding_at(
+                    &code,
+                    i,
+                    self.name(),
+                    format!("illegal pipeline spec {spec:?}: {e}"),
+                ));
+            }
+        }
+    }
+}
+
+/// Locates `STOCK` in the pipeline file, walks its initializer, and
+/// validates each tuple's `Stage::X` list.
+fn check_stock_table(
+    rule: &'static str,
+    file: &SourceFile,
+    code: &Code<'_>,
+    out: &mut Vec<Finding>,
+) {
+    let Some(stock_at) = (0..code.len()).find(|&i| code.text(i) == "STOCK") else {
+        out.push(Finding {
+            rule,
+            file: file.rel_path.clone(),
+            line: 0,
+            message: "could not locate the `STOCK` stage table — if it moved or was \
+                      renamed, update swscc-lint's pipeline rule"
+                .to_string(),
+            anchor: "missing-stock-table".to_string(),
+        });
+        return;
+    };
+    // Skip the type annotation (which also contains brackets): the
+    // initializer starts after the `=`.
+    let Some(eq) = (stock_at..code.len()).find(|&i| code.text(i) == "=") else {
+        return;
+    };
+    let Some(outer_open) = (eq..code.len()).find(|&i| code.text(i) == "[") else {
+        return;
+    };
+
+    let mut depth = 0usize; // bracket+paren depth relative to the outer array
+    let mut group: Vec<&'static (&'static str, &'static str, bool, bool)> = Vec::new();
+    let mut group_errs: Vec<String> = Vec::new();
+    let mut group_line = 0usize;
+    let mut group_anchor = String::new();
+    let mut i = outer_open;
+    while i < code.len() {
+        let t = code.text(i);
+        match t {
+            "[" | "(" | "{" => {
+                depth += 1;
+                if depth == 2 && t == "(" {
+                    group.clear();
+                    group_errs.clear();
+                    group_line = code.line(i);
+                    group_anchor = code.anchor(i);
+                }
+            }
+            "]" | ")" | "}" => {
+                if depth == 2 && t == ")" {
+                    let errs = if group_errs.is_empty() {
+                        check_stages(&group)
+                    } else {
+                        std::mem::take(&mut group_errs)
+                    };
+                    for e in errs {
+                        out.push(Finding {
+                            rule,
+                            file: file.rel_path.clone(),
+                            line: group_line,
+                            message: format!("illegal stock pipeline: {e}"),
+                            anchor: group_anchor.clone(),
+                        });
+                    }
+                }
+                depth -= 1;
+                if depth == 0 {
+                    break; // closed the outer array
+                }
+            }
+            "Stage"
+                if depth >= 2 && code.path_at(i, &["Stage"]) && code.followed_by_path_sep(i) =>
+            {
+                let variant = code.text(i + 3);
+                match stage_by_variant(variant) {
+                    Some(s) => group.push(s),
+                    None => group_errs.push(format!(
+                        "unknown stage `Stage::{variant}` — a new kernel must also be added \
+                         to swscc-lint's stage table"
+                    )),
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,40 @@
+//! Rule 4 — recovery justification: every `catch_unwind` call site must
+//! carry a `// recovery:` comment stating what state the caught panic
+//! leaves behind and how the caller recovers. Applies everywhere, tests
+//! included — a test that absorbs a panic is asserting something about
+//! recovery and must say what.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+pub struct Recovery;
+
+impl Rule for Recovery {
+    fn name(&self) -> &'static str {
+        "recovery"
+    }
+
+    fn description(&self) -> &'static str {
+        "every catch_unwind call site carries a `// recovery:` comment"
+    }
+
+    fn check_file(&self, file: &SourceFile, _ws: &Workspace, out: &mut Vec<Finding>) {
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            if !code.is_call(i, "catch_unwind") {
+                continue;
+            }
+            if !file.has_justification(code.line(i), "// recovery:") {
+                out.push(finding_at(
+                    &code,
+                    i,
+                    self.name(),
+                    "`catch_unwind` without a `// recovery:` comment explaining what state \
+                     the caught panic leaves and how the caller recovers"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

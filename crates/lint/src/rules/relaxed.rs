@@ -1,0 +1,49 @@
+//! Rule 2 — Relaxed justification: every `Ordering::Relaxed` in non-test
+//! code must carry a `// ordering:` comment (same line or earlier in the
+//! same paragraph) naming its A1–A5 argument (DESIGN.md §8).
+//!
+//! Token-aware: an `Ordering::` split across lines no longer evades the
+//! rule, and an `// ordering:` that only appears inside a string or a
+//! doc comment no longer satisfies it.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+pub struct Relaxed;
+
+impl Rule for Relaxed {
+    fn name(&self) -> &'static str {
+        "relaxed"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Ordering::Relaxed in non-test code carries an `// ordering:` justification"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        if ws.config.is_facade_exempt(&file.rel_path) {
+            return;
+        }
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            if !code.path_at(i, &["Ordering", "Relaxed"]) {
+                continue;
+            }
+            if file.in_test_code(code.offset(i)) {
+                continue;
+            }
+            if !file.has_justification(code.line(i), "// ordering:") {
+                out.push(finding_at(
+                    &code,
+                    i,
+                    self.name(),
+                    "`Ordering::Relaxed` without an `// ordering:` justification comment \
+                     (same line or earlier in the same paragraph; doc comments and strings \
+                     don't count)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Per-file analysis layered on the token stream: line classification
+//! (code / comment / blank), `#[cfg(test)]` / `#[test]` region tracking,
+//! and the paragraph-scoped justification lookup shared by every
+//! justification-comment rule.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// How far above a flagged line a justification comment may sit, in
+/// lines, bounded by the first blank line (same contract as the old
+/// line-based audit, now fed by real comment tokens).
+pub const JUSTIFY_PARAGRAPH_CAP: usize = 25;
+
+/// One `.rs` file: path, text, tokens, and derived line/region info.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Per 1-based line: concatenated text of *plain* (non-doc) comments
+    /// touching that line. Doc comments and comment-looking text inside
+    /// strings contribute nothing — that's the point.
+    comment_on_line: Vec<String>,
+    /// Per 1-based line: does any non-trivia token touch it?
+    code_on_line: Vec<bool>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Whether the whole file is test/bench code by path.
+    path_is_test: bool,
+    line_count: usize,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let line_count = text.lines().count().max(1);
+        let mut comment_on_line = vec![String::new(); line_count + 2];
+        let mut code_on_line = vec![false; line_count + 2];
+
+        for t in &tokens {
+            match t.kind {
+                TokenKind::Whitespace => {}
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => {
+                    if !doc {
+                        // Attribute each physical line of the comment its
+                        // own slice, so paragraph scans see multi-line
+                        // block comments line by line.
+                        for (i, part) in t.text(&text).split('\n').enumerate() {
+                            let ln = t.line as usize + i;
+                            if ln < comment_on_line.len() {
+                                comment_on_line[ln].push_str(part);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let first = t.line as usize;
+                    let last = first + t.text(&text).matches('\n').count();
+                    for markable in code_on_line
+                        .iter_mut()
+                        .take(last.min(line_count) + 1)
+                        .skip(first)
+                    {
+                        *markable = true;
+                    }
+                }
+            }
+        }
+
+        let test_regions = find_test_regions(&text, &tokens);
+        let path_is_test = {
+            let p = rel_path;
+            p.contains("/tests/")
+                || p.contains("/benches/")
+                || p.starts_with("tests/")
+                || p.starts_with("benches/")
+        };
+
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            text,
+            tokens,
+            comment_on_line,
+            code_on_line,
+            test_regions,
+            path_is_test,
+            line_count,
+        }
+    }
+
+    /// Is the byte offset inside test-classified code (a tests/ or
+    /// benches/ file, a `#[cfg(test)]` item, or a `#[test]` fn)?
+    pub fn in_test_code(&self, offset: usize) -> bool {
+        self.path_is_test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// Whole-file test classification by path alone.
+    pub fn path_is_test(&self) -> bool {
+        self.path_is_test
+    }
+
+    /// 1-based line → is it blank (no tokens but whitespace)?
+    fn is_blank(&self, line: usize) -> bool {
+        !self.code_on_line.get(line).copied().unwrap_or(false)
+            && self
+                .comment_on_line
+                .get(line)
+                .map(|c| c.is_empty())
+                .unwrap_or(true)
+    }
+
+    /// Does `needle` appear in a plain (non-doc) comment on `line`, or on
+    /// an earlier line of the same paragraph (no blank line between,
+    /// capped at [`JUSTIFY_PARAGRAPH_CAP`])? This is the justification
+    /// contract: a `// SAFETY:` inside a string literal or a doc comment
+    /// does not count.
+    pub fn has_justification(&self, line: usize, needle: &str) -> bool {
+        if self.comment_contains(line, needle) {
+            return true;
+        }
+        for l in (1..line).rev().take(JUSTIFY_PARAGRAPH_CAP) {
+            if self.is_blank(l) {
+                return false;
+            }
+            if self.comment_contains(l, needle) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn comment_contains(&self, line: usize, needle: &str) -> bool {
+        self.comment_on_line
+            .get(line)
+            .is_some_and(|c| c.contains(needle))
+    }
+
+    /// The plain-comment text attributed to a 1-based line.
+    pub fn comment_text(&self, line: usize) -> &str {
+        self.comment_on_line
+            .get(line)
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    pub fn line_count(&self) -> usize {
+        self.line_count
+    }
+
+    /// Indices (into `self.tokens`) of non-trivia tokens, in order.
+    pub fn code_token_indices(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_trivia())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// A lightweight pass over the code tokens to find `#[cfg(test)]` /
+/// `#[test]` item spans. An attribute whose argument list mentions `test`
+/// as a word under `cfg(…)` (covers `cfg(test)` and `cfg(any(test, …))`),
+/// or the bare `#[test]`, marks the *next item*: from the attribute to
+/// the item's closing `}` (brace-matched on real tokens, so strings and
+/// comments can't desynchronize the depth) or terminating `;`.
+fn find_test_regions(src: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_trivia()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        if t.kind == TokenKind::Punct && t.text(src) == "#" {
+            // Inner attribute `#![…]` applies to the enclosing item;
+            // skip it (the workspace style doesn't gate whole files).
+            if code.get(i + 1).is_some_and(|n| n.text(src) == "!") {
+                i += 1;
+                continue;
+            }
+            let Some((attr_text, after_attr)) = read_attr(src, &code, i) else {
+                i += 1;
+                continue;
+            };
+            if attr_marks_test(&attr_text) {
+                let start = t.start;
+                let end = item_end(src, &code, after_attr);
+                regions.push((start, end));
+                // Continue scanning *after* the region so nested attrs
+                // inside it don't double-record.
+                while i < code.len() && code[i].start < end {
+                    i += 1;
+                }
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Reads `#[…]` starting at code index `i` (which holds `#`); returns
+/// the bracketed text and the code index one past the closing `]`.
+fn read_attr(src: &str, code: &[&Token], i: usize) -> Option<(String, usize)> {
+    if code.get(i + 1)?.text(src) != "[" {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut text = String::new();
+    let mut j = i + 1;
+    while j < code.len() {
+        let t = code[j].text(src);
+        match t {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((text, j + 1));
+                }
+            }
+            _ => {
+                text.push_str(t);
+                text.push(' ');
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`, `#[cfg_attr(test, …)]`.
+fn attr_marks_test(attr: &str) -> bool {
+    let words: Vec<&str> = attr.split_whitespace().collect();
+    if words.first() == Some(&"test") && words.len() <= 1 {
+        return true;
+    }
+    (words.first() == Some(&"cfg") || words.first() == Some(&"cfg_attr")) && words.contains(&"test")
+}
+
+/// From the first token after an item's attributes, finds the byte end of
+/// that item: the matching `}` of its first `{` (skipping over any `;`
+/// inside, e.g. in a where clause default), or the first `;` at depth 0.
+fn item_end(src: &str, code: &[&Token], mut j: usize) -> usize {
+    // Skip any further (stacked) attributes.
+    while j < code.len() && code[j].text(src) == "#" {
+        match read_attr(src, code, j) {
+            Some((_, after)) => j = after,
+            None => break,
+        }
+    }
+    let mut depth = 0usize;
+    while j < code.len() {
+        match code[j].text(src) {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return code[j].end;
+                }
+            }
+            ";" if depth == 0 => return code[j].end,
+            _ => {}
+        }
+        j += 1;
+    }
+    src.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn real() { x(); }\n\n#[cfg(test)]\nmod tests {\n    fn t() { y(); }\n}\n\nfn after() {}\n";
+        let f = SourceFile::parse("crates/a/src/lib.rs", src.to_string());
+        let x_at = src.find("x()").unwrap();
+        let y_at = src.find("y()").unwrap();
+        let after_at = src.find("after").unwrap();
+        assert!(!f.in_test_code(x_at));
+        assert!(f.in_test_code(y_at));
+        assert!(!f.in_test_code(after_at));
+    }
+
+    #[test]
+    fn test_fn_region() {
+        let src = "#[test]\nfn t() { z(); }\nfn real() { w(); }\n";
+        let f = SourceFile::parse("crates/a/src/lib.rs", src.to_string());
+        assert!(f.in_test_code(src.find("z()").unwrap()));
+        assert!(!f.in_test_code(src.find("w()").unwrap()));
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_desync_regions() {
+        let src =
+            "#[cfg(test)]\nmod t { const S: &str = \"}\"; fn a() { q(); } }\nfn real() { r(); }\n";
+        let f = SourceFile::parse("crates/a/src/lib.rs", src.to_string());
+        assert!(f.in_test_code(src.find("q()").unwrap()));
+        assert!(!f.in_test_code(src.find("r()").unwrap()));
+    }
+
+    #[test]
+    fn justification_ignores_docs_and_strings() {
+        let src =
+            "/// // SAFETY: in doc\nlet a = 1;\n\nlet s = \"// SAFETY: in str\";\nlet b = 2;\n";
+        let f = SourceFile::parse("crates/a/src/lib.rs", src.to_string());
+        assert!(!f.has_justification(2, "// SAFETY:"));
+        assert!(!f.has_justification(5, "// SAFETY:"));
+    }
+
+    #[test]
+    fn justification_paragraph_scope() {
+        let src = "// SAFETY: fine here\nlet a = 1;\nlet b = 2;\n\nlet c = 3;\n";
+        let f = SourceFile::parse("crates/a/src/lib.rs", src.to_string());
+        assert!(f.has_justification(2, "// SAFETY:"));
+        assert!(f.has_justification(3, "// SAFETY:"));
+        assert!(
+            !f.has_justification(5, "// SAFETY:"),
+            "blank line ends the paragraph"
+        );
+    }
+
+    #[test]
+    fn block_comment_justifies_each_line_it_spans() {
+        let src = "/* SAFETY: spans\nlines */\nlet a = 1;\n";
+        let f = SourceFile::parse("crates/a/src/lib.rs", src.to_string());
+        assert!(f.has_justification(3, "SAFETY:"));
+    }
+
+    #[test]
+    fn cfg_attr_and_any_forms_count() {
+        for attr in [
+            "#[cfg(any(test, doctest))]",
+            "#[cfg_attr(test, allow(dead_code))]\n#[cfg(test)]",
+        ] {
+            let src = format!("{attr}\nmod m {{ fn f() {{ inner(); }} }}\n");
+            let f = SourceFile::parse("crates/a/src/lib.rs", src.clone());
+            assert!(
+                f.in_test_code(src.find("inner").unwrap()),
+                "attr {attr:?} should mark test region"
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Property battery for the lint lexer. The rules' soundness rests on
+//! one lexer invariant: the token stream **tiles** the input — every
+//! byte belongs to exactly one token, in order, with correct line
+//! numbers — no matter how adversarial the input (unterminated strings,
+//! nested comments, raw-string hash walls, non-ASCII, or outright
+//! garbage). A lexer that drops or double-counts a byte would silently
+//! shift every downstream justification-paragraph and test-region
+//! computation.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use swscc_lint::lexer::{lex, TokenKind};
+
+/// Rust-ish source fragments, biased toward the constructs the lexer
+/// special-cases. Concatenations of these cover raw strings abutting
+/// hashes, lifetimes abutting quotes, comment openers inside strings,
+/// and every other pairing the table can produce.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "let x = 1;",
+    " ",
+    "\n",
+    "\t",
+    "// line comment\n",
+    "/// doc comment\n",
+    "//! inner doc\n",
+    "//// not doc\n",
+    "/* block */",
+    "/* nested /* deep */ out */",
+    "/** doc block */",
+    "/*! inner doc block */",
+    "/* unterminated",
+    "\"string\"",
+    "\"with \\\" escape\"",
+    "\"unterminated",
+    "r\"raw\"",
+    "r#\"raw # with \"# hash\"#",
+    "r##\"deeper \"# still\"##",
+    "b\"bytes\"",
+    "b'\\''",
+    "'c'",
+    "'\\n'",
+    "'lifetime",
+    "'a: loop {}",
+    "<'a>",
+    "1..10",
+    "1.5e-9",
+    "0xFF_u32",
+    "0b1010",
+    "1_000_000",
+    "2.",
+    "ident",
+    "r#raw_ident",
+    "unsafe",
+    "Ordering::Relaxed",
+    "std::sync::atomic",
+    "#[cfg(test)]",
+    "::",
+    "->",
+    "=>",
+    "#",
+    "\\",
+    "é",
+    "日本語",
+    "'é'",
+    "\u{1F980}",
+];
+
+/// The single invariant everything else leans on.
+fn assert_tiles(src: &str) {
+    let tokens = lex(src);
+    let mut at = 0usize;
+    let mut line = 1u32;
+    let mut rebuilt = String::new();
+    for t in &tokens {
+        assert_eq!(t.start, at, "gap or overlap at byte {at} in {src:?}");
+        assert!(t.end > t.start, "empty token at byte {at} in {src:?}");
+        assert_eq!(t.line, line, "wrong line for token at byte {at} in {src:?}");
+        let text = t.text(src);
+        line += text.matches('\n').count() as u32;
+        rebuilt.push_str(text);
+        at = t.end;
+    }
+    assert_eq!(at, src.len(), "tokens stop short of EOF in {src:?}");
+    assert_eq!(rebuilt, src);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Random concatenations of tricky fragments tile exactly.
+    #[test]
+    fn fragment_soup_round_trips(idxs in vec(0usize..FRAGMENTS.len(), 0..40)) {
+        let src: String = idxs.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_tiles(&src);
+    }
+
+    /// So does outright garbage over a hostile byte palette (quote /
+    /// slash / hash / backslash / newline heavy, plus multi-byte UTF-8).
+    #[test]
+    fn char_soup_round_trips(picks in vec(0usize..18, 0..120)) {
+        const PALETTE: [char; 18] = [
+            '"', '\'', '/', '*', 'r', '#', 'b', 'c', '\\', '\n',
+            'a', '_', '0', '.', ':', '{', '}', 'é',
+        ];
+        let src: String = picks.iter().map(|&i| PALETTE[i]).collect();
+        assert_tiles(&src);
+    }
+
+    /// Lexing is a pure function of the input.
+    #[test]
+    fn lexing_is_deterministic(idxs in vec(0usize..FRAGMENTS.len(), 0..20)) {
+        let src: String = idxs.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_eq!(lex(&src), lex(&src));
+    }
+}
+
+/// Kind-level pins for the adversarial classifications the rules rely
+/// on (doc vs. plain, string vs. code, lifetime vs. char).
+#[test]
+fn adversarial_classifications() {
+    let kinds = |src: &str| -> Vec<TokenKind> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    };
+
+    // Raw strings swallow everything, including quote-hash walls.
+    assert_eq!(kinds(r####"r##"a "# b"##"####), [TokenKind::Str]);
+    // A nested block comment is one token, and `/**/`-style is plain.
+    assert_eq!(
+        kinds("/* a /* b */ c */"),
+        [TokenKind::BlockComment { doc: false }]
+    );
+    assert_eq!(kinds("/**/"), [TokenKind::BlockComment { doc: false }]);
+    assert_eq!(kinds("/** d */"), [TokenKind::BlockComment { doc: true }]);
+    // Doc vs. plain line comments: `///` doc, `////` plain.
+    assert_eq!(kinds("/// d\n"), [TokenKind::LineComment { doc: true }]);
+    assert_eq!(kinds("//! d\n"), [TokenKind::LineComment { doc: true }]);
+    assert_eq!(kinds("//// d\n"), [TokenKind::LineComment { doc: false }]);
+    // Lifetime vs. char vs. escaped-quote byte char.
+    assert_eq!(kinds("'a"), [TokenKind::Lifetime]);
+    assert_eq!(kinds("'a'"), [TokenKind::Char]);
+    assert_eq!(kinds("b'\\''"), [TokenKind::Char]);
+    // Ranges don't fuse into a float; exponents do.
+    assert_eq!(
+        kinds("1..10"),
+        [
+            TokenKind::Number,
+            TokenKind::Punct,
+            TokenKind::Punct,
+            TokenKind::Number
+        ]
+    );
+    assert_eq!(kinds("1.5e-9"), [TokenKind::Number]);
+    // A comment opener inside a string is string, not comment.
+    assert_eq!(kinds("\"// SAFETY: nope\""), [TokenKind::Str]);
+    // Unterminated constructs extend to EOF but still lex.
+    assert_eq!(kinds("\"runs off"), [TokenKind::Str]);
+    assert_eq!(
+        kinds("/* runs off"),
+        [TokenKind::BlockComment { doc: false }]
+    );
+}
+
+/// The checked-in adversarial fixture lexes clean and tiles — the same
+/// file the rule corpus asserts produces zero findings.
+#[test]
+fn ok_adversarial_fixture_tiles() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("ok_adversarial.rs");
+    let src = std::fs::read_to_string(path).unwrap();
+    assert_tiles(&src);
+    assert!(lex(&src).iter().any(|t| t.kind == TokenKind::Str));
+}

@@ -221,6 +221,7 @@ impl<T: Send> TwoLevelQueue<T> {
     /// equals the queued count, so the caller may retry with another
     /// `run_checked` call (after re-pushing
     /// [`RunAbort::failed_task`] if present).
+    #[must_use = "on abort the queue holds requeued tasks the caller must drain or retry"]
     pub fn run_checked<F>(
         &self,
         num_threads: usize,

@@ -220,7 +220,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         };
 
         let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(body);
-        // SAFETY: lifetime erasure for scoped spawn. The closure (and
+        // SAFETY: [inv:scoped-join] lifetime erasure for scoped spawn. The closure (and
         // everything it captures, all outliving 'scope) is only executed
         // by the OS thread stored in `os`, and that thread is joined
         // before 'scope ends on every path: ScopedJoinHandle::join OS-

@@ -5,6 +5,12 @@
 //! on: stale Relaxed reads are generated, Release/Acquire publication is
 //! honored, failing seeds replay deterministically, deadlocks are
 //! detected, and schedule exploration actually diversifies.
+//!
+//! Every test below runs inside `swscc_sync::thread::scope`, which is
+//! the validation anchor for [inv:scoped-join]: the scope joins every
+//! spawned thread on all exit paths before the borrowed stack frame
+//! unwinds, so the lifetime erasure in `model/thread.rs` never lets a
+//! closure outlive its captures.
 #![cfg(model)]
 
 use swscc_sync::atomic::{AtomicU32, Ordering};

@@ -1,115 +1,104 @@
-//! Workspace task runner. Currently one subcommand:
+//! Workspace task runner. The one subcommand is the static-analysis
+//! gate:
 //!
 //! ```text
-//! cargo run -p xtask -- audit
+//! cargo run -p xtask -- lint [--rule <name>] [--json]
+//!                            [--update-baseline] [--update-inventory]
+//!                            [--list-rules]
+//! cargo run -p xtask -- audit          # thin alias for `lint`
 //! ```
 //!
-//! walks every `.rs` file in the workspace and enforces the concurrency
-//! hygiene rules that keep the lock-free substrate auditable:
+//! The engine itself lives in `crates/lint` (`swscc-lint`): a token-aware
+//! lexer + item-level parser and a rule catalog covering facade
+//! discipline, `Relaxed`/`unsafe`/recovery justifications, engine-only
+//! recovery, decode-path allocation, the DESIGN.md §8 atomic inventory,
+//! SAFETY invariant tags, GraphView backend discipline, static pipeline
+//! legality, and dropped-RunReport detection. See DESIGN.md §13 for the
+//! catalog and the suppression-baseline workflow.
 //!
-//! 1. **Facade discipline** — no direct `std::sync::atomic`, `std::thread`
-//!    thread-control, or `parking_lot` use outside `swscc-sync` (and the
-//!    few allowlisted infrastructure crates). All concurrency primitives
-//!    must flow through the facade so the `--cfg model` checker sees them.
-//! 2. **Relaxed justification** — every `Ordering::Relaxed` in non-test
-//!    code must carry a `// ordering:` comment (same line or earlier in
-//!    the same paragraph) explaining why relaxed is sufficient.
-//! 3. **Unsafe justification** — every `unsafe` block/fn must carry a
-//!    `// SAFETY:` comment.
-//! 4. **Recovery justification** — every `catch_unwind` must carry a
-//!    `// recovery:` comment stating what state the caught panic leaves
-//!    behind and how the caller recovers (retry, degrade, restart, or
-//!    test-local assertion). Swallowing a panic without that argument is
-//!    how a split SCC masquerades as a clean run.
-//! 5. **Engine-only recovery surface** — only the pipeline engine
-//!    (`crates/core/src/pipeline.rs`) and the driver module itself may
-//!    call the driver's interrupt/recovery machinery (`check_guard`,
-//!    `check_interrupt`, `catch_phase`, `run_queue_with_recovery`,
-//!    `recover_full_restart`). An algorithm that polls or recovers on its
-//!    own re-creates the per-driver boilerplate the engine exists to
-//!    collapse, and its recovery path escapes the engine's single
-//!    retry/degrade/restart policy. Escape hatch: an `// engine:` comment
-//!    arguing why the call must live outside the engine.
-//! 6. **Allocation-free decode loops** — the compressed-CSR decode path
-//!    (`DECODE_HOT_FILES`) sits inside every kernel's innermost edge
-//!    loop, so any heap allocation there (`Vec::new`, `collect`,
-//!    `to_vec`, ...) turns an O(1)-space neighbor stream into a per-edge
-//!    allocator visit. Non-test allocation in those files must carry a
-//!    `// decode:` comment arguing it is on a cold path (construction,
-//!    validation, materialization) and never runs inside a traversal.
-//!
-//! The audit is line-based on purpose: it has zero dependencies, runs in
-//! milliseconds, and its false-positive escape hatch is an explicit,
-//! greppable justification comment — which is the artifact we actually
-//! want in the tree.
+//! Exit codes: **0** clean, **1** findings, **2** usage error.
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
+
+use swscc_lint::{run_lint, LintOptions};
+
+const USAGE: &str = "usage: cargo run -p xtask -- lint \
+                     [--rule <name>] [--json] [--update-baseline] \
+                     [--update-inventory] [--list-rules]\n\
+                     (`audit` is an alias for `lint`)";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("audit") => audit(),
+        Some("lint") | Some("audit") => lint(args),
         Some(other) => {
-            eprintln!("unknown xtask subcommand `{other}` (available: audit)");
-            ExitCode::FAILURE
+            eprintln!("unknown xtask subcommand `{other}` (available: lint, audit)");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- audit");
-            ExitCode::FAILURE
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
 
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-fn audit() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root, &mut files);
-    files.sort();
-
-    let mut findings = Vec::new();
-    for file in &files {
-        let Ok(text) = std::fs::read_to_string(file) else {
-            continue;
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file);
-        check_file(rel, &text, &mut findings);
+fn lint(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut opts = LintOptions {
+        root: workspace_root(),
+        rule: None,
+        json: false,
+        update_baseline: false,
+        update_inventory: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rule" => match args.next() {
+                Some(name) => opts.rule = Some(name),
+                None => {
+                    eprintln!("--rule needs a rule name");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => opts.json = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--update-inventory" => opts.update_inventory = true,
+            "--list-rules" => {
+                print!("{}", swscc_lint::rule_catalog());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
     }
 
-    if findings.is_empty() {
-        println!(
-            "audit: OK — {} files clean (facade discipline; Relaxed, unsafe, and \
-             decode-path allocation all justified)",
-            files.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        let mut out = String::new();
-        for f in &findings {
-            let _ = writeln!(
-                out,
-                "{}:{}: [{}] {}",
-                f.file.display(),
-                f.line,
-                f.rule,
-                f.message
-            );
+    match run_lint(&opts) {
+        Ok(run) => {
+            if run.clean {
+                print!("{}", run.output);
+                ExitCode::SUCCESS
+            } else if opts.json {
+                // JSON always goes to stdout so `--json > lint.json`
+                // captures the artifact even on a failing run.
+                print!("{}", run.output);
+                ExitCode::FAILURE
+            } else {
+                // Text findings go to stderr like the old audit, so CI
+                // logs interleave them with the failure status.
+                eprint!("{}", run.output);
+                ExitCode::FAILURE
+            }
         }
-        eprint!("{out}");
-        eprintln!(
-            "audit: FAILED — {} finding(s) in {} files",
-            findings.len(),
-            files.len()
-        );
-        ExitCode::FAILURE
+        Err(usage) => {
+            eprintln!("lint: {usage}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -120,296 +109,4 @@ fn workspace_root() -> PathBuf {
     p.pop();
     p.pop();
     p
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// Paths (relative, `/`-separated prefixes) exempt from the facade rule:
-/// the facade itself, this linter, and the compat shims that *implement*
-/// std-level plumbing (parking_lot wraps std::sync; proptest/criterion/
-/// rand are test/bench infrastructure outside the modeled substrate). The
-/// rayon shim is deliberately NOT exempt — its scoped workers must run
-/// under the model scheduler.
-const FACADE_EXEMPT: &[&str] = &[
-    "crates/sync/",
-    "crates/xtask/",
-    "crates/compat/parking_lot/",
-    "crates/compat/proptest/",
-    "crates/compat/criterion/",
-    "crates/compat/rand/",
-];
-
-/// Raw-primitive patterns the facade rule rejects, with what to use
-/// instead.
-const FACADE_BANNED: &[(&str, &str)] = &[
-    ("std::sync::atomic", "swscc_sync::atomic"),
-    ("std::thread::scope", "swscc_sync::thread::scope"),
-    ("std::thread::spawn", "swscc_sync::thread::scope"),
-    ("std::thread::yield_now", "swscc_sync::thread::yield_now"),
-    ("std::thread::sleep", "swscc_sync::thread::sleep"),
-    ("std::hint::spin_loop", "swscc_sync::hint::spin_loop"),
-    ("parking_lot::", "swscc_sync::{Mutex, RwLock}"),
-];
-
-/// Files allowed to call the driver's interrupt/recovery machinery
-/// directly: the engine that owns the policy, and the driver defining it.
-const ENGINE_EXEMPT: &[&str] = &[
-    "crates/core/src/pipeline.rs",
-    "crates/core/src/driver.rs",
-    "crates/xtask/",
-];
-
-/// Call-site patterns rule 5 restricts to the pipeline engine.
-const ENGINE_ONLY: &[&str] = &[
-    "check_guard(",
-    "check_interrupt(",
-    "catch_phase(",
-    "run_queue_with_recovery(",
-    "recover_full_restart(",
-];
-
-/// Files whose non-test code is the neighbor-decode hot path: every
-/// kernel's inner edge loop streams through them, so allocation is a
-/// per-edge cost there, not a one-time one.
-const DECODE_HOT_FILES: &[&str] = &["crates/graph/src/compressed.rs"];
-
-/// Heap-allocation patterns rule 6 flags inside `DECODE_HOT_FILES`.
-const DECODE_ALLOC: &[&str] = &[
-    "Vec::new",
-    "Vec::with_capacity",
-    "vec!",
-    ".to_vec()",
-    ".collect()",
-    "Box::new(",
-    "String::new",
-    ".to_string()",
-    "format!(",
-];
-
-fn check_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    let facade_exempt = FACADE_EXEMPT.iter().any(|p| rel_str.starts_with(p));
-    let engine_exempt = ENGINE_EXEMPT.iter().any(|p| rel_str.starts_with(p));
-    let decode_hot = DECODE_HOT_FILES.contains(&rel_str.as_str());
-    // Test-only code is exempt from the Relaxed-justification rule (its
-    // atomics are assertion plumbing, not protocols) but NOT from the
-    // facade rule — tests must exercise the same primitives the model
-    // checker instruments.
-    let is_test_code = rel_str.contains("/tests/")
-        || rel_str.contains("/benches/")
-        || rel_str.starts_with("tests/")
-        || rel_str.starts_with("benches/");
-
-    let lines: Vec<&str> = text.lines().collect();
-    let mut in_cfg_test = usize::MAX; // brace depth at #[cfg(test)] module start
-    let mut depth = 0usize;
-
-    for (i, raw) in lines.iter().enumerate() {
-        let line = strip_line_comment_and_strings(raw);
-        let lineno = i + 1;
-
-        // Track #[cfg(test)] regions by brace depth so inline unit-test
-        // modules get the same Relaxed exemption as tests/ files.
-        if in_cfg_test == usize::MAX && raw.trim_start().starts_with("#[cfg(test)]") {
-            in_cfg_test = depth;
-        }
-        let opens = line.matches('{').count();
-        let closes = line.matches('}').count();
-
-        let in_tests = is_test_code || in_cfg_test != usize::MAX;
-
-        // Rule 1: facade discipline.
-        if !facade_exempt {
-            for (pat, instead) in FACADE_BANNED {
-                if line.contains(pat) {
-                    findings.push(Finding {
-                        file: rel.to_path_buf(),
-                        line: lineno,
-                        rule: "facade",
-                        message: format!("direct `{pat}` — use `{instead}` so the model checker can instrument it"),
-                    });
-                }
-            }
-        }
-
-        // Rule 2: Relaxed justification (non-test code only).
-        if !in_tests
-            && !facade_exempt
-            && line.contains("Ordering::Relaxed")
-            && !has_justification(&lines, i, "// ordering:")
-        {
-            findings.push(Finding {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "relaxed",
-                message: "`Ordering::Relaxed` without a `// ordering:` justification comment \
-                          (same line or earlier in the same paragraph)"
-                    .to_string(),
-            });
-        }
-
-        // Rule 4: recovery justification (applies everywhere, tests too —
-        // a test that absorbs a panic is asserting something about
-        // recovery and must say what).
-        // Match call sites only — `catch_unwind(` — so imports stay clean.
-        if line.contains("catch_unwind(") && !has_justification(&lines, i, "// recovery:") {
-            findings.push(Finding {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "recovery",
-                message: "`catch_unwind` without a `// recovery:` comment explaining what \
-                          state the caught panic leaves and how the caller recovers"
-                    .to_string(),
-            });
-        }
-
-        // Rule 5: engine-only recovery surface.
-        if !engine_exempt {
-            for pat in ENGINE_ONLY {
-                if line.contains(pat) && !has_justification(&lines, i, "// engine:") {
-                    findings.push(Finding {
-                        file: rel.to_path_buf(),
-                        line: lineno,
-                        rule: "engine",
-                        message: format!(
-                            "`{}` outside the pipeline engine — route the phase through a \
-                             PhaseKernel, or add an `// engine:` justification",
-                            pat.trim_end_matches('(')
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule 6: allocation-free decode loops. Test code is exempt
-        // (tests collect neighbor streams to compare against oracles).
-        if decode_hot && !in_tests {
-            for pat in DECODE_ALLOC {
-                if line.contains(pat) && !has_justification(&lines, i, "// decode:") {
-                    findings.push(Finding {
-                        file: rel.to_path_buf(),
-                        line: lineno,
-                        rule: "decode",
-                        message: format!(
-                            "`{pat}` in the neighbor-decode hot path — move it off the \
-                             per-edge loop, or add a `// decode:` comment arguing this \
-                             is a cold (construction/validation) path"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // Rule 3: unsafe justification (applies everywhere, tests too).
-        if mentions_unsafe(&line) && !has_justification(&lines, i, "// SAFETY:") {
-            findings.push(Finding {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "unsafe",
-                message: "`unsafe` without a `// SAFETY:` comment (same line or earlier in \
-                          the same paragraph)"
-                    .to_string(),
-            });
-        }
-
-        depth += opens;
-        depth = depth.saturating_sub(closes);
-        if in_cfg_test != usize::MAX && depth <= in_cfg_test && closes > opens {
-            in_cfg_test = usize::MAX;
-        }
-    }
-}
-
-/// True if `needle` appears on the same line (as a trailing comment) or
-/// anywhere in the same paragraph above — scanning upward until a blank
-/// line (capped), so one comment can justify a multi-line statement or a
-/// tight cluster of related operations, while staying adjacent to the
-/// code it justifies.
-const JUSTIFY_PARAGRAPH_CAP: usize = 25;
-
-fn has_justification(lines: &[&str], i: usize, needle: &str) -> bool {
-    if lines[i].contains(needle) {
-        return true;
-    }
-    for l in lines[..i].iter().rev().take(JUSTIFY_PARAGRAPH_CAP) {
-        if l.trim().is_empty() {
-            return false;
-        }
-        if l.contains(needle) {
-            return true;
-        }
-    }
-    false
-}
-
-/// Matches the `unsafe` keyword as a whole word (skips identifiers like
-/// `unsafe_op` and, because comments/strings are already stripped, prose).
-fn mentions_unsafe(line: &str) -> bool {
-    let bytes = line.as_bytes();
-    let mut start = 0;
-    while let Some(pos) = line[start..].find("unsafe") {
-        let at = start + pos;
-        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
-        let after = at + "unsafe".len();
-        let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
-        if before_ok && after_ok {
-            return true;
-        }
-        start = after;
-    }
-    false
-}
-
-fn is_ident(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Crude but adequate lexical stripping: removes `//` comments (so doc
-/// text mentioning `std::sync::atomic` doesn't trip the lint) and blanks
-/// out string-literal contents. Doesn't handle block comments or raw
-/// strings spanning lines — the workspace style doesn't use them around
-/// concurrency code, and a false positive is fixable with a justification
-/// comment anyway.
-fn strip_line_comment_and_strings(raw: &str) -> String {
-    let mut out = String::with_capacity(raw.len());
-    let mut chars = raw.chars().peekable();
-    let mut in_str = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '\\' {
-                let _ = chars.next();
-            } else if c == '"' {
-                in_str = false;
-                out.push('"');
-                continue;
-            }
-            continue;
-        }
-        match c {
-            '/' if chars.peek() == Some(&'/') => break,
-            '"' => {
-                in_str = true;
-                out.push('"');
-            }
-            _ => out.push(c),
-        }
-    }
-    out
 }

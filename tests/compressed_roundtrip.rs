@@ -8,6 +8,11 @@
 //!    `CompressedCsr::from_csr` must reproduce every neighbor list
 //!    byte-for-byte through the `GraphView` decode path, and the
 //!    streaming `has_edge` probe must agree with the raw binary search.
+//!    This battery is the validation anchor for [inv:varint-validated]:
+//!    the unchecked VarInt decode in `crates/graph/src/compressed.rs` is
+//!    sound because every byte stream it reads was produced by
+//!    `push_list` (exhaustively exercised here) or admitted by
+//!    `validate()` on untrusted input.
 //! 2. **Streaming construction** — `from_edge_stream` must be invariant
 //!    in the shard count and equal the `GraphBuilder` (dedup +
 //!    drop-self-loops) semantics on random edge streams.
