@@ -40,6 +40,15 @@ pub enum SccError {
         /// The panic payload text.
         message: String,
     },
+    /// An always-on host (the `swscc-serve` daemon) shed this run at its
+    /// admission gate instead of queueing it unboundedly. The run never
+    /// started; retry after the suggested backoff. Never produced by the
+    /// batch entry points — it exists here so the service layer speaks
+    /// the same typed-error language as everything below it.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for SccError {
@@ -52,6 +61,12 @@ impl std::fmt::Display for SccError {
             }
             SccError::WorkerPanic { message } => {
                 write!(f, "worker panicked: {message}")
+            }
+            SccError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "overloaded: shed at admission, retry after {retry_after_ms} ms"
+                )
             }
         }
     }
@@ -97,6 +112,10 @@ impl RunGuard {
 
     /// A guard whose run aborts with [`SccError::DeadlineExceeded`] once
     /// `budget` wall-clock time has elapsed from now.
+    ///
+    /// Pathological budgets (`Duration::MAX` and friends) saturate to a
+    /// far-future but *real* deadline instead of silently turning the
+    /// run unbounded — see `Interrupt::with_deadline`.
     pub fn with_deadline(budget: Duration) -> RunGuard {
         RunGuard {
             interrupt: Interrupt::with_deadline(budget),
@@ -106,6 +125,19 @@ impl RunGuard {
     /// Requests cancellation without dropping the guard.
     pub fn cancel(&self) {
         self.interrupt.cancel();
+    }
+
+    /// Polls the guard once: `Err` with the typed error if the run
+    /// should stop. For hosts that drive their own loops against a
+    /// guard instead of handing it to a pipeline — the condensation
+    /// reachability walk in [`crate::snapshot::SccSnapshot`] and the
+    /// per-request deadline checks in the `swscc-serve` daemon poll
+    /// through this.
+    pub fn check(&self) -> Result<(), SccError> {
+        match self.interrupt.poll() {
+            None => Ok(()),
+            Some(reason) => Err(SccError::from_interrupt(reason, &self.interrupt)),
+        }
     }
 
     /// A detached handle that can cancel this guard's run from any thread.
@@ -130,6 +162,8 @@ impl Drop for RunGuard {
 /// Detached cancellation handle (see [`RunGuard::canceller`]). Cloneable
 /// and `Send`; cancelling twice (or after the run finished) is a no-op.
 #[derive(Clone)]
+#[must_use = "a dropped Canceller can never cancel its run — keep it, hand it to the \
+              watcher thread, or call .cancel() immediately"]
 pub struct Canceller {
     interrupt: Arc<Interrupt>,
 }
@@ -198,5 +232,27 @@ mod tests {
         }
         .to_string()
         .contains("boom"));
+        let shed = SccError::Overloaded { retry_after_ms: 25 }.to_string();
+        assert!(shed.contains("overloaded") && shed.contains("25"));
+    }
+
+    #[test]
+    fn pathological_deadline_budget_saturates() {
+        let guard = RunGuard::with_deadline(Duration::MAX);
+        assert!(
+            guard.interrupt().deadline().is_some(),
+            "Duration::MAX must clamp to a real deadline, not drop it"
+        );
+        assert_eq!(guard.check(), Ok(()));
+    }
+
+    #[test]
+    fn check_reports_typed_errors() {
+        let guard = RunGuard::with_deadline(Duration::ZERO);
+        assert_eq!(guard.check(), Err(SccError::DeadlineExceeded));
+        let guard = RunGuard::new();
+        assert_eq!(guard.check(), Ok(()));
+        guard.cancel();
+        assert_eq!(guard.check(), Err(SccError::Cancelled));
     }
 }

@@ -59,6 +59,7 @@ pub mod multistep;
 pub mod pearce;
 pub mod pipeline;
 pub mod result;
+pub mod snapshot;
 pub mod state;
 pub mod tarjan;
 pub mod trim;
@@ -70,6 +71,7 @@ pub use error::{Canceller, RunGuard, SccError};
 pub use instrument::{RecoveryEvent, RunReport};
 pub use pipeline::{run_pipeline, Pipeline, PipelineError, Stage};
 pub use result::SccResult;
+pub use snapshot::SccSnapshot;
 
 use swscc_graph::CsrGraph;
 

@@ -8,8 +8,9 @@
 //! all derivable in O(N + M).
 
 use rustc_hash::FxHashMap;
+use swscc_graph::bfs::Direction;
 use swscc_graph::stats::SizeHistogram;
-use swscc_graph::{CsrGraph, GraphBuilder, NodeId};
+use swscc_graph::{CsrGraph, GraphBuilder, GraphView, NodeId};
 
 /// The result of SCC detection: every node mapped to its component id.
 ///
@@ -122,13 +123,29 @@ impl SccResult {
     ///
     /// Panics if `g` does not have the same node count as this result.
     pub fn condensation(&self, g: &CsrGraph) -> CsrGraph {
+        self.condensation_view(g)
+    }
+
+    /// [`SccResult::condensation`] over any [`GraphView`] backend: the
+    /// inter-SCC edges stream through the zero-allocation neighbor
+    /// decode, so the condensation of a compressed graph is built
+    /// without ever materializing the raw CSR. This is the snapshot
+    /// export the `swscc-serve` daemon publishes each epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` does not have the same node count as this result.
+    pub fn condensation_view<G: GraphView>(&self, g: &G) -> CsrGraph {
         assert_eq!(g.num_nodes(), self.num_nodes(), "graph/result mismatch");
         let mut b = GraphBuilder::new(self.num_components);
-        for (u, v) in g.edges() {
-            let (cu, cv) = (self.component(u), self.component(v));
-            if cu != cv {
-                b.add_edge(cu, cv);
-            }
+        for u in g.nodes() {
+            let cu = self.component(u);
+            g.for_each_neighbor(Direction::Forward, u, |v| {
+                let cv = self.component(v);
+                if cu != cv {
+                    b.add_edge(cu, cv);
+                }
+            });
         }
         b.build()
     }

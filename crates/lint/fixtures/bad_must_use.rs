@@ -35,3 +35,15 @@ pub fn justified_drop(g: &CsrGraph, cfg: &SccConfig, guard: &RunGuard) {
     // report: warm-up run — only the pool-spinup side effects matter here.
     run_checked(g, Algorithm::Method2, cfg, guard);
 }
+
+pub fn dropped_canceller(guard: &RunGuard) {
+    guard.canceller(); //~ must-use
+}
+
+pub fn stored_canceller_is_used(guard: &RunGuard) -> Canceller {
+    guard.canceller()
+}
+
+pub fn cancelling_through_is_used(guard: &RunGuard) {
+    guard.canceller().cancel();
+}

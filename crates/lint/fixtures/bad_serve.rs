@@ -1,0 +1,36 @@
+//@ path: crates/serve/src/bad_serve.rs
+//! Known-bad: raw socket writes in serve code with no write timeout in
+//! scope. A slow-reading peer parks the writing thread forever.
+
+pub fn reply_without_timeout(stream: &mut TcpStream, payload: &[u8]) {
+    stream.write_all(payload).unwrap(); //~ socket-timeout
+}
+
+pub fn partial_write_without_timeout(stream: &mut TcpStream, b: &[u8]) -> usize {
+    stream.write(b).unwrap() //~ socket-timeout
+}
+
+pub fn justified_write(stream: &mut TcpStream, payload: &[u8]) {
+    // serve: the accept loop armed both timeouts on this socket before
+    // handing it to us.
+    stream.write_all(payload).unwrap();
+}
+
+pub fn path_form_is_not_a_socket(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap();
+}
+
+pub fn free_macro_is_not_a_socket(n: usize) -> String {
+    format!("{n} frames")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Write;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let mut sink = Vec::new();
+        sink.write_all(b"frame").unwrap();
+    }
+}

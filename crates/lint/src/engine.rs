@@ -46,6 +46,9 @@ pub struct Config {
     /// Path prefixes exempt from the safety-tag obligation (compat shims
     /// and this linter; test code is exempt by classification).
     pub safety_tag_exempt: Vec<String>,
+    /// Path prefixes holding the serve layer (rule `socket-timeout`:
+    /// raw socket writes there need a write timeout in scope).
+    pub serve_paths: Vec<String>,
     /// The DESIGN.md §8 generated-inventory text, if DESIGN.md exists.
     pub design_inventory: Option<String>,
 }
@@ -82,6 +85,7 @@ impl Default for Config {
             pipeline_file: "crates/core/src/pipeline.rs".to_string(),
             inventory_exempt,
             safety_tag_exempt,
+            serve_paths: vec!["crates/serve/".to_string(), "src/bin/".to_string()],
             design_inventory: None,
         }
     }
@@ -102,6 +106,9 @@ impl Config {
     }
     pub fn is_safety_tag_exempt(&self, rel: &str) -> bool {
         self.safety_tag_exempt.iter().any(|p| rel.starts_with(p))
+    }
+    pub fn is_serve_path(&self, rel: &str) -> bool {
+        self.serve_paths.iter().any(|p| rel.starts_with(p))
     }
 }
 
@@ -198,6 +205,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(rules::graphview::GraphViewDiscipline),
         Box::new(rules::pipeline::PipelineLegality),
         Box::new(rules::must_use::DroppedReport),
+        Box::new(rules::socket_timeout::SocketTimeout),
     ]
 }
 

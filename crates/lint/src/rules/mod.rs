@@ -16,6 +16,7 @@ pub mod pipeline;
 pub mod recovery;
 pub mod relaxed;
 pub mod safety_tag;
+pub mod socket_timeout;
 pub mod unsafe_rule;
 
 use crate::engine::Finding;

@@ -2,16 +2,35 @@
 //! result carries both the `SccResult` *and* the typed error /
 //! recovery trail (`RunReport`, `SccError`); dropping it on the floor
 //! (`let _ = …` or a bare expression statement) silently discards
-//! cancellation, watchdog, and recovery evidence. The `#[must_use]`
-//! attributes make the compiler warn; this rule makes it a lint failure
-//! with a justification hatch (`// report:`) for the rare site that
-//! really only wants the side effects.
+//! cancellation, watchdog, and recovery evidence. A dropped
+//! `canceller()` is the same bug in the other direction: a `Canceller`
+//! that is never stored can never cancel its run, so the minting site
+//! was either dead code or a misplaced belief that cancellation is
+//! armed. The `#[must_use]` attributes make the compiler warn; this
+//! rule makes it a lint failure with a justification hatch
+//! (`// report:`) for the rare site that really only wants the side
+//! effects.
 
 use crate::engine::{Finding, Rule, Workspace};
 use crate::rules::{finding_at, Code};
 use crate::source::SourceFile;
 
-const CHECKED_CALLS: &[&str] = &["run_checked", "run_pipeline"];
+const CHECKED_CALLS: &[&str] = &["run_checked", "run_pipeline", "canceller"];
+
+/// Why dropping this particular call's result is a bug.
+fn dropped_message(call: &str) -> String {
+    match call {
+        "canceller" => format!(
+            "result of `{call}` is dropped — a Canceller that is never stored can never \
+             cancel its run; bind it (or don't mint one), or add a `// report:` justification"
+        ),
+        _ => format!(
+            "result of `{call}` is dropped — the RunReport/SccError it carries records \
+             recovery events, watchdog trips, and phase attribution; bind and \
+             propagate it, or add a `// report:` justification"
+        ),
+    }
+}
 
 pub struct DroppedReport;
 
@@ -43,12 +62,7 @@ impl Rule for DroppedReport {
                 &code,
                 i,
                 self.name(),
-                format!(
-                    "result of `{}` is dropped — the RunReport/SccError it carries records \
-                     recovery events, watchdog trips, and phase attribution; bind and \
-                     propagate it, or add a `// report:` justification",
-                    code.text(i)
-                ),
+                dropped_message(code.text(i)),
             ));
         }
     }

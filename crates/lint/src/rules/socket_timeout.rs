@@ -1,0 +1,75 @@
+//! Rule — socket write timeouts in the serve layer: a raw method-form
+//! socket write (`.write_all(…)` / `.write(…)`) in non-test serve code
+//! is only legal when the file also arms a write timeout
+//! (`set_write_timeout`) or the site carries a `// serve:` comment
+//! naming who armed one.
+//!
+//! Why a lint and not a code-review note: the serve daemon's
+//! availability contract says a slow-reading client may stall only its
+//! own connection thread. A socket write without a write timeout
+//! anywhere on the path is an unbounded park — one dead peer pins a
+//! handler forever, and under enough dead peers the process runs out of
+//! threads while the accept loop keeps promising service. The rule
+//! scopes to the serve paths (`crates/serve/`, `src/bin/`) because
+//! that is where sockets live; path-form calls like `std::fs::write(…)`
+//! are not socket writes and are ignored.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+const WRITE_METHODS: &[&str] = &["write_all", "write"];
+
+pub struct SocketTimeout;
+
+impl Rule for SocketTimeout {
+    fn name(&self) -> &'static str {
+        "socket-timeout"
+    }
+
+    fn description(&self) -> &'static str {
+        "serve-layer socket writes need a write timeout in scope (or a `// serve:` justification)"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        if !ws.config.is_serve_path(&file.rel_path) {
+            return;
+        }
+        let code = Code::new(file);
+        // A file that arms write timeouts itself (the transport layer)
+        // is the thing every other write relies on — exempt wholesale.
+        for i in 0..code.len() {
+            if code.text(i) == "set_write_timeout" {
+                return;
+            }
+        }
+        for i in 0..code.len() {
+            if !WRITE_METHODS.iter().any(|m| code.is_call(i, m)) {
+                continue;
+            }
+            // Method-call form only: `stream.write_all(…)`. Free and
+            // path-qualified calls (`write!`, `std::fs::write`) are not
+            // socket writes.
+            if i == 0 || code.text(i - 1) != "." {
+                continue;
+            }
+            if file.in_test_code(code.offset(i)) {
+                continue;
+            }
+            if file.has_justification(code.line(i), "// serve:") {
+                continue;
+            }
+            out.push(finding_at(
+                &code,
+                i,
+                self.name(),
+                format!(
+                    "`.{}(…)` on a stream with no `set_write_timeout` in this file — a \
+                     slow-reading peer parks this thread forever; arm a write timeout on \
+                     the socket, or add a `// serve:` comment naming who armed one",
+                    code.text(i)
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Blocking client for the `swscc-serve` wire protocol — used by the
+//! load generator, the e2e tests, and anyone scripting the daemon.
+//!
+//! One [`Client`] wraps one connection. Calls are synchronous
+//! request/response; the connection carries an I/O timeout in both
+//! directions (armed at connect), so a hung or gone server surfaces as
+//! a typed [`FrameError::Io`] instead of a stuck caller.
+
+use crate::net::{Endpoint, Stream};
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, FrameError, Request, Response,
+    StatsReply, MAX_RESPONSE_FRAME,
+};
+use std::io;
+use std::time::Duration;
+
+/// One connection to a running server.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Dials `endpoint`; both I/O timeouts are armed before returning.
+    pub fn connect(endpoint: &Endpoint, io_timeout: Duration) -> io::Result<Client> {
+        Ok(Client {
+            stream: Stream::connect(endpoint, io_timeout)?,
+        })
+    }
+
+    /// One synchronous round trip. Any [`FrameError`] means this
+    /// connection is no longer trustworthy — drop the client and
+    /// reconnect.
+    pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        let payload = read_frame(&mut self.stream, MAX_RESPONSE_FRAME)?;
+        decode_response(&payload)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), FrameError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Service counters + serving epoch.
+    pub fn stats(&mut self) -> Result<StatsReply, FrameError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(reply) => Ok(reply),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `same-scc(u, v)` with a deadline budget (0 = server default).
+    pub fn same_scc(&mut self, u: u32, v: u32, deadline_ms: u32) -> Result<Response, FrameError> {
+        self.call(&Request::SameScc { u, v, deadline_ms })
+    }
+
+    /// `scc-id(u)` with a deadline budget (0 = server default).
+    pub fn scc_id(&mut self, u: u32, deadline_ms: u32) -> Result<Response, FrameError> {
+        self.call(&Request::SccId { u, deadline_ms })
+    }
+
+    /// `condensation-reach(u, v)` with a deadline budget (0 = server
+    /// default).
+    pub fn condensation_reach(
+        &mut self,
+        u: u32,
+        v: u32,
+        deadline_ms: u32,
+    ) -> Result<Response, FrameError> {
+        self.call(&Request::CondReach { u, v, deadline_ms })
+    }
+
+    /// Admin: rebuild the snapshot and swap the epoch.
+    pub fn recompute(&mut self) -> Result<Response, FrameError> {
+        self.call(&Request::Recompute)
+    }
+
+    /// Admin: ask the server to stop accepting and exit its serve loop.
+    pub fn shutdown(&mut self) -> Result<(), FrameError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// A response that is legal on the wire but wrong for the request is a
+/// server bug from the client's perspective; map it to the transport
+/// error domain rather than panicking in the caller.
+fn unexpected(_resp: &Response) -> FrameError {
+    FrameError::Io(io::ErrorKind::InvalidData)
+}

@@ -1,0 +1,42 @@
+//! # swscc-serve — the always-on SCC service
+//!
+//! Batch SCC detection answers "partition this graph once"; this crate
+//! answers "keep answering SCC queries about this graph forever". It
+//! wraps the `swscc-core` pipeline engine in a daemon with three
+//! load-bearing properties:
+//!
+//! * **Epoch snapshots.** Queries are served from an immutable
+//!   [`swscc_core::SccSnapshot`] published through an
+//!   `swscc_sync::epoch::EpochCell`. A `recompute` builds its
+//!   replacement on the side and swaps atomically — readers never
+//!   block, never see a torn snapshot, and a *failed* recompute leaves
+//!   the previous epoch serving (stale-but-available, flagged in
+//!   stats).
+//! * **Admission control.** A bounded gate ([`admission::AdmissionGate`])
+//!   sheds excess queries with a typed `Overloaded { retry_after }`
+//!   instead of queueing without bound; every request runs under a
+//!   deadline-carrying `RunGuard`, so budget exhaustion is a typed
+//!   `DeadlineExceeded`, not a stuck handler.
+//! * **Graceful degradation.** Malformed frames, oversized lengths,
+//!   handler panics (including injected `serve-frame`/`serve-swap`
+//!   faults), and slow clients each cost at most one connection —
+//!   the accept loop and every other connection keep serving.
+//!
+//! The wire format lives in [`protocol`] (length-prefixed binary
+//! frames, exit-free decode); [`client::Client`] is the blocking
+//! caller; [`loadgen`] is the deterministic open-loop generator behind
+//! `swscc-loadgen` and the CI serve lane.
+
+pub mod admission;
+pub mod client;
+pub mod loadgen;
+pub mod net;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use loadgen::{LoadReport, LoadgenOptions, Mix};
+pub use net::{Endpoint, Listener};
+pub use protocol::{FrameError, Request, Response, StatsReply};
+pub use server::{ServeConfig, ServedGraph, Server};

@@ -1,0 +1,449 @@
+//! Deterministic load generator for the serve daemon: seeded open-loop
+//! clients, a configurable query mix, jittered exponential backoff on
+//! `Overloaded`, and a latency/throughput report.
+//!
+//! Determinism contract: node ids and verb choices derive from a
+//! splitmix64 chain seeded by `seed + client index`, so two runs
+//! against the same server state issue the same request sequence
+//! (timing, and therefore shed/deadline outcomes, still depend on the
+//! machine — the *workload* is reproducible, the *weather* is not).
+//!
+//! Failure taxonomy mirrors the acceptance criterion "availability
+//! degrades to typed errors only": every response the protocol can
+//! name — including `Overloaded`, `DeadlineExceeded`, `OutOfRange`,
+//! and `RecomputeFailed` — counts as *typed*; only transport-level
+//! surprises that survive a reconnect retry (or a response that does
+//! not parse) land in `non_typed_failures`, the counter CI asserts is
+//! zero under fault injection.
+
+use crate::client::Client;
+use crate::net::Endpoint;
+use crate::protocol::{FrameError, Request, Response};
+use std::time::{Duration, Instant};
+use swscc_sync::Mutex;
+
+/// Relative weights of the request mix. Zero-weight verbs are never
+/// issued; if every weight is zero the mix degenerates to `scc-id`.
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Weight of `same-scc(u, v)`.
+    pub same_scc: u32,
+    /// Weight of `scc-id(u)`.
+    pub scc_id: u32,
+    /// Weight of `condensation-reach(u, v)`.
+    pub reach: u32,
+    /// Weight of `stats`.
+    pub stats: u32,
+    /// Weight of admin `recompute`.
+    pub recompute: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Mix {
+        Mix {
+            same_scc: 45,
+            scc_id: 30,
+            reach: 15,
+            stats: 8,
+            recompute: 2,
+        }
+    }
+}
+
+impl Mix {
+    fn total(&self) -> u64 {
+        u64::from(self.same_scc)
+            + u64::from(self.scc_id)
+            + u64::from(self.reach)
+            + u64::from(self.stats)
+            + u64::from(self.recompute)
+    }
+}
+
+/// Load-generation parameters.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client (before retries).
+    pub requests_per_client: usize,
+    /// Base seed of the deterministic request stream.
+    pub seed: u64,
+    /// Request mix weights.
+    pub mix: Mix,
+    /// Deadline budget stamped on every query, milliseconds
+    /// (0 = server default).
+    pub deadline_ms: u32,
+    /// Retry budget per request for `Overloaded` responses and for
+    /// reconnects after a dropped connection.
+    pub max_retries: u32,
+    /// Base of the jittered exponential backoff on `Overloaded`.
+    pub backoff_base_ms: u64,
+    /// Client-side socket timeout, both directions.
+    pub io_timeout: Duration,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> LoadgenOptions {
+        LoadgenOptions {
+            clients: 4,
+            requests_per_client: 250,
+            seed: 0x10AD_6E4A,
+            mix: Mix::default(),
+            deadline_ms: 250,
+            max_retries: 6,
+            backoff_base_ms: 4,
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Aggregated outcome of one loadgen run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests issued (retries of the same request not counted).
+    pub attempted: u64,
+    /// Requests that got a success-variant answer.
+    pub ok: u64,
+    /// Requests answered `OutOfRange` (typed).
+    pub out_of_range: u64,
+    /// `Overloaded` responses observed (every shed counts, including
+    /// ones later resolved by retry).
+    pub overloaded: u64,
+    /// Requests that stayed `Overloaded` after the retry budget.
+    pub gave_up: u64,
+    /// `DeadlineExceeded` responses (typed; not retried).
+    pub deadline_misses: u64,
+    /// `RecomputeFailed` responses (typed — the server degraded
+    /// as designed).
+    pub recompute_failed: u64,
+    /// Successful reconnects after a dropped connection.
+    pub reconnects: u64,
+    /// Transport/protocol failures that survived the retry budget —
+    /// the count the fault soak asserts is zero.
+    pub non_typed_failures: u64,
+    /// Median answered-request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile answered-request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst answered-request latency, microseconds.
+    pub max_us: u64,
+    /// Wall-clock of the whole run, milliseconds.
+    pub elapsed_ms: u64,
+    /// Answered requests per second over the whole run.
+    pub throughput_rps: f64,
+}
+
+impl LoadReport {
+    /// Hand-rolled JSON (no serde in this workspace); flat object,
+    /// stable key order — what CI uploads as the latency artifact.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"attempted\":{},\"ok\":{},\"out_of_range\":{},\"overloaded\":{},",
+                "\"gave_up\":{},\"deadline_misses\":{},\"recompute_failed\":{},",
+                "\"reconnects\":{},\"non_typed_failures\":{},\"p50_us\":{},",
+                "\"p99_us\":{},\"max_us\":{},\"elapsed_ms\":{},\"throughput_rps\":{:.1}}}"
+            ),
+            self.attempted,
+            self.ok,
+            self.out_of_range,
+            self.overloaded,
+            self.gave_up,
+            self.deadline_misses,
+            self.recompute_failed,
+            self.reconnects,
+            self.non_typed_failures,
+            self.p50_us,
+            self.p99_us,
+            self.max_us,
+            self.elapsed_ms,
+            self.throughput_rps,
+        )
+    }
+}
+
+/// splitmix64 — the same deterministic chain the chaos battery uses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-worker tallies merged into the final report after the join.
+#[derive(Default)]
+struct WorkerOutcome {
+    report: LoadReport,
+    latencies_us: Vec<u64>,
+}
+
+/// Runs the generator against `endpoint` and aggregates the report.
+/// Fails (with a human-readable message) only if the server cannot be
+/// reached at all for the initial stats probe — everything after that
+/// is absorbed into the report's counters.
+pub fn run(endpoint: &Endpoint, opts: &LoadgenOptions) -> Result<LoadReport, String> {
+    let mut probe = Client::connect(endpoint, opts.io_timeout)
+        .map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
+    let stats = probe
+        .stats()
+        .map_err(|e| format!("initial stats probe failed: {e}"))?;
+    drop(probe);
+    // Draw node ids over the real id space plus a 1/64 overhang so the
+    // OutOfRange path stays exercised; clamp to u32 (the wire width).
+    let id_space = (stats.num_nodes + stats.num_nodes / 64 + 1).min(u64::from(u32::MAX)) as u32;
+
+    let outcomes: Mutex<Vec<WorkerOutcome>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    swscc_sync::thread::scope(|s| {
+        for client_idx in 0..opts.clients {
+            let outcomes = &outcomes;
+            s.spawn(move || {
+                let outcome = run_worker(endpoint, opts, client_idx as u64, id_space);
+                outcomes.lock().push(outcome);
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in outcomes.lock().drain(..) {
+        report.attempted += w.report.attempted;
+        report.ok += w.report.ok;
+        report.out_of_range += w.report.out_of_range;
+        report.overloaded += w.report.overloaded;
+        report.gave_up += w.report.gave_up;
+        report.deadline_misses += w.report.deadline_misses;
+        report.recompute_failed += w.report.recompute_failed;
+        report.reconnects += w.report.reconnects;
+        report.non_typed_failures += w.report.non_typed_failures;
+        latencies.extend(w.latencies_us);
+    }
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50);
+    report.p99_us = percentile(&latencies, 99);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    report.elapsed_ms = elapsed.as_millis() as u64;
+    let secs = elapsed.as_secs_f64();
+    report.throughput_rps = if secs > 0.0 {
+        latencies.len() as f64 / secs
+    } else {
+        0.0
+    };
+    Ok(report)
+}
+
+fn percentile(sorted: &[u64], pct: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() * pct).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn pick_request(rng: &mut u64, mix: &Mix, id_space: u32, deadline_ms: u32) -> Request {
+    let node = |rng: &mut u64| (splitmix64(rng) % u64::from(id_space.max(1))) as u32;
+    let total = mix.total();
+    if total == 0 {
+        let u = node(rng);
+        return Request::SccId { u, deadline_ms };
+    }
+    let mut draw = splitmix64(rng) % total;
+    for (weight, verb) in [
+        (u64::from(mix.same_scc), 0u8),
+        (u64::from(mix.scc_id), 1),
+        (u64::from(mix.reach), 2),
+        (u64::from(mix.stats), 3),
+        (u64::from(mix.recompute), 4),
+    ] {
+        if draw < weight {
+            return match verb {
+                0 => Request::SameScc {
+                    u: node(rng),
+                    v: node(rng),
+                    deadline_ms,
+                },
+                1 => Request::SccId {
+                    u: node(rng),
+                    deadline_ms,
+                },
+                2 => Request::CondReach {
+                    u: node(rng),
+                    v: node(rng),
+                    deadline_ms,
+                },
+                3 => Request::Stats,
+                _ => Request::Recompute,
+            };
+        }
+        draw -= weight;
+    }
+    unreachable!("draw < total by construction");
+}
+
+fn run_worker(
+    endpoint: &Endpoint,
+    opts: &LoadgenOptions,
+    client_idx: u64,
+    id_space: u32,
+) -> WorkerOutcome {
+    let mut out = WorkerOutcome::default();
+    let mut rng = opts.seed.wrapping_add(client_idx.wrapping_mul(0xA5A5_A5A5));
+    let mut client = Client::connect(endpoint, opts.io_timeout).ok();
+    for _ in 0..opts.requests_per_client {
+        let request = pick_request(&mut rng, &opts.mix, id_space, opts.deadline_ms);
+        out.report.attempted += 1;
+        let mut settled = false;
+        for attempt in 0..=opts.max_retries {
+            let Some(c) = client.as_mut() else {
+                // Reconnect path: a dropped connection is a typed,
+                // recoverable condition as long as the listener answers.
+                match Client::connect(endpoint, opts.io_timeout) {
+                    Ok(c) => {
+                        out.report.reconnects += 1;
+                        client = Some(c);
+                        continue;
+                    }
+                    Err(_) => {
+                        backoff(&mut rng, opts, attempt);
+                        continue;
+                    }
+                }
+            };
+            let started = Instant::now();
+            match c.call(&request) {
+                Ok(response) => {
+                    out.latencies_us
+                        .push(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                    match response {
+                        Response::Overloaded { retry_after_ms } => {
+                            out.report.overloaded += 1;
+                            backoff_hinted(&mut rng, opts, attempt, retry_after_ms);
+                            continue; // retry the same request
+                        }
+                        Response::DeadlineExceeded => out.report.deadline_misses += 1,
+                        Response::OutOfRange => out.report.out_of_range += 1,
+                        Response::RecomputeFailed { .. } => out.report.recompute_failed += 1,
+                        Response::BadRequest { .. } | Response::Internal { .. } => {
+                            // The generator only sends well-formed
+                            // requests; these mean a server-side bug.
+                            out.report.non_typed_failures += 1;
+                        }
+                        _ => out.report.ok += 1,
+                    }
+                    settled = true;
+                    break;
+                }
+                Err(FrameError::ConnectionClosed) | Err(FrameError::Io(_)) => {
+                    client = None; // force reconnect on next attempt
+                    continue;
+                }
+                Err(_protocol_garbage) => {
+                    out.report.non_typed_failures += 1;
+                    client = None;
+                    settled = true;
+                    break;
+                }
+            }
+        }
+        if !settled {
+            // Retry budget exhausted while shed or unreachable.
+            if client.is_some() {
+                out.report.gave_up += 1;
+            } else {
+                out.report.non_typed_failures += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Jittered exponential backoff: `base * 2^attempt + jitter(0..base)`,
+/// capped at 200ms so an overloaded-but-alive server is re-probed at a
+/// humane rate.
+fn backoff(rng: &mut u64, opts: &LoadgenOptions, attempt: u32) {
+    let base = opts.backoff_base_ms.max(1);
+    let exp = base.saturating_mul(1u64 << attempt.min(6));
+    let jitter = splitmix64(rng) % base;
+    swscc_sync::thread::sleep(Duration::from_millis((exp + jitter).min(200)));
+}
+
+/// Backoff honouring the server's `retry_after` hint as a floor.
+fn backoff_hinted(rng: &mut u64, opts: &LoadgenOptions, attempt: u32, retry_after_ms: u32) {
+    let base = opts.backoff_base_ms.max(1);
+    let exp = base.saturating_mul(1u64 << attempt.min(6));
+    let jitter = splitmix64(rng) % base;
+    let ms = (exp + jitter).max(u64::from(retry_after_ms)).min(200);
+    swscc_sync::thread::sleep(Duration::from_millis(ms));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_draw_is_deterministic_and_respects_zero_weights() {
+        let mix = Mix {
+            same_scc: 0,
+            scc_id: 1,
+            reach: 0,
+            stats: 0,
+            recompute: 0,
+        };
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..100 {
+            let ra = pick_request(&mut a, &mix, 1000, 50);
+            let rb = pick_request(&mut b, &mix, 1000, 50);
+            assert_eq!(ra, rb, "same seed must give same stream");
+            assert!(
+                matches!(ra, Request::SccId { .. }),
+                "zero-weight verbs must never be drawn, got {ra:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_mix_degenerates_safely() {
+        let mix = Mix {
+            same_scc: 0,
+            scc_id: 0,
+            reach: 0,
+            stats: 0,
+            recompute: 0,
+        };
+        let mut rng = 7;
+        assert!(matches!(
+            pick_request(&mut rng, &mix, 10, 0),
+            Request::SccId { .. }
+        ));
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 99), 0);
+        assert_eq!(percentile(&[5], 50), 5);
+        assert_eq!(percentile(&[5], 99), 5);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+    }
+
+    #[test]
+    fn report_json_is_flat_and_parsable_by_eye() {
+        let r = LoadReport {
+            attempted: 10,
+            ok: 9,
+            p99_us: 1234,
+            throughput_rps: 99.95,
+            ..LoadReport::default()
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"ok\":9"));
+        assert!(j.contains("\"p99_us\":1234"));
+        assert!(j.contains("\"throughput_rps\":"));
+    }
+}

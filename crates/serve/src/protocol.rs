@@ -1,0 +1,652 @@
+//! Wire protocol of the `swscc-serve` daemon: length-prefixed binary
+//! frames over TCP or a unix socket.
+//!
+//! Every frame is `[u32 LE length][payload]`. Request payloads start
+//! with a verb byte; query verbs carry a `u32 LE` deadline budget in
+//! milliseconds followed by their `u32 LE` node-id arguments, nothing
+//! else — trailing bytes are a protocol error, not padding. Response
+//! payloads start with a status byte: values below `0x80` are success
+//! variants, values at or above `0x80` are typed errors.
+//!
+//! The decoder is exit-free by construction: every read goes through a
+//! bounds-checked cursor, message bytes pass through
+//! [`String::from_utf8_lossy`], and frame lengths are capped
+//! ([`MAX_REQUEST_FRAME`] / [`MAX_RESPONSE_FRAME`]) *before* any
+//! allocation, so a hostile length prefix cannot balloon memory and a
+//! truncated or garbage frame surfaces as a [`FrameError`] — never a
+//! panic, never `process::exit`.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on an inbound request payload. The largest legal request
+/// (a two-node query) is 13 bytes; the slack leaves room for protocol
+/// growth without letting a client allocate real memory server-side.
+pub const MAX_REQUEST_FRAME: usize = 64;
+
+/// Hard cap on a response payload. The largest legal response (stats,
+/// or an error carrying a capped message) stays well under this.
+pub const MAX_RESPONSE_FRAME: usize = 256;
+
+/// Error-message bytes are truncated to this length before encoding so
+/// a pathological panic payload cannot blow the response frame cap.
+pub const MAX_ERROR_MESSAGE: usize = 120;
+
+const VERB_PING: u8 = 0x00;
+const VERB_SAME_SCC: u8 = 0x01;
+const VERB_SCC_ID: u8 = 0x02;
+const VERB_COND_REACH: u8 = 0x03;
+const VERB_STATS: u8 = 0x04;
+const VERB_RECOMPUTE: u8 = 0x05;
+const VERB_SHUTDOWN: u8 = 0x06;
+
+const STATUS_PONG: u8 = 0x00;
+const STATUS_BOOL: u8 = 0x01;
+const STATUS_ID: u8 = 0x02;
+const STATUS_STATS: u8 = 0x03;
+const STATUS_RECOMPUTED: u8 = 0x04;
+const STATUS_SHUTTING_DOWN: u8 = 0x05;
+const STATUS_BAD_REQUEST: u8 = 0x80;
+const STATUS_OUT_OF_RANGE: u8 = 0x81;
+const STATUS_OVERLOADED: u8 = 0x82;
+const STATUS_DEADLINE_EXCEEDED: u8 = 0x83;
+const STATUS_RECOMPUTE_FAILED: u8 = 0x84;
+const STATUS_INTERNAL: u8 = 0x85;
+
+/// One client request. Query verbs carry their own deadline budget in
+/// milliseconds (`0` = "use the server default"); admin verbs do not —
+/// `Recompute` runs under the server's recompute policy, and
+/// `Ping`/`Stats`/`Shutdown` are answered from memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; bypasses admission.
+    Ping,
+    /// Are `u` and `v` in the same SCC?
+    SameScc { u: u32, v: u32, deadline_ms: u32 },
+    /// Component id of `u`.
+    SccId { u: u32, deadline_ms: u32 },
+    /// Is `v` reachable from `u` (answered on the condensation DAG)?
+    CondReach { u: u32, v: u32, deadline_ms: u32 },
+    /// Service counters + current epoch; bypasses admission.
+    Stats,
+    /// Rebuild the snapshot and swap the epoch (admin).
+    Recompute,
+    /// Stop accepting connections and exit the serve loop (admin).
+    Shutdown,
+}
+
+/// Service counters as reported by [`Request::Stats`]. All counters are
+/// cumulative since server start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Epoch of the snapshot currently serving queries.
+    pub epoch: u64,
+    /// Nodes in the served graph.
+    pub num_nodes: u64,
+    /// Edges in the served graph.
+    pub num_edges: u64,
+    /// SCCs in the serving snapshot.
+    pub num_components: u64,
+    /// Query requests admitted (shed requests not included).
+    pub queries: u64,
+    /// Query requests shed at the admission gate.
+    pub shed: u64,
+    /// Admitted queries that ran out of deadline budget.
+    pub deadline_misses: u64,
+    /// Recomputes that published a new epoch.
+    pub recomputes_ok: u64,
+    /// Recomputes that failed (typed error or injected panic) — the
+    /// previous epoch kept serving.
+    pub recomputes_failed: u64,
+    /// Connections dropped for malformed frames or handler panics.
+    pub quarantined: u64,
+    /// `true` iff the most recent recompute failed, i.e. the serving
+    /// snapshot is stale relative to what an admin asked for.
+    pub stale: bool,
+}
+
+/// One server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Boolean answer (`SameScc`, `CondReach`).
+    Bool(bool),
+    /// Component id answer (`SccId`).
+    Id(u32),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReply),
+    /// Recompute succeeded; the new epoch is now serving.
+    Recomputed { epoch: u64 },
+    /// Acknowledges [`Request::Shutdown`]; the connection closes next.
+    ShuttingDown,
+    /// The frame decoded but was not a well-formed request (or the
+    /// handler rejected it); the connection is quarantined after this.
+    BadRequest { message: String },
+    /// A node id was outside the served graph.
+    OutOfRange,
+    /// Shed at the admission gate (or recompute already in flight);
+    /// retry after the suggested backoff.
+    Overloaded { retry_after_ms: u32 },
+    /// The request's deadline budget expired before the answer was
+    /// ready.
+    DeadlineExceeded,
+    /// Recompute failed; the previous epoch keeps serving (stale flag
+    /// set in stats).
+    RecomputeFailed { message: String },
+    /// Unexpected internal error answering a query (never a crash —
+    /// the server stays up).
+    Internal { message: String },
+}
+
+/// Why a frame could not be read or decoded. Every variant is a clean,
+/// typed failure; nothing in this module panics on wire input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Clean EOF between frames: the peer closed the connection.
+    ConnectionClosed,
+    /// The stream ended (or the payload ran out) mid-frame.
+    Truncated,
+    /// The length prefix exceeded the frame cap; rejected before any
+    /// allocation.
+    Oversized {
+        /// Claimed payload length.
+        len: usize,
+        /// The cap it violated.
+        max: usize,
+    },
+    /// The payload decoded but had bytes left over.
+    TrailingBytes {
+        /// How many undecoded bytes remained.
+        extra: usize,
+    },
+    /// Unknown request verb byte.
+    UnknownVerb(u8),
+    /// Unknown response status byte.
+    UnknownStatus(u8),
+    /// Transport-level failure (timeout, reset, ...).
+    Io(ErrorKind),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::ConnectionClosed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds cap of {max}")
+            }
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "malformed frame: {extra} trailing bytes")
+            }
+            FrameError::UnknownVerb(v) => write!(f, "unknown request verb {v:#04x}"),
+            FrameError::UnknownStatus(s) => write!(f, "unknown response status {s:#04x}"),
+            FrameError::Io(kind) => write!(f, "transport error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Maps a mid-frame I/O error: EOF inside a frame is [`FrameError::Truncated`],
+/// anything else keeps its transport kind.
+fn mid_frame(e: std::io::Error) -> FrameError {
+    if e.kind() == ErrorKind::UnexpectedEof {
+        FrameError::Truncated
+    } else {
+        FrameError::Io(e.kind())
+    }
+}
+
+/// Reads one `[u32 LE length][payload]` frame, enforcing `max` *before*
+/// allocating the payload buffer. A clean close before the first length
+/// byte is [`FrameError::ConnectionClosed`]; an EOF anywhere later is
+/// [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::ConnectionClosed),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e.kind())),
+        }
+    }
+    len_buf[0] = first[0];
+    r.read_exact(&mut len_buf[1..]).map_err(mid_frame)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max {
+        return Err(FrameError::Oversized { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(mid_frame)?;
+    Ok(payload)
+}
+
+/// Writes one frame. The transport's write timeout is the caller's
+/// responsibility: the server arms one at accept and the client at
+/// connect, so a slow peer stalls only its own connection thread.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    debug_assert!(payload.len() <= u32::MAX as usize);
+    let len = (payload.len() as u32).to_le_bytes();
+    // serve: the sockets behind this generic `Write` already carry a
+    // write timeout (armed by Server at accept / Client at connect);
+    // this transport-agnostic helper cannot set one itself.
+    w.write_all(&len).map_err(|e| FrameError::Io(e.kind()))?;
+    w.write_all(payload).map_err(|e| FrameError::Io(e.kind()))?;
+    w.flush().map_err(|e| FrameError::Io(e.kind()))?;
+    Ok(())
+}
+
+/// Bounds-checked little-endian reader over a decoded payload.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Cur<'a> {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Consumes the remainder as lossily-decoded UTF-8 text.
+    fn rest_text(&mut self) -> String {
+        let rest = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        String::from_utf8_lossy(rest).into_owned()
+    }
+
+    /// Asserts the payload is fully consumed — trailing bytes are a
+    /// protocol error, not padding.
+    fn finish(self) -> Result<(), FrameError> {
+        let extra = self.buf.len() - self.pos;
+        if extra == 0 {
+            Ok(())
+        } else {
+            Err(FrameError::TrailingBytes { extra })
+        }
+    }
+}
+
+/// Truncates `message` to [`MAX_ERROR_MESSAGE`] bytes (the decode side
+/// is lossy-UTF-8, so cutting inside a code point is safe on the wire).
+fn cap_message(message: &str) -> &[u8] {
+    &message.as_bytes()[..message.len().min(MAX_ERROR_MESSAGE)]
+}
+
+/// Encodes a request payload (frame length prefix not included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13);
+    match *req {
+        Request::Ping => out.push(VERB_PING),
+        Request::SameScc { u, v, deadline_ms } => {
+            out.push(VERB_SAME_SCC);
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Request::SccId { u, deadline_ms } => {
+            out.push(VERB_SCC_ID);
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            out.extend_from_slice(&u.to_le_bytes());
+        }
+        Request::CondReach { u, v, deadline_ms } => {
+            out.push(VERB_COND_REACH);
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Request::Stats => out.push(VERB_STATS),
+        Request::Recompute => out.push(VERB_RECOMPUTE),
+        Request::Shutdown => out.push(VERB_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a request payload; strict about trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
+    let mut c = Cur::new(payload);
+    let req = match c.u8()? {
+        VERB_PING => Request::Ping,
+        VERB_SAME_SCC => {
+            let deadline_ms = c.u32()?;
+            Request::SameScc {
+                deadline_ms,
+                u: c.u32()?,
+                v: c.u32()?,
+            }
+        }
+        VERB_SCC_ID => {
+            let deadline_ms = c.u32()?;
+            Request::SccId {
+                deadline_ms,
+                u: c.u32()?,
+            }
+        }
+        VERB_COND_REACH => {
+            let deadline_ms = c.u32()?;
+            Request::CondReach {
+                deadline_ms,
+                u: c.u32()?,
+                v: c.u32()?,
+            }
+        }
+        VERB_STATS => Request::Stats,
+        VERB_RECOMPUTE => Request::Recompute,
+        VERB_SHUTDOWN => Request::Shutdown,
+        other => return Err(FrameError::UnknownVerb(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response payload (frame length prefix not included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(96);
+    match resp {
+        Response::Pong => out.push(STATUS_PONG),
+        Response::Bool(b) => {
+            out.push(STATUS_BOOL);
+            out.push(u8::from(*b));
+        }
+        Response::Id(id) => {
+            out.push(STATUS_ID);
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        Response::Stats(s) => {
+            out.push(STATUS_STATS);
+            for field in [
+                s.epoch,
+                s.num_nodes,
+                s.num_edges,
+                s.num_components,
+                s.queries,
+                s.shed,
+                s.deadline_misses,
+                s.recomputes_ok,
+                s.recomputes_failed,
+                s.quarantined,
+            ] {
+                out.extend_from_slice(&field.to_le_bytes());
+            }
+            out.push(u8::from(s.stale));
+        }
+        Response::Recomputed { epoch } => {
+            out.push(STATUS_RECOMPUTED);
+            out.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Response::ShuttingDown => out.push(STATUS_SHUTTING_DOWN),
+        Response::BadRequest { message } => {
+            out.push(STATUS_BAD_REQUEST);
+            out.extend_from_slice(cap_message(message));
+        }
+        Response::OutOfRange => out.push(STATUS_OUT_OF_RANGE),
+        Response::Overloaded { retry_after_ms } => {
+            out.push(STATUS_OVERLOADED);
+            out.extend_from_slice(&retry_after_ms.to_le_bytes());
+        }
+        Response::DeadlineExceeded => out.push(STATUS_DEADLINE_EXCEEDED),
+        Response::RecomputeFailed { message } => {
+            out.push(STATUS_RECOMPUTE_FAILED);
+            out.extend_from_slice(cap_message(message));
+        }
+        Response::Internal { message } => {
+            out.push(STATUS_INTERNAL);
+            out.extend_from_slice(cap_message(message));
+        }
+    }
+    debug_assert!(out.len() <= MAX_RESPONSE_FRAME);
+    out
+}
+
+/// Decodes a response payload; strict about trailing bytes on
+/// fixed-size variants (message-bearing variants consume the rest).
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    let mut c = Cur::new(payload);
+    let resp = match c.u8()? {
+        STATUS_PONG => Response::Pong,
+        STATUS_BOOL => Response::Bool(c.u8()? != 0),
+        STATUS_ID => Response::Id(c.u32()?),
+        STATUS_STATS => Response::Stats(StatsReply {
+            epoch: c.u64()?,
+            num_nodes: c.u64()?,
+            num_edges: c.u64()?,
+            num_components: c.u64()?,
+            queries: c.u64()?,
+            shed: c.u64()?,
+            deadline_misses: c.u64()?,
+            recomputes_ok: c.u64()?,
+            recomputes_failed: c.u64()?,
+            quarantined: c.u64()?,
+            stale: c.u8()? != 0,
+        }),
+        STATUS_RECOMPUTED => Response::Recomputed { epoch: c.u64()? },
+        STATUS_SHUTTING_DOWN => Response::ShuttingDown,
+        STATUS_BAD_REQUEST => {
+            return Ok(Response::BadRequest {
+                message: c.rest_text(),
+            })
+        }
+        STATUS_OUT_OF_RANGE => Response::OutOfRange,
+        STATUS_OVERLOADED => Response::Overloaded {
+            retry_after_ms: c.u32()?,
+        },
+        STATUS_DEADLINE_EXCEEDED => Response::DeadlineExceeded,
+        STATUS_RECOMPUTE_FAILED => {
+            return Ok(Response::RecomputeFailed {
+                message: c.rest_text(),
+            })
+        }
+        STATUS_INTERNAL => {
+            return Ok(Response::Internal {
+                message: c.rest_text(),
+            })
+        }
+        other => return Err(FrameError::UnknownStatus(other)),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::SameScc {
+                u: 3,
+                v: 9,
+                deadline_ms: 250,
+            },
+            Request::SccId {
+                u: u32::MAX,
+                deadline_ms: 0,
+            },
+            Request::CondReach {
+                u: 0,
+                v: 7,
+                deadline_ms: 1000,
+            },
+            Request::Stats,
+            Request::Recompute,
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Bool(true),
+            Response::Bool(false),
+            Response::Id(42),
+            Response::Stats(StatsReply {
+                epoch: 3,
+                num_nodes: 100,
+                num_edges: 500,
+                num_components: 7,
+                queries: 12,
+                shed: 2,
+                deadline_misses: 1,
+                recomputes_ok: 3,
+                recomputes_failed: 1,
+                quarantined: 4,
+                stale: true,
+            }),
+            Response::Recomputed { epoch: 9 },
+            Response::ShuttingDown,
+            Response::BadRequest {
+                message: "bad".into(),
+            },
+            Response::OutOfRange,
+            Response::Overloaded { retry_after_ms: 25 },
+            Response::DeadlineExceeded,
+            Response::RecomputeFailed {
+                message: "worker panicked: injected fault".into(),
+            },
+            Response::Internal {
+                message: "what".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in all_requests() {
+            let bytes = encode_request(&req);
+            assert!(bytes.len() <= MAX_REQUEST_FRAME);
+            assert_eq!(decode_request(&bytes), Ok(req), "roundtrip {req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in all_responses() {
+            let bytes = encode_response(&resp);
+            assert!(bytes.len() <= MAX_RESPONSE_FRAME);
+            assert_eq!(
+                decode_response(&bytes),
+                Ok(resp.clone()),
+                "roundtrip {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_request(&Request::Ping);
+        bytes.push(0);
+        assert_eq!(
+            decode_request(&bytes),
+            Err(FrameError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let bytes = encode_request(&Request::SameScc {
+            u: 1,
+            v: 2,
+            deadline_ms: 3,
+        });
+        for cut in 0..bytes.len() {
+            if cut == 1 {
+                continue; // one verb byte alone is Ping-shaped only for 0x00
+            }
+            let r = decode_request(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must fail, got {r:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_verb_and_status_are_typed() {
+        assert_eq!(decode_request(&[0x7f]), Err(FrameError::UnknownVerb(0x7f)));
+        assert_eq!(
+            decode_response(&[0xff]),
+            Err(FrameError::UnknownStatus(0xff))
+        );
+        assert_eq!(decode_request(&[]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        // 4 GiB length prefix followed by nothing: must fail fast.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r, MAX_REQUEST_FRAME),
+            Err(FrameError::Oversized {
+                len: u32::MAX as usize,
+                max: MAX_REQUEST_FRAME
+            })
+        );
+    }
+
+    #[test]
+    fn frame_io_roundtrip_and_truncation() {
+        let payload = encode_request(&Request::Stats);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r, MAX_REQUEST_FRAME).unwrap(), payload);
+        // Clean close between frames:
+        assert_eq!(
+            read_frame(&mut r, MAX_REQUEST_FRAME),
+            Err(FrameError::ConnectionClosed)
+        );
+        // EOF mid-frame:
+        let mut cut = &wire[..wire.len() - 1];
+        assert_eq!(
+            read_frame(&mut cut, MAX_REQUEST_FRAME),
+            Err(FrameError::Truncated)
+        );
+        let mut cut = &wire[..2];
+        assert_eq!(
+            read_frame(&mut cut, MAX_REQUEST_FRAME),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn long_messages_are_capped() {
+        let resp = Response::RecomputeFailed {
+            message: "x".repeat(10_000),
+        };
+        let bytes = encode_response(&resp);
+        assert!(bytes.len() <= MAX_RESPONSE_FRAME);
+        match decode_response(&bytes).unwrap() {
+            Response::RecomputeFailed { message } => {
+                assert_eq!(message.len(), MAX_ERROR_MESSAGE)
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+}

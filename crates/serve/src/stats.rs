@@ -1,0 +1,135 @@
+//! Service counters: the numbers behind the `stats` verb and the
+//! loadgen report's server-side cross-check.
+//!
+//! All counters are monotone event counts bumped from handler threads
+//! and read by whichever handler answers a `stats` request; the one
+//! non-counter is the `stale` flag, which flips both ways (set on a
+//! failed recompute, cleared by the next success). Reads are
+//! point-in-time and deliberately unsynchronized with each other — a
+//! stats reply is a diagnostic sample, not a transaction.
+
+use crate::protocol::StatsReply;
+use swscc_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared mutable counters of one running server.
+#[derive(Default)]
+pub struct ServerStats {
+    queries: AtomicU64,
+    shed: AtomicU64,
+    deadline_misses: AtomicU64,
+    recomputes_ok: AtomicU64,
+    recomputes_failed: AtomicU64,
+    quarantined: AtomicU64,
+    stale: AtomicBool,
+}
+
+/// All counter writes funnel through here so the memory-ordering
+/// contract lives at one site.
+fn bump(counter: &AtomicU64) {
+    // ordering: Relaxed — an independent monotone event counter; no
+    // data is published through it, and readers only want a cheap
+    // diagnostic sample (see module docs).
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Counter-read counterpart of [`bump`].
+fn read(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed — a point-in-time diagnostic sample; stats
+    // replies are deliberately not a consistent cut across counters.
+    counter.load(Ordering::Relaxed)
+}
+
+/// The stale flag flips both ways; same contract as the counters.
+fn set_stale(flag: &AtomicBool, value: bool) {
+    // ordering: Relaxed — advisory diagnostics only; the snapshot
+    // hand-off itself goes through the EpochCell's lock, never this
+    // flag.
+    flag.store(value, Ordering::Relaxed);
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> ServerStats {
+        ServerStats::default()
+    }
+
+    /// One query admitted past the gate.
+    pub fn query(&self) {
+        bump(&self.queries);
+    }
+
+    /// One query shed at the admission gate.
+    pub fn shed(&self) {
+        bump(&self.shed);
+    }
+
+    /// One admitted query that ran out of deadline budget.
+    pub fn deadline_miss(&self) {
+        bump(&self.deadline_misses);
+    }
+
+    /// One recompute published a new epoch; clears the stale flag.
+    pub fn recompute_ok(&self) {
+        bump(&self.recomputes_ok);
+        set_stale(&self.stale, false);
+    }
+
+    /// One recompute failed; the serving snapshot is now stale.
+    pub fn recompute_failed(&self) {
+        bump(&self.recomputes_failed);
+        set_stale(&self.stale, true);
+    }
+
+    /// One connection dropped for a malformed frame or handler panic.
+    pub fn quarantine(&self) {
+        bump(&self.quarantined);
+    }
+
+    /// Point-in-time sample merged with the snapshot-derived fields the
+    /// server fills in (`epoch`, graph dimensions, component count).
+    pub fn sample(&self) -> StatsReply {
+        StatsReply {
+            queries: read(&self.queries),
+            shed: read(&self.shed),
+            deadline_misses: read(&self.deadline_misses),
+            recomputes_ok: read(&self.recomputes_ok),
+            recomputes_failed: read(&self.recomputes_failed),
+            quarantined: read(&self.quarantined),
+            // ordering: Relaxed — see `set_stale`.
+            stale: self.stale.load(Ordering::Relaxed),
+            ..StatsReply::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServerStats::new();
+        s.query();
+        s.query();
+        s.shed();
+        s.deadline_miss();
+        s.quarantine();
+        let r = s.sample();
+        assert_eq!(
+            (r.queries, r.shed, r.deadline_misses, r.quarantined),
+            (2, 1, 1, 1)
+        );
+        assert!(!r.stale);
+    }
+
+    #[test]
+    fn stale_tracks_last_recompute_outcome() {
+        let s = ServerStats::new();
+        s.recompute_failed();
+        assert!(s.sample().stale, "failed recompute leaves stale snapshot");
+        s.recompute_ok();
+        let r = s.sample();
+        assert!(!r.stale, "successful recompute clears staleness");
+        assert_eq!((r.recomputes_ok, r.recomputes_failed), (1, 1));
+    }
+}

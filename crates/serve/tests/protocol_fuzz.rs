@@ -1,0 +1,207 @@
+//! Property-based fuzzing of the serve wire protocol (satellite of the
+//! swscc-serve PR).
+//!
+//! The decoder's contract is *exit-free, typed-error-only*: arbitrary
+//! bytes fed to `decode_request` / `decode_response` / `read_frame`
+//! must come back as `Ok` or a typed [`FrameError`] — never a panic,
+//! never an unbounded allocation. These properties drive the decoders
+//! with seeded random garbage, hostile length prefixes, truncations at
+//! every offset, and trailing padding, alongside roundtrip laws for
+//! well-formed frames.
+
+use proptest::prelude::*;
+use swscc_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, Request, Response, MAX_ERROR_MESSAGE, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
+};
+use swscc_serve::StatsReply;
+
+/// A structured, always-valid request. Covers every verb; node ids and
+/// deadlines span the full `u32` range.
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u8..7, any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(verb, u, v, deadline_ms)| {
+        match verb {
+            0 => Request::Ping,
+            1 => Request::SameScc { u, v, deadline_ms },
+            2 => Request::SccId { u, deadline_ms },
+            3 => Request::CondReach { u, v, deadline_ms },
+            4 => Request::Stats,
+            5 => Request::Recompute,
+            _ => Request::Shutdown,
+        }
+    })
+}
+
+/// A structured, always-valid response. Error messages are generated as
+/// ASCII under the cap so the encode/decode roundtrip is exact (the
+/// lossy-UTF-8 + truncation path is exercised separately by the garbage
+/// properties and the unit tests).
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0u8..12,
+        any::<u64>(),
+        any::<u32>(),
+        proptest::collection::vec(32u8..127, 0..MAX_ERROR_MESSAGE),
+    )
+        .prop_map(|(status, big, small, ascii)| {
+            let message = String::from_utf8(ascii).expect("ascii is utf-8");
+            match status {
+                0 => Response::Pong,
+                1 => Response::Bool(big & 1 == 1),
+                2 => Response::Id(small),
+                3 => Response::Stats(StatsReply {
+                    epoch: big,
+                    num_nodes: big.rotate_left(7),
+                    num_edges: big.rotate_left(13),
+                    num_components: u64::from(small),
+                    queries: big ^ 0xAAAA,
+                    shed: u64::from(small) >> 3,
+                    deadline_misses: big & 0xFFFF,
+                    recomputes_ok: u64::from(small) & 0xFF,
+                    recomputes_failed: big >> 60,
+                    quarantined: u64::from(small) % 97,
+                    stale: big & 2 == 2,
+                }),
+                4 => Response::Recomputed { epoch: big },
+                5 => Response::ShuttingDown,
+                6 => Response::BadRequest { message },
+                7 => Response::OutOfRange,
+                8 => Response::Overloaded {
+                    retry_after_ms: small,
+                },
+                9 => Response::DeadlineExceeded,
+                10 => Response::RecomputeFailed { message },
+                _ => Response::Internal { message },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the request decoder, and anything it
+    /// accepts re-encodes to exactly the input (the encoding is
+    /// canonical: fixed-size fields, strict trailing check).
+    #[test]
+    fn request_decoder_is_total_and_canonical(
+        bytes in proptest::collection::vec(any::<u8>(), 0..MAX_REQUEST_FRAME)
+    ) {
+        match decode_request(&bytes) {
+            Ok(req) => prop_assert_eq!(encode_request(&req), bytes),
+            Err(
+                FrameError::Truncated
+                | FrameError::TrailingBytes { .. }
+                | FrameError::UnknownVerb(_),
+            ) => {}
+            Err(other) => panic!("request decoder leaked untyped error: {other:?}"),
+        }
+    }
+
+    /// Arbitrary bytes never panic the response decoder; failures are
+    /// confined to the typed payload-shape errors.
+    #[test]
+    fn response_decoder_is_total(
+        bytes in proptest::collection::vec(any::<u8>(), 0..MAX_RESPONSE_FRAME)
+    ) {
+        match decode_response(&bytes) {
+            Ok(_) => {}
+            Err(
+                FrameError::Truncated
+                | FrameError::TrailingBytes { .. }
+                | FrameError::UnknownStatus(_),
+            ) => {}
+            Err(other) => panic!("response decoder leaked untyped error: {other:?}"),
+        }
+    }
+
+    /// Every structured request survives encode -> decode unchanged,
+    /// stays under the frame cap, and rejects every strict prefix of
+    /// its encoding (no verb's payload is a prefix of another's).
+    #[test]
+    fn request_roundtrip_and_prefix_rejection(req in arb_request()) {
+        let bytes = encode_request(&req);
+        prop_assert!(bytes.len() <= MAX_REQUEST_FRAME);
+        prop_assert_eq!(decode_request(&bytes), Ok(req));
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_request(&bytes[..cut]).is_err(),
+                "strict prefix of length {} decoded",
+                cut
+            );
+        }
+    }
+
+    /// Every structured response survives encode -> decode unchanged
+    /// and stays under the response frame cap.
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let bytes = encode_response(&resp);
+        prop_assert!(bytes.len() <= MAX_RESPONSE_FRAME);
+        prop_assert_eq!(decode_response(&bytes), Ok(resp));
+    }
+
+    /// Appending garbage to a valid request encoding is always the
+    /// typed `TrailingBytes` error with an exact count — padding is
+    /// never silently absorbed.
+    #[test]
+    fn request_trailing_bytes_are_counted(
+        req in arb_request(),
+        pad in proptest::collection::vec(any::<u8>(), 1..16)
+    ) {
+        let mut bytes = encode_request(&req);
+        let extra = pad.len();
+        bytes.extend_from_slice(&pad);
+        prop_assert_eq!(
+            decode_request(&bytes),
+            Err(FrameError::TrailingBytes { extra })
+        );
+    }
+
+    /// `read_frame` on an arbitrary wire: a hostile length prefix is
+    /// rejected *before* allocation, a short payload is `Truncated`,
+    /// and an honest frame yields exactly its payload.
+    #[test]
+    fn read_frame_is_total_over_arbitrary_prefixes(
+        claimed in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..96)
+    ) {
+        let mut wire = Vec::with_capacity(4 + payload.len());
+        wire.extend_from_slice(&claimed.to_le_bytes());
+        wire.extend_from_slice(&payload);
+        let mut r = wire.as_slice();
+        let claimed = claimed as usize;
+        match read_frame(&mut r, MAX_REQUEST_FRAME) {
+            Ok(got) => {
+                prop_assert!(claimed <= MAX_REQUEST_FRAME);
+                prop_assert_eq!(&got, &payload[..claimed]);
+            }
+            Err(FrameError::Oversized { len, max }) => {
+                prop_assert_eq!(len, claimed);
+                prop_assert_eq!(max, MAX_REQUEST_FRAME);
+            }
+            Err(FrameError::Truncated) => {
+                prop_assert!(claimed <= MAX_REQUEST_FRAME && payload.len() < claimed);
+            }
+            Err(other) => panic!("read_frame leaked untyped error: {other:?}"),
+        }
+    }
+
+    /// Truncating a well-formed wire frame at every byte offset is a
+    /// typed error: `ConnectionClosed` only at the clean zero-byte
+    /// boundary, `Truncated` everywhere inside the frame.
+    #[test]
+    fn every_wire_truncation_is_typed(req in arb_request()) {
+        let payload = encode_request(&req);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("Vec write cannot fail");
+        for cut in 0..wire.len() {
+            let mut r = &wire[..cut];
+            let want = if cut == 0 {
+                FrameError::ConnectionClosed
+            } else {
+                FrameError::Truncated
+            };
+            prop_assert_eq!(read_frame(&mut r, MAX_REQUEST_FRAME), Err(want));
+        }
+    }
+}

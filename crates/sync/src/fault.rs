@@ -59,6 +59,19 @@ pub struct FaultPlan {
 /// recovery layers and tests can tell an injected fault from a real bug.
 pub const INJECTED_PANIC_PREFIX: &str = "injected fault";
 
+/// Fault site at the epoch-swap commit of [`crate::epoch::EpochCell`]:
+/// fires *before* the slot is touched, so a kill here models a recompute
+/// dying mid-swap — the previous epoch must keep serving.
+pub const SERVE_SWAP: &str = "serve-swap";
+
+/// Fault site inside the serve daemon's per-frame request handling
+/// (after decode + admission, before dispatch): a panic here models a
+/// worker dying mid-frame — the connection must be quarantined while the
+/// listener and every other connection stay healthy; a delay here models
+/// a straggling handler and is how the deadline/overload paths are
+/// exercised deterministically.
+pub const SERVE_FRAME: &str = "serve-frame";
+
 static ARMED: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 static HITS: AtomicU64 = AtomicU64::new(0);

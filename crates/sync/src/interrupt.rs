@@ -76,12 +76,35 @@ impl Interrupt {
 
     /// A token whose `poll()` starts reporting [`AbortReason::DeadlineExceeded`]
     /// once `budget` wall-clock time has elapsed from now.
+    ///
+    /// Pathological budgets saturate instead of silently vanishing:
+    /// `Instant + Duration::MAX` has no representation, and the old
+    /// behaviour (`checked_add` → `None`) turned a nominally *bounded*
+    /// run unbounded. Budgets too large to represent are clamped to
+    /// [`Interrupt::SATURATED_BUDGET`] — far beyond any real deadline,
+    /// but still a deadline the token actually carries.
     pub fn with_deadline(budget: Duration) -> Arc<Self> {
+        let now = Instant::now();
         Arc::new(Interrupt {
             state: AtomicU32::new(RUNNING),
-            deadline: Instant::now().checked_add(budget),
+            deadline: now
+                .checked_add(budget)
+                .or_else(|| now.checked_add(Self::SATURATED_BUDGET)),
             detail: Mutex::new(None),
         })
+    }
+
+    /// The clamp applied by [`Interrupt::with_deadline`] when the
+    /// requested budget overflows `Instant` arithmetic: ~30 years, which
+    /// every supported platform can represent.
+    pub const SATURATED_BUDGET: Duration = Duration::from_secs(60 * 60 * 24 * 365 * 30);
+
+    /// The absolute deadline this token enforces, if any. `Some` for
+    /// every token built by [`Interrupt::with_deadline`] (saturation
+    /// keeps pathological budgets bounded); `None` only for
+    /// [`Interrupt::new`].
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
     }
 
     /// Requests cooperative cancellation. Idempotent; loses against an
@@ -190,6 +213,29 @@ mod tests {
     fn generous_deadline_does_not_fire() {
         let i = Interrupt::with_deadline(Duration::from_secs(3600));
         assert_eq!(i.poll(), None);
+    }
+
+    #[test]
+    fn pathological_budget_saturates_instead_of_vanishing() {
+        for budget in [
+            Duration::MAX,
+            Duration::MAX - Duration::from_nanos(1),
+            Duration::from_secs(u64::MAX),
+        ] {
+            let i = Interrupt::with_deadline(budget);
+            assert!(
+                i.deadline().is_some(),
+                "budget {budget:?} must saturate to a real deadline, not drop it"
+            );
+            assert_eq!(
+                i.poll(),
+                None,
+                "saturated deadline must not fire immediately"
+            );
+        }
+        // Sane budgets are untouched and still bounded.
+        let i = Interrupt::with_deadline(Duration::from_secs(1));
+        assert!(i.deadline().is_some());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #[cfg(model)]
 pub mod model;
 
+pub mod epoch;
 pub mod fault;
 pub mod interrupt;
 

@@ -1,0 +1,132 @@
+//! Model-checker protocol for the epoch-swap publication cell (build
+//! with `RUSTFLAGS="--cfg model" cargo test -p swscc-sync --test
+//! epoch_model`; the whole file compiles away otherwise).
+//!
+//! The serve daemon's availability story rests on two claims about
+//! [`EpochCell`], and this battery checks both over ≥1000 explored
+//! schedules each instead of trusting the implementation comments:
+//!
+//! 1. **Readers never observe a torn snapshot.** Every `(epoch, value)`
+//!    pair any reader loads is a pair some publisher actually
+//!    constructed (or the initial pair), and the epochs one reader
+//!    observes never go backwards — there is no interleaving in which a
+//!    half-swapped cell leaks.
+//! 2. **Swaps are lost-update-free.** Concurrent publishers each get a
+//!    distinct, consecutive epoch, and after all of them finish the cell
+//!    holds the highest one — no publish is silently overwritten by a
+//!    stale competitor.
+//!
+//! The model `Mutex` inside the cell turns every lock acquisition into a
+//! scheduling point, so the checker genuinely interleaves the reader
+//! clones with the writer swaps rather than running them back to back.
+#![cfg(model)]
+
+use swscc_sync::epoch::EpochCell;
+use swscc_sync::model::{explore, Options, Strategy};
+use swscc_sync::Mutex;
+
+fn opts(iterations: u64, base_seed: u64) -> Options {
+    Options {
+        iterations,
+        base_seed,
+        max_steps: 50_000,
+        strategy: Strategy::Random,
+    }
+}
+
+/// Claim 1: with two publishers and two readers fully interleaved, every
+/// observed `(epoch, value)` pair was constructed by somebody, and each
+/// reader's epoch sequence is monotone.
+#[test]
+fn readers_never_observe_torn_snapshot() {
+    let report = explore(opts(1200, 0x5E53_0001), || {
+        // value convention: publisher t writes 100*t + attempt, initial
+        // value is 7 at epoch 0.
+        let cell = EpochCell::new(7u64);
+        let published: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        let observed: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+        swscc_sync::thread::scope(|s| {
+            for t in 1..=2u64 {
+                let (cell, published) = (&cell, &published);
+                s.spawn(move || {
+                    let value = 100 * t;
+                    let epoch = cell.publish(value);
+                    published.lock().push((epoch, value));
+                });
+            }
+            for _ in 0..2 {
+                let (cell, observed) = (&cell, &observed);
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..2 {
+                        let snap = cell.load();
+                        assert!(
+                            snap.epoch() >= last,
+                            "reader epoch went backwards: {} < {last}",
+                            snap.epoch()
+                        );
+                        last = snap.epoch();
+                        observed.lock().push((snap.epoch(), *snap.value()));
+                    }
+                });
+            }
+        });
+        let published: Vec<(u64, u64)> = published.lock().clone();
+        for &(epoch, value) in observed.lock().iter() {
+            let legitimate = (epoch == 0 && value == 7)
+                || published.iter().any(|&(e, v)| e == epoch && v == value);
+            assert!(
+                legitimate,
+                "torn snapshot observed: epoch {epoch} paired with value {value}, \
+                 published set {published:?}"
+            );
+        }
+    });
+    assert!(
+        report.failure.is_none(),
+        "epoch cell leaked a torn snapshot: {:?}",
+        report.failure
+    );
+    assert!(
+        report.distinct_schedules > 50,
+        "exploration barely diversified ({} schedules)",
+        report.distinct_schedules
+    );
+}
+
+/// Claim 2: three racing publishers end with epochs {1, 2, 3}, all
+/// distinct, and the cell settles on epoch 3 — no lost update under any
+/// schedule.
+#[test]
+fn swap_is_lost_update_free() {
+    let report = explore(opts(1000, 0x5E53_0002), || {
+        let cell = EpochCell::new(0u32);
+        let epochs: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        swscc_sync::thread::scope(|s| {
+            for t in 0..3u32 {
+                let (cell, epochs) = (&cell, &epochs);
+                s.spawn(move || {
+                    let e = cell.publish(t + 1);
+                    epochs.lock().push(e);
+                });
+            }
+        });
+        let mut epochs = epochs.lock().clone();
+        epochs.sort_unstable();
+        assert_eq!(
+            epochs,
+            vec![1, 2, 3],
+            "publishers must receive distinct consecutive epochs"
+        );
+        assert_eq!(cell.epoch(), 3, "cell must settle on the last epoch");
+        // The surviving value must be the one published at epoch 3.
+        let snap = cell.load();
+        assert_eq!(snap.epoch(), 3);
+        assert!((1..=3).contains(snap.value()));
+    });
+    assert!(
+        report.failure.is_none(),
+        "epoch swap lost an update: {:?}",
+        report.failure
+    );
+}

@@ -1,0 +1,237 @@
+//! `swscc-loadgen` — deterministic load generator for `swscc-serve`.
+//!
+//! ```text
+//! swscc-loadgen (--socket PATH | --connect ADDR)
+//!               [--clients N] [--requests N] [--seed N]
+//!               [--mix SAME,ID,REACH,STATS,RECOMPUTE]
+//!               [--deadline-ms MS] [--max-retries N] [--backoff-ms MS]
+//!               [--io-timeout-ms MS] [--max-p99-ms MS]
+//!               [--report FILE] [--shutdown]
+//! ```
+//!
+//! Issues a seeded open-loop workload (see `swscc::serve::loadgen` for
+//! the determinism contract), prints the latency/throughput report, and
+//! optionally writes it as JSON (`--report`) and shuts the server down
+//! afterwards (`--shutdown`).
+//!
+//! Exit codes: `0` if the run saw zero non-typed failures and (when
+//! `--max-p99-ms` is given) p99 stayed under the bound; `1` otherwise;
+//! `2` for configuration errors. This is the assertion CI's serve lane
+//! leans on: under fault injection, availability must degrade to typed
+//! errors only.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use swscc::serve::loadgen::{self, LoadgenOptions, Mix};
+use swscc::serve::{Client, Endpoint};
+
+const EXIT_CONFIG: u8 = 2;
+
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn config(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_CONFIG,
+            message: message.into(),
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if raw.peek().is_some_and(|v| !v.starts_with("--")) {
+                    raw.next()
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag_value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag_present(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn parsed_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag_value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::config(format!("invalid value for --{name}: {v:?}"))),
+        }
+    }
+}
+
+/// Parses `--mix SAME,ID,REACH,STATS,RECOMPUTE` (five comma-separated
+/// non-negative weights).
+fn parse_mix(spec: &str) -> Result<Mix, CliError> {
+    let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+    if parts.len() != 5 {
+        return Err(CliError::config(format!(
+            "--mix wants 5 comma-separated weights (same,id,reach,stats,recompute), got {spec:?}"
+        )));
+    }
+    let mut w = [0u32; 5];
+    for (slot, part) in w.iter_mut().zip(&parts) {
+        *slot = part
+            .parse()
+            .map_err(|_| CliError::config(format!("invalid --mix weight {part:?}")))?;
+    }
+    Ok(Mix {
+        same_scc: w[0],
+        scc_id: w[1],
+        reach: w[2],
+        stats: w[3],
+        recompute: w[4],
+    })
+}
+
+fn usage() -> String {
+    "usage: swscc-loadgen (--socket PATH | --connect ADDR) [--clients N] \
+     [--requests N] [--seed N] [--mix SAME,ID,REACH,STATS,RECOMPUTE] \
+     [--deadline-ms MS] [--max-retries N] [--backoff-ms MS] \
+     [--io-timeout-ms MS] [--max-p99-ms MS] [--report FILE] [--shutdown]"
+        .to_string()
+}
+
+fn run(args: &Args) -> Result<bool, CliError> {
+    let endpoint = match (args.flag_value("socket"), args.flag_value("connect")) {
+        (Some(path), None) => Endpoint::Unix(path.into()),
+        (None, Some(addr)) => Endpoint::Tcp(addr.to_string()),
+        (None, None) => {
+            return Err(CliError::config(
+                "one of --socket PATH or --connect ADDR is required",
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::config(
+                "--socket and --connect are mutually exclusive",
+            ))
+        }
+    };
+    let mix = match args.flag_value("mix") {
+        Some(spec) => parse_mix(spec)?,
+        None => {
+            if args.flag_present("mix") {
+                return Err(CliError::config(
+                    "--mix requires 5 weights, e.g. 45,30,15,8,2",
+                ));
+            }
+            Mix::default()
+        }
+    };
+    let io_timeout = Duration::from_millis(args.parsed_flag("io-timeout-ms", 10_000u64)?);
+    let opts = LoadgenOptions {
+        clients: args.parsed_flag("clients", 4usize)?,
+        requests_per_client: args.parsed_flag("requests", 250usize)?,
+        seed: args.parsed_flag("seed", 0x10AD_6E4Au64)?,
+        mix,
+        deadline_ms: args.parsed_flag("deadline-ms", 250u32)?,
+        max_retries: args.parsed_flag("max-retries", 6u32)?,
+        backoff_base_ms: args.parsed_flag("backoff-ms", 4u64)?,
+        io_timeout,
+    };
+
+    let report = loadgen::run(&endpoint, &opts).map_err(CliError::runtime)?;
+    println!(
+        "loadgen: {} attempted, {} ok, {} out-of-range, {} overloaded ({} gave up), \
+         {} deadline misses, {} recompute-failed, {} reconnects, {} non-typed",
+        report.attempted,
+        report.ok,
+        report.out_of_range,
+        report.overloaded,
+        report.gave_up,
+        report.deadline_misses,
+        report.recompute_failed,
+        report.reconnects,
+        report.non_typed_failures,
+    );
+    println!(
+        "loadgen: p50 {}us  p99 {}us  max {}us  {:.1} req/s over {}ms",
+        report.p50_us, report.p99_us, report.max_us, report.throughput_rps, report.elapsed_ms
+    );
+
+    if let Some(path) = args.flag_value("report") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?;
+        println!("loadgen: report written to {path}");
+    }
+
+    if args.flag_present("shutdown") {
+        let mut admin = Client::connect(&endpoint, io_timeout)
+            .map_err(|e| CliError::runtime(format!("cannot connect for shutdown: {e}")))?;
+        admin
+            .shutdown()
+            .map_err(|e| CliError::runtime(format!("shutdown verb failed: {e}")))?;
+        println!("loadgen: server acknowledged shutdown");
+    }
+
+    let mut healthy = report.non_typed_failures == 0;
+    if let Some(max_p99) = args.flag_value("max-p99-ms") {
+        let max_p99: u64 = max_p99
+            .parse()
+            .map_err(|_| CliError::config(format!("invalid --max-p99-ms {max_p99:?}")))?;
+        if report.p99_us > max_p99 * 1000 {
+            eprintln!(
+                "loadgen: p99 {}us exceeds --max-p99-ms {max_p99}",
+                report.p99_us
+            );
+            healthy = false;
+        }
+    }
+    if report.non_typed_failures > 0 {
+        eprintln!(
+            "loadgen: {} non-typed failures (availability contract violated)",
+            report.non_typed_failures
+        );
+    }
+    Ok(healthy)
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    if args.flag_present("help") || args.positional.first().is_some_and(|p| p == "help") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("swscc-loadgen: {}", e.message);
+            ExitCode::from(e.code)
+        }
+    }
+}

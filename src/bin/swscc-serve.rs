@@ -1,0 +1,327 @@
+//! `swscc-serve` — the always-on SCC daemon.
+//!
+//! ```text
+//! swscc-serve <input> (--socket PATH | --listen ADDR)
+//!             [--algo NAME | --pipeline STAGES] [--threads N]
+//!             [--compressed] [--scale S] [--seed N]
+//!             [--max-inflight N] [--deadline-ms MS] [--max-deadline-ms MS]
+//!             [--io-timeout-ms MS] [--retry-after-ms MS]
+//!             [--on-panic fallback|fail]
+//!             [--inject-fault SITE[:NTH][:repeat]]
+//! ```
+//!
+//! `<input>` is a SNAP edge list, a `.bin` graph, or `dataset:<name>`
+//! (same as the `swscc` CLI). The daemon builds the epoch-0 snapshot
+//! synchronously (a graph it cannot partition once fails startup with
+//! a nonzero exit), prints the bound endpoint on stdout, and serves
+//! until a client sends the `shutdown` verb.
+//!
+//! Exit codes: `0` clean shutdown, `1` runtime failure (unreadable
+//! input, bind failure), `2` configuration error, `70` internal failure
+//! (initial snapshot build died), `75` temporarily unavailable, `124`
+//! deadline exceeded — the same taxonomy as `swscc`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use swscc::graph::datasets::Dataset;
+use swscc::graph::{io, CompressedCsr, CsrGraph};
+use swscc::serve::{Endpoint, Listener, ServeConfig, ServedGraph, Server};
+use swscc::sync::fault::{self, FaultKind, FaultPlan};
+use swscc::{Algorithm, PanicPolicy, Pipeline, SccConfig, SccError};
+
+const EXIT_CONFIG: u8 = 2;
+const EXIT_INTERNAL: u8 = 70;
+const EXIT_TIMEOUT: u8 = 124;
+const EXIT_TEMPFAIL: u8 = 75;
+
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn config(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_CONFIG,
+            message: message.into(),
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 1,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<SccError> for CliError {
+    fn from(e: SccError) -> CliError {
+        let code = match e {
+            SccError::DeadlineExceeded => EXIT_TIMEOUT,
+            SccError::Overloaded { .. } => EXIT_TEMPFAIL,
+            SccError::Cancelled
+            | SccError::NonConvergence { .. }
+            | SccError::WorkerPanic { .. } => EXIT_INTERNAL,
+        };
+        CliError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(a) = raw.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = if raw.peek().is_some_and(|v| !v.starts_with("--")) {
+                    raw.next()
+                } else {
+                    None
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag_value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn flag_present(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn parsed_flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag_value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::config(format!("invalid value for --{name}: {v:?}"))),
+        }
+    }
+}
+
+fn load_input(spec: &str, scale: f64, seed: u64) -> Result<CsrGraph, CliError> {
+    if let Some(name) = spec.strip_prefix("dataset:") {
+        let d = Dataset::from_name(name).ok_or_else(|| {
+            CliError::config(format!(
+                "unknown dataset {name:?}; available: {}",
+                Dataset::all().map(|d| d.name()).join(", ")
+            ))
+        })?;
+        Ok(d.generate(scale, seed))
+    } else if spec.ends_with(".bin") {
+        io::load_binary(spec).map_err(|e| CliError::runtime(format!("cannot load {spec}: {e}")))
+    } else {
+        io::load_edge_list(spec).map_err(|e| CliError::runtime(format!("cannot load {spec}: {e}")))
+    }
+}
+
+/// Parses `--inject-fault SITE[:NTH][:repeat]` — the serve daemon's
+/// extended form: a trailing `:repeat` arms a persistent fault (fires at
+/// every matching hit from NTH on), which is what the CI fault soak uses
+/// to keep `serve-swap` failing across many recomputes.
+fn parse_fault(spec: &str) -> Result<FaultPlan, CliError> {
+    let (head, repeat) = match spec.strip_suffix(":repeat") {
+        Some(head) => (head, true),
+        None => (spec, false),
+    };
+    let (site, nth) = match head.rsplit_once(':') {
+        Some((site, nth)) => {
+            let nth: u64 = nth
+                .parse()
+                .map_err(|_| CliError::config(format!("invalid --inject-fault index: {spec:?}")))?;
+            (site, nth)
+        }
+        None => (head, 0),
+    };
+    if site.is_empty() {
+        return Err(CliError::config("empty --inject-fault site"));
+    }
+    // Fault sites are &'static str; a one-shot CLI arming leaks one small
+    // allocation for the process lifetime.
+    let site: &'static str = Box::leak(site.to_string().into_boxed_str());
+    Ok(FaultPlan {
+        site: Some(site),
+        nth,
+        kind: FaultKind::Panic,
+        repeat,
+    })
+}
+
+fn usage() -> String {
+    "usage: swscc-serve <input> (--socket PATH | --listen ADDR) \
+     [--algo NAME | --pipeline STAGES] [--threads N] [--compressed] \
+     [--scale S] [--seed N] [--max-inflight N] [--deadline-ms MS] \
+     [--max-deadline-ms MS] [--io-timeout-ms MS] [--retry-after-ms MS] \
+     [--on-panic fallback|fail] [--inject-fault SITE[:NTH][:repeat]]"
+        .to_string()
+}
+
+fn run(args: &Args) -> Result<(), CliError> {
+    let input = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::config(usage()))?;
+    let endpoint = match (args.flag_value("socket"), args.flag_value("listen")) {
+        (Some(path), None) => Endpoint::Unix(path.into()),
+        (None, Some(addr)) => Endpoint::Tcp(addr.to_string()),
+        (None, None) => {
+            return Err(CliError::config(
+                "one of --socket PATH or --listen ADDR is required",
+            ))
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::config(
+                "--socket and --listen are mutually exclusive",
+            ))
+        }
+    };
+
+    let scale: f64 = args.parsed_flag("scale", 0.25)?;
+    let seed: u64 = args.parsed_flag("seed", 42)?;
+    let pipeline = match args.flag_value("pipeline") {
+        Some(spec) => {
+            if args.flag_present("algo") {
+                return Err(CliError::config(
+                    "--pipeline and --algo are mutually exclusive; a pipeline IS the algorithm",
+                ));
+            }
+            Pipeline::parse(spec)
+                .map_err(|e| CliError::config(format!("invalid --pipeline: {e}")))?
+        }
+        None => {
+            let algo_name = args.flag_value("algo").unwrap_or("method2");
+            let algo = Algorithm::from_name(algo_name).ok_or_else(|| {
+                CliError::config(format!(
+                    "unknown algorithm {algo_name:?}; available: {}",
+                    Algorithm::all().map(|a| a.name()).join(", ")
+                ))
+            })?;
+            Pipeline::stock(algo).ok_or_else(|| {
+                CliError::config(format!(
+                    "algorithm {algo_name:?} has no pipeline form; the daemon \
+                     recomputes under fault recovery, which needs the staged engine"
+                ))
+            })?
+        }
+    };
+
+    let mut scc = SccConfig::with_threads(
+        args.parsed_flag(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )?,
+    );
+    scc.on_panic = match args.flag_value("on-panic").unwrap_or("fallback") {
+        "fallback" => PanicPolicy::Fallback,
+        "fail" => PanicPolicy::Fail,
+        v => {
+            return Err(CliError::config(format!(
+                "invalid --on-panic {v:?} (fallback|fail)"
+            )))
+        }
+    };
+
+    let config = ServeConfig {
+        pipeline,
+        scc,
+        max_inflight: args.parsed_flag("max-inflight", 64usize)?,
+        default_deadline_ms: args.parsed_flag("deadline-ms", 1_000u32)?,
+        max_deadline_ms: args.parsed_flag("max-deadline-ms", 60_000u32)?,
+        io_timeout: Duration::from_millis(args.parsed_flag("io-timeout-ms", 5_000u64)?),
+        retry_after_ms: args.parsed_flag("retry-after-ms", 25u32)?,
+    };
+
+    // Armed before the initial build so the soak covers the daemon's whole
+    // lifetime. serve-swap/serve-frame sites never fire during startup
+    // (epoch 0 is installed without a publish); a pipeline-site fault hits
+    // the initial build too, where PanicPolicy decides between recovery
+    // and a loud startup failure — both intended.
+    let _fault_guard = match args.flag_value("inject-fault") {
+        Some(spec) => {
+            // A soak fires injected panics by the dozen; keep the default
+            // hook's backtrace spam out of the daemon's stderr so the CI
+            // artifact stays readable. Real panics still print.
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let injected = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                    .is_some_and(|m| m.contains(fault::INJECTED_PANIC_PREFIX));
+                if !injected {
+                    default_hook(info);
+                }
+            }));
+            Some(fault::arm(parse_fault(spec)?))
+        }
+        None => {
+            if args.flag_present("inject-fault") {
+                return Err(CliError::config(
+                    "--inject-fault requires SITE[:NTH][:repeat]",
+                ));
+            }
+            None
+        }
+    };
+
+    let graph = load_input(input, scale, seed)?;
+    let (nodes, edges) = (graph.num_nodes(), graph.num_edges());
+    let served = if args.flag_present("compressed") {
+        ServedGraph::Compressed(CompressedCsr::from_csr(&graph))
+    } else {
+        ServedGraph::Raw(graph)
+    };
+
+    let listener = Listener::bind(&endpoint)
+        .map_err(|e| CliError::runtime(format!("cannot bind {endpoint}: {e}")))?;
+    let bound = listener
+        .local_endpoint()
+        .unwrap_or_else(|_| endpoint.clone());
+
+    let server = Server::new(served, config)?;
+    println!(
+        "swscc-serve: {nodes} nodes, {edges} edges, epoch {} on {bound}",
+        server.epoch()
+    );
+    server
+        .run(listener)
+        .map_err(|e| CliError::runtime(format!("serve loop failed: {e}")))?;
+    println!("swscc-serve: shutdown requested, exiting");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    if args.flag_present("help") || args.positional.first().is_some_and(|p| p == "help") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("swscc-serve: {}", e.message);
+            ExitCode::from(e.code)
+        }
+    }
+}

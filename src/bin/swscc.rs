@@ -38,6 +38,9 @@ const EXIT_CONFIG: u8 = 2;
 const EXIT_INTERNAL: u8 = 70;
 /// Exit code when `--timeout` expires, matching timeout(1).
 const EXIT_TIMEOUT: u8 = 124;
+/// Exit code for a load-shed run (server said try again later) —
+/// EX_TEMPFAIL from sysexits.
+const EXIT_TEMPFAIL: u8 = 75;
 
 /// A CLI failure: message plus process exit code.
 struct CliError {
@@ -65,6 +68,7 @@ impl From<SccError> for CliError {
     fn from(e: SccError) -> CliError {
         let code = match e {
             SccError::DeadlineExceeded => EXIT_TIMEOUT,
+            SccError::Overloaded { .. } => EXIT_TEMPFAIL,
             SccError::Cancelled
             | SccError::NonConvergence { .. }
             | SccError::WorkerPanic { .. } => EXIT_INTERNAL,

@@ -11,6 +11,8 @@
 //! * [`core`] — the SCC algorithms themselves (`swscc-core`).
 //! * [`distributed`] — BSP message-passing simulation of the pipeline,
 //!   the paper's §6 future work (`swscc-distributed`).
+//! * [`serve`] — the always-on SCC service: epoch snapshots, admission
+//!   control, the wire protocol, and the load generator (`swscc-serve`).
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -27,11 +29,12 @@ pub use swscc_core as core;
 pub use swscc_distributed as distributed;
 pub use swscc_graph as graph;
 pub use swscc_parallel as parallel;
+pub use swscc_serve as serve;
 pub use swscc_sync as sync;
 
 pub use swscc_core::{
     detect_scc, run_checked, run_pipeline, Algorithm, Canceller, CompactionPolicy, PanicPolicy,
     Pipeline, PipelineError, PivotStrategy, RecoveryEvent, RunGuard, RunReport, SccConfig,
-    SccError, SccResult, Stage, WccImpl,
+    SccError, SccResult, SccSnapshot, Stage, WccImpl,
 };
 pub use swscc_graph::{CsrGraph, GraphBuilder, NodeId};

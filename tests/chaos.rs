@@ -22,9 +22,11 @@
 //! `CHAOS_ROUNDS=<n>` overrides the schedule count (default 320).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 use swscc::graph::gen::erdos_renyi::erdos_renyi;
 use swscc::graph::gen::watts_strogatz::watts_strogatz;
+use swscc::serve::{Client, Endpoint, Listener, Response, ServeConfig, ServedGraph, Server};
 use swscc::sync::fault::{self, FaultKind, FaultPlan};
 use swscc::{
     detect_scc, run_checked, run_pipeline, Algorithm, CsrGraph, PanicPolicy, Pipeline, RunGuard,
@@ -240,11 +242,11 @@ fn run_schedule(
     }
 }
 
-#[test]
-fn chaos_battery() {
-    // Injected panics are expected by the hundreds; keep the default
-    // hook's backtrace spam out of the test output. Real (non-injected)
-    // panics still print.
+/// Injected panics are expected by the hundreds; keep the default
+/// hook's backtrace spam out of the test output. Real (non-injected)
+/// panics still print. Installing twice (both batteries run in one
+/// process) just stacks two copies of the same filter.
+fn install_quiet_panic_hook() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let injected = info
@@ -257,6 +259,11 @@ fn chaos_battery() {
             default_hook(info);
         }
     }));
+}
+
+#[test]
+fn chaos_battery() {
+    install_quiet_panic_hook();
 
     let pool = graph_pool();
 
@@ -331,4 +338,387 @@ fn chaos_battery() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Server chaos group: seed-replayable fault schedules against a live
+// `swscc-serve` instance on a real socket. The invariant under attack is
+// the availability doctrine: a serving epoch is always installed, every
+// failure a client sees is typed, and one hostile/panicking connection
+// never costs the listener or another client.
+//
+// Replay: `SERVE_CHAOS_SEED=<seed> cargo test --test chaos server_chaos
+// -- --nocapture`; `SERVE_CHAOS_ROUNDS=<n>` overrides the count.
+//
+// Every server interaction here happens under an armed fault session —
+// the schedule's real plan, or an inert one for boot and for the
+// no-fault control schedules. That is not optional hygiene: a server
+// recompute runs the full pipeline, so unarmed traffic from this group
+// could consume a single-shot `trim-round` plan armed by the main
+// battery running in the same process.
+// ---------------------------------------------------------------------------
+
+const SERVE_DEFAULT_ROUNDS: u64 = 24;
+
+/// What a server schedule injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ServeScenario {
+    /// No fault: recompute must bump the epoch, answers stay correct.
+    Control,
+    /// Panic at the epoch-swap point: recompute fails typed, the old
+    /// epoch keeps serving, the next recompute heals.
+    SwapKill,
+    /// Panic inside a query handler: exactly one connection dies, the
+    /// listener and fresh connections survive.
+    FrameKill,
+    /// Delay inside a query handler with a 1ms budget: the miss is a
+    /// typed `DeadlineExceeded`, and the next (unarmed) query answers.
+    FrameStall,
+    /// Panic at a pipeline site during recompute: `Fallback` absorbs it
+    /// and publishes, `Fail` degrades to a typed `RecomputeFailed` with
+    /// the old epoch serving.
+    RecomputeKill,
+}
+
+struct ServeSchedule {
+    scenario: ServeScenario,
+    graph: usize,
+    threads: usize,
+    policy: PanicPolicy,
+    plan: FaultPlan,
+}
+
+/// An inert plan: arming it serializes with the other battery without
+/// injecting anything.
+fn serve_inert_plan() -> FaultPlan {
+    FaultPlan {
+        site: Some("serve-chaos-inert"),
+        nth: 0,
+        kind: FaultKind::Panic,
+        repeat: false,
+    }
+}
+
+fn derive_serve(seed: u64, num_graphs: usize) -> ServeSchedule {
+    let mut s = seed;
+    let scenario = [
+        ServeScenario::Control,
+        ServeScenario::SwapKill,
+        ServeScenario::FrameKill,
+        ServeScenario::FrameStall,
+        ServeScenario::RecomputeKill,
+    ][(splitmix64(&mut s) % 5) as usize];
+    let graph = (splitmix64(&mut s) % num_graphs as u64) as usize;
+    let threads = [1, 2, 4][(splitmix64(&mut s) % 3) as usize];
+    let policy = if splitmix64(&mut s).is_multiple_of(2) {
+        PanicPolicy::Fail
+    } else {
+        PanicPolicy::Fallback
+    };
+    let plan = match scenario {
+        ServeScenario::Control => serve_inert_plan(),
+        ServeScenario::SwapKill => FaultPlan {
+            site: Some(fault::SERVE_SWAP),
+            nth: 0,
+            kind: FaultKind::Panic,
+            repeat: false,
+        },
+        ServeScenario::FrameKill => FaultPlan {
+            site: Some(fault::SERVE_FRAME),
+            nth: splitmix64(&mut s) % 3,
+            kind: FaultKind::Panic,
+            repeat: false,
+        },
+        ServeScenario::FrameStall => FaultPlan {
+            site: Some(fault::SERVE_FRAME),
+            nth: 0,
+            kind: FaultKind::Delay(Duration::from_millis(40)),
+            repeat: false,
+        },
+        ServeScenario::RecomputeKill => {
+            // Method2's pipeline always runs trim and fwbw; wcc joins
+            // the rotation as a sometimes-skipped site (counted via
+            // `fault::fired`).
+            let site =
+                ["trim-round", "fwbw-superstep", "wcc-round"][(splitmix64(&mut s) % 3) as usize];
+            FaultPlan {
+                site: Some(site),
+                nth: splitmix64(&mut s) % 2,
+                kind: FaultKind::Panic,
+                repeat: splitmix64(&mut s).is_multiple_of(3),
+            }
+        }
+    };
+    ServeSchedule {
+        scenario,
+        graph,
+        threads,
+        policy,
+        plan,
+    }
+}
+
+/// Samples seeded node pairs and checks `same-scc` answers against the
+/// Tarjan oracle labels. Every wire failure is a violation here: these
+/// run when the connection is expected healthy.
+fn check_oracle_pairs(
+    c: &mut Client,
+    oracle: &[u32],
+    seed: u64,
+    describe: &dyn Fn() -> String,
+) -> Result<(), String> {
+    let n = oracle.len() as u64;
+    if n == 0 {
+        // The empty graph has no in-range pairs; probe the typed
+        // out-of-range path instead.
+        return match c.same_scc(0, 0, 0) {
+            Ok(Response::OutOfRange) => Ok(()),
+            other => Err(format!("{}: empty graph gave {other:?}", describe())),
+        };
+    }
+    let mut s = seed;
+    for _ in 0..4 {
+        let u = (splitmix64(&mut s) % n) as u32;
+        let v = (splitmix64(&mut s) % n) as u32;
+        let want = oracle[u as usize] == oracle[v as usize];
+        match c.same_scc(u, v, 0) {
+            Ok(Response::Bool(got)) if got == want => {}
+            other => {
+                return Err(format!(
+                    "{}: same_scc({u},{v}) wanted {want}, got {other:?}",
+                    describe()
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one server schedule end-to-end; returns whether the armed fault
+/// actually fired, or a violation description.
+fn run_serve_schedule(
+    seed: u64,
+    pool: &[(&'static str, CsrGraph, Vec<u32>)],
+) -> Result<(ServeScenario, bool), String> {
+    let sched = derive_serve(seed, pool.len());
+    let (gname, g, oracle) = &pool[sched.graph];
+    let describe = || {
+        format!(
+            "serve seed {seed}: {:?} on {gname} ({} threads, {:?}, plan {:?})",
+            sched.scenario, sched.threads, sched.policy, sched.plan
+        )
+    };
+
+    let mut scc = SccConfig::with_threads(sched.threads);
+    scc.on_panic = sched.policy;
+    let config = ServeConfig {
+        scc,
+        ..ServeConfig::default()
+    };
+
+    // Boot under an inert session so pipeline-site plans cannot hit the
+    // initial build — the scenario under test is the *recompute* path.
+    let (server, bound, handle) = {
+        let _quiet = fault::arm(serve_inert_plan());
+        let listener = Listener::bind(&Endpoint::Tcp("127.0.0.1:0".into()))
+            .map_err(|e| format!("{}: bind failed: {e}", describe()))?;
+        let bound = listener
+            .local_endpoint()
+            .map_err(|e| format!("{}: no local endpoint: {e}", describe()))?;
+        let server = Server::new(ServedGraph::Raw(g.clone()), config)
+            .map_err(|e| format!("{}: initial build failed: {e}", describe()))?;
+        let loop_server = Arc::clone(&server);
+        let handle = swscc::sync::thread::spawn(move || loop_server.run(listener));
+        (server, bound, handle)
+    };
+
+    let fault_guard = fault::arm(sched.plan);
+    let io = Duration::from_secs(10);
+    let connect =
+        || Client::connect(&bound, io).map_err(|e| format!("{}: connect failed: {e}", describe()));
+    let result = (|| -> Result<(), String> {
+        let mut c = connect()?;
+        match sched.scenario {
+            ServeScenario::Control => {
+                check_oracle_pairs(&mut c, oracle, seed ^ 1, &describe)?;
+                match c.recompute() {
+                    Ok(Response::Recomputed { epoch: 1 }) => {}
+                    other => return Err(format!("{}: recompute gave {other:?}", describe())),
+                }
+                check_oracle_pairs(&mut c, oracle, seed ^ 2, &describe)?;
+            }
+            ServeScenario::SwapKill => {
+                match c.recompute() {
+                    Ok(Response::RecomputeFailed { message })
+                        if message.contains("injected fault") => {}
+                    other => return Err(format!("{}: kill gave {other:?}", describe())),
+                }
+                if server.epoch() != 0 {
+                    return Err(format!("{}: failed swap advanced the epoch", describe()));
+                }
+                let stats = c
+                    .stats()
+                    .map_err(|e| format!("{}: stats failed: {e}", describe()))?;
+                if !stats.stale || stats.recomputes_failed != 1 {
+                    return Err(format!(
+                        "{}: stale bookkeeping wrong: {stats:?}",
+                        describe()
+                    ));
+                }
+                check_oracle_pairs(&mut c, oracle, seed ^ 3, &describe)?;
+                // One-shot plan is spent: the service heals.
+                match c.recompute() {
+                    Ok(Response::Recomputed { epoch: 1 }) => {}
+                    other => return Err(format!("{}: heal gave {other:?}", describe())),
+                }
+            }
+            ServeScenario::FrameKill => {
+                // The nth admitted query panics its handler: that one
+                // connection must die; earlier queries and later fresh
+                // connections must answer.
+                let nth = sched.plan.nth as usize;
+                let mut died = false;
+                for i in 0..=nth {
+                    match c.scc_id(0, 0) {
+                        Ok(_) if i < nth => {}
+                        Err(_) if i == nth => died = true,
+                        other => {
+                            return Err(format!("{}: query {i}/{nth} gave {other:?}", describe()))
+                        }
+                    }
+                }
+                if !died {
+                    return Err(format!("{}: victim connection survived", describe()));
+                }
+                let mut fresh = connect()?;
+                check_oracle_pairs(&mut fresh, oracle, seed ^ 4, &describe)?;
+                let stats = fresh
+                    .stats()
+                    .map_err(|e| format!("{}: stats failed: {e}", describe()))?;
+                if stats.quarantined < 1 {
+                    return Err(format!("{}: panic not counted as quarantine", describe()));
+                }
+            }
+            ServeScenario::FrameStall => {
+                match c.scc_id(0, 1) {
+                    Ok(Response::DeadlineExceeded) => {}
+                    other => return Err(format!("{}: stall gave {other:?}", describe())),
+                }
+                // Plan consumed; the connection survived the miss.
+                check_oracle_pairs(&mut c, oracle, seed ^ 5, &describe)?;
+            }
+            ServeScenario::RecomputeKill => {
+                let reply = c
+                    .recompute()
+                    .map_err(|e| format!("{}: recompute dropped: {e}", describe()))?;
+                let fired = fault::fired();
+                match (reply, sched.policy, fired) {
+                    // No-fire (site past the run's rounds): plain success.
+                    (Response::Recomputed { epoch: 1 }, _, false) => {}
+                    // Fallback absorbs the panic and still publishes.
+                    (Response::Recomputed { epoch: 1 }, PanicPolicy::Fallback, true) => {}
+                    (Response::RecomputeFailed { message }, PanicPolicy::Fail, true) => {
+                        if !message.contains("injected fault") {
+                            return Err(format!("{}: non-injected failure: {message}", describe()));
+                        }
+                        if server.epoch() != 0 {
+                            return Err(format!(
+                                "{}: failed recompute advanced the epoch",
+                                describe()
+                            ));
+                        }
+                    }
+                    (other, policy, fired) => {
+                        return Err(format!(
+                            "{}: ({other:?}, {policy:?}, fired={fired}) is not a legal outcome",
+                            describe()
+                        ))
+                    }
+                }
+                // Whatever epoch is serving must still answer correctly
+                // (repeat plans can keep firing here — queries don't
+                // cross pipeline sites, so they stay clean).
+                check_oracle_pairs(&mut c, oracle, seed ^ 6, &describe)?;
+            }
+        }
+        Ok(())
+    })();
+    let fired = fault::fired();
+    drop(fault_guard);
+
+    // Shut down under an inert session too: zero unarmed traffic.
+    {
+        let _quiet = fault::arm(serve_inert_plan());
+        server.request_shutdown();
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(format!("{}: accept loop error: {e}", describe())),
+            Err(_) => return Err(format!("{}: accept loop panicked", describe())),
+        }
+    }
+    result.map(|()| (sched.scenario, fired))
+}
+
+#[test]
+fn server_chaos_battery() {
+    install_quiet_panic_hook();
+    let pool = graph_pool();
+
+    if let Ok(seed) = std::env::var("SERVE_CHAOS_SEED") {
+        let seed: u64 = seed.parse().expect("SERVE_CHAOS_SEED must be a u64");
+        match run_serve_schedule(seed, &pool) {
+            Ok((scenario, fired)) => {
+                println!("serve seed {seed}: ok ({scenario:?}, fault fired: {fired})")
+            }
+            Err(msg) => panic!("serve chaos replay failed: {msg}"),
+        }
+        return;
+    }
+
+    let rounds: u64 = std::env::var("SERVE_CHAOS_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SERVE_DEFAULT_ROUNDS);
+    let mut chain = 0x5e12e_c4a05u64;
+    let mut failures = Vec::new();
+    let mut by_scenario: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for _ in 0..rounds {
+        let seed = splitmix64(&mut chain);
+        match run_serve_schedule(seed, &pool) {
+            Ok((scenario, fired)) => {
+                let name = match scenario {
+                    ServeScenario::Control => "control",
+                    ServeScenario::SwapKill => "swap-kill",
+                    ServeScenario::FrameKill => "frame-kill",
+                    ServeScenario::FrameStall => "frame-stall",
+                    ServeScenario::RecomputeKill => "recompute-kill",
+                };
+                let entry = by_scenario.entry(name).or_insert((0, 0));
+                entry.0 += 1;
+                entry.1 += u64::from(fired);
+            }
+            Err(msg) => failures.push(msg),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {rounds} server chaos schedules failed (replay with SERVE_CHAOS_SEED=<seed>):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    println!("server chaos coverage over {rounds} schedules (scenario: fired/scheduled):");
+    for (name, &(scheduled, fired)) in &by_scenario {
+        println!("  {name:<16} {fired:>3}/{scheduled:<3}");
+    }
+    // Vacuity guard: at least one schedule of a fault-bearing scenario
+    // must have actually fired its fault, or the serve sites are stale.
+    let fired_count: u64 = by_scenario
+        .iter()
+        .filter(|(name, _)| **name != "control")
+        .map(|(_, &(_, f))| f)
+        .sum();
+    assert!(
+        fired_count >= 1,
+        "no server chaos schedule fired its fault — serve site list out of date?"
+    );
 }

@@ -1,0 +1,441 @@
+//! End-to-end tests of the always-on SCC service over real sockets.
+//!
+//! Each test boots a full [`Server`] (accept loop on its own thread,
+//! kernel-assigned TCP port or a temp unix socket), drives it with the
+//! blocking [`Client`] or a raw socket, and asserts the availability
+//! doctrine from the outside: typed errors on the wire, epoch
+//! continuity across failed recomputes, quarantine that costs exactly
+//! one connection, and a clean shutdown handshake.
+//!
+//! Every test holds an armed fault session — a real plan or an inert
+//! one — because live queries cross `fault::point(serve-frame)`; the
+//! session mutex serializes the tests so a single-shot plan armed by
+//! one test is never consumed by another's traffic.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+use swscc::graph::CsrGraph;
+use swscc::serve::protocol::{self, Request};
+use swscc::serve::{
+    Client, Endpoint, FrameError, Listener, Response, ServeConfig, ServedGraph, Server,
+};
+use swscc::sync::fault::{self, FaultKind, FaultPlan};
+
+/// Two 3-cycles bridged by an edge, plus a tail: SCCs {0,1,2}, {3,4,5},
+/// {6}; the condensation is a 3-node path.
+fn bridge_graph() -> ServedGraph {
+    ServedGraph::Raw(CsrGraph::from_edges(
+        7,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (5, 6),
+        ],
+    ))
+}
+
+/// Boots a server on `endpoint` (use `127.0.0.1:0` to let the kernel
+/// pick) and returns the instance, the *resolved* endpoint, and the
+/// accept-loop thread handle for the shutdown join.
+fn boot(
+    graph: ServedGraph,
+    config: ServeConfig,
+    endpoint: &Endpoint,
+) -> (
+    Arc<Server>,
+    Endpoint,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let listener = Listener::bind(endpoint).expect("bind");
+    let bound = listener.local_endpoint().expect("resolved endpoint");
+    let server = Server::new(graph, config).expect("initial snapshot");
+    let loop_server = Arc::clone(&server);
+    let handle = swscc::sync::thread::spawn(move || loop_server.run(listener));
+    (server, bound, handle)
+}
+
+/// An inert armed session (never-matching site): serializes this test
+/// with genuinely-armed ones without injecting anything.
+fn quiesce() -> fault::FaultGuard {
+    fault::arm(FaultPlan {
+        site: Some("serve-e2e-inert"),
+        nth: 0,
+        kind: FaultKind::Panic,
+        repeat: false,
+    })
+}
+
+fn temp_socket(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("swscc-e2e-{tag}-{}.sock", std::process::id()))
+}
+
+#[test]
+fn full_query_surface_and_shutdown_over_tcp() {
+    let _quiet = quiesce();
+    let (_server, bound, handle) = boot(
+        bridge_graph(),
+        ServeConfig::default(),
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+    );
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+
+    c.ping().expect("ping");
+    assert_eq!(c.same_scc(0, 2, 0), Ok(Response::Bool(true)));
+    assert_eq!(c.same_scc(0, 3, 0), Ok(Response::Bool(false)));
+    assert_eq!(c.condensation_reach(0, 6, 0), Ok(Response::Bool(true)));
+    assert_eq!(c.condensation_reach(6, 0, 0), Ok(Response::Bool(false)));
+    assert_eq!(c.scc_id(999, 0), Ok(Response::OutOfRange));
+
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.epoch, 0);
+    assert_eq!(stats.num_nodes, 7);
+    assert_eq!(stats.num_components, 3);
+
+    assert_eq!(c.recompute(), Ok(Response::Recomputed { epoch: 1 }));
+    assert_eq!(c.stats().expect("stats after recompute").epoch, 1);
+
+    // Queries answered after the swap come from the new epoch with the
+    // same partition (the graph did not change).
+    assert_eq!(c.same_scc(3, 5, 0), Ok(Response::Bool(true)));
+
+    c.shutdown().expect("shutdown handshake");
+    handle
+        .join()
+        .expect("accept loop must not panic")
+        .expect("accept loop exits cleanly");
+    // The listener is gone with the loop; a fresh dial must fail.
+    assert!(
+        Client::connect(&bound, Duration::from_millis(500)).is_err(),
+        "post-shutdown connect must be refused"
+    );
+}
+
+#[test]
+fn unix_socket_serves_and_unlinks_on_shutdown() {
+    let _quiet = quiesce();
+    let path = temp_socket("unix");
+    let (_server, bound, handle) = boot(
+        bridge_graph(),
+        ServeConfig::default(),
+        &Endpoint::Unix(path.clone()),
+    );
+    assert!(path.exists(), "socket file present while serving");
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+    assert_eq!(c.same_scc(3, 4, 0), Ok(Response::Bool(true)));
+    c.shutdown().expect("shutdown handshake");
+    handle.join().expect("no panic").expect("clean exit");
+    assert!(
+        !path.exists(),
+        "socket file must be unlinked when the listener drops"
+    );
+}
+
+#[test]
+fn failed_recompute_keeps_serving_old_epoch_on_the_wire() {
+    // One-shot panic at the swap point: the first recompute must fail
+    // with a typed reply while queries keep answering from epoch 0.
+    let _armed = fault::arm(FaultPlan {
+        site: Some(fault::SERVE_SWAP),
+        nth: 0,
+        kind: FaultKind::Panic,
+        repeat: false,
+    });
+    let (_server, bound, handle) = boot(
+        bridge_graph(),
+        ServeConfig::default(),
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+    );
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+
+    match c
+        .recompute()
+        .expect("typed reply, not a dropped connection")
+    {
+        Response::RecomputeFailed { message } => {
+            assert!(message.contains("injected fault"), "got {message:?}")
+        }
+        other => panic!("wrong reply: {other:?}"),
+    }
+    // Same connection, same server: still answering, still epoch 0,
+    // flagged stale.
+    assert_eq!(c.same_scc(0, 1, 0), Ok(Response::Bool(true)));
+    let stats = c.stats().expect("stats");
+    assert_eq!(stats.epoch, 0, "failed swap must not advance the epoch");
+    assert_eq!(stats.recomputes_failed, 1);
+    assert!(stats.stale);
+
+    // The one-shot plan is spent: the service heals on the next admin
+    // request.
+    assert_eq!(c.recompute(), Ok(Response::Recomputed { epoch: 1 }));
+    assert!(!c.stats().expect("stats").stale);
+
+    c.shutdown().expect("shutdown");
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn overload_sheds_with_typed_retry_hint() {
+    // A repeating delay at the query fault point simulates slow
+    // answers; with max_inflight = 1 the second concurrent query must
+    // be shed at the door, not queued behind the slow one.
+    let _armed = fault::arm(FaultPlan {
+        site: Some(fault::SERVE_FRAME),
+        nth: 0,
+        kind: FaultKind::Delay(Duration::from_millis(300)),
+        repeat: true,
+    });
+    let config = ServeConfig {
+        max_inflight: 1,
+        retry_after_ms: 17,
+        ..ServeConfig::default()
+    };
+    let (server, bound, handle) =
+        boot(bridge_graph(), config, &Endpoint::Tcp("127.0.0.1:0".into()));
+
+    let slow_bound = bound.clone();
+    let slow = swscc::sync::thread::spawn(move || {
+        let mut c = Client::connect(&slow_bound, Duration::from_secs(5)).expect("connect");
+        c.scc_id(0, 0)
+    });
+    // Give the slow query time to be admitted and park in its delay.
+    swscc::sync::thread::sleep(Duration::from_millis(60));
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+    assert_eq!(
+        c.scc_id(1, 0),
+        Ok(Response::Overloaded { retry_after_ms: 17 }),
+        "second concurrent query must shed with the configured hint"
+    );
+    assert_eq!(
+        slow.join().expect("no panic"),
+        Ok(Response::Id(0)),
+        "the admitted slow query still completes"
+    );
+    let stats = c.stats().expect("stats");
+    assert!(stats.shed >= 1, "shed counter must record the rejection");
+
+    server.request_shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn expired_deadline_is_typed_on_the_wire() {
+    let _armed = fault::arm(FaultPlan {
+        site: Some(fault::SERVE_FRAME),
+        nth: 0,
+        kind: FaultKind::Delay(Duration::from_millis(40)),
+        repeat: false,
+    });
+    let (server, bound, handle) = boot(
+        bridge_graph(),
+        ServeConfig::default(),
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+    );
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+    assert_eq!(
+        c.condensation_reach(0, 6, 1),
+        Ok(Response::DeadlineExceeded),
+        "a 1ms budget under a 40ms injected stall must miss, typed"
+    );
+    assert_eq!(c.stats().expect("stats").deadline_misses, 1);
+    server.request_shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+/// Writes raw bytes as the peer of a live server and reads back one
+/// frame, using the public protocol helpers from the client side.
+fn raw_exchange(bound: &Endpoint, wire: &[u8]) -> Result<Response, FrameError> {
+    let addr = match bound {
+        Endpoint::Tcp(addr) => addr.clone(),
+        Endpoint::Unix(_) => unreachable!("raw tests use TCP"),
+    };
+    let mut s = std::net::TcpStream::connect(&addr).expect("raw connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(wire).expect("raw write");
+    let payload = protocol::read_frame(&mut s, protocol::MAX_RESPONSE_FRAME)?;
+    protocol::decode_response(&payload)
+}
+
+#[test]
+fn hostile_frames_quarantine_one_connection_not_the_listener() {
+    let _quiet = quiesce();
+    let (server, bound, handle) = boot(
+        bridge_graph(),
+        ServeConfig::default(),
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+    );
+
+    // A 4 GiB length prefix: typed BadRequest, then the connection dies.
+    match raw_exchange(&bound, &u32::MAX.to_le_bytes()) {
+        Ok(Response::BadRequest { message }) => {
+            assert!(message.contains("oversized"), "got {message:?}")
+        }
+        other => panic!("wrong reply to hostile prefix: {other:?}"),
+    }
+
+    // An unknown verb inside a well-formed frame: same treatment.
+    let mut wire = Vec::new();
+    protocol::write_frame(&mut wire, &[0x7f]).unwrap();
+    match raw_exchange(&bound, &wire) {
+        Ok(Response::BadRequest { message }) => {
+            assert!(message.contains("unknown request verb"), "got {message:?}")
+        }
+        other => panic!("wrong reply to unknown verb: {other:?}"),
+    }
+
+    // A quarantined connection is closed after its BadRequest: a second
+    // frame on the same socket gets no reply.
+    {
+        let addr = match &bound {
+            Endpoint::Tcp(addr) => addr.clone(),
+            Endpoint::Unix(_) => unreachable!(),
+        };
+        let mut s = std::net::TcpStream::connect(&addr).expect("raw connect");
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut wire = Vec::new();
+        protocol::write_frame(&mut wire, &[0x7f]).unwrap();
+        s.write_all(&wire).expect("hostile frame");
+        let _ = protocol::read_frame(&mut s, protocol::MAX_RESPONSE_FRAME)
+            .expect("the typed BadRequest");
+        s.write_all(&wire).expect("kernel buffers the write");
+        let mut rest = Vec::new();
+        let n = s.read_to_end(&mut rest).unwrap_or(0);
+        assert_eq!(n, 0, "quarantined connection must be closed, got {rest:?}");
+    }
+
+    // The listener and fresh connections are unharmed, and the
+    // quarantine counter recorded each hostile peer.
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("fresh connect");
+    c.ping().expect("server still healthy");
+    let stats = c.stats().expect("stats");
+    assert!(
+        stats.quarantined >= 3,
+        "three hostile connections, got {}",
+        stats.quarantined
+    );
+
+    server.request_shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn idle_connection_is_reaped_by_the_io_timeout() {
+    let _quiet = quiesce();
+    let config = ServeConfig {
+        io_timeout: Duration::from_millis(100),
+        ..ServeConfig::default()
+    };
+    let (server, bound, handle) =
+        boot(bridge_graph(), config, &Endpoint::Tcp("127.0.0.1:0".into()));
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+    c.ping().expect("live connection answers");
+    // Stay silent past the server's read timeout: the handler drops us.
+    swscc::sync::thread::sleep(Duration::from_millis(400));
+    assert!(
+        c.ping().is_err(),
+        "a connection idle past io_timeout must be reaped"
+    );
+    // Reaping is per-connection; the service itself is fine.
+    let mut fresh = Client::connect(&bound, Duration::from_secs(5)).expect("reconnect");
+    fresh.ping().expect("fresh connection answers");
+    server.request_shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn loadgen_against_live_server_is_deterministic_and_typed_only() {
+    let _quiet = quiesce();
+    let path = temp_socket("loadgen");
+    let (server, bound, handle) = boot(
+        bridge_graph(),
+        ServeConfig::default(),
+        &Endpoint::Unix(path),
+    );
+    let opts = swscc::serve::LoadgenOptions {
+        clients: 2,
+        requests_per_client: 60,
+        deadline_ms: 2_000,
+        ..swscc::serve::LoadgenOptions::default()
+    };
+    let report = swscc::serve::loadgen::run(&bound, &opts).expect("loadgen run");
+    assert_eq!(report.attempted, 120);
+    assert_eq!(
+        report.non_typed_failures, 0,
+        "a healthy server must never produce a non-typed failure"
+    );
+    assert!(report.ok > 0, "vacuous run");
+    assert!(report.p99_us >= report.p50_us);
+
+    // Determinism: the same seed against the same server replays the
+    // same request sequence — the request-side counters must agree.
+    let replay = swscc::serve::loadgen::run(&bound, &opts).expect("replay");
+    assert_eq!(replay.attempted, report.attempted);
+    assert_eq!(replay.out_of_range, report.out_of_range);
+
+    server.request_shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+
+    // Loadgen against a dead endpoint is a typed Err, not a panic.
+    assert!(swscc::serve::loadgen::run(&bound, &opts).is_err());
+}
+
+#[test]
+fn frame_handler_panic_costs_one_connection_only() {
+    // A one-shot panic at the query fault point: the connection that
+    // triggers it dies silently; the next connection works.
+    let _armed = fault::arm(FaultPlan {
+        site: Some(fault::SERVE_FRAME),
+        nth: 0,
+        kind: FaultKind::Panic,
+        repeat: false,
+    });
+    let (server, bound, handle) = boot(
+        bridge_graph(),
+        ServeConfig::default(),
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+    );
+    let mut victim = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+    match victim.scc_id(0, 0) {
+        Err(FrameError::ConnectionClosed) | Err(FrameError::Io(_)) => {}
+        other => panic!("panicked handler must drop the connection, got {other:?}"),
+    }
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("reconnect");
+    c.ping().expect("listener survived the handler panic");
+    assert_eq!(c.scc_id(0, 0), Ok(Response::Id(0)), "queries recovered");
+    let stats = c.stats().expect("stats");
+    assert!(stats.quarantined >= 1, "panic must count as quarantine");
+    server.request_shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn wrong_deadline_zero_uses_server_default_and_huge_is_clamped() {
+    let _quiet = quiesce();
+    // A tiny max_deadline keeps the clamp observable: a u32::MAX budget
+    // must behave exactly like the cap, i.e. still answer fine here.
+    let config = ServeConfig {
+        default_deadline_ms: 2_000,
+        max_deadline_ms: 2_000,
+        ..ServeConfig::default()
+    };
+    let (server, bound, handle) =
+        boot(bridge_graph(), config, &Endpoint::Tcp("127.0.0.1:0".into()));
+    let mut c = Client::connect(&bound, Duration::from_secs(5)).expect("connect");
+    assert_eq!(c.same_scc(0, 1, 0), Ok(Response::Bool(true)));
+    assert_eq!(c.same_scc(0, 1, u32::MAX), Ok(Response::Bool(true)));
+    assert_eq!(
+        c.call(&Request::CondReach {
+            u: 0,
+            v: 6,
+            deadline_ms: u32::MAX
+        }),
+        Ok(Response::Bool(true))
+    );
+    server.request_shutdown();
+    handle.join().expect("no panic").expect("clean exit");
+}
