@@ -1,0 +1,105 @@
+//! Criterion benchmarks: incremental SCC maintenance (the `incremental`
+//! groups — the target is `incr` only because cargo reserves the name
+//! `incremental` for its build directory).
+//!
+//! Two groups on an rmat-s14 fabric:
+//!
+//! 1. `incremental/mutation` — the three single-mutation paths at their
+//!    smallest honest residue: an in-order cross insert (O(1) after the
+//!    priority check), a residue-2 back-edge merge, and a residue-2
+//!    delete repair. Each iteration runs the full round trip so the
+//!    engine returns to its starting partition and iterations stay
+//!    independent.
+//! 2. `incremental/recompute` — `rebuild()` on the same engine, the
+//!    baseline every maintained mutation is amortizing away.
+//!
+//! The headline p50/p99-vs-recompute artifact (and the 10x acceptance
+//! gate on rmat-s18) lives in the `incr_latency` bin; these groups are
+//! the statistically-sampled counterpart at a scale criterion can
+//! afford to iterate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use swscc_core::incremental::{IncrementalEngine, MutationOutcome};
+use swscc_core::{Algorithm, Pipeline, RunGuard, SccConfig};
+use swscc_graph::gen::rmat::{rmat, RmatConfig};
+use swscc_graph::{CsrGraph, DeltaGraph};
+
+/// Engine over rmat-s14 plus two isolated nodes (guaranteed by
+/// extending the node range past anything rmat touched) — the minimal
+/// residue for controlled merge/repair, immune to base-path widening.
+fn engine_with_spares() -> (IncrementalEngine<CsrGraph>, RunGuard, u32, u32) {
+    let g = rmat(&RmatConfig::graph500(14, 8, 0x5cc));
+    let n = g.num_nodes();
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let padded = CsrGraph::from_edges(n + 2, &edges);
+    let guard = RunGuard::new();
+    let pipeline = Pipeline::stock(Algorithm::Method2).unwrap();
+    let engine = IncrementalEngine::new(
+        DeltaGraph::new(padded),
+        pipeline,
+        SccConfig::with_threads(2),
+        &guard,
+    )
+    .unwrap();
+    (engine, guard, n as u32, n as u32 + 1)
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let (mut engine, guard, u, v) = engine_with_spares();
+    let mut group = c.benchmark_group("incremental/mutation");
+    group.sample_size(10);
+
+    group.bench_function("insert-in-order", |b| {
+        b.iter(|| {
+            let out = engine.insert_edge(u, v, &guard).unwrap();
+            assert!(matches!(
+                out,
+                MutationOutcome::InOrder | MutationOutcome::Reordered
+            ));
+            engine.delete_edge(u, v, &guard).unwrap();
+            black_box(engine.num_components())
+        })
+    });
+
+    // Merge measured with the forward edge pre-staged: the timed call
+    // is exactly one back-edge merge, the rest is cleanup.
+    group.bench_function("merge-residue2", |b| {
+        b.iter(|| {
+            engine.insert_edge(u, v, &guard).unwrap();
+            let out = engine.insert_edge(v, u, &guard).unwrap();
+            assert!(matches!(out, MutationOutcome::Merged { .. }));
+            engine.delete_edge(v, u, &guard).unwrap();
+            engine.delete_edge(u, v, &guard).unwrap();
+            black_box(engine.num_components())
+        })
+    });
+
+    group.bench_function("delete-repair-residue2", |b| {
+        b.iter(|| {
+            engine.insert_edge(u, v, &guard).unwrap();
+            engine.insert_edge(v, u, &guard).unwrap();
+            let out = engine.delete_edge(v, u, &guard).unwrap();
+            assert!(matches!(out, MutationOutcome::Repaired { .. }));
+            engine.delete_edge(u, v, &guard).unwrap();
+            black_box(engine.num_components())
+        })
+    });
+    group.finish();
+}
+
+fn bench_recompute(c: &mut Criterion) {
+    let (mut engine, guard, _, _) = engine_with_spares();
+    let mut group = c.benchmark_group("incremental/recompute");
+    group.sample_size(10);
+    group.bench_function("full-rebuild", |b| {
+        b.iter(|| {
+            engine.rebuild(&guard).unwrap();
+            black_box(engine.num_components())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation, bench_recompute);
+criterion_main!(benches);

@@ -16,6 +16,7 @@
 //! | `ablation_k` | §4.3 — work-queue batch size K |
 //! | `ablation_trim2` | §3.4 — Trim2's effect on the WCC step |
 //! | `ablation_pivot` | §3.2 — random vs degree-product pivot selection |
+//! | `incr_latency` | §4.5 ext. — incremental mutation latency vs recompute (JSON artifact + 10x gate) |
 //!
 //! Environment knobs shared by every binary:
 //!

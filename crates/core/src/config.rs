@@ -109,6 +109,12 @@ pub struct SccConfig {
     /// cheap while a giant SCC may still dominate the residue; the
     /// doubling blankets a residue of many small SCCs in O(log) rounds.
     pub multisearch_batch: usize,
+    /// Vertex budget of one incremental repair: a back-edge merge search
+    /// or a delete-dirty residue larger than this degrades to a full
+    /// recompute (the incremental engine's correctness does not depend
+    /// on the value — only how much work a single mutation may localize
+    /// before the batch pipeline is cheaper anyway).
+    pub incremental_residue_limit: usize,
 }
 
 impl Default for SccConfig {
@@ -130,6 +136,7 @@ impl Default for SccConfig {
             on_panic: PanicPolicy::Fallback,
             watchdog_factor: 4,
             multisearch_batch: 8,
+            incremental_residue_limit: 1 << 16,
         }
     }
 }
@@ -178,6 +185,7 @@ mod tests {
         assert_eq!(c.on_panic, PanicPolicy::Fallback);
         assert_eq!(c.watchdog_factor, 4);
         assert_eq!(c.multisearch_batch, 8);
+        assert_eq!(c.incremental_residue_limit, 1 << 16);
     }
 
     #[test]

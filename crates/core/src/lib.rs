@@ -50,6 +50,7 @@ mod driver;
 pub mod error;
 pub mod fwbw;
 pub mod fwbw_only;
+pub mod incremental;
 pub mod instrument;
 pub mod kosaraju;
 pub mod method1;
@@ -68,6 +69,7 @@ pub mod wcc;
 
 pub use config::{CompactionPolicy, PanicPolicy, PivotStrategy, SccConfig, WccImpl};
 pub use error::{Canceller, RunGuard, SccError};
+pub use incremental::{EngineCounters, IncrementalEngine, Mutation, MutationOutcome};
 pub use instrument::{RecoveryEvent, RunReport};
 pub use pipeline::{run_pipeline, Pipeline, PipelineError, Stage};
 pub use result::SccResult;

@@ -12,6 +12,9 @@
 //! * [`compressed::CompressedCsr`] — the byte-delta (VarInt) compressed
 //!   backend with allocation-free streaming decode and shard-by-shard
 //!   streaming construction (GBBS playbook, arXiv 1805.05208).
+//! * [`delta::DeltaGraph`] — mutable insert/delete overlay over either
+//!   backend (sorted per-vertex deltas, tombstones), itself a `GraphView`,
+//!   with a fault-guarded `compact()` rebuild — the streaming-graph seam.
 //! * [`builder::GraphBuilder`] — edge-list accumulation with optional
 //!   deduplication and self-loop filtering, O(N+M) counting-sort finalize.
 //! * [`gen`] — synthetic generators reproducing the structural classes of the
@@ -35,6 +38,7 @@ pub mod builder;
 pub mod compressed;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod gen;
 pub mod io;
 pub mod stats;
@@ -44,5 +48,6 @@ pub mod view;
 pub use builder::GraphBuilder;
 pub use compressed::CompressedCsr;
 pub use csr::{CsrError, CsrGraph, NodeId};
+pub use delta::{CompactBackend, DeltaGraph, DeltaStats};
 pub use traverse::{Adjacency, EdgeMap, EdgeMapOps, TraversalConfig};
 pub use view::{GraphView, MemoryFootprint};

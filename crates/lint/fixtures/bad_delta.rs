@@ -1,0 +1,38 @@
+//@ path: crates/serve/src/bad_delta.rs
+//! Known-bad: reading beneath the DeltaGraph overlay in serve code.
+
+pub fn stale_base_edge_count(g: &DeltaGraph<CsrGraph>) -> usize {
+    g.base().num_edges() //~ delta-overlay
+}
+
+pub fn stale_base_rows(g: &DeltaGraph<CsrGraph>, v: u32) -> usize {
+    g.base().out_neighbors(v).len() //~ delta-overlay //~ delta-overlay //~ graphview
+}
+
+pub fn escapes_the_overlay(g: &DeltaGraph<CsrGraph>) -> bool {
+    g.as_csr().is_some() //~ delta-overlay //~ graphview
+}
+
+pub fn justified_drift_metric(g: &DeltaGraph<CsrGraph>) -> usize {
+    // delta: drift metric deliberately compares overlay vs compacted base.
+    g.base().num_edges()
+}
+
+pub fn free_function_named_base_is_not_an_escape(g: &DeltaGraph<CsrGraph>) -> usize {
+    base(g)
+}
+
+fn base(g: &DeltaGraph<CsrGraph>) -> usize {
+    g.num_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_diff_overlay_and_base() {
+        let g = DeltaGraph::new(CsrGraph::from_edges(1, &[]));
+        assert_eq!(g.base().num_edges(), 0);
+    }
+}

@@ -49,6 +49,10 @@ pub struct Config {
     /// Path prefixes holding the serve layer (rule `socket-timeout`:
     /// raw socket writes there need a write timeout in scope).
     pub serve_paths: Vec<String>,
+    /// Path prefixes that consume the `DeltaGraph` overlay (rule
+    /// `delta-overlay`: reading beneath the overlay there needs a
+    /// `// delta:` justification).
+    pub delta_paths: Vec<String>,
     /// The DESIGN.md §8 generated-inventory text, if DESIGN.md exists.
     pub design_inventory: Option<String>,
 }
@@ -86,6 +90,10 @@ impl Default for Config {
             inventory_exempt,
             safety_tag_exempt,
             serve_paths: vec!["crates/serve/".to_string(), "src/bin/".to_string()],
+            delta_paths: vec![
+                "crates/core/src/incremental".to_string(),
+                "crates/serve/src/".to_string(),
+            ],
             design_inventory: None,
         }
     }
@@ -109,6 +117,9 @@ impl Config {
     }
     pub fn is_serve_path(&self, rel: &str) -> bool {
         self.serve_paths.iter().any(|p| rel.starts_with(p))
+    }
+    pub fn is_delta_path(&self, rel: &str) -> bool {
+        self.delta_paths.iter().any(|p| rel.starts_with(p))
     }
 }
 
@@ -203,6 +214,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(rules::inventory::AtomicInventory),
         Box::new(rules::safety_tag::SafetyTag),
         Box::new(rules::graphview::GraphViewDiscipline),
+        Box::new(rules::delta::DeltaOverlay),
         Box::new(rules::pipeline::PipelineLegality),
         Box::new(rules::must_use::DroppedReport),
         Box::new(rules::socket_timeout::SocketTimeout),

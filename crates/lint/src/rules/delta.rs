@@ -1,0 +1,69 @@
+//! Rule — delta-overlay discipline: the incremental engine and the
+//! serve layer must read adjacency through the `DeltaGraph` overlay,
+//! never beneath it. Calling `base()` (or the raw-CSR accessors
+//! `out_neighbors`/`in_neighbors`/`as_csr`) from those files answers
+//! queries from the *compacted* base, silently dropping every pending
+//! insert and tombstone — a stale read that no test of the overlay
+//! itself can catch. Escape hatch: a `// delta:` comment in the same
+//! paragraph naming why the site is delta-safe (e.g. it runs only when
+//! `pending() == 0`, or it deliberately measures base-vs-overlay
+//! drift).
+//!
+//! The rule scopes to the delta-consuming paths
+//! (`crates/core/src/incremental`, `crates/serve/src/`) — inside
+//! `swscc-graph` the overlay's own implementation reads its base by
+//! definition, and everywhere else the `graphview` rule already owns
+//! raw-access policy.
+
+use crate::engine::{Finding, Rule, Workspace};
+use crate::rules::{finding_at, Code};
+use crate::source::SourceFile;
+
+const UNDERLAY_ACCESS: &[&str] = &["base", "out_neighbors", "in_neighbors", "as_csr"];
+
+pub struct DeltaOverlay;
+
+impl Rule for DeltaOverlay {
+    fn name(&self) -> &'static str {
+        "delta-overlay"
+    }
+
+    fn description(&self) -> &'static str {
+        "incremental/serve code must not read beneath the DeltaGraph overlay \
+         (base/out_neighbors/in_neighbors/as_csr) without a `// delta:` justification"
+    }
+
+    fn check_file(&self, file: &SourceFile, ws: &Workspace, out: &mut Vec<Finding>) {
+        if !ws.config.is_delta_path(&file.rel_path) {
+            return;
+        }
+        let code = Code::new(file);
+        for i in 0..code.len() {
+            if !UNDERLAY_ACCESS.iter().any(|m| code.is_call(i, m)) {
+                continue;
+            }
+            // Method-call form only: `graph.base()`. A free function or
+            // local named `base` is not an overlay escape.
+            if i == 0 || code.text(i - 1) != "." {
+                continue;
+            }
+            if file.in_test_code(code.offset(i)) {
+                continue; // tests diff overlay vs base on purpose
+            }
+            if !file.has_justification(code.line(i), "// delta:") {
+                out.push(finding_at(
+                    &code,
+                    i,
+                    self.name(),
+                    format!(
+                        "`{}` reads beneath the DeltaGraph overlay — pending inserts \
+                         and tombstones are invisible down there; route through the \
+                         GraphView surface of the overlay, or add a `// delta:` \
+                         justification saying why this site is delta-safe",
+                        code.text(i)
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! with rationale.
 
 pub mod decode;
+pub mod delta;
 pub mod engine_only;
 pub mod facade;
 pub mod graphview;

@@ -8,7 +8,7 @@
 
 use crate::net::{Endpoint, Stream};
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, FrameError, Request, Response,
+    decode_response, encode_request, read_frame, write_frame, FrameError, MutOp, Request, Response,
     StatsReply, MAX_RESPONSE_FRAME,
 };
 use std::io;
@@ -76,6 +76,41 @@ impl Client {
     /// Admin: rebuild the snapshot and swap the epoch.
     pub fn recompute(&mut self) -> Result<Response, FrameError> {
         self.call(&Request::Recompute)
+    }
+
+    /// `insert-edge(u, v)` with a deadline budget (0 = server default).
+    pub fn insert_edge(
+        &mut self,
+        u: u32,
+        v: u32,
+        deadline_ms: u32,
+    ) -> Result<Response, FrameError> {
+        self.call(&Request::InsertEdge { u, v, deadline_ms })
+    }
+
+    /// `delete-edge(u, v)` with a deadline budget (0 = server default).
+    pub fn delete_edge(
+        &mut self,
+        u: u32,
+        v: u32,
+        deadline_ms: u32,
+    ) -> Result<Response, FrameError> {
+        self.call(&Request::DeleteEdge { u, v, deadline_ms })
+    }
+
+    /// `batch-mutate` — up to [`crate::protocol::MAX_MUTATION_BATCH`]
+    /// ops applied as one write publishing one epoch.
+    pub fn batch_mutate(
+        &mut self,
+        ops: Vec<MutOp>,
+        deadline_ms: u32,
+    ) -> Result<Response, FrameError> {
+        self.call(&Request::BatchMutate { deadline_ms, ops })
+    }
+
+    /// Admin: fold the pending delta overlay into a fresh base.
+    pub fn compact(&mut self) -> Result<Response, FrameError> {
+        self.call(&Request::Compact)
     }
 
     /// Admin: ask the server to stop accepting and exit its serve loop.

@@ -38,5 +38,5 @@ pub mod stats;
 pub use client::Client;
 pub use loadgen::{LoadReport, LoadgenOptions, Mix};
 pub use net::{Endpoint, Listener};
-pub use protocol::{FrameError, Request, Response, StatsReply};
+pub use protocol::{FrameError, MutOp, MutateReply, Request, Response, StatsReply};
 pub use server::{ServeConfig, ServedGraph, Server};

@@ -36,6 +36,10 @@ pub struct Mix {
     pub stats: u32,
     /// Weight of admin `recompute`.
     pub recompute: u32,
+    /// Weight of `insert-edge(u, v)` (0 by default: read-only load).
+    pub insert_edge: u32,
+    /// Weight of `delete-edge(u, v)` (0 by default: read-only load).
+    pub delete_edge: u32,
 }
 
 impl Default for Mix {
@@ -46,6 +50,8 @@ impl Default for Mix {
             reach: 15,
             stats: 8,
             recompute: 2,
+            insert_edge: 0,
+            delete_edge: 0,
         }
     }
 }
@@ -57,6 +63,8 @@ impl Mix {
             + u64::from(self.reach)
             + u64::from(self.stats)
             + u64::from(self.recompute)
+            + u64::from(self.insert_edge)
+            + u64::from(self.delete_edge)
     }
 }
 
@@ -117,6 +125,12 @@ pub struct LoadReport {
     /// `RecomputeFailed` responses (typed — the server degraded
     /// as designed).
     pub recompute_failed: u64,
+    /// `Mutated` responses — writes that published a repaired epoch
+    /// (also counted in `ok`).
+    pub mutated: u64,
+    /// `MutateFailed` responses (typed — the engine poisoned itself
+    /// and heals on the next write).
+    pub mutate_failed: u64,
     /// Successful reconnects after a dropped connection.
     pub reconnects: u64,
     /// Transport/protocol failures that survived the retry budget —
@@ -142,6 +156,7 @@ impl LoadReport {
             concat!(
                 "{{\"attempted\":{},\"ok\":{},\"out_of_range\":{},\"overloaded\":{},",
                 "\"gave_up\":{},\"deadline_misses\":{},\"recompute_failed\":{},",
+                "\"mutated\":{},\"mutate_failed\":{},",
                 "\"reconnects\":{},\"non_typed_failures\":{},\"p50_us\":{},",
                 "\"p99_us\":{},\"max_us\":{},\"elapsed_ms\":{},\"throughput_rps\":{:.1}}}"
             ),
@@ -152,6 +167,8 @@ impl LoadReport {
             self.gave_up,
             self.deadline_misses,
             self.recompute_failed,
+            self.mutated,
+            self.mutate_failed,
             self.reconnects,
             self.non_typed_failures,
             self.p50_us,
@@ -217,6 +234,8 @@ pub fn run(endpoint: &Endpoint, opts: &LoadgenOptions) -> Result<LoadReport, Str
         report.gave_up += w.report.gave_up;
         report.deadline_misses += w.report.deadline_misses;
         report.recompute_failed += w.report.recompute_failed;
+        report.mutated += w.report.mutated;
+        report.mutate_failed += w.report.mutate_failed;
         report.reconnects += w.report.reconnects;
         report.non_typed_failures += w.report.non_typed_failures;
         latencies.extend(w.latencies_us);
@@ -257,6 +276,8 @@ fn pick_request(rng: &mut u64, mix: &Mix, id_space: u32, deadline_ms: u32) -> Re
         (u64::from(mix.reach), 2),
         (u64::from(mix.stats), 3),
         (u64::from(mix.recompute), 4),
+        (u64::from(mix.insert_edge), 5),
+        (u64::from(mix.delete_edge), 6),
     ] {
         if draw < weight {
             return match verb {
@@ -275,7 +296,17 @@ fn pick_request(rng: &mut u64, mix: &Mix, id_space: u32, deadline_ms: u32) -> Re
                     deadline_ms,
                 },
                 3 => Request::Stats,
-                _ => Request::Recompute,
+                4 => Request::Recompute,
+                5 => Request::InsertEdge {
+                    u: node(rng),
+                    v: node(rng),
+                    deadline_ms,
+                },
+                _ => Request::DeleteEdge {
+                    u: node(rng),
+                    v: node(rng),
+                    deadline_ms,
+                },
             };
         }
         draw -= weight;
@@ -326,6 +357,11 @@ fn run_worker(
                         Response::DeadlineExceeded => out.report.deadline_misses += 1,
                         Response::OutOfRange => out.report.out_of_range += 1,
                         Response::RecomputeFailed { .. } => out.report.recompute_failed += 1,
+                        Response::Mutated(_) => {
+                            out.report.mutated += 1;
+                            out.report.ok += 1;
+                        }
+                        Response::MutateFailed { .. } => out.report.mutate_failed += 1,
                         Response::BadRequest { .. } | Response::Internal { .. } => {
                             // The generator only sends well-formed
                             // requests; these mean a server-side bug.
@@ -391,6 +427,8 @@ mod tests {
             reach: 0,
             stats: 0,
             recompute: 0,
+            insert_edge: 0,
+            delete_edge: 0,
         };
         let mut a = 42u64;
         let mut b = 42u64;
@@ -413,12 +451,47 @@ mod tests {
             reach: 0,
             stats: 0,
             recompute: 0,
+            insert_edge: 0,
+            delete_edge: 0,
         };
         let mut rng = 7;
         assert!(matches!(
             pick_request(&mut rng, &mix, 10, 0),
             Request::SccId { .. }
         ));
+    }
+
+    #[test]
+    fn write_mix_draws_mutation_verbs_deterministically() {
+        let mix = Mix {
+            same_scc: 0,
+            scc_id: 0,
+            reach: 0,
+            stats: 0,
+            recompute: 0,
+            insert_edge: 3,
+            delete_edge: 1,
+        };
+        let (mut a, mut b) = (9u64, 9u64);
+        let (mut inserts, mut deletes) = (0u32, 0u32);
+        for _ in 0..200 {
+            let ra = pick_request(&mut a, &mix, 100, 25);
+            let rb = pick_request(&mut b, &mix, 100, 25);
+            assert_eq!(ra, rb, "same seed must give same stream");
+            match ra {
+                Request::InsertEdge { deadline_ms, .. } => {
+                    assert_eq!(deadline_ms, 25);
+                    inserts += 1;
+                }
+                Request::DeleteEdge { deadline_ms, .. } => {
+                    assert_eq!(deadline_ms, 25);
+                    deletes += 1;
+                }
+                other => panic!("read verb drawn from write-only mix: {other:?}"),
+            }
+        }
+        assert!(inserts > deletes, "3:1 weighting must show in 200 draws");
+        assert!(deletes > 0, "delete weight 1 must still be drawn");
     }
 
     #[test]

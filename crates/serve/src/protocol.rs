@@ -18,10 +18,16 @@
 
 use std::io::{ErrorKind, Read, Write};
 
-/// Hard cap on an inbound request payload. The largest legal request
-/// (a two-node query) is 13 bytes; the slack leaves room for protocol
-/// growth without letting a client allocate real memory server-side.
-pub const MAX_REQUEST_FRAME: usize = 64;
+/// Hard cap on an inbound request payload. The largest legal request is
+/// a full mutation batch ([`MAX_MUTATION_BATCH`] ops at 9 bytes each
+/// plus the header); the cap still keeps a hostile length prefix from
+/// allocating real memory server-side.
+pub const MAX_REQUEST_FRAME: usize = 4096;
+
+/// Most mutation ops one `BatchMutate` frame may carry. Bounds the work
+/// a single frame can demand and keeps the batch comfortably inside
+/// [`MAX_REQUEST_FRAME`].
+pub const MAX_MUTATION_BATCH: usize = 256;
 
 /// Hard cap on a response payload. The largest legal response (stats,
 /// or an error carrying a capped message) stays well under this.
@@ -38,6 +44,13 @@ const VERB_COND_REACH: u8 = 0x03;
 const VERB_STATS: u8 = 0x04;
 const VERB_RECOMPUTE: u8 = 0x05;
 const VERB_SHUTDOWN: u8 = 0x06;
+const VERB_INSERT_EDGE: u8 = 0x07;
+const VERB_DELETE_EDGE: u8 = 0x08;
+const VERB_BATCH_MUTATE: u8 = 0x09;
+const VERB_COMPACT: u8 = 0x0a;
+
+const OP_INSERT: u8 = 0x01;
+const OP_DELETE: u8 = 0x02;
 
 const STATUS_PONG: u8 = 0x00;
 const STATUS_BOOL: u8 = 0x01;
@@ -45,18 +58,33 @@ const STATUS_ID: u8 = 0x02;
 const STATUS_STATS: u8 = 0x03;
 const STATUS_RECOMPUTED: u8 = 0x04;
 const STATUS_SHUTTING_DOWN: u8 = 0x05;
+const STATUS_MUTATED: u8 = 0x06;
+const STATUS_COMPACTED: u8 = 0x07;
 const STATUS_BAD_REQUEST: u8 = 0x80;
 const STATUS_OUT_OF_RANGE: u8 = 0x81;
 const STATUS_OVERLOADED: u8 = 0x82;
 const STATUS_DEADLINE_EXCEEDED: u8 = 0x83;
 const STATUS_RECOMPUTE_FAILED: u8 = 0x84;
 const STATUS_INTERNAL: u8 = 0x85;
+const STATUS_MUTATE_FAILED: u8 = 0x86;
 
-/// One client request. Query verbs carry their own deadline budget in
-/// milliseconds (`0` = "use the server default"); admin verbs do not —
-/// `Recompute` runs under the server's recompute policy, and
-/// `Ping`/`Stats`/`Shutdown` are answered from memory.
+/// One edge mutation inside a [`Request::BatchMutate`] frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutOp {
+    /// `true` = insert the edge, `false` = delete it.
+    pub insert: bool,
+    /// Source node id.
+    pub u: u32,
+    /// Target node id.
+    pub v: u32,
+}
+
+/// One client request. Query and mutation verbs carry their own
+/// deadline budget in milliseconds (`0` = "use the server default");
+/// the remaining admin verbs do not — `Recompute` runs under the
+/// server's recompute policy, and `Ping`/`Stats`/`Shutdown` are
+/// answered from memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// Liveness probe; bypasses admission.
     Ping,
@@ -72,6 +100,15 @@ pub enum Request {
     Recompute,
     /// Stop accepting connections and exit the serve loop (admin).
     Shutdown,
+    /// Insert edge `u -> v` and publish the repaired epoch.
+    InsertEdge { u: u32, v: u32, deadline_ms: u32 },
+    /// Delete edge `u -> v` and publish the repaired epoch.
+    DeleteEdge { u: u32, v: u32, deadline_ms: u32 },
+    /// Apply up to [`MAX_MUTATION_BATCH`] mutations as one write and
+    /// publish a single repaired epoch for the whole batch.
+    BatchMutate { deadline_ms: u32, ops: Vec<MutOp> },
+    /// Fold the pending delta overlay into a fresh base (admin).
+    Compact,
 }
 
 /// Service counters as reported by [`Request::Stats`]. All counters are
@@ -102,6 +139,42 @@ pub struct StatsReply {
     /// `true` iff the most recent recompute failed, i.e. the serving
     /// snapshot is stale relative to what an admin asked for.
     pub stale: bool,
+    /// Mutation requests (single or batch) that published an epoch.
+    pub mutations_ok: u64,
+    /// Mutation requests that failed typed or panicked (the previous
+    /// epoch kept serving; the engine healed by rebuild).
+    pub mutations_failed: u64,
+    /// Edge deltas currently pending in the overlay (since the last
+    /// compaction).
+    pub pending_deltas: u64,
+    /// Delta-overlay compactions folded into a fresh base.
+    pub compactions: u64,
+    /// `true` iff a mutation currently holds the write gate.
+    pub mutating: bool,
+}
+
+/// Outcome summary of one mutation request (single verbs report a
+/// one-op batch).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MutateReply {
+    /// Epoch now serving the mutated partition.
+    pub epoch: u64,
+    /// Ops that changed the graph (the rest were no-ops: duplicate
+    /// inserts, absent deletes, self-loops, out-of-range ids).
+    pub applied: u32,
+    /// Ops that left the graph unchanged.
+    pub noops: u32,
+    /// Component merges triggered by the batch.
+    pub merges: u32,
+    /// Component splits triggered by the batch.
+    pub splits: u32,
+    /// Ops that degraded to a full recompute (residue limit).
+    pub rebuilds: u32,
+    /// SCCs after the batch.
+    pub num_components: u64,
+    /// Overlay deltas pending after the batch (auto-compaction may have
+    /// folded them).
+    pub pending_deltas: u64,
 }
 
 /// One server response.
@@ -136,6 +209,14 @@ pub enum Response {
     /// Unexpected internal error answering a query (never a crash —
     /// the server stays up).
     Internal { message: String },
+    /// Mutation applied; a repaired epoch is now serving.
+    Mutated(MutateReply),
+    /// Compaction folded the overlay; `folded` deltas went into the
+    /// fresh base.
+    Compacted { epoch: u64, folded: u64 },
+    /// Mutation failed (typed error or caught panic); the previous
+    /// epoch keeps serving and the engine heals on the next write.
+    MutateFailed { message: String },
 }
 
 /// Why a frame could not be read or decoded. Every variant is a clean,
@@ -325,6 +406,33 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => out.push(VERB_STATS),
         Request::Recompute => out.push(VERB_RECOMPUTE),
         Request::Shutdown => out.push(VERB_SHUTDOWN),
+        Request::InsertEdge { u, v, deadline_ms } => {
+            out.push(VERB_INSERT_EDGE);
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Request::DeleteEdge { u, v, deadline_ms } => {
+            out.push(VERB_DELETE_EDGE);
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Request::BatchMutate {
+            deadline_ms,
+            ref ops,
+        } => {
+            debug_assert!(ops.len() <= MAX_MUTATION_BATCH);
+            out.push(VERB_BATCH_MUTATE);
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            out.extend_from_slice(&(ops.len().min(MAX_MUTATION_BATCH) as u16).to_le_bytes());
+            for op in ops.iter().take(MAX_MUTATION_BATCH) {
+                out.push(if op.insert { OP_INSERT } else { OP_DELETE });
+                out.extend_from_slice(&op.u.to_le_bytes());
+                out.extend_from_slice(&op.v.to_le_bytes());
+            }
+        }
+        Request::Compact => out.push(VERB_COMPACT),
     }
     out
 }
@@ -360,6 +468,49 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
         VERB_STATS => Request::Stats,
         VERB_RECOMPUTE => Request::Recompute,
         VERB_SHUTDOWN => Request::Shutdown,
+        VERB_INSERT_EDGE => {
+            let deadline_ms = c.u32()?;
+            Request::InsertEdge {
+                deadline_ms,
+                u: c.u32()?,
+                v: c.u32()?,
+            }
+        }
+        VERB_DELETE_EDGE => {
+            let deadline_ms = c.u32()?;
+            Request::DeleteEdge {
+                deadline_ms,
+                u: c.u32()?,
+                v: c.u32()?,
+            }
+        }
+        VERB_BATCH_MUTATE => {
+            let deadline_ms = c.u32()?;
+            let count = usize::from(u16::from_le_bytes(c.take(2)?.try_into().expect("2 bytes")));
+            if count > MAX_MUTATION_BATCH {
+                // The op-count cap is enforced before the op loop, so a
+                // hostile count cannot demand unbounded decode work.
+                return Err(FrameError::Oversized {
+                    len: count,
+                    max: MAX_MUTATION_BATCH,
+                });
+            }
+            let mut ops = Vec::with_capacity(count);
+            for _ in 0..count {
+                let insert = match c.u8()? {
+                    OP_INSERT => true,
+                    OP_DELETE => false,
+                    other => return Err(FrameError::UnknownVerb(other)),
+                };
+                ops.push(MutOp {
+                    insert,
+                    u: c.u32()?,
+                    v: c.u32()?,
+                });
+            }
+            Request::BatchMutate { deadline_ms, ops }
+        }
+        VERB_COMPACT => Request::Compact,
         other => return Err(FrameError::UnknownVerb(other)),
     };
     c.finish()?;
@@ -392,10 +543,15 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.recomputes_ok,
                 s.recomputes_failed,
                 s.quarantined,
+                s.mutations_ok,
+                s.mutations_failed,
+                s.pending_deltas,
+                s.compactions,
             ] {
                 out.extend_from_slice(&field.to_le_bytes());
             }
             out.push(u8::from(s.stale));
+            out.push(u8::from(s.mutating));
         }
         Response::Recomputed { epoch } => {
             out.push(STATUS_RECOMPUTED);
@@ -418,6 +574,24 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Internal { message } => {
             out.push(STATUS_INTERNAL);
+            out.extend_from_slice(cap_message(message));
+        }
+        Response::Mutated(m) => {
+            out.push(STATUS_MUTATED);
+            out.extend_from_slice(&m.epoch.to_le_bytes());
+            for field in [m.applied, m.noops, m.merges, m.splits, m.rebuilds] {
+                out.extend_from_slice(&field.to_le_bytes());
+            }
+            out.extend_from_slice(&m.num_components.to_le_bytes());
+            out.extend_from_slice(&m.pending_deltas.to_le_bytes());
+        }
+        Response::Compacted { epoch, folded } => {
+            out.push(STATUS_COMPACTED);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&folded.to_le_bytes());
+        }
+        Response::MutateFailed { message } => {
+            out.push(STATUS_MUTATE_FAILED);
             out.extend_from_slice(cap_message(message));
         }
     }
@@ -444,7 +618,12 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
             recomputes_ok: c.u64()?,
             recomputes_failed: c.u64()?,
             quarantined: c.u64()?,
+            mutations_ok: c.u64()?,
+            mutations_failed: c.u64()?,
+            pending_deltas: c.u64()?,
+            compactions: c.u64()?,
             stale: c.u8()? != 0,
+            mutating: c.u8()? != 0,
         }),
         STATUS_RECOMPUTED => Response::Recomputed { epoch: c.u64()? },
         STATUS_SHUTTING_DOWN => Response::ShuttingDown,
@@ -465,6 +644,25 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
         }
         STATUS_INTERNAL => {
             return Ok(Response::Internal {
+                message: c.rest_text(),
+            })
+        }
+        STATUS_MUTATED => Response::Mutated(MutateReply {
+            epoch: c.u64()?,
+            applied: c.u32()?,
+            noops: c.u32()?,
+            merges: c.u32()?,
+            splits: c.u32()?,
+            rebuilds: c.u32()?,
+            num_components: c.u64()?,
+            pending_deltas: c.u64()?,
+        }),
+        STATUS_COMPACTED => Response::Compacted {
+            epoch: c.u64()?,
+            folded: c.u64()?,
+        },
+        STATUS_MUTATE_FAILED => {
+            return Ok(Response::MutateFailed {
                 message: c.rest_text(),
             })
         }
@@ -498,6 +696,36 @@ mod tests {
             Request::Stats,
             Request::Recompute,
             Request::Shutdown,
+            Request::InsertEdge {
+                u: 5,
+                v: 6,
+                deadline_ms: 100,
+            },
+            Request::DeleteEdge {
+                u: 6,
+                v: 5,
+                deadline_ms: 0,
+            },
+            Request::BatchMutate {
+                deadline_ms: 500,
+                ops: vec![
+                    MutOp {
+                        insert: true,
+                        u: 1,
+                        v: 2,
+                    },
+                    MutOp {
+                        insert: false,
+                        u: 2,
+                        v: 1,
+                    },
+                ],
+            },
+            Request::BatchMutate {
+                deadline_ms: 0,
+                ops: Vec::new(),
+            },
+            Request::Compact,
         ]
     }
 
@@ -518,7 +746,12 @@ mod tests {
                 recomputes_ok: 3,
                 recomputes_failed: 1,
                 quarantined: 4,
+                mutations_ok: 17,
+                mutations_failed: 2,
+                pending_deltas: 33,
+                compactions: 1,
                 stale: true,
+                mutating: true,
             }),
             Response::Recomputed { epoch: 9 },
             Response::ShuttingDown,
@@ -534,6 +767,23 @@ mod tests {
             Response::Internal {
                 message: "what".into(),
             },
+            Response::Mutated(MutateReply {
+                epoch: 12,
+                applied: 250,
+                noops: 6,
+                merges: 3,
+                splits: 1,
+                rebuilds: 1,
+                num_components: 44,
+                pending_deltas: 512,
+            }),
+            Response::Compacted {
+                epoch: 13,
+                folded: 512,
+            },
+            Response::MutateFailed {
+                message: "worker panicked: injected fault".into(),
+            },
         ]
     }
 
@@ -542,8 +792,50 @@ mod tests {
         for req in all_requests() {
             let bytes = encode_request(&req);
             assert!(bytes.len() <= MAX_REQUEST_FRAME);
-            assert_eq!(decode_request(&bytes), Ok(req), "roundtrip {req:?}");
+            assert_eq!(decode_request(&bytes), Ok(req.clone()), "roundtrip {req:?}");
         }
+    }
+
+    #[test]
+    fn full_mutation_batch_fits_the_frame_cap() {
+        let ops: Vec<MutOp> = (0..MAX_MUTATION_BATCH as u32)
+            .map(|i| MutOp {
+                insert: i % 2 == 0,
+                u: i,
+                v: i + 1,
+            })
+            .collect();
+        let req = Request::BatchMutate {
+            deadline_ms: 1000,
+            ops,
+        };
+        let bytes = encode_request(&req);
+        assert!(bytes.len() <= MAX_REQUEST_FRAME, "{} bytes", bytes.len());
+        assert_eq!(decode_request(&bytes), Ok(req));
+    }
+
+    #[test]
+    fn oversized_batch_count_rejected_before_decode_work() {
+        let mut bytes = vec![VERB_BATCH_MUTATE];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&((MAX_MUTATION_BATCH as u16) + 1).to_le_bytes());
+        assert_eq!(
+            decode_request(&bytes),
+            Err(FrameError::Oversized {
+                len: MAX_MUTATION_BATCH + 1,
+                max: MAX_MUTATION_BATCH
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_batch_op_byte_is_typed() {
+        let mut bytes = vec![VERB_BATCH_MUTATE];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(0x7e); // neither OP_INSERT nor OP_DELETE
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert_eq!(decode_request(&bytes), Err(FrameError::UnknownVerb(0x7e)));
     }
 
     #[test]

@@ -28,19 +28,20 @@
 use crate::admission::AdmissionGate;
 use crate::net::{Endpoint, Listener, Stream};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, FrameError, Request, Response,
-    MAX_REQUEST_FRAME,
+    decode_request, encode_response, read_frame, write_frame, FrameError, MutOp, MutateReply,
+    Request, Response, MAX_REQUEST_FRAME,
 };
 use crate::stats::ServerStats;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Duration;
+use swscc_core::incremental::{IncrementalEngine, Mutation, MutationOutcome};
 use swscc_core::snapshot::SccSnapshot;
 use swscc_core::{Algorithm, Pipeline, RunGuard, SccConfig, SccError};
-use swscc_graph::{CompressedCsr, CsrGraph};
+use swscc_graph::{CompressedCsr, CsrGraph, DeltaGraph};
 use swscc_sync::atomic::{AtomicBool, Ordering};
 use swscc_sync::epoch::EpochCell;
-use swscc_sync::fault;
+use swscc_sync::{fault, Mutex};
 
 /// The graph a server answers queries about, in either storage backend.
 /// The snapshot build is generic over [`swscc_graph::GraphView`], so the compressed
@@ -52,32 +53,53 @@ pub enum ServedGraph {
     Compressed(CompressedCsr),
 }
 
-impl ServedGraph {
-    fn num_nodes(&self) -> usize {
-        match self {
-            ServedGraph::Raw(g) => g.num_nodes(),
-            ServedGraph::Compressed(g) => g.num_nodes(),
+/// The mutable maintenance engine behind the serve layer, over either
+/// storage backend. Every verb that writes (mutations, compaction, the
+/// admin recompute) goes through this enum under the engine mutex; reads
+/// never touch it — they answer from the published epoch.
+enum EngineKind {
+    /// Engine over raw CSR + delta overlay.
+    Raw(IncrementalEngine<CsrGraph>),
+    /// Engine over compressed CSR + delta overlay.
+    Compressed(IncrementalEngine<CompressedCsr>),
+}
+
+macro_rules! with_engine {
+    ($kind:expr, $e:ident => $body:expr) => {
+        match $kind {
+            EngineKind::Raw($e) => $body,
+            EngineKind::Compressed($e) => $body,
         }
+    };
+}
+
+impl EngineKind {
+    fn apply(&mut self, m: Mutation, guard: &RunGuard) -> Result<MutationOutcome, SccError> {
+        with_engine!(self, e => e.apply(m, guard))
     }
 
-    fn num_edges(&self) -> usize {
-        match self {
-            ServedGraph::Raw(g) => g.num_edges(),
-            ServedGraph::Compressed(g) => g.num_edges(),
-        }
+    fn snapshot(&self, guard: &RunGuard) -> Result<SccSnapshot, SccError> {
+        with_engine!(self, e => e.snapshot(guard))
     }
 
-    fn build_snapshot(
-        &self,
-        pipeline: &Pipeline,
-        cfg: &SccConfig,
-        guard: &RunGuard,
-    ) -> Result<SccSnapshot, SccError> {
-        let (snap, _report) = match self {
-            ServedGraph::Raw(g) => SccSnapshot::build(g, pipeline, cfg, guard)?,
-            ServedGraph::Compressed(g) => SccSnapshot::build(g, pipeline, cfg, guard)?,
-        };
-        Ok(snap)
+    fn rebuild(&mut self, guard: &RunGuard) -> Result<(), SccError> {
+        with_engine!(self, e => e.rebuild(guard))
+    }
+
+    fn compact(&mut self) -> usize {
+        with_engine!(self, e => e.compact())
+    }
+
+    fn poison(&mut self) {
+        with_engine!(self, e => e.poison())
+    }
+
+    fn pending(&self) -> usize {
+        with_engine!(self, e => e.graph().pending())
+    }
+
+    fn num_components(&self) -> usize {
+        with_engine!(self, e => e.num_components())
     }
 }
 
@@ -100,6 +122,11 @@ pub struct ServeConfig {
     pub io_timeout: Duration,
     /// Backoff hint carried in `Overloaded` replies.
     pub retry_after_ms: u32,
+    /// Auto-compaction threshold: after a mutation leaves at least this
+    /// many deltas pending in the overlay, the write folds them into a
+    /// fresh base before publishing. `0` disables auto-compaction (the
+    /// `compact` admin verb still works).
+    pub compact_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +140,7 @@ impl Default for ServeConfig {
             max_deadline_ms: 60_000,
             io_timeout: Duration::from_secs(5),
             retry_after_ms: 25,
+            compact_threshold: 4096,
         }
     }
 }
@@ -121,21 +149,27 @@ impl Default for ServeConfig {
 /// (which builds the epoch-0 snapshot synchronously), then drive the
 /// accept loop with [`Server::run`].
 pub struct Server {
-    graph: ServedGraph,
+    /// The mutable graph + maintained partition; locked only by write
+    /// verbs (mutations, compaction, recompute). Readers answer from
+    /// the published epoch and never contend on this.
+    engine: Mutex<EngineKind>,
     config: ServeConfig,
     cell: EpochCell<SccSnapshot>,
     gate: AdmissionGate,
     stats: ServerStats,
-    /// Serializes recomputes: a second admin `recompute` while one is
-    /// in flight is shed with `Overloaded`, not queued.
-    recompute_busy: AtomicBool,
+    /// The write-side admission gate: serializes every state-changing
+    /// verb (mutation, batch, compaction, recompute). A write arriving
+    /// while one is in flight is shed with `Overloaded`, not queued —
+    /// the daemon's first duty stays read availability. Doubles as the
+    /// `mutating` stats flag.
+    write_busy: AtomicBool,
     /// Polled by the accept loop; set by the `shutdown` verb or
     /// [`Server::request_shutdown`].
     shutdown: AtomicBool,
 }
 
-/// Clears the recompute-busy flag on scope exit, including unwinds —
-/// a panicking recompute must never wedge the admin verb forever.
+/// Clears the write-busy flag on scope exit, including unwinds —
+/// a panicking write must never wedge the write verbs forever.
 struct BusyReset<'a>(&'a AtomicBool);
 
 impl Drop for BusyReset<'_> {
@@ -148,20 +182,34 @@ impl Drop for BusyReset<'_> {
 }
 
 impl Server {
-    /// Builds the initial snapshot (synchronously — a server that
-    /// cannot compute its graph once must not open a listener) and
-    /// returns the ready-to-run instance.
+    /// Builds the maintenance engine and the initial snapshot
+    /// (synchronously — a server that cannot compute its graph once
+    /// must not open a listener) and returns the ready-to-run instance.
     pub fn new(graph: ServedGraph, config: ServeConfig) -> Result<Arc<Server>, SccError> {
         let guard = RunGuard::new();
-        let snapshot = graph.build_snapshot(&config.pipeline, &config.scc, &guard)?;
+        let engine = match graph {
+            ServedGraph::Raw(g) => EngineKind::Raw(IncrementalEngine::new(
+                DeltaGraph::new(g),
+                config.pipeline.clone(),
+                config.scc,
+                &guard,
+            )?),
+            ServedGraph::Compressed(g) => EngineKind::Compressed(IncrementalEngine::new(
+                DeltaGraph::new(g),
+                config.pipeline.clone(),
+                config.scc,
+                &guard,
+            )?),
+        };
+        let snapshot = engine.snapshot(&guard)?;
         let gate = AdmissionGate::new(config.max_inflight);
         Ok(Arc::new(Server {
-            graph,
+            engine: Mutex::new(engine),
             config,
             cell: EpochCell::new(snapshot),
             gate,
             stats: ServerStats::new(),
-            recompute_busy: AtomicBool::new(false),
+            write_busy: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         }))
     }
@@ -313,7 +361,168 @@ impl Server {
                     None => Response::OutOfRange,
                 })
             }),
+            Request::InsertEdge { u, v, deadline_ms } => {
+                self.mutate(deadline_ms, &[MutOp { insert: true, u, v }])
+            }
+            Request::DeleteEdge { u, v, deadline_ms } => self.mutate(
+                deadline_ms,
+                &[MutOp {
+                    insert: false,
+                    u,
+                    v,
+                }],
+            ),
+            Request::BatchMutate {
+                deadline_ms,
+                ref ops,
+            } => self.mutate(deadline_ms, ops),
+            Request::Compact => self.compact(),
         }
+    }
+
+    /// The write path: one gate admission, then the whole batch applies
+    /// under the engine mutex and publishes a **single** repaired epoch.
+    /// Failure of any kind — a typed engine error, or a panic from an
+    /// injected `incr-merge` fault — leaves the previous epoch serving,
+    /// poisons the engine (it heals by rebuild on the next write), and
+    /// answers with a typed `MutateFailed`.
+    fn mutate(&self, deadline_ms: u32, ops: &[MutOp]) -> Response {
+        // The node set is fixed for the server's lifetime, so range is
+        // checkable against the serving snapshot without the engine
+        // lock — an out-of-range id is a typed client error, not a
+        // poison-the-engine event.
+        let n = self.cell.load().value().num_nodes() as u32;
+        if ops.iter().any(|op| op.u >= n || op.v >= n) {
+            return Response::OutOfRange;
+        }
+        let Some(_busy) = self.claim_write() else {
+            return Response::Overloaded {
+                retry_after_ms: self.config.retry_after_ms,
+            };
+        };
+        let guard = RunGuard::with_deadline(self.clamp_deadline(deadline_ms));
+        let mut engine = self.engine.lock();
+        let compact_threshold = self.config.compact_threshold;
+        // recovery: panic boundary around the engine write — an escaped
+        // panic (injected incr-merge fault, or a worker panic inside a
+        // residue pipeline) must degrade to a typed MutateFailed with
+        // the old epoch still serving, never take the daemon down.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut reply = MutateReply::default();
+            for op in ops {
+                let m = if op.insert {
+                    Mutation::Insert(op.u, op.v)
+                } else {
+                    Mutation::Delete(op.u, op.v)
+                };
+                match engine.apply(m, &guard)? {
+                    MutationOutcome::Noop => reply.noops += 1,
+                    MutationOutcome::InOrder | MutationOutcome::Reordered => reply.applied += 1,
+                    MutationOutcome::Merged { .. } => {
+                        reply.applied += 1;
+                        reply.merges += 1;
+                    }
+                    MutationOutcome::Repaired { parts } => {
+                        reply.applied += 1;
+                        if parts > 1 {
+                            reply.splits += 1;
+                        }
+                    }
+                    MutationOutcome::Rebuilt => {
+                        reply.applied += 1;
+                        reply.rebuilds += 1;
+                    }
+                }
+            }
+            let mut compacted = false;
+            if compact_threshold > 0 && engine.pending() >= compact_threshold {
+                engine.compact();
+                compacted = true;
+            }
+            let snapshot = engine.snapshot(&guard)?;
+            reply.epoch = self.cell.publish(snapshot);
+            reply.num_components = engine.num_components() as u64;
+            reply.pending_deltas = engine.pending() as u64;
+            Ok::<(MutateReply, bool), SccError>((reply, compacted))
+        }));
+        match outcome {
+            Ok(Ok((reply, compacted))) => {
+                self.stats.mutation_ok();
+                if compacted {
+                    self.stats.compaction();
+                }
+                self.stats.set_pending_deltas(reply.pending_deltas);
+                Response::Mutated(reply)
+            }
+            Ok(Err(e)) => {
+                // The engine poisoned itself on the typed error; the
+                // next write heals by rebuild.
+                self.stats.mutation_failed();
+                match e {
+                    SccError::DeadlineExceeded => {
+                        self.stats.deadline_miss();
+                        Response::DeadlineExceeded
+                    }
+                    other => Response::MutateFailed {
+                        message: other.to_string(),
+                    },
+                }
+            }
+            Err(panic_payload) => {
+                engine.poison();
+                self.stats.mutation_failed();
+                Response::MutateFailed {
+                    message: fault::panic_text(panic_payload.as_ref()),
+                }
+            }
+        }
+    }
+
+    /// The admin compaction: fold the delta overlay into a fresh base.
+    /// The partition is untouched, so no epoch is published; a killed
+    /// compaction (injected `delta-compact` fault) loses only the
+    /// rebuild work — the old base + overlay keep answering.
+    fn compact(&self) -> Response {
+        let Some(_busy) = self.claim_write() else {
+            return Response::Overloaded {
+                retry_after_ms: self.config.retry_after_ms,
+            };
+        };
+        let mut engine = self.engine.lock();
+        // recovery: a panic mid-compaction fires before the backend
+        // swap by construction (the delta-compact fault site), so the
+        // engine state is intact; poisoning anyway buys rebuild-healing
+        // against a mid-swap bug at the cost of one recompute.
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| engine.compact()));
+        match outcome {
+            Ok(folded) => {
+                self.stats.compaction();
+                self.stats.set_pending_deltas(engine.pending() as u64);
+                Response::Compacted {
+                    epoch: self.cell.epoch(),
+                    folded: folded as u64,
+                }
+            }
+            Err(panic_payload) => {
+                engine.poison();
+                self.stats.mutation_failed();
+                Response::MutateFailed {
+                    message: fault::panic_text(panic_payload.as_ref()),
+                }
+            }
+        }
+    }
+
+    /// CAS-claims the write gate; the returned guard clears it on every
+    /// exit path including unwinds. `None` = another write is in flight.
+    fn claim_write(&self) -> Option<BusyReset<'_>> {
+        // ordering: Relaxed — pure mutual exclusion for write verbs
+        // (see BusyReset); engine state is handed off through the
+        // engine mutex, the snapshot through the EpochCell lock.
+        self.write_busy
+            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+            .ok()?;
+        Some(BusyReset(&self.write_busy))
     }
 
     /// Shared query path: admission → deadline guard → fault point →
@@ -366,24 +575,18 @@ impl Server {
         }
     }
 
-    /// The admin rebuild: compute a fresh snapshot and swap the epoch.
-    /// Failure of any kind — a typed pipeline error, or a panic from an
-    /// injected `serve-swap`/pipeline fault — leaves the previous epoch
-    /// serving and is reported as a typed `RecomputeFailed`.
+    /// The admin rebuild: full recompute over the engine's current
+    /// graph (base + pending deltas), then swap the epoch. Failure of
+    /// any kind — a typed pipeline error, or a panic from an injected
+    /// `serve-swap`/pipeline fault — leaves the previous epoch serving
+    /// and is reported as a typed `RecomputeFailed`.
     fn recompute(&self) -> Response {
-        // ordering: Relaxed — pure mutual exclusion for the admin verb
-        // (see BusyReset); the snapshot hand-off happens through the
-        // EpochCell lock, not this flag.
-        if self
-            .recompute_busy
-            .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
-            .is_err()
-        {
+        let Some(_busy) = self.claim_write() else {
             return Response::Overloaded {
                 retry_after_ms: self.config.retry_after_ms,
             };
-        }
-        let _clear = BusyReset(&self.recompute_busy);
+        };
+        let mut engine = self.engine.lock();
         // recovery: the rebuild runs the full parallel pipeline plus the
         // epoch swap; an escaped panic (injected serve-swap fault, or a
         // worker panic under PanicPolicy::Fail) must degrade to a typed
@@ -391,9 +594,8 @@ impl Server {
         // the daemon down.
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let guard = RunGuard::new();
-            let snapshot =
-                self.graph
-                    .build_snapshot(&self.config.pipeline, &self.config.scc, &guard)?;
+            engine.rebuild(&guard)?;
+            let snapshot = engine.snapshot(&guard)?;
             Ok::<u64, SccError>(self.cell.publish(snapshot))
         }));
         match outcome {
@@ -408,6 +610,9 @@ impl Server {
                 }
             }
             Err(panic_payload) => {
+                // The rebuild may have died anywhere; demand a healing
+                // rebuild before the engine answers another write.
+                engine.poison();
                 self.stats.recompute_failed();
                 Response::RecomputeFailed {
                     message: fault::panic_text(panic_payload.as_ref()),
@@ -420,9 +625,13 @@ impl Server {
         let snapshot = self.cell.load();
         let mut reply = self.stats.sample();
         reply.epoch = snapshot.epoch();
-        reply.num_nodes = self.graph.num_nodes() as u64;
-        reply.num_edges = self.graph.num_edges() as u64;
+        // Graph dimensions come from the published snapshot, not the
+        // engine — stats must never block behind the engine mutex.
+        reply.num_nodes = snapshot.value().num_nodes() as u64;
+        reply.num_edges = snapshot.value().num_edges() as u64;
         reply.num_components = snapshot.value().num_components() as u64;
+        // ordering: Relaxed — diagnostic sample of the write gate.
+        reply.mutating = self.write_busy.load(Ordering::Relaxed);
         Response::Stats(reply)
     }
 }
@@ -573,26 +782,343 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_recompute_is_shed_not_queued() {
+    fn concurrent_writes_are_shed_not_queued() {
         let _quiet = quiesce();
         let s = server();
-        // Hold the busy flag as an in-flight recompute would.
+        // Hold the write gate as an in-flight write would.
         assert!(s
-            .recompute_busy
+            .write_busy
             .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok());
-        match s.handle_request(&Request::Recompute) {
-            Response::Overloaded { retry_after_ms } => {
-                assert_eq!(retry_after_ms, s.config.retry_after_ms)
+        for req in [
+            Request::Recompute,
+            Request::Compact,
+            Request::InsertEdge {
+                u: 0,
+                v: 5,
+                deadline_ms: 0,
+            },
+        ] {
+            match s.handle_request(&req) {
+                Response::Overloaded { retry_after_ms } => {
+                    assert_eq!(retry_after_ms, s.config.retry_after_ms)
+                }
+                other => panic!("wrong response to {req:?}: {other:?}"),
             }
+        }
+        // A held write gate is what the stats `mutating` flag reports.
+        match s.handle_request(&Request::Stats) {
+            Response::Stats(r) => assert!(r.mutating),
             other => panic!("wrong response: {other:?}"),
         }
         // ordering: Relaxed — test cleanup of the flag it set above.
-        s.recompute_busy.store(false, Ordering::Relaxed);
+        s.write_busy.store(false, Ordering::Relaxed);
         assert!(matches!(
             s.handle_request(&Request::Recompute),
             Response::Recomputed { .. }
         ));
+    }
+
+    #[test]
+    fn out_of_range_mutation_is_typed_and_does_not_poison() {
+        let _quiet = quiesce();
+        let s = server();
+        for req in [
+            Request::InsertEdge {
+                u: 0,
+                v: 6,
+                deadline_ms: 0,
+            },
+            Request::DeleteEdge {
+                u: 6,
+                v: 0,
+                deadline_ms: 0,
+            },
+            Request::BatchMutate {
+                deadline_ms: 0,
+                ops: vec![
+                    MutOp {
+                        insert: true,
+                        u: 0,
+                        v: 1,
+                    },
+                    MutOp {
+                        insert: true,
+                        u: 0,
+                        v: 6,
+                    },
+                ],
+            },
+        ] {
+            assert_eq!(
+                s.handle_request(&req),
+                Response::OutOfRange,
+                "{req:?} must be rejected before touching the engine"
+            );
+        }
+        // No epoch burned, no failure counted, engine healthy.
+        assert_eq!(s.epoch(), 0);
+        match s.handle_request(&Request::Stats) {
+            Response::Stats(r) => assert_eq!(r.mutations_failed, 0),
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert!(matches!(
+            s.handle_request(&Request::InsertEdge {
+                u: 5,
+                v: 0,
+                deadline_ms: 0,
+            }),
+            Response::Mutated(_)
+        ));
+    }
+
+    #[test]
+    fn insert_edge_merges_and_publishes_one_epoch() {
+        let _quiet = quiesce();
+        let s = server();
+        // two_cycle_graph: {0,1,2} {3,4} {5}; 5 -> 0 closes the ring
+        // through 0..2 -> 3 -> 4 -> 5.
+        match s.handle_request(&Request::InsertEdge {
+            u: 5,
+            v: 0,
+            deadline_ms: 0,
+        }) {
+            Response::Mutated(m) => {
+                assert_eq!(m.epoch, 1, "one mutation = one epoch");
+                assert_eq!(m.applied, 1);
+                assert_eq!(m.merges, 1);
+                assert_eq!(m.num_components, 1);
+                assert!(m.pending_deltas >= 1);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // Queries answer from the repaired epoch.
+        assert_eq!(
+            s.handle_request(&Request::SameScc {
+                u: 0,
+                v: 5,
+                deadline_ms: 0
+            }),
+            Response::Bool(true)
+        );
+        match s.handle_request(&Request::Stats) {
+            Response::Stats(r) => {
+                assert_eq!(r.mutations_ok, 1);
+                assert_eq!(r.epoch, 1);
+                assert_eq!(r.num_edges, 8, "snapshot reflects the mutated graph");
+                assert!(!r.mutating);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_publishes_a_single_epoch_and_counts_noops() {
+        let _quiet = quiesce();
+        let s = server();
+        let ops = vec![
+            MutOp {
+                insert: true,
+                u: 5,
+                v: 0,
+            },
+            MutOp {
+                insert: true,
+                u: 5,
+                v: 0,
+            }, // duplicate: noop
+            MutOp {
+                insert: false,
+                u: 4,
+                v: 5,
+            },
+            MutOp {
+                insert: false,
+                u: 1,
+                v: 5,
+            }, // absent: noop
+        ];
+        match s.handle_request(&Request::BatchMutate {
+            deadline_ms: 0,
+            ops,
+        }) {
+            Response::Mutated(m) => {
+                assert_eq!(m.epoch, 1, "whole batch = one epoch");
+                assert_eq!(m.applied, 2);
+                assert_eq!(m.noops, 2);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(s.epoch(), 1);
+    }
+
+    #[test]
+    fn delete_splits_and_compact_folds() {
+        let _quiet = quiesce();
+        let s = server();
+        // Break the {3,4} 2-cycle.
+        match s.handle_request(&Request::DeleteEdge {
+            u: 4,
+            v: 3,
+            deadline_ms: 0,
+        }) {
+            Response::Mutated(m) => {
+                assert_eq!(m.applied, 1);
+                assert_eq!(m.splits, 1);
+                assert_eq!(m.num_components, 4);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(
+            s.handle_request(&Request::SameScc {
+                u: 3,
+                v: 4,
+                deadline_ms: 0
+            }),
+            Response::Bool(false)
+        );
+        match s.handle_request(&Request::Compact) {
+            Response::Compacted { epoch, folded } => {
+                assert_eq!(epoch, 1, "compaction does not publish an epoch");
+                assert_eq!(folded, 1);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        match s.handle_request(&Request::Stats) {
+            Response::Stats(r) => {
+                assert_eq!(r.compactions, 1);
+                assert_eq!(r.pending_deltas, 0);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killed_merge_keeps_old_epoch_serving_and_heals() {
+        let _armed = fault::arm(fault::FaultPlan {
+            site: Some(fault::INCR_MERGE),
+            nth: 0,
+            kind: fault::FaultKind::Panic,
+            repeat: false,
+        });
+        let s = server();
+        match s.handle_request(&Request::InsertEdge {
+            u: 5,
+            v: 0,
+            deadline_ms: 0,
+        }) {
+            Response::MutateFailed { message } => {
+                assert!(message.contains("injected fault"), "got {message:?}")
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(s.epoch(), 0, "failed write must leave the old epoch");
+        // The old epoch still answers with the pre-mutation partition.
+        assert_eq!(
+            s.handle_request(&Request::SameScc {
+                u: 0,
+                v: 5,
+                deadline_ms: 0
+            }),
+            Response::Bool(false)
+        );
+        // The site disarmed (repeat: false) — the next write heals the
+        // poisoned engine by rebuild and serves the repaired partition.
+        match s.handle_request(&Request::InsertEdge {
+            u: 5,
+            v: 0,
+            deadline_ms: 0,
+        }) {
+            // The killed write already inserted the edge into the graph,
+            // so the retry is a no-op mutation — but the healing rebuild
+            // folds the edge into the published partition.
+            Response::Mutated(m) => assert_eq!(m.num_components, 1),
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(
+            s.handle_request(&Request::SameScc {
+                u: 0,
+                v: 5,
+                deadline_ms: 0
+            }),
+            Response::Bool(true)
+        );
+        match s.handle_request(&Request::Stats) {
+            Response::Stats(r) => {
+                assert_eq!(r.mutations_failed, 1);
+                assert_eq!(r.mutations_ok, 1);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killed_compaction_loses_only_the_rebuild_work() {
+        let _armed = fault::arm(fault::FaultPlan {
+            site: Some(fault::DELTA_COMPACT),
+            nth: 0,
+            kind: fault::FaultKind::Panic,
+            repeat: false,
+        });
+        let s = server();
+        match s.handle_request(&Request::InsertEdge {
+            u: 5,
+            v: 0,
+            deadline_ms: 0,
+        }) {
+            Response::Mutated(m) => assert_eq!(m.pending_deltas, 1),
+            other => panic!("wrong response: {other:?}"),
+        }
+        match s.handle_request(&Request::Compact) {
+            Response::MutateFailed { message } => {
+                assert!(message.contains("injected fault"), "got {message:?}")
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        // The overlay still answers; the next compact succeeds.
+        assert_eq!(
+            s.handle_request(&Request::SameScc {
+                u: 0,
+                v: 5,
+                deadline_ms: 0
+            }),
+            Response::Bool(true)
+        );
+        match s.handle_request(&Request::Compact) {
+            Response::Compacted { folded, .. } => assert_eq!(folded, 1),
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_backend_mutates_identically() {
+        let _quiet = quiesce();
+        let raw = CsrGraph::from_edges(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)]);
+        let z = CompressedCsr::from_csr(&raw);
+        let s = Server::new(ServedGraph::Compressed(z), ServeConfig::default()).unwrap();
+        match s.handle_request(&Request::InsertEdge {
+            u: 4,
+            v: 0,
+            deadline_ms: 0,
+        }) {
+            Response::Mutated(m) => {
+                assert_eq!(m.merges, 1);
+                assert_eq!(m.num_components, 1);
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+        match s.handle_request(&Request::Compact) {
+            Response::Compacted { folded, .. } => assert_eq!(folded, 1),
+            other => panic!("wrong response: {other:?}"),
+        }
+        assert_eq!(
+            s.handle_request(&Request::SameScc {
+                u: 0,
+                v: 4,
+                deadline_ms: 0
+            }),
+            Response::Bool(true)
+        );
     }
 
     #[test]

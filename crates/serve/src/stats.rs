@@ -21,6 +21,10 @@ pub struct ServerStats {
     recomputes_failed: AtomicU64,
     quarantined: AtomicU64,
     stale: AtomicBool,
+    mutations_ok: AtomicU64,
+    mutations_failed: AtomicU64,
+    pending_deltas: AtomicU64,
+    compactions: AtomicU64,
 }
 
 /// All counter writes funnel through here so the memory-ordering
@@ -85,6 +89,29 @@ impl ServerStats {
         bump(&self.quarantined);
     }
 
+    /// One mutation request (single or batch) published an epoch.
+    pub fn mutation_ok(&self) {
+        bump(&self.mutations_ok);
+    }
+
+    /// One mutation request failed; the engine heals on the next write.
+    pub fn mutation_failed(&self) {
+        bump(&self.mutations_failed);
+    }
+
+    /// One delta-overlay compaction completed.
+    pub fn compaction(&self) {
+        bump(&self.compactions);
+    }
+
+    /// Mirrors the engine's pending-delta count after a write completes,
+    /// so stats replies stay lock-free against the engine mutex.
+    pub fn set_pending_deltas(&self, pending: u64) {
+        // ordering: Relaxed — diagnostic mirror of engine state; the
+        // authoritative count lives inside the engine mutex.
+        self.pending_deltas.store(pending, Ordering::Relaxed);
+    }
+
     /// Point-in-time sample merged with the snapshot-derived fields the
     /// server fills in (`epoch`, graph dimensions, component count).
     pub fn sample(&self) -> StatsReply {
@@ -95,6 +122,10 @@ impl ServerStats {
             recomputes_ok: read(&self.recomputes_ok),
             recomputes_failed: read(&self.recomputes_failed),
             quarantined: read(&self.quarantined),
+            mutations_ok: read(&self.mutations_ok),
+            mutations_failed: read(&self.mutations_failed),
+            pending_deltas: read(&self.pending_deltas),
+            compactions: read(&self.compactions),
             // ordering: Relaxed — see `set_stale`.
             stale: self.stale.load(Ordering::Relaxed),
             ..StatsReply::default()

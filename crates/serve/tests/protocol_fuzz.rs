@@ -14,22 +14,34 @@ use swscc_serve::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     FrameError, Request, Response, MAX_ERROR_MESSAGE, MAX_REQUEST_FRAME, MAX_RESPONSE_FRAME,
 };
-use swscc_serve::StatsReply;
+use swscc_serve::{MutOp, MutateReply, StatsReply};
 
-/// A structured, always-valid request. Covers every verb; node ids and
-/// deadlines span the full `u32` range.
+/// A structured, always-valid request. Covers every verb (mutations
+/// included); node ids and deadlines span the full `u32` range.
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u8..7, any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(verb, u, v, deadline_ms)| {
-        match verb {
+    (
+        (0u8..11, any::<u32>(), any::<u32>(), any::<u32>()),
+        proptest::collection::vec((any::<bool>(), any::<u32>(), any::<u32>()), 0..8),
+    )
+        .prop_map(|((verb, u, v, deadline_ms), raw_ops)| match verb {
             0 => Request::Ping,
             1 => Request::SameScc { u, v, deadline_ms },
             2 => Request::SccId { u, deadline_ms },
             3 => Request::CondReach { u, v, deadline_ms },
             4 => Request::Stats,
             5 => Request::Recompute,
-            _ => Request::Shutdown,
-        }
-    })
+            6 => Request::Shutdown,
+            7 => Request::InsertEdge { u, v, deadline_ms },
+            8 => Request::DeleteEdge { u, v, deadline_ms },
+            9 => Request::BatchMutate {
+                deadline_ms,
+                ops: raw_ops
+                    .into_iter()
+                    .map(|(insert, u, v)| MutOp { insert, u, v })
+                    .collect(),
+            },
+            _ => Request::Compact,
+        })
 }
 
 /// A structured, always-valid response. Error messages are generated as
@@ -38,7 +50,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 /// properties and the unit tests).
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0u8..12,
+        0u8..15,
         any::<u64>(),
         any::<u32>(),
         proptest::collection::vec(32u8..127, 0..MAX_ERROR_MESSAGE),
@@ -61,6 +73,11 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     recomputes_failed: big >> 60,
                     quarantined: u64::from(small) % 97,
                     stale: big & 2 == 2,
+                    mutations_ok: big.rotate_left(23),
+                    mutations_failed: big >> 53,
+                    pending_deltas: u64::from(small) % 4099,
+                    compactions: big & 0xFF,
+                    mutating: big & 4 == 4,
                 }),
                 4 => Response::Recomputed { epoch: big },
                 5 => Response::ShuttingDown,
@@ -71,7 +88,22 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 },
                 9 => Response::DeadlineExceeded,
                 10 => Response::RecomputeFailed { message },
-                _ => Response::Internal { message },
+                11 => Response::Internal { message },
+                12 => Response::Mutated(MutateReply {
+                    epoch: big,
+                    applied: small,
+                    noops: small.rotate_left(5),
+                    merges: small & 0xFFFF,
+                    splits: small >> 16,
+                    rebuilds: small % 31,
+                    num_components: big.rotate_left(29),
+                    pending_deltas: big & 0xFFFF_FFFF,
+                }),
+                13 => Response::MutateFailed { message },
+                _ => Response::Compacted {
+                    epoch: big,
+                    folded: u64::from(small),
+                },
             }
         })
 }
@@ -91,7 +123,10 @@ proptest! {
             Err(
                 FrameError::Truncated
                 | FrameError::TrailingBytes { .. }
-                | FrameError::UnknownVerb(_),
+                | FrameError::UnknownVerb(_)
+                // A batch-mutate op count past MAX_MUTATION_BATCH is
+                // refused before any buffer is sized.
+                | FrameError::Oversized { .. },
             ) => {}
             Err(other) => panic!("request decoder leaked untyped error: {other:?}"),
         }

@@ -72,6 +72,19 @@ pub const SERVE_SWAP: &str = "serve-swap";
 /// exercised deterministically.
 pub const SERVE_FRAME: &str = "serve-frame";
 
+/// Fault site inside the incremental engine's back-edge merge, placed
+/// after the merge set is discovered but *before* any label or position
+/// is rewritten: a kill here models a maintenance worker dying mid-merge
+/// — the partition state must stay exactly as it was, so the previous
+/// epoch keeps serving and a later rebuild heals the engine.
+pub const INCR_MERGE: &str = "incr-merge";
+
+/// Fault site at the delta-overlay compaction commit, placed after the
+/// fresh base backend is fully built but *before* the overlay fields are
+/// swapped: a kill here models a compaction dying mid-rebuild — the old
+/// base + overlay must keep answering, losing only the rebuild work.
+pub const DELTA_COMPACT: &str = "delta-compact";
+
 static ARMED: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 static HITS: AtomicU64 = AtomicU64::new(0);

@@ -4,6 +4,7 @@
 //! swscc-loadgen (--socket PATH | --connect ADDR)
 //!               [--clients N] [--requests N] [--seed N]
 //!               [--mix SAME,ID,REACH,STATS,RECOMPUTE]
+//!               [--write-mix INSERT,DELETE]
 //!               [--deadline-ms MS] [--max-retries N] [--backoff-ms MS]
 //!               [--io-timeout-ms MS] [--max-p99-ms MS]
 //!               [--report FILE] [--shutdown]
@@ -115,14 +116,34 @@ fn parse_mix(spec: &str) -> Result<Mix, CliError> {
         reach: w[2],
         stats: w[3],
         recompute: w[4],
+        ..Mix::default()
     })
+}
+
+/// Parses `--write-mix INSERT,DELETE` (two comma-separated non-negative
+/// weights for the mutation verbs, 0,0 = read-only load).
+fn parse_write_mix(spec: &str) -> Result<(u32, u32), CliError> {
+    let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+    if parts.len() != 2 {
+        return Err(CliError::config(format!(
+            "--write-mix wants 2 comma-separated weights (insert,delete), got {spec:?}"
+        )));
+    }
+    let mut w = [0u32; 2];
+    for (slot, part) in w.iter_mut().zip(&parts) {
+        *slot = part
+            .parse()
+            .map_err(|_| CliError::config(format!("invalid --write-mix weight {part:?}")))?;
+    }
+    Ok((w[0], w[1]))
 }
 
 fn usage() -> String {
     "usage: swscc-loadgen (--socket PATH | --connect ADDR) [--clients N] \
      [--requests N] [--seed N] [--mix SAME,ID,REACH,STATS,RECOMPUTE] \
-     [--deadline-ms MS] [--max-retries N] [--backoff-ms MS] \
-     [--io-timeout-ms MS] [--max-p99-ms MS] [--report FILE] [--shutdown]"
+     [--write-mix INSERT,DELETE] [--deadline-ms MS] [--max-retries N] \
+     [--backoff-ms MS] [--io-timeout-ms MS] [--max-p99-ms MS] \
+     [--report FILE] [--shutdown]"
         .to_string()
 }
 
@@ -141,7 +162,7 @@ fn run(args: &Args) -> Result<bool, CliError> {
             ))
         }
     };
-    let mix = match args.flag_value("mix") {
+    let mut mix = match args.flag_value("mix") {
         Some(spec) => parse_mix(spec)?,
         None => {
             if args.flag_present("mix") {
@@ -152,6 +173,20 @@ fn run(args: &Args) -> Result<bool, CliError> {
             Mix::default()
         }
     };
+    match args.flag_value("write-mix") {
+        Some(spec) => {
+            let (insert_edge, delete_edge) = parse_write_mix(spec)?;
+            mix.insert_edge = insert_edge;
+            mix.delete_edge = delete_edge;
+        }
+        None => {
+            if args.flag_present("write-mix") {
+                return Err(CliError::config(
+                    "--write-mix requires 2 weights, e.g. 10,5",
+                ));
+            }
+        }
+    }
     let io_timeout = Duration::from_millis(args.parsed_flag("io-timeout-ms", 10_000u64)?);
     let opts = LoadgenOptions {
         clients: args.parsed_flag("clients", 4usize)?,
@@ -167,7 +202,8 @@ fn run(args: &Args) -> Result<bool, CliError> {
     let report = loadgen::run(&endpoint, &opts).map_err(CliError::runtime)?;
     println!(
         "loadgen: {} attempted, {} ok, {} out-of-range, {} overloaded ({} gave up), \
-         {} deadline misses, {} recompute-failed, {} reconnects, {} non-typed",
+         {} deadline misses, {} recompute-failed, {} mutated, {} mutate-failed, \
+         {} reconnects, {} non-typed",
         report.attempted,
         report.ok,
         report.out_of_range,
@@ -175,6 +211,8 @@ fn run(args: &Args) -> Result<bool, CliError> {
         report.gave_up,
         report.deadline_misses,
         report.recompute_failed,
+        report.mutated,
+        report.mutate_failed,
         report.reconnects,
         report.non_typed_failures,
     );

@@ -6,6 +6,7 @@
 //!             [--compressed] [--scale S] [--seed N]
 //!             [--max-inflight N] [--deadline-ms MS] [--max-deadline-ms MS]
 //!             [--io-timeout-ms MS] [--retry-after-ms MS]
+//!             [--compact-threshold N] [--residue-limit N]
 //!             [--on-panic fallback|fail]
 //!             [--inject-fault SITE[:NTH][:repeat]]
 //! ```
@@ -170,6 +171,7 @@ fn usage() -> String {
      [--algo NAME | --pipeline STAGES] [--threads N] [--compressed] \
      [--scale S] [--seed N] [--max-inflight N] [--deadline-ms MS] \
      [--max-deadline-ms MS] [--io-timeout-ms MS] [--retry-after-ms MS] \
+     [--compact-threshold N] [--residue-limit N] \
      [--on-panic fallback|fail] [--inject-fault SITE[:NTH][:repeat]]"
         .to_string()
 }
@@ -231,6 +233,8 @@ fn run(args: &Args) -> Result<(), CliError> {
                 .unwrap_or(1),
         )?,
     );
+    scc.incremental_residue_limit =
+        args.parsed_flag("residue-limit", scc.incremental_residue_limit)?;
     scc.on_panic = match args.flag_value("on-panic").unwrap_or("fallback") {
         "fallback" => PanicPolicy::Fallback,
         "fail" => PanicPolicy::Fail,
@@ -249,6 +253,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         max_deadline_ms: args.parsed_flag("max-deadline-ms", 60_000u32)?,
         io_timeout: Duration::from_millis(args.parsed_flag("io-timeout-ms", 5_000u64)?),
         retry_after_ms: args.parsed_flag("retry-after-ms", 25u32)?,
+        compact_threshold: args.parsed_flag("compact-threshold", 4096usize)?,
     };
 
     // Armed before the initial build so the soak covers the daemon's whole

@@ -378,6 +378,16 @@ enum ServeScenario {
     /// and publishes, `Fail` degrades to a typed `RecomputeFailed` with
     /// the old epoch serving.
     RecomputeKill,
+    /// Panic at the incr-merge point while an inserted back edge is
+    /// collapsing its merge set: the write fails typed, the old epoch
+    /// keeps serving the pre-mutation answers, and the retried insert
+    /// heals by rebuild into the merged (Tarjan-on-mutated-graph)
+    /// partition.
+    MergeKill,
+    /// Panic at the delta-compact point: only the rebuilt backend is
+    /// lost — base + overlay keep answering, and the retried compact
+    /// folds the staged deltas.
+    CompactKill,
 }
 
 struct ServeSchedule {
@@ -407,7 +417,9 @@ fn derive_serve(seed: u64, num_graphs: usize) -> ServeSchedule {
         ServeScenario::FrameKill,
         ServeScenario::FrameStall,
         ServeScenario::RecomputeKill,
-    ][(splitmix64(&mut s) % 5) as usize];
+        ServeScenario::MergeKill,
+        ServeScenario::CompactKill,
+    ][(splitmix64(&mut s) % 7) as usize];
     let graph = (splitmix64(&mut s) % num_graphs as u64) as usize;
     let threads = [1, 2, 4][(splitmix64(&mut s) % 3) as usize];
     let policy = if splitmix64(&mut s).is_multiple_of(2) {
@@ -448,6 +460,18 @@ fn derive_serve(seed: u64, num_graphs: usize) -> ServeSchedule {
                 repeat: splitmix64(&mut s).is_multiple_of(3),
             }
         }
+        ServeScenario::MergeKill => FaultPlan {
+            site: Some(fault::INCR_MERGE),
+            nth: 0,
+            kind: FaultKind::Panic,
+            repeat: false,
+        },
+        ServeScenario::CompactKill => FaultPlan {
+            site: Some(fault::DELTA_COMPACT),
+            nth: 0,
+            kind: FaultKind::Panic,
+            repeat: false,
+        },
     };
     ServeSchedule {
         scenario,
@@ -492,6 +516,20 @@ fn check_oracle_pairs(
         }
     }
     Ok(())
+}
+
+/// Tarjan oracle over the base graph plus `extra` edges — the ground
+/// truth a healed incremental engine must serve after a mutation.
+fn mutated_oracle(g: &CsrGraph, extra: &[(u32, u32)]) -> Vec<u32> {
+    let mut edges: Vec<(u32, u32)> = g.edges().collect();
+    edges.extend_from_slice(extra);
+    detect_scc(
+        &CsrGraph::from_edges(g.num_nodes(), &edges),
+        Algorithm::Tarjan,
+        &SccConfig::default(),
+    )
+    .0
+    .canonical_labels()
 }
 
 /// Runs one server schedule end-to-end; returns whether the armed fault
@@ -640,6 +678,95 @@ fn run_serve_schedule(
                 // cross pipeline sites, so they stay clean).
                 check_oracle_pairs(&mut c, oracle, seed ^ 6, &describe)?;
             }
+            ServeScenario::MergeKill => {
+                // Reversing a cross-SCC base edge closes a condensation
+                // cycle, so the insert is guaranteed to reach the
+                // incr-merge point. A fully condensed graph has no such
+                // edge: the plan legitimately never fires, reads still
+                // answer.
+                let cross = g
+                    .edges()
+                    .find(|&(eu, ev)| oracle[eu as usize] != oracle[ev as usize]);
+                let Some((eu, ev)) = cross else {
+                    check_oracle_pairs(&mut c, oracle, seed ^ 7, &describe)?;
+                    return Ok(());
+                };
+                match c.insert_edge(ev, eu, 0) {
+                    Ok(Response::MutateFailed { message })
+                        if message.contains("injected fault") => {}
+                    other => return Err(format!("{}: killed merge gave {other:?}", describe())),
+                }
+                if server.epoch() != 0 {
+                    return Err(format!("{}: killed merge advanced the epoch", describe()));
+                }
+                // Old epoch serving: pre-mutation answers, failure counted.
+                check_oracle_pairs(&mut c, oracle, seed ^ 8, &describe)?;
+                let stats = c
+                    .stats()
+                    .map_err(|e| format!("{}: stats failed: {e}", describe()))?;
+                if stats.mutations_failed != 1 {
+                    return Err(format!(
+                        "{}: mutate-failed bookkeeping wrong: {stats:?}",
+                        describe()
+                    ));
+                }
+                // Plan spent: the retry heals by rebuild (the graph
+                // already holds the edge) and publishes the merged
+                // partition, which must match Tarjan on the mutated
+                // graph.
+                match c.insert_edge(ev, eu, 0) {
+                    Ok(Response::Mutated(m)) if m.epoch == 1 => {}
+                    other => return Err(format!("{}: healing insert gave {other:?}", describe())),
+                }
+                let healed = mutated_oracle(g, &[(ev, eu)]);
+                check_oracle_pairs(&mut c, &healed, seed ^ 9, &describe)?;
+            }
+            ServeScenario::CompactKill => {
+                // Stage a pending overlay entry when the graph has nodes
+                // (a self-loop is partition-neutral, so the oracle stays
+                // valid throughout).
+                if !oracle.is_empty() {
+                    match c.insert_edge(0, 0, 0) {
+                        Ok(Response::Mutated(_)) => {}
+                        other => {
+                            return Err(format!("{}: staging insert gave {other:?}", describe()))
+                        }
+                    }
+                }
+                let staged = c
+                    .stats()
+                    .map_err(|e| format!("{}: stats failed: {e}", describe()))?
+                    .pending_deltas;
+                match c.compact() {
+                    Ok(Response::MutateFailed { message })
+                        if message.contains("injected fault") => {}
+                    other => return Err(format!("{}: killed compact gave {other:?}", describe())),
+                }
+                // Only the rebuilt backend was lost: base + overlay keep
+                // answering, and the retried compact folds the staged
+                // entries.
+                check_oracle_pairs(&mut c, oracle, seed ^ 10, &describe)?;
+                match c.compact() {
+                    Ok(Response::Compacted { folded, .. }) if folded == staged => {}
+                    other => {
+                        return Err(format!(
+                            "{}: healing compact gave {other:?} (staged {staged})",
+                            describe()
+                        ))
+                    }
+                }
+                let stats = c
+                    .stats()
+                    .map_err(|e| format!("{}: stats failed: {e}", describe()))?;
+                if stats.pending_deltas != 0 {
+                    return Err(format!(
+                        "{}: compact left {} deltas pending",
+                        describe(),
+                        stats.pending_deltas
+                    ));
+                }
+                check_oracle_pairs(&mut c, oracle, seed ^ 11, &describe)?;
+            }
         }
         Ok(())
     })();
@@ -692,6 +819,8 @@ fn server_chaos_battery() {
                     ServeScenario::FrameKill => "frame-kill",
                     ServeScenario::FrameStall => "frame-stall",
                     ServeScenario::RecomputeKill => "recompute-kill",
+                    ServeScenario::MergeKill => "merge-kill",
+                    ServeScenario::CompactKill => "compact-kill",
                 };
                 let entry = by_scenario.entry(name).or_insert((0, 0));
                 entry.0 += 1;

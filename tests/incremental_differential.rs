@@ -1,0 +1,143 @@
+//! Differential battery for the incremental SCC maintenance engine.
+//!
+//! The maintained partition must be *observationally identical* to a
+//! from-scratch run at every batch boundary: after each applied batch
+//! of mutations, `IncrementalEngine::snapshot` canonical labels equal
+//! Tarjan over the materialized `DeltaGraph` (base + live overlay).
+//! Checked across 1/2/4 threads, both backends (raw and compressed
+//! CSR), and batch sizes 1/16/256 — batch size 1 means the oracle runs
+//! after *every* mutation, so the O(1) in-order path, the bounded
+//! merge, and the dirty-residue repair are each diffed at their finest
+//! granularity. A compaction at the end must be invisible to the
+//! partition.
+
+use proptest::prelude::*;
+use swscc::core::incremental::{IncrementalEngine, Mutation};
+use swscc::core::tarjan::tarjan_scc;
+use swscc::graph::{CompactBackend, CompressedCsr, CsrGraph, DeltaGraph, GraphView};
+use swscc::parallel::pool::with_pool;
+use swscc::{Algorithm, Pipeline, RunGuard, SccConfig};
+
+const BATCHES: [usize; 3] = [1, 16, 256];
+
+/// One generated case: a base graph plus a mutation script (insert
+/// flag, u, v). Deletions of absent edges and duplicate inserts are
+/// kept — the engine must treat them as noops, and the oracle diff
+/// proves it did.
+fn arb_case(max_n: usize) -> impl Strategy<Value = (CsrGraph, Vec<(bool, u32, u32)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        let base = proptest::collection::vec(edge, 0..3 * n)
+            .prop_map(move |edges| CsrGraph::from_edges(n, &edges));
+        let step = (any::<bool>(), 0..n as u32, 0..n as u32);
+        let script = proptest::collection::vec(step, 1..48);
+        (base, script)
+    })
+}
+
+/// Canonical maintained labels vs Tarjan over the materialized overlay.
+fn assert_matches_oracle<G: CompactBackend>(
+    engine: &IncrementalEngine<G>,
+    guard: &RunGuard,
+    at: &str,
+) {
+    let snap = engine.snapshot(guard).expect("snapshot");
+    let got = snap.result().canonical_labels();
+    let want = tarjan_scc(&engine.graph().materialize_csr()).canonical_labels();
+    assert_eq!(got, want, "{at}: maintained partition diverges from Tarjan");
+}
+
+/// Runs `script` through a fresh engine over `base` in `batch`-sized
+/// chunks, diffing against Tarjan at every batch boundary and once more
+/// after a final compaction.
+fn run_script<G: CompactBackend>(
+    base: G,
+    script: &[(bool, u32, u32)],
+    threads: usize,
+    batch: usize,
+    residue_limit: usize,
+) {
+    let guard = RunGuard::new();
+    let mut cfg = SccConfig::with_threads(threads);
+    cfg.incremental_residue_limit = residue_limit;
+    let pipeline = Pipeline::stock(Algorithm::Method2).expect("method2 has a stock pipeline");
+    let mut engine = IncrementalEngine::new(DeltaGraph::new(base), pipeline, cfg, &guard)
+        .expect("initial full run");
+    assert_matches_oracle(&engine, &guard, "fresh engine");
+
+    for (i, chunk) in script.chunks(batch).enumerate() {
+        for &(insert, u, v) in chunk {
+            let m = if insert {
+                Mutation::Insert(u, v)
+            } else {
+                Mutation::Delete(u, v)
+            };
+            engine.apply(m, &guard).expect("mutation");
+        }
+        assert_matches_oracle(&engine, &guard, &format!("batch {i} (size {batch})"));
+    }
+
+    engine.compact();
+    assert_matches_oracle(&engine, &guard, "after final compaction");
+    assert_eq!(
+        engine.graph().pending(),
+        0,
+        "compaction must fold the whole overlay"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Maintained partition ≡ Tarjan at every batch boundary, across
+    /// 1/2/4 threads × raw/compressed backends × batch sizes 1/16/256.
+    #[test]
+    fn maintained_partition_tracks_tarjan(
+        (g, script) in arb_case(32),
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let limit = SccConfig::with_threads(threads).incremental_residue_limit;
+        with_pool(threads, || {
+            for batch in BATCHES {
+                run_script(g.clone(), &script, threads, batch, limit);
+                run_script(CompressedCsr::from_csr(&g), &script, threads, batch, limit);
+            }
+        });
+    }
+
+    /// A residue limit of 1 forces every deletion repair through the
+    /// full-rebuild fallback; the degraded path must stay correct too.
+    #[test]
+    fn tiny_residue_limit_degrades_but_stays_correct(
+        (g, script) in arb_case(20),
+    ) {
+        with_pool(1, || {
+            run_script(g.clone(), &script, 1, 16, 1);
+        });
+    }
+}
+
+/// Deterministic fallback check: deleting a cycle edge inside one big
+/// SCC with a tiny residue limit must take the full-rebuild path (the
+/// counter proves it) and still match the oracle.
+#[test]
+fn residue_fallback_is_counted_and_correct() {
+    let n = 12u32;
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+    edges.push((3, 0)); // chord so one deletion keeps the SCC alive
+    let g = CsrGraph::from_edges(n as usize, &edges);
+    with_pool(1, || {
+        let guard = RunGuard::new();
+        let mut cfg = SccConfig::with_threads(1);
+        cfg.incremental_residue_limit = 1;
+        let pipeline = Pipeline::stock(Algorithm::Method2).unwrap();
+        let mut engine = IncrementalEngine::new(DeltaGraph::new(g), pipeline, cfg, &guard).unwrap();
+        engine.apply(Mutation::Delete(1, 2), &guard).unwrap();
+        assert!(
+            engine.counters().full_rebuilds > 0,
+            "limit 1 must force the fallback"
+        );
+        assert_matches_oracle(&engine, &guard, "after fallback delete");
+    });
+}

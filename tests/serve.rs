@@ -360,6 +360,14 @@ fn loadgen_against_live_server_is_deterministic_and_typed_only() {
         clients: 2,
         requests_per_client: 60,
         deadline_ms: 2_000,
+        // No recomputes (or writes): admission shedding around a
+        // recompute resolves nondeterministically under concurrency, so
+        // replay-equality below needs a purely read-only mix against a
+        // static epoch.
+        mix: swscc::serve::Mix {
+            recompute: 0,
+            ..swscc::serve::Mix::default()
+        },
         ..swscc::serve::LoadgenOptions::default()
     };
     let report = swscc::serve::loadgen::run(&bound, &opts).expect("loadgen run");
